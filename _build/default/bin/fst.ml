@@ -1,0 +1,306 @@
+(* fst — functional scan chain testing driver.
+
+   Subcommands:
+     gen    generate a benchmark circuit and write it as a netlist file
+     stats  print circuit statistics
+     tpi    insert functional scan chains and write the scanned netlist
+     opt    netlist clean-up passes (fold, bypass, sweep, refanin)
+     flow   run the complete scan-chain-testing flow and print the report
+     alt    classification only: the easy/hard split of Table 2
+     diag   inject a chain defect and run scan-chain diagnosis *)
+
+open Fst_netlist
+open Fst_tpi
+open Fst_core
+module Table = Fst_report.Table
+
+let read_circuit path =
+  try Ok (Netfile.parse_file path) with
+  | Netfile.Parse_error { line; message } ->
+    Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Sys_error e -> Error e
+
+let load ~name ~scale ~file =
+  match file, name with
+  | Some path, _ -> read_circuit path
+  | None, Some n -> (
+    match Fst_gen.Suite.find ~scale n with
+    | entry -> Ok (Fst_gen.Gen.generate entry.Fst_gen.Suite.profile)
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown suite circuit %S (see `fst gen --list`)" n))
+  | None, None -> Error "pass a netlist FILE or --name CIRCUIT"
+
+let insert_chains circuit chains =
+  let scanned, config =
+    Tpi.insert ~options:{ Tpi.default_options with Tpi.chains } circuit
+  in
+  match Scan.verify_shift scanned config with
+  | Ok () -> Ok (scanned, config)
+  | Error e -> Error ("scan chain verification failed: " ^ e)
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("fst: " ^ e);
+    exit 1
+
+(* --- gen ---------------------------------------------------------- *)
+
+let run_gen name scale out list_only gates ffs pis pos seed =
+  if list_only then begin
+    List.iter
+      (fun e ->
+        let p = e.Fst_gen.Suite.profile in
+        Printf.printf "%-8s %6d gates %5d FFs %3d PIs %3d POs %d chain(s)\n"
+          p.Fst_gen.Gen.name p.Fst_gen.Gen.gates p.Fst_gen.Gen.ffs
+          p.Fst_gen.Gen.pis p.Fst_gen.Gen.pos e.Fst_gen.Suite.chains)
+      (Fst_gen.Suite.suite ~scale ());
+    0
+  end
+  else begin
+    let circuit =
+      match gates with
+      | Some g ->
+        Fst_gen.Gen.generate
+          {
+            Fst_gen.Gen.name = Option.value ~default:"custom" name;
+            gates = g;
+            ffs;
+            pis;
+            pos;
+            seed = Int64.of_int seed;
+          }
+      | None ->
+        or_die (load ~name ~scale ~file:None)
+    in
+    (match out with
+     | Some path -> Netfile.write_file circuit path
+     | None -> print_string (Netfile.to_string circuit));
+    Format.eprintf "%a@." Circuit.pp_stats circuit;
+    0
+  end
+
+(* --- stats -------------------------------------------------------- *)
+
+let run_stats file =
+  let circuit = or_die (read_circuit file) in
+  Format.printf "%a@." Circuit.pp_stats circuit;
+  Printf.printf "collapsed faults: %d\n"
+    (Array.length (Fst_fault.Fault.collapse circuit (Fst_fault.Fault.universe circuit)));
+  0
+
+(* --- tpi ---------------------------------------------------------- *)
+
+let run_tpi file chains out =
+  let circuit = or_die (read_circuit file) in
+  let scanned, config = or_die (insert_chains circuit chains) in
+  Format.printf "%a@.%a@." Circuit.pp_stats scanned
+    (Scan.pp_config scanned) config;
+  let oh = Tpi.overhead scanned config ~before:circuit in
+  Printf.printf
+    "overhead: %d extra gates, %d dedicated routes, %d functional segments\n"
+    oh.Tpi.extra_gates oh.Tpi.dedicated_routes oh.Tpi.functional_segments;
+  (match out with
+   | Some path ->
+     Netfile.write_file scanned path;
+     Printf.printf "scanned netlist written to %s\n" path
+   | None -> ());
+  0
+
+(* --- opt ---------------------------------------------------------- *)
+
+let run_opt file out =
+  let circuit = or_die (read_circuit file) in
+  let optimized, stats = Opt.optimize circuit in
+  Format.printf "before: %a@.after:  %a@.%a@." Circuit.pp_stats circuit
+    Circuit.pp_stats optimized Opt.pp_stats stats;
+  (match out with
+   | Some path ->
+     Netfile.write_file optimized path;
+     Printf.printf "optimized netlist written to %s\n" path
+   | None -> ());
+  0
+
+(* --- flow --------------------------------------------------------- *)
+
+let print_flow_report r =
+  let cls = r.Flow.classify in
+  let total = Flow.total_faults r in
+  let t =
+    Table.create ~title:"Functional scan chain testing report"
+      [ ("metric", Table.Left); ("value", Table.Right) ]
+  in
+  Table.row t [ "total collapsed faults"; Table.cell_int total ];
+  Table.row t
+    [ "affecting the chain"; Table.cell_int_pct (Flow.affecting r) ~of_:total ];
+  Table.row t
+    [ "  category 1 (easy)"; Table.cell_int (Array.length cls.Classify.easy) ];
+  Table.row t
+    [ "  category 2 (hard)"; Table.cell_int (Array.length cls.Classify.hard) ];
+  Table.rule t;
+  Table.row t [ "step 2 detected"; Table.cell_int r.Flow.step2.Flow.detected ];
+  Table.row t [ "step 2 untestable"; Table.cell_int r.Flow.step2.Flow.untestable ];
+  Table.row t [ "step 2 vectors"; Table.cell_int r.Flow.step2.Flow.vectors ];
+  Table.row t
+    [
+      "step 2 CPU";
+      Table.cell_seconds
+        (r.Flow.step2.Flow.atpg_seconds +. r.Flow.step2.Flow.fsim_seconds);
+    ];
+  Table.rule t;
+  Table.row t [ "step 3 detected"; Table.cell_int r.Flow.step3.Flow.detected ];
+  Table.row t [ "step 3 untestable"; Table.cell_int r.Flow.step3.Flow.untestable ];
+  Table.row t
+    [
+      "step 3 circuits";
+      Printf.sprintf "%d+%d" r.Flow.step3.Flow.group_circuits
+        r.Flow.step3.Flow.final_circuits;
+    ];
+  Table.row t [ "step 3 CPU"; Table.cell_seconds r.Flow.step3.Flow.seconds ];
+  Table.rule t;
+  Table.row t
+    [ "undetected"; Table.cell_int_pct (List.length r.Flow.undetected) ~of_:total ];
+  Table.print t;
+  List.iter
+    (fun f ->
+      Printf.printf "undetected: %s\n" (Fst_fault.Fault.to_string r.Flow.scanned f))
+    r.Flow.undetected
+
+let run_flow name scale file chains =
+  let circuit = or_die (load ~name ~scale ~file) in
+  let scanned, config = or_die (insert_chains circuit chains) in
+  let params = { Flow.default_params with Flow.dist_floor_scale = scale } in
+  let r = Flow.run ~params scanned config in
+  print_flow_report r;
+  0
+
+(* --- alt ---------------------------------------------------------- *)
+
+let run_alt name scale file chains =
+  let circuit = or_die (load ~name ~scale ~file) in
+  let scanned, config = or_die (insert_chains circuit chains) in
+  let faults =
+    Fst_fault.Fault.collapse scanned (Fst_fault.Fault.universe scanned)
+  in
+  let cls = Classify.run scanned config faults in
+  let total = Array.length faults in
+  Printf.printf
+    "%d faults; %d affect the chain (%.1f%%): %d easy (alternating sequence), %d hard\n"
+    total cls.Classify.affecting
+    (100.0 *. float_of_int cls.Classify.affecting /. float_of_int total)
+    (Array.length cls.Classify.easy)
+    (Array.length cls.Classify.hard);
+  0
+
+(* --- diag --------------------------------------------------------- *)
+
+let run_diag name scale file chains position =
+  let circuit = or_die (load ~name ~scale ~file) in
+  let scanned, config = or_die (insert_chains circuit chains) in
+  let ch = config.Scan.chains.(0) in
+  let len = Array.length ch.Scan.ffs in
+  let pos = if position < 0 || position >= len then len / 2 else position in
+  let fault =
+    { Fst_fault.Fault.site = Fst_fault.Fault.Stem ch.Scan.ffs.(pos);
+      stuck = true }
+  in
+  Printf.printf "injected %s at chain 0 position %d\n"
+    (Fst_fault.Fault.to_string scanned fault)
+    pos;
+  (match Diagnose.diagnose_fault scanned config fault with
+   | [] -> print_endline "chain test passes; nothing to diagnose"
+   | verdicts ->
+     List.iteri
+       (fun i v ->
+         if i < 5 then Format.printf "#%d %a@." (i + 1) Diagnose.pp_verdict v)
+       verdicts);
+  0
+
+(* --- command line ------------------------------------------------- *)
+
+open Cmdliner
+
+let scale_arg =
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S"
+         ~doc:"Scale factor for suite circuit sizes (1.0 = published sizes).")
+
+let name_arg =
+  Arg.(value & opt (some string) None & info [ "n"; "name" ] ~docv:"NAME"
+         ~doc:"Suite circuit name (e.g. s5378).")
+
+let file_pos =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Netlist file (ISCAS'89-like syntax).")
+
+let chains_arg =
+  Arg.(value & opt int 1 & info [ "c"; "chains" ] ~docv:"N"
+         ~doc:"Number of scan chains to build.")
+
+let out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Output netlist file.")
+
+let gen_cmd =
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the benchmark suite.")
+  in
+  let gates = Arg.(value & opt (some int) None & info [ "gates" ] ~docv:"N") in
+  let ffs = Arg.(value & opt int 16 & info [ "ffs" ] ~docv:"N") in
+  let pis = Arg.(value & opt int 8 & info [ "pis" ] ~docv:"N") in
+  let pos = Arg.(value & opt int 4 & info [ "pos" ] ~docv:"N") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N") in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a benchmark circuit")
+    Term.(
+      const run_gen $ name_arg $ scale_arg $ out_arg $ list_arg $ gates $ ffs
+      $ pis $ pos $ seed)
+
+let stats_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics")
+    Term.(const run_stats $ file)
+
+let tpi_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  Cmd.v (Cmd.info "tpi" ~doc:"Insert functional scan chains (TPI)")
+    Term.(const run_tpi $ file $ chains_arg $ out_arg)
+
+let opt_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Clean up a netlist (fold, bypass, sweep, refanin)")
+    Term.(const run_opt $ file $ out_arg)
+
+let flow_cmd =
+  Cmd.v
+    (Cmd.info "flow"
+       ~doc:"Run the complete functional scan chain testing flow")
+    Term.(const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg)
+
+let diag_cmd =
+  let position =
+    Arg.(value & opt int (-1) & info [ "position" ] ~docv:"P"
+           ~doc:"Chain position of the injected defect (default: middle).")
+  in
+  Cmd.v
+    (Cmd.info "diag"
+       ~doc:"Inject a chain defect and run scan-chain diagnosis")
+    Term.(const run_diag $ name_arg $ scale_arg $ file_pos $ chains_arg $ position)
+
+let alt_cmd =
+  Cmd.v
+    (Cmd.info "alt"
+       ~doc:"Classify faults: the easy/hard split of the paper's Table 2")
+    Term.(const run_alt $ name_arg $ scale_arg $ file_pos $ chains_arg)
+
+let () =
+  let doc = "functional scan chain testing (DATE'98 reproduction)" in
+  let info = Cmd.info "fst" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+       [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; flow_cmd; alt_cmd; diag_cmd ]))

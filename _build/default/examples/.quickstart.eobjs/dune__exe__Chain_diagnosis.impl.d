@@ -1,0 +1,1 @@
+examples/chain_diagnosis.ml: Array Circuit Diagnose Dictionary Fault Format Fst_atpg Fst_core Fst_fault Fst_gen Fst_netlist Fst_tpi List Printf Scan Sequences Tpi

@@ -1,0 +1,1 @@
+examples/control_path_scan.ml: Array Circuit Classify Flow Format Fst_core Fst_gen Fst_netlist Fst_report Fst_tpi List Printf Scan Timing Tpi

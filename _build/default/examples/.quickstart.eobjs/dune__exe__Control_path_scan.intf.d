@@ -1,0 +1,1 @@
+examples/control_path_scan.mli:

@@ -1,0 +1,1 @@
+examples/multi_chain.ml: Array Circuit Classify Flow Format Fst_core Fst_fault Fst_gen Fst_netlist Fst_report Fst_tpi Group List Printf Scan Sequences Tpi

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Builder Circuit Classify Flow Format Fst_core Fst_fault Fst_logic Fst_netlist Fst_tpi Gate List Printf Scan Tpi

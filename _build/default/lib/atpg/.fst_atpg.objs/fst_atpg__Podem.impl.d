@@ -1,0 +1,1 @@
+lib/atpg/podem.ml: Array Circuit Fault Fst_fault Fst_logic Fst_netlist Fst_testability Gate Int List Sys V3 View

@@ -1,0 +1,1 @@
+lib/atpg/podem.mli: Fault Fst_fault Fst_logic Fst_netlist Fst_testability V3 View

@@ -1,0 +1,1 @@
+lib/atpg/rtpg.ml: Array Circuit Fst_gen Fst_logic Fst_netlist Gate List V3 View

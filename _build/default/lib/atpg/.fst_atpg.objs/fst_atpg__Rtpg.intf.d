@@ -1,0 +1,1 @@
+lib/atpg/rtpg.mli: Fst_gen Fst_logic Fst_netlist V3 View

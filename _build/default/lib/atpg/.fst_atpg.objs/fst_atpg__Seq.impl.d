@@ -1,0 +1,1 @@
+lib/atpg/seq.ml: Array Fst_logic List Podem Sys Unroll V3

@@ -1,0 +1,1 @@
+lib/atpg/seq.mli: Circuit Fault Fst_fault Fst_logic Fst_netlist V3

@@ -1,0 +1,1 @@
+lib/atpg/unroll.ml: Array Circuit Fault Fst_fault Fst_logic Fst_netlist Gate Hashtbl List Printf V3 View

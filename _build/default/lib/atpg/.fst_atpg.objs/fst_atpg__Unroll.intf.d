@@ -1,0 +1,1 @@
+lib/atpg/unroll.mli: Circuit Fault Fst_fault Fst_logic Fst_netlist Hashtbl V3 View

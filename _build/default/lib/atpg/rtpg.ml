@@ -1,0 +1,31 @@
+open Fst_logic
+open Fst_netlist
+
+let uniform rng view =
+  View.free_inputs view |> Array.to_list
+  |> List.map (fun net -> (net, V3.of_bool (Fst_gen.Rng.bool rng)))
+
+(* Bias toward the value the input's consumers starve for: and-family pins
+   want 1s (their non-controlling value), or-family pins want 0s,
+   xor-family pins are neutral. *)
+let weights view =
+  let c = view.View.circuit in
+  View.free_inputs view |> Array.to_list
+  |> List.map (fun net ->
+         let ones = ref 1 and total = ref 2 in
+         Array.iter
+           (fun consumer ->
+             match Circuit.node c consumer with
+             | Circuit.Gate ((Gate.And | Gate.Nand), _) ->
+               incr ones;
+               incr total
+             | Circuit.Gate ((Gate.Or | Gate.Nor), _) -> incr total
+             | Circuit.Gate ((Gate.Xor | Gate.Xnor | Gate.Not | Gate.Buf), _)
+             | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> ())
+           c.Circuit.fanout.(net);
+         (net, float_of_int !ones /. float_of_int !total))
+
+let weighted rng view =
+  List.map
+    (fun (net, p) -> (net, V3.of_bool (Fst_gen.Rng.float rng < p)))
+    (weights view)

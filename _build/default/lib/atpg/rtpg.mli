@@ -1,0 +1,21 @@
+(** Random test-pattern generation over a combinational view.
+
+    The paper notes that in a partial-scan setting the deterministic
+    combinational test set of step 2 can be replaced by random vectors;
+    this module provides both plain and weighted random vectors. The
+    weighted generator biases each free input toward the value its fanout
+    logic finds harder to produce (an and-dominated cone starves for 1s,
+    an or-dominated cone for 0s) — the classic weighted-random heuristic. *)
+
+open Fst_logic
+open Fst_netlist
+
+(** [uniform rng view] assigns every free input a fair coin flip. *)
+val uniform : Fst_gen.Rng.t -> View.t -> (int * V3.t) list
+
+(** [weights view] is the per-free-input probability of drawing a 1,
+    derived from the consumer gate mix (Laplace-smoothed). *)
+val weights : View.t -> (int * float) list
+
+(** [weighted rng view] draws one vector under {!weights}. *)
+val weighted : Fst_gen.Rng.t -> View.t -> (int * V3.t) list

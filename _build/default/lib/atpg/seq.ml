@@ -1,0 +1,48 @@
+open Fst_logic
+
+type test = {
+  frames : int;
+  init_state : (int * V3.t) list;
+  pi_frames : (int * V3.t) list array;
+}
+
+type result = Seq_test of test | Seq_aborted
+type stats = { runs : int; backtracks : int }
+
+let test_of_assignment u frames assignment =
+  let init_state = ref [] in
+  let pi_frames = Array.make frames [] in
+  List.iter
+    (fun (net, v) ->
+      match Unroll.origin u net with
+      | Unroll.Pi { frame; net } -> pi_frames.(frame) <- (net, v) :: pi_frames.(frame)
+      | Unroll.State ff -> init_state := (ff, v) :: !init_state)
+    assignment;
+  { frames; init_state = !init_state; pi_frames }
+
+let run ?deadline c ~constraints ~controllable_ff ~observable_ff ~fault
+    ~frames_list ~backtrack_limit =
+  let runs = ref 0 and backtracks = ref 0 in
+  let out_of_time () =
+    match deadline with None -> false | Some d -> Sys.time () > d
+  in
+  let rec try_frames = function
+    | [] -> (Seq_aborted, { runs = !runs; backtracks = !backtracks })
+    | _ :: _ when out_of_time () ->
+      (Seq_aborted, { runs = !runs; backtracks = !backtracks })
+    | frames :: rest -> (
+      let u =
+        Unroll.build c ~frames ~constraints ~controllable_ff ~observable_ff
+      in
+      let faults = Unroll.map_fault u fault in
+      incr runs;
+      match Podem.run ~backtrack_limit ?deadline u.Unroll.view ~faults with
+      | Podem.Test assignment, st ->
+        backtracks := !backtracks + st.Podem.backtracks;
+        ( Seq_test (test_of_assignment u frames assignment),
+          { runs = !runs; backtracks = !backtracks } )
+      | (Podem.Untestable | Podem.Aborted), st ->
+        backtracks := !backtracks + st.Podem.backtracks;
+        try_frames rest)
+  in
+  try_frames frames_list

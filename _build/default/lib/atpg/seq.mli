@@ -1,0 +1,39 @@
+(** Sequential ATPG by iterated time-frame expansion.
+
+    Given a fault, controllability/observability assumptions on the
+    flip-flops (derived by the caller from the fault-free portions of the
+    scan chain) and the scan-mode input constraints, the driver unrolls the
+    circuit for increasing frame counts and runs {!Podem} on each model
+    until a test is found or the frame budget is exhausted.
+
+    A returned test prescribes the initial state of the controllable
+    flip-flops and per-frame values for the free primary inputs; the caller
+    realizes it as a scan sequence and confirms it by fault simulation. *)
+
+open Fst_logic
+open Fst_netlist
+open Fst_fault
+
+type test = {
+  frames : int;
+  init_state : (int * V3.t) list;  (** (flip-flop net, initial value) *)
+  pi_frames : (int * V3.t) list array;  (** per frame: (input net, value) *)
+}
+
+type result = Seq_test of test | Seq_aborted
+
+type stats = { runs : int; backtracks : int }
+
+(** @param deadline absolute [Sys.time] value after which no further
+    frame counts are attempted (the current PODEM run is not interrupted,
+    so the limit is approximate). *)
+val run :
+  ?deadline:float ->
+  Circuit.t ->
+  constraints:(int * V3.t) list ->
+  controllable_ff:(int -> bool) ->
+  observable_ff:(int -> bool) ->
+  fault:Fault.t ->
+  frames_list:int list ->
+  backtrack_limit:int ->
+  result * stats

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Circuit Fault Fmt Fst_fault Fst_logic Fst_netlist Fst_tpi Gate List Queue Scan V3

@@ -1,0 +1,1 @@
+lib/core/classify.mli: Circuit Fault Fmt Fst_fault Fst_netlist Fst_tpi Scan

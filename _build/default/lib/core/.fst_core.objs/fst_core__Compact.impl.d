@@ -1,0 +1,1 @@
+lib/core/compact.ml: Array Fsim Fst_fsim List

@@ -1,0 +1,1 @@
+lib/core/compact.mli: Circuit Fault Fsim Fst_fault Fst_fsim Fst_netlist

@@ -1,0 +1,1 @@
+lib/core/diagnose.ml: Array Circuit Fmt Fsim Fst_fsim Fst_logic Fst_netlist Fst_sim Fst_tpi Hashtbl Int List Option Scan Sequences V3

@@ -1,0 +1,1 @@
+lib/core/diagnose.mli: Circuit Fmt Fsim Fst_fault Fst_fsim Fst_logic Fst_netlist Fst_tpi Scan V3

@@ -1,0 +1,1 @@
+lib/core/dictionary.ml: Array Fsim Fst_fsim Hashtbl Int List

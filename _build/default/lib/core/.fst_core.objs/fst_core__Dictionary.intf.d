@@ -1,0 +1,1 @@
+lib/core/dictionary.mli: Circuit Fault Fsim Fst_fault Fst_fsim Fst_netlist

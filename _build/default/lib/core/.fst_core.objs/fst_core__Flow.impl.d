@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Circuit Classify Fault Fsim Fst_atpg Fst_fault Fst_fsim Fst_gen Fst_netlist Fst_testability Fst_tpi Group Hashtbl Int List Podem Rtpg Scan Seq Sequences Sys View

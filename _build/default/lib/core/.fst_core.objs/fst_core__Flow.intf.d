@@ -1,0 +1,1 @@
+lib/core/flow.mli: Circuit Classify Fault Fst_fault Fst_netlist Fst_tpi Scan

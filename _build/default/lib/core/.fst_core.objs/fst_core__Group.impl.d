@@ -1,0 +1,1 @@
+lib/core/group.ml: Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/core/scan_atpg.ml: Array Circuit Fault Fsim Fst_atpg Fst_fault Fst_fsim Fst_gen Fst_logic Fst_netlist Fst_testability Fst_tpi Hashtbl List Podem Rtpg Scan Sequences Sys V3 View

@@ -1,0 +1,1 @@
+lib/core/scan_atpg.mli: Circuit Fault Fst_fault Fst_netlist Fst_tpi Scan

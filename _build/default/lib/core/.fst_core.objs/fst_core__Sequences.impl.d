@@ -1,0 +1,1 @@
+lib/core/sequences.ml: Array Circuit Fst_atpg Fst_logic Fst_netlist Fst_tpi List Scan Seq V3

@@ -1,0 +1,1 @@
+lib/core/sequences.mli: Circuit Fsim Fst_atpg Fst_fsim Fst_logic Fst_netlist Fst_tpi Scan Seq V3

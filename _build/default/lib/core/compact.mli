@@ -1,0 +1,35 @@
+(** Static test-set compaction.
+
+    The paper observes (Figure 5) that most faults fall to the beginning of
+    the step-2 test set and suggests shrinking it. Beyond plain truncation
+    (a {!Flow.params} option), this module implements classic
+    {e reverse-order restoration}: simulate the sequences from last to
+    first with fault dropping and keep only the ones that detect a fault
+    not covered by a later sequence. Coverage is preserved exactly; the
+    kept set is typically much smaller because early ATPG patterns are
+    subsumed by later ones. *)
+
+open Fst_netlist
+open Fst_fault
+open Fst_fsim
+
+(** [reverse_order c ~faults ~observe ~blocks] returns the indices (into
+    [blocks], ascending) of the sequences to keep, and the number of faults
+    the kept set detects. Each block is an independent scan sequence (the
+    machine state does not carry over between blocks, matching how
+    {!Flow} simulates them). *)
+val reverse_order :
+  Circuit.t ->
+  faults:Fault.t array ->
+  observe:int array ->
+  blocks:Fsim.stimulus list ->
+  int list * int
+
+(** [coverage c ~faults ~observe ~blocks] is the number of faults detected
+    by the block set (with dropping). *)
+val coverage :
+  Circuit.t ->
+  faults:Fault.t array ->
+  observe:int array ->
+  blocks:Fsim.stimulus list ->
+  int

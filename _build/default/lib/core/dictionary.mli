@@ -1,0 +1,45 @@
+(** Fault dictionaries for logic diagnosis.
+
+    After the chain test ({!Flow}) and the scan test ({!Scan_atpg}) a
+    failing die produces a pass/fail signature over the applied sequences.
+    A fault dictionary, built once by fault simulation, maps each modeled
+    fault to its expected signature; matching the observed signature
+    against the dictionary ranks candidate defects — the classic
+    cause-effect diagnosis companion to the chain-level ranking of
+    {!Diagnose}. *)
+
+open Fst_netlist
+open Fst_fault
+open Fst_fsim
+
+type t
+
+(** [build c ~faults ~observe ~blocks] fault-simulates every fault against
+    every sequence (no dropping — full signatures) and stores the
+    pass/fail matrix. *)
+val build :
+  Circuit.t ->
+  faults:Fault.t array ->
+  observe:int array ->
+  blocks:Fsim.stimulus list ->
+  t
+
+val num_blocks : t -> int
+
+(** [signature d ~fault_index] is the fail set of one fault (indices of
+    the sequences that detect it). *)
+val signature : t -> fault_index:int -> int list
+
+(** [observe_defect c d ~fault ~blocks] produces the signature an actual
+    defect (not necessarily in the dictionary) shows on the tester. *)
+val observe_defect :
+  Circuit.t -> t -> fault:Fault.t -> blocks:Fsim.stimulus list -> int list
+
+(** [rank d ~observed] ranks dictionary faults by signature distance to
+    the observed fail set: (fault index, mismatching sequence count),
+    best first. Exact matches come out with distance 0. *)
+val rank : t -> observed:int list -> (int * int) list
+
+(** [distinguishable d] counts the equivalence classes of identical
+    signatures — the diagnostic resolution of the test set. *)
+val distinguishable : t -> int

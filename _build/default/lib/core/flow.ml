@@ -1,0 +1,433 @@
+open Fst_netlist
+open Fst_fault
+open Fst_fsim
+open Fst_atpg
+open Fst_tpi
+
+type params = {
+  dist_floor_scale : float;
+  comb_backtrack : int;
+  seq_backtrack : int;
+  final_backtrack : int;
+  frames : int list;
+  final_frames : int list;
+  truncate_blocks : float option;
+  capture_curve : bool;
+  random_blocks : int;
+  random_seed : int64;
+  weighted_random : bool;
+  seq_fault_seconds : float;
+  final_fault_seconds : float;
+}
+
+let default_params =
+  {
+    dist_floor_scale = 1.0;
+    comb_backtrack = 200;
+    seq_backtrack = 400;
+    final_backtrack = 2000;
+    frames = [ 1; 2; 4 ];
+    final_frames = [ 1; 2; 4; 8 ];
+    truncate_blocks = None;
+    capture_curve = true;
+    random_blocks = 32;
+    random_seed = 0x5EEDL;
+    weighted_random = false;
+    seq_fault_seconds = 0.5;
+    final_fault_seconds = 2.0;
+  }
+
+type step2 = {
+  detected : int;
+  untestable : int;
+  undetected : int;
+  vectors : int;
+  atpg_seconds : float;
+  fsim_seconds : float;
+  curve : (int * int) array;
+}
+
+type step3 = {
+  detected : int;
+  untestable : int;
+  undetected : int;
+  group_circuits : int;
+  final_circuits : int;
+  seconds : float;
+}
+
+type result = {
+  scanned : Circuit.t;
+  config : Scan.config;
+  faults : Fault.t array;
+  classify : Classify.t;
+  classify_seconds : float;
+  step2 : step2;
+  step3 : step3;
+  undetected : Fault.t list;
+  untestable_faults : Fault.t list;
+}
+
+let total_faults r = Array.length r.faults
+let affecting r = r.classify.Classify.affecting
+
+(* Everything the chain-testing phase credits as detected: the category-1
+   faults (alternating sequence) plus the hard faults that neither stayed
+   undetected nor were proven untestable. *)
+let chain_detected_faults r =
+  let open_set = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace open_set f ()) r.undetected;
+  List.iter (fun f -> Hashtbl.replace open_set f ()) r.untestable_faults;
+  let easy =
+    Array.to_list r.classify.Classify.easy
+    |> List.map (fun i -> r.faults.(i))
+  in
+  let hard_detected =
+    Array.to_list r.classify.Classify.hard
+    |> List.filter_map (fun i ->
+           let f = r.faults.(i) in
+           if Hashtbl.mem open_set f then None else Some f)
+  in
+  easy @ hard_detected
+
+(* Splits a combinational-model assignment into flip-flop state and
+   primary-input parts. *)
+let split_assignment c assignment =
+  List.partition (fun (net, _) -> Circuit.is_dff c net) assignment
+
+(* --- Step 2: combinational ATPG + sequential fault simulation ---------- *)
+
+let run_step2 ~params scanned config ~hard_faults =
+  let t0 = Sys.time () in
+  let view = View.scan_mode scanned ~constraints:config.Scan.constraints () in
+  let scoap = Fst_testability.Scoap.compute view in
+  let blocks = ref [] and untestable = ref [] and no_test = ref [] in
+  Array.iteri
+    (fun i fault ->
+      match
+        Podem.run ~backtrack_limit:params.comb_backtrack ~scoap view
+          ~faults:[ fault ]
+      with
+      | Podem.Test assignment, _ ->
+        let ff_values, pi_values = split_assignment scanned assignment in
+        blocks :=
+          Sequences.of_comb_test scanned config ~ff_values ~pi_values
+          :: !blocks
+      | Podem.Untestable, _ -> untestable := i :: !untestable
+      | Podem.Aborted, _ -> no_test := i :: !no_test)
+    hard_faults;
+  let atpg_seconds = Sys.time () -. t0 in
+  (* Deterministic random scan-mode tests appended after the ATPG set (the
+     paper's random-vector option): they mop up aborted-ATPG faults during
+     the same fault-simulation pass. The free inputs of the scan-mode view
+     are exactly the loadable state plus the usable pins. *)
+  let random_block rng =
+    let vector =
+      if params.weighted_random then Rtpg.weighted rng view
+      else Rtpg.uniform rng view
+    in
+    let ff_values, pi_values = split_assignment scanned vector in
+    Sequences.of_comb_test scanned config ~ff_values ~pi_values
+  in
+  let rng = Fst_gen.Rng.create params.random_seed in
+  let blocks =
+    List.rev !blocks @ List.init params.random_blocks (fun _ -> random_block rng)
+  in
+  let blocks =
+    match params.truncate_blocks with
+    | None -> blocks
+    | Some frac ->
+      let keep =
+        max 1 (int_of_float (frac *. float_of_int (List.length blocks)))
+      in
+      List.filteri (fun i _ -> i < keep) blocks
+  in
+  let t1 = Sys.time () in
+  let untestable_set = List.fold_left (fun s i -> i :: s) [] !untestable in
+  let simulate =
+    (* Untestable faults are excluded from simulation: they cannot be
+       detected and would waste machine slots. *)
+    Array.of_list
+      (List.filter
+         (fun i -> not (List.mem i untestable_set))
+         (List.init (Array.length hard_faults) (fun i -> i)))
+  in
+  let sim_faults = Array.map (fun i -> hard_faults.(i)) simulate in
+  let outcome =
+    Fsim.Parallel.detect_dropping scanned ~faults:sim_faults
+      ~observe:scanned.Circuit.outputs ~stimuli:blocks
+  in
+  let fsim_seconds = Sys.time () -. t1 in
+  let detected = Array.make (Array.length hard_faults) false in
+  Array.iteri
+    (fun k i -> match outcome.(k) with
+       | Some _ -> detected.(i) <- true
+       | None -> ())
+    simulate;
+  let curve =
+    if not params.capture_curve then [||]
+    else begin
+      let n_blocks = List.length blocks in
+      let per_block = Array.make (n_blocks + 1) 0 in
+      Array.iter
+        (function
+          | Some (block, _) -> per_block.(block + 1) <- per_block.(block + 1) + 1
+          | None -> ())
+        outcome;
+      let acc = ref 0 in
+      Array.mapi
+        (fun i d ->
+          acc := !acc + d;
+          (i, !acc))
+        per_block
+    end
+  in
+  let n_detected = Array.fold_left (fun a b -> if b then a + 1 else a) 0 detected in
+  let n_untestable = List.length !untestable in
+  let remaining = ref [] in
+  Array.iteri
+    (fun i _ ->
+      if (not detected.(i)) && not (List.mem i untestable_set) then
+        remaining := i :: !remaining)
+    hard_faults;
+  ( {
+      detected = n_detected;
+      untestable = n_untestable;
+      undetected = Array.length hard_faults - n_detected - n_untestable;
+      vectors = List.length blocks;
+      atpg_seconds;
+      fsim_seconds;
+      curve;
+    },
+    List.rev !remaining,
+    List.map (fun i -> hard_faults.(i)) (List.rev !untestable),
+    view,
+    scoap )
+
+(* --- Step 3: grouped sequential ATPG ------------------------------------ *)
+
+(* Chain position lookup: flip-flop net -> (chain, position). *)
+let positions_of config =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun ch ->
+      Array.iteri
+        (fun pos ff -> Hashtbl.replace tbl ff (ch.Scan.index, pos))
+        ch.Scan.ffs)
+    config.Scan.chains;
+  tbl
+
+let predicates_of_bounds positions bounds =
+  let controllable ff =
+    match Hashtbl.find_opt positions ff with
+    | None -> false (* every flip-flop lies on a chain after TPI *)
+    | Some (chain, pos) -> (
+      match List.assoc_opt chain bounds with
+      | None -> true (* unaffected chain: fully controllable *)
+      | Some (m, _) -> pos < m)
+  in
+  let observable ff =
+    match Hashtbl.find_opt positions ff with
+    | None -> false
+    | Some (chain, pos) -> (
+      match List.assoc_opt chain bounds with
+      | None -> true
+      | Some (_, o) -> pos >= o)
+  in
+  (controllable, observable)
+
+type step3_state = {
+  mutable detected3 : int;
+  mutable untestable3 : int;
+  mutable group_circuits : int;
+  mutable final_circuits : int;
+  alive : (int, unit) Hashtbl.t; (* remaining-fault index -> alive *)
+}
+
+(* Fault-simulates a realized sequence against every still-alive remaining
+   fault and retires the detections; returns the detected indices. *)
+let retire_detections st scanned ~remaining_faults ~stim =
+  let alive_ids =
+    Hashtbl.fold (fun i () acc -> i :: acc) st.alive [] |> List.sort Int.compare
+  in
+  let faults_arr =
+    Array.of_list (List.map (fun i -> remaining_faults.(i)) alive_ids)
+  in
+  let outcome =
+    Fsim.Parallel.detect_all scanned ~faults:faults_arr
+      ~observe:scanned.Circuit.outputs stim
+  in
+  let hits = ref [] in
+  List.iteri
+    (fun k i ->
+      match outcome.(k) with
+      | Some _ ->
+        Hashtbl.remove st.alive i;
+        st.detected3 <- st.detected3 + 1;
+        hits := i :: !hits
+      | None -> ())
+    alive_ids;
+  !hits
+
+(* Runs sequential ATPG for one fault on the given model; on success,
+   fault-simulates the realized sequence against every still-alive fault
+   and retires the detections. *)
+let attack st scanned config ~remaining_faults ~bounds ~positions ~frames
+    ~backtrack ~seconds target_idx =
+  if not (Hashtbl.mem st.alive target_idx) then false
+  else begin
+    let controllable, observable = predicates_of_bounds positions bounds in
+    let fault = remaining_faults.(target_idx) in
+    match
+      Seq.run ~deadline:(Sys.time () +. seconds) scanned
+        ~constraints:config.Scan.constraints
+        ~controllable_ff:controllable ~observable_ff:observable ~fault
+        ~frames_list:frames ~backtrack_limit:backtrack
+    with
+    | Seq.Seq_aborted, _ -> false
+    | Seq.Seq_test test, _ ->
+      let stim = Sequences.of_seq_test scanned config test in
+      let hits = retire_detections st scanned ~remaining_faults ~stim in
+      List.mem target_idx hits
+  end
+
+let run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
+    ~scoap =
+  let t0 = Sys.time () in
+  let remaining_faults =
+    Array.of_list
+      (List.map (fun i -> classify.Classify.infos.(hard_index.(i)).Classify.fault) remaining)
+  in
+  let footprints =
+    List.mapi
+      (fun k i ->
+        let info = classify.Classify.infos.(hard_index.(i)) in
+        let locations =
+          List.map (fun (chain, seg, _) -> (chain, seg)) info.Classify.locations
+        in
+        Group.footprint_of ~index:k ~locations)
+      remaining
+  in
+  let maxsize = Sequences.max_chain_length config in
+  let dist =
+    Group.paper_params ~maxsize ~floor_scale:params.dist_floor_scale
+  in
+  let groups = Group.make dist footprints in
+  let positions = positions_of config in
+  let st =
+    {
+      detected3 = 0;
+      untestable3 = 0;
+      group_circuits = 0;
+      final_circuits = 0;
+      alive = Hashtbl.create 64;
+    }
+  in
+  let untestable_faults3 = ref [] in
+  List.iteri (fun k _ -> Hashtbl.replace st.alive k ()) remaining;
+  let any_alive fps = List.exists (fun fp -> Hashtbl.mem st.alive fp.Group.index) fps in
+  List.iter
+    (fun group ->
+      let bounds = Group.bounds_of_group group in
+      let targets =
+        match group with
+        | Group.Solo fp -> [ fp ]
+        | Group.Shared { leader; members } -> leader :: members
+        | Group.Cluster { members; _ } -> members
+      in
+      if any_alive targets then begin
+        st.group_circuits <- st.group_circuits + 1;
+        List.iter
+          (fun fp ->
+            ignore
+              (attack st scanned config ~remaining_faults ~bounds ~positions
+                 ~frames:params.frames ~backtrack:params.seq_backtrack
+                 ~seconds:params.seq_fault_seconds fp.Group.index))
+          targets
+      end)
+    groups;
+  (* Final faults: prove undetectable through the relaxed combinational
+     model where possible, otherwise target individually with a larger
+     budget (the paper's "additional time"). *)
+  let finals = Hashtbl.fold (fun i () acc -> i :: acc) st.alive [] |> List.sort Int.compare in
+  List.iter
+    (fun i ->
+      if Hashtbl.mem st.alive i then begin
+        let fault = remaining_faults.(i) in
+        match
+          Podem.run ~backtrack_limit:params.final_backtrack ~scoap view
+            ~faults:[ fault ]
+        with
+        | Podem.Untestable, _ ->
+          Hashtbl.remove st.alive i;
+          st.untestable3 <- st.untestable3 + 1;
+          untestable_faults3 := fault :: !untestable_faults3
+        | Podem.Test assignment, _ ->
+          (* The larger budget found a combinational test that step 2
+             missed; realize and confirm it sequentially before falling
+             back to the restricted sequential model. *)
+          let ff_values, pi_values = split_assignment scanned assignment in
+          let stim =
+            Sequences.of_comb_test scanned config ~ff_values ~pi_values
+          in
+          ignore (retire_detections st scanned ~remaining_faults ~stim);
+          if Hashtbl.mem st.alive i then begin
+            let fp = List.nth footprints i in
+            st.final_circuits <- st.final_circuits + 1;
+            ignore
+              (attack st scanned config ~remaining_faults
+                 ~bounds:fp.Group.spans ~positions ~frames:params.final_frames
+                 ~backtrack:params.final_backtrack
+                 ~seconds:params.final_fault_seconds i)
+          end
+        | Podem.Aborted, _ ->
+          let fp = List.nth footprints i in
+          st.final_circuits <- st.final_circuits + 1;
+          ignore
+            (attack st scanned config ~remaining_faults
+               ~bounds:fp.Group.spans ~positions ~frames:params.final_frames
+               ~backtrack:params.final_backtrack
+               ~seconds:params.final_fault_seconds i)
+      end)
+    finals;
+  let undetected_idx =
+    Hashtbl.fold (fun i () acc -> i :: acc) st.alive [] |> List.sort Int.compare
+  in
+  ( {
+      detected = st.detected3;
+      untestable = st.untestable3;
+      undetected = List.length undetected_idx;
+      group_circuits = st.group_circuits;
+      final_circuits = st.final_circuits;
+      seconds = Sys.time () -. t0;
+    },
+    List.map (fun i -> remaining_faults.(i)) undetected_idx,
+    List.rev !untestable_faults3 )
+
+let run ?(params = default_params) scanned config =
+  let faults = Fault.collapse scanned (Fault.universe scanned) in
+  let t0 = Sys.time () in
+  let classify = Classify.run scanned config faults in
+  let classify_seconds = Sys.time () -. t0 in
+  let hard_index = classify.Classify.hard in
+  let hard_faults =
+    Array.map (fun i -> classify.Classify.infos.(i).Classify.fault) hard_index
+  in
+  let step2, remaining, untestable2, view, scoap =
+    run_step2 ~params scanned config ~hard_faults
+  in
+  let step3, undetected, untestable3 =
+    run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
+      ~scoap
+  in
+  {
+    scanned;
+    config;
+    faults;
+    classify;
+    classify_seconds;
+    step2;
+    step3;
+    undetected;
+    untestable_faults = untestable2 @ untestable3;
+  }

@@ -1,0 +1,96 @@
+(** The complete functional scan chain testing flow (sections 2–5).
+
+    Starting from a circuit that already carries functional scan chains
+    (see {!Fst_tpi.Tpi.insert}), the flow:
+
+    + classifies every collapsed fault ({!Classify}),
+    + screens the hard (category-2) faults with combinational ATPG on the
+      scan-mode model followed by sequential fault simulation of the
+      realized scan sequences,
+    + targets the remainder with grouped sequential ATPG on models with
+      enhanced chain controllability/observability ({!Group}), retrying the
+      survivors individually with a larger budget, and proving
+      undetectability through the relaxed combinational model where
+      possible. *)
+
+open Fst_netlist
+open Fst_fault
+open Fst_tpi
+
+type params = {
+  dist_floor_scale : float;
+      (** scales the absolute floors of the paper's distance formula; use
+          the benchmark scale for scaled-down runs *)
+  comb_backtrack : int;  (** PODEM budget in step 2 *)
+  seq_backtrack : int;  (** PODEM budget per unrolled model in step 3 *)
+  final_backtrack : int;  (** budget for the final individual targeting *)
+  frames : int list;  (** frame counts tried per step-3 model *)
+  final_frames : int list;  (** frame counts for the final targeting *)
+  truncate_blocks : float option;
+      (** keep only this fraction of the step-2 test set before fault
+          simulation (the reduction discussed around Figure 5) *)
+  capture_curve : bool;  (** record the Figure-5 detection curve *)
+  random_blocks : int;
+      (** deterministic random scan-mode tests appended after the step-2
+          ATPG set (the paper's random-vector option) *)
+  random_seed : int64;
+  weighted_random : bool;
+      (** bias the random tests with {!Fst_atpg.Rtpg.weighted} instead of
+          fair coins *)
+  seq_fault_seconds : float;
+      (** approximate CPU budget per fault for grouped sequential ATPG *)
+  final_fault_seconds : float;
+      (** budget per fault for the final individual targeting (the paper's
+          "additional time") *)
+}
+
+val default_params : params
+
+type step2 = {
+  detected : int;
+  untestable : int;
+  undetected : int;
+  vectors : int;  (** test sequences generated (after truncation) *)
+  atpg_seconds : float;
+  fsim_seconds : float;
+  curve : (int * int) array;
+      (** (vectors simulated, cumulative detected) when captured *)
+}
+
+type step3 = {
+  detected : int;
+  untestable : int;
+  undetected : int;
+  group_circuits : int;  (** models built for groups 1–3 *)
+  final_circuits : int;  (** models built for the final faults *)
+  seconds : float;
+}
+
+type result = {
+  scanned : Circuit.t;
+  config : Scan.config;
+  faults : Fault.t array;  (** collapsed fault universe *)
+  classify : Classify.t;
+  classify_seconds : float;
+  step2 : step2;
+  step3 : step3;
+  undetected : Fault.t list;  (** survivors of the whole flow *)
+  untestable_faults : Fault.t list;
+      (** faults proven untestable (step-2 combinational proofs plus the
+          relaxed-model proofs of step 3) *)
+}
+
+(** [run ?params scanned config] executes the flow on an already-scanned
+    circuit. *)
+val run : ?params:params -> Circuit.t -> Scan.config -> result
+
+(** [total_faults r], [affecting r]: Table-2/3 denominators. *)
+val total_faults : result -> int
+
+val affecting : result -> int
+
+(** [chain_detected_faults r] is every fault the chain-testing phase
+    credits as detected (category 1 via the alternating sequence, plus the
+    hard faults detected in steps 2–3) — the list to drop before the
+    subsequent logic-test phase ({!Scan_atpg}). *)
+val chain_detected_faults : result -> Fault.t list

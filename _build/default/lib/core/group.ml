@@ -1,0 +1,123 @@
+type dist_params = { large : int; med : int; dist : int }
+
+let paper_params ~maxsize ~floor_scale =
+  let floor f = int_of_float (ceil (f *. floor_scale)) in
+  {
+    large = max (6 * maxsize / 10) (floor 50.);
+    med = max (maxsize / 4) (floor 25.);
+    dist = max (15 * maxsize / 100) (floor 20.);
+  }
+
+type footprint = { index : int; spans : (int * (int * int)) list }
+
+let footprint_of ~index ~locations =
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (chain, seg) ->
+      match Hashtbl.find_opt tbl chain with
+      | None -> Hashtbl.replace tbl chain (seg, seg)
+      | Some (lo, hi) -> Hashtbl.replace tbl chain (min lo seg, max hi seg))
+    locations;
+  let spans =
+    Hashtbl.fold (fun chain span acc -> (chain, span) :: acc) tbl []
+    |> List.sort compare
+  in
+  { index; spans }
+
+type group =
+  | Solo of footprint
+  | Shared of { leader : footprint; members : footprint list }
+  | Cluster of { chain : int; lo : int; hi : int; members : footprint list }
+
+let span_of fp =
+  match fp.spans with
+  | [ (_, (l1, ln)) ] -> ln - l1
+  | [] | _ :: _ :: _ -> invalid_arg "span_of: not a single-chain footprint"
+
+let multi_location fp =
+  match fp.spans with
+  | [ (_, (l1, ln)) ] -> ln > l1
+  | [] -> false
+  | _ :: _ :: _ -> true
+
+(* [fits leader fp]: can [fp] be detected in [leader]'s model? Its chain
+   window must lie inside the leader's. *)
+let fits leader fp =
+  match leader.spans, fp.spans with
+  | [ (kc, (m, o)) ], [ (k, (l1, ln)) ] -> k = kc && l1 >= m && ln <= o
+  | _, _ -> false
+
+let make params footprints =
+  let multi_chain, single_chain =
+    List.partition (fun fp -> List.length fp.spans > 1) footprints
+  in
+  let group1_span, rest =
+    List.partition
+      (fun fp -> multi_location fp && span_of fp >= params.large)
+      single_chain
+  in
+  let group2, group3 =
+    List.partition
+      (fun fp -> multi_location fp && span_of fp >= params.med)
+      rest
+  in
+  let solos = List.map (fun fp -> Solo fp) (multi_chain @ group1_span) in
+  (* Group 2: each fault keeps its own model; compatible remaining faults
+     ride along in its fault list. *)
+  let shareds =
+    List.map
+      (fun leader ->
+        let members =
+          List.filter (fun fp -> fp.index <> leader.index && fits leader fp)
+            (group2 @ group3)
+        in
+        Shared { leader; members })
+      group2
+  in
+  (* Group 3: greedy clustering per chain under the window budget. *)
+  let by_chain = Hashtbl.create 8 in
+  List.iter
+    (fun fp ->
+      match fp.spans with
+      | [ (chain, _) ] ->
+        Hashtbl.replace by_chain chain
+          (fp :: (Option.value ~default:[] (Hashtbl.find_opt by_chain chain)))
+      | [] | _ :: _ :: _ -> assert false)
+    group3;
+  let clusters = ref [] in
+  Hashtbl.iter
+    (fun chain fps ->
+      let sorted =
+        List.sort
+          (fun a b ->
+            match a.spans, b.spans with
+            | [ (_, (l1a, _)) ], [ (_, (l1b, _)) ] -> Int.compare l1a l1b
+            | _, _ -> assert false)
+          fps
+      in
+      let flush lo hi members =
+        if members <> [] then
+          clusters := Cluster { chain; lo; hi; members = List.rev members } :: !clusters
+      in
+      let rec walk lo hi members = function
+        | [] -> flush lo hi members
+        | fp :: rest -> (
+          match fp.spans with
+          | [ (_, (l1, ln)) ] ->
+            if members = [] then walk l1 ln [ fp ] rest
+            else if max hi ln - min lo l1 <= params.dist then
+              walk (min lo l1) (max hi ln) (fp :: members) rest
+            else begin
+              flush lo hi members;
+              walk l1 ln [ fp ] rest
+            end
+          | [] | _ :: _ :: _ -> assert false)
+      in
+      walk 0 0 [] sorted)
+    by_chain;
+  solos @ shareds @ List.rev !clusters
+
+let bounds_of_group = function
+  | Solo fp -> fp.spans
+  | Shared { leader; _ } -> leader.spans
+  | Cluster { chain; lo; hi; _ } -> [ (chain, (lo, hi)) ]

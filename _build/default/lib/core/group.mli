@@ -1,0 +1,41 @@
+(** Section 5 of the paper: partitioning the remaining faults for
+    sequential ATPG so that each gets enough chain controllability and
+    observability while bounding the number of circuit models built.
+
+    Locations are segment indices on a chain. For a fault with locations
+    [l1 < … < ln] on one chain, positions before [l1] are controllable and
+    positions at or past [ln] are observable. Group 1 (solo models): faults
+    affecting several chains, and single-chain multi-location faults whose
+    span is at least [large]. Group 2: multi-location faults with span in
+    [[med, large)]; each gets its own model but shares it with every
+    compatible fault. Group 3: everything else, clustered greedily so that
+    each cluster's combined location window is at most [dist]. *)
+
+type dist_params = { large : int; med : int; dist : int }
+
+(** [paper_params ~maxsize ~floor_scale] is the paper's setting:
+    [large = max(0.6·maxsize, 50·floor_scale)],
+    [med = max(0.25·maxsize, 25·floor_scale)],
+    [dist = max(0.15·maxsize, 20·floor_scale)] — with [floor_scale]
+    shrinking the absolute floors for scaled-down benchmark runs. *)
+val paper_params : maxsize:int -> floor_scale:float -> dist_params
+
+(** A fault's footprint on the chains: the distinct chains it touches and,
+    per chain, its first and last location. *)
+type footprint = {
+  index : int;  (** caller's fault identifier *)
+  spans : (int * (int * int)) list;  (** chain -> (l1, ln) *)
+}
+
+val footprint_of : index:int -> locations:(int * int) list -> footprint
+
+type group =
+  | Solo of footprint
+  | Shared of { leader : footprint; members : footprint list }
+  | Cluster of { chain : int; lo : int; hi : int; members : footprint list }
+
+val make : dist_params -> footprint list -> group list
+
+(** [bounds_of_group g] is the per-chain (controllable-below, observable-at)
+    window of the group's circuit model. *)
+val bounds_of_group : group -> (int * (int * int)) list

@@ -1,0 +1,147 @@
+open Fst_logic
+open Fst_netlist
+open Fst_atpg
+open Fst_tpi
+
+let max_chain_length (config : Scan.config) =
+  Array.fold_left
+    (fun m ch -> max m (Array.length ch.Scan.ffs))
+    0 config.Scan.chains
+
+let scan_in_nets (config : Scan.config) =
+  Array.to_list config.Scan.chains |> List.map (fun ch -> ch.Scan.scan_in)
+
+(* Per-chain scan-in slot at load cycle [t] of a [load] cycle window: chains
+   shorter than the window idle first so that every chain finishes loading
+   on the same edge. *)
+let load_slot (ch : Scan.chain) stream ~load ~t =
+  let len = Array.length ch.Scan.ffs in
+  if t < load - len then (ch.Scan.scan_in, V3.X)
+  else (ch.Scan.scan_in, stream.(t - (load - len)))
+
+let alternating c config ~repeats =
+  ignore c;
+  let l = max_chain_length config in
+  let shift_cycles = (repeats * l) + 4 in
+  let total = shift_cycles + l in
+  Array.init total (fun t ->
+      let base = if t = 0 then config.Scan.constraints else [] in
+      let v = if t < shift_cycles then V3.of_bool (t / 2 mod 2 = 1) else V3.X in
+      base @ List.map (fun si -> (si, v)) (scan_in_nets config))
+
+let desired_of_chain (ch : Scan.chain) ff_values =
+  Array.map
+    (fun ff ->
+      match List.assoc_opt ff ff_values with Some v -> v | None -> V3.X)
+    ch.Scan.ffs
+
+let of_comb_test c config ~ff_values ~pi_values =
+  ignore c;
+  let l = max_chain_length config in
+  let scan_ins = scan_in_nets config in
+  let pi_scan, pi_other =
+    List.partition (fun (n, _) -> List.mem n scan_ins) pi_values
+  in
+  let streams =
+    Array.map
+      (fun ch ->
+        (ch, Scan.scan_in_stream ch ~values:(desired_of_chain ch ff_values)))
+      config.Scan.chains
+  in
+  let total = (2 * l) + 1 in
+  Array.init total (fun t ->
+      if t < l then
+        let base = if t = 0 then config.Scan.constraints @ pi_other else [] in
+        base
+        @ (Array.to_list streams
+          |> List.map (fun (ch, stream) -> load_slot ch stream ~load:l ~t))
+      else if t = l then
+        (* Apply cycle: scan-ins take their test values (they are free
+           inputs of the combinational model), defaulting to X. *)
+        List.map
+          (fun si ->
+            match List.assoc_opt si pi_scan with
+            | Some v -> (si, v)
+            | None -> (si, V3.X))
+          scan_ins
+      else [])
+
+let free_pis c (config : Scan.config) =
+  let constrained = List.map fst config.Scan.constraints in
+  Array.to_list c.Circuit.inputs
+  |> List.filter (fun i -> not (List.mem i constrained))
+
+let of_seq_test c config (test : Seq.test) =
+  let l = max_chain_length config in
+  let free = free_pis c config in
+  let streams =
+    Array.map
+      (fun ch ->
+        (ch, Scan.scan_in_stream ch ~values:(desired_of_chain ch test.Seq.init_state)))
+      config.Scan.chains
+  in
+  let frames = test.Seq.frames in
+  let total = l + frames + l in
+  Array.init total (fun t ->
+      if t < l then
+        let base = if t = 0 then config.Scan.constraints else [] in
+        base
+        @ (Array.to_list streams
+          |> List.map (fun (ch, stream) -> load_slot ch stream ~load:l ~t))
+      else if t < l + frames then
+        (* Frame cycles: every free input is reset each cycle (X unless the
+           test assigns it), including the scan-ins. *)
+        let assigns = test.Seq.pi_frames.(t - l) in
+        List.map
+          (fun pi ->
+            match List.assoc_opt pi assigns with
+            | Some v -> (pi, v)
+            | None -> (pi, V3.X))
+          free
+      else if t = l + frames then List.map (fun pi -> (pi, V3.X)) free
+      else [])
+
+(* Scan test of the functional logic: load, one capture with scan-enable
+   low, unload. The scan-mode constraints are released for the capture
+   cycle (they only exist to sensitize the chain) and re-asserted for the
+   unload. *)
+let of_capture_test c config ~ff_values ~pi_values =
+  let l = max_chain_length config in
+  let scan_ins = scan_in_nets config in
+  (* In functional mode every input except the scan-enable is usable —
+     including the ones TPI constrains during scan mode. *)
+  let usable =
+    Array.to_list c.Circuit.inputs
+    |> List.filter (fun i ->
+           i <> config.Scan.scan_mode && not (List.mem i scan_ins))
+  in
+  let streams =
+    Array.map
+      (fun ch ->
+        (ch, Scan.scan_in_stream ch ~values:(desired_of_chain ch ff_values)))
+      config.Scan.chains
+  in
+  let total = l + 1 + (l + 1) in
+  Array.init total (fun t ->
+      if t < l then
+        let base = if t = 0 then config.Scan.constraints else [] in
+        base
+        @ (Array.to_list streams
+          |> List.map (fun (ch, stream) -> load_slot ch stream ~load:l ~t))
+      else if t = l then
+        (* Capture: leave scan mode, apply the test's input values; every
+           other input reads as the test left it or X. *)
+        ((config.Scan.scan_mode, V3.Zero)
+         :: List.map
+              (fun pi ->
+                match List.assoc_opt pi pi_values with
+                | Some v -> (pi, v)
+                | None -> (pi, V3.X))
+              usable)
+        @ List.map (fun si -> (si, V3.X)) scan_ins
+      else if t = l + 1 then
+        (* Back into scan mode for the unload. *)
+        config.Scan.constraints @ List.map (fun si -> (si, V3.X)) scan_ins
+      else [])
+
+let concat stimuli = Array.concat stimuli

@@ -1,0 +1,56 @@
+(** Realization of tests as scan-mode stimuli.
+
+    Everything stays in scan mode for the whole sequence, as the paper
+    requires: the constrained inputs are pinned at cycle 0 and never
+    released; loading and unloading are plain shift cycles. *)
+
+open Fst_logic
+open Fst_netlist
+open Fst_fsim
+open Fst_atpg
+open Fst_tpi
+
+(** [max_chain_length config] is the longest chain. *)
+val max_chain_length : Scan.config -> int
+
+(** [alternating c config ~repeats] is the traditional chain test: the
+    [00110011…] pattern shifted through every chain for
+    [repeats * max length + 4] cycles, then flushed for one more chain
+    length so the tail reaches the scan-outs. *)
+val alternating : Circuit.t -> Scan.config -> repeats:int -> Fsim.stimulus
+
+(** [of_comb_test c config ~ff_values ~pi_values] realizes a combinational
+    scan-mode test: parity-aware scan-in of the requested flip-flop state
+    (aligned so all chains finish together), one apply cycle with the given
+    primary-input values, and a full-length scan-out. [ff_values] and
+    [pi_values] are assignments by net id; unassigned positions are don't
+    care. *)
+val of_comb_test :
+  Circuit.t ->
+  Scan.config ->
+  ff_values:(int * V3.t) list ->
+  pi_values:(int * V3.t) list ->
+  Fsim.stimulus
+
+(** [of_seq_test c config test] realizes a sequential-ATPG test: scan-in of
+    the initial state, the test's per-frame input values (which may include
+    scan-in assignments, since scan-ins are free inputs of the unrolled
+    model), and a full-length scan-out. *)
+val of_seq_test : Circuit.t -> Scan.config -> Seq.test -> Fsim.stimulus
+
+(** [of_capture_test c config ~ff_values ~pi_values] realizes a standard
+    scan test of the functional logic (the "subsequent testing" the paper's
+    flow enables): scan-in of the state, one functional capture cycle with
+    scan-enable low and the given input values, then re-entry into scan
+    mode and a full-length unload. *)
+val of_capture_test :
+  Circuit.t ->
+  Scan.config ->
+  ff_values:(int * V3.t) list ->
+  pi_values:(int * V3.t) list ->
+  Fsim.stimulus
+
+(** [concat stimuli] joins stimulus blocks into one (for single-pass fault
+    simulation); the constraints of later blocks are reapplied at their
+    first cycle. *)
+val concat : Fsim.stimulus list -> Fsim.stimulus

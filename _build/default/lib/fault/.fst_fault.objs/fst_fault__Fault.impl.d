@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Array Bool Circuit Fmt Fst_logic Fst_netlist Gate Hashtbl List Printf Stdlib V3

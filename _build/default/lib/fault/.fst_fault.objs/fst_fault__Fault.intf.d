@@ -1,0 +1,1 @@
+lib/fault/fault.mli: Circuit Fmt Fst_netlist

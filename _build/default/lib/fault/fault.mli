@@ -1,0 +1,47 @@
+(** Single stuck-at faults.
+
+    A fault site is either a {e stem} (the output net of a driver) or a
+    {e branch} (one fanin pin of one consumer node). Branch sites are only
+    meaningful on nets with fanout greater than one; on fanout-one nets the
+    branch fault is identical to the stem fault and is not enumerated. *)
+
+open Fst_netlist
+
+type site =
+  | Stem of int  (** net id *)
+  | Branch of { node : int; pin : int }
+      (** fanin pin [pin] of node [node] *)
+
+type t = { site : site; stuck : bool }  (** stuck at 1 when [stuck] *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** [site_net c f] is the net carrying the faulted signal (the source net of
+    a branch site, the net itself for a stem). *)
+val site_net : Circuit.t -> t -> int
+
+(** [observers c f] is the list of node ids whose input is directly altered
+    by [f]: every consumer of the net for a stem, the single consumer pin's
+    node for a branch. *)
+val observers : Circuit.t -> t -> int list
+
+val pp : Circuit.t -> t Fmt.t
+val to_string : Circuit.t -> t -> string
+
+(** [universe c] enumerates the full uncollapsed fault list: two stem faults
+    per net plus two branch faults per fanin pin whose source net has
+    fanout > 1. The order is deterministic. *)
+val universe : Circuit.t -> t array
+
+(** [collapse c faults] partitions [faults] into structural equivalence
+    classes (gate-input-to-output equivalences through and/or/nand/nor/
+    not/buf, chained through fanout-free regions) and returns one
+    representative per class, preserving the input order of
+    representatives. *)
+val collapse : Circuit.t -> t array -> t array
+
+(** [collapse_classes c faults] is the underlying partition: for each fault
+    its representative's index in the returned representative array. *)
+val collapse_classes : Circuit.t -> t array -> t array * int array

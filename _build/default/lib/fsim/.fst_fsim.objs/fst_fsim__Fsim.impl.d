@@ -1,0 +1,1 @@
+lib/fsim/fsim.ml: Array Circuit Fault Fst_fault Fst_logic Fst_netlist Fst_sim Gate List Sim V3

@@ -1,0 +1,1 @@
+lib/fsim/fsim.mli: Circuit Fault Fst_fault Fst_logic Fst_netlist V3

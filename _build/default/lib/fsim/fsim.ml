@@ -1,0 +1,334 @@
+open Fst_logic
+open Fst_netlist
+open Fst_sim
+open Fst_fault
+
+type stimulus = (int * V3.t) list array
+
+let complement_detect ~good ~faulty =
+  match good, faulty with
+  | V3.One, V3.Zero | V3.Zero, V3.One -> true
+  | (V3.Zero | V3.One | V3.X), _ -> false
+
+module Serial = struct
+  type machine = {
+    v : V3.t array;
+    latch : V3.t array;
+    stem_net : int; (* -1 when the fault is a branch fault *)
+    stem_val : V3.t;
+    branch_node : int;
+    branch_pin : int;
+    branch_val : V3.t;
+  }
+
+  let machine (c : Circuit.t) (fault : Fault.t option) =
+    let v = Array.make (Circuit.num_nets c) V3.X in
+    Array.iteri
+      (fun i nd -> match nd with Circuit.Const k -> v.(i) <- k | _ -> ())
+      c.Circuit.nodes;
+    let stem_net, stem_val, branch_node, branch_pin, branch_val =
+      match fault with
+      | None -> (-1, V3.X, -1, -1, V3.X)
+      | Some { Fault.site = Fault.Stem n; stuck } ->
+        (n, V3.of_bool stuck, -1, -1, V3.X)
+      | Some { Fault.site = Fault.Branch { node; pin }; stuck } ->
+        (-1, V3.X, node, pin, V3.of_bool stuck)
+    in
+    { v = v; latch = Array.make (Circuit.dff_count c) V3.X;
+      stem_net; stem_val; branch_node; branch_pin; branch_val }
+
+  let fanin_value m node pin net =
+    if node = m.branch_node && pin = m.branch_pin then m.branch_val
+    else m.v.(net)
+
+  let eval_comb (c : Circuit.t) m =
+    Array.iter
+      (fun i ->
+        (match c.Circuit.nodes.(i) with
+         | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> ()
+         | Circuit.Gate (g, fi) ->
+           let vals = Array.mapi (fun pin f -> fanin_value m i pin f) fi in
+           m.v.(i) <- Gate.eval g vals);
+        if i = m.stem_net then m.v.(i) <- m.stem_val)
+      c.Circuit.topo
+
+  let clock (c : Circuit.t) m =
+    Array.iteri
+      (fun k ff ->
+        match c.Circuit.nodes.(ff) with
+        | Circuit.Dff data -> m.latch.(k) <- fanin_value m ff 0 data
+        | Circuit.Input | Circuit.Const _ | Circuit.Gate _ -> assert false)
+      c.Circuit.dffs;
+    Array.iteri (fun k ff -> m.v.(ff) <- m.latch.(k)) c.Circuit.dffs
+
+  let trace c ~fault ~observe stim =
+    let m = machine c fault in
+    Array.map
+      (fun assigns ->
+        List.iter (fun (n, v) -> m.v.(n) <- v) assigns;
+        eval_comb c m;
+        let row = Array.map (fun o -> m.v.(o)) observe in
+        clock c m;
+        row)
+      stim
+
+  let detect c ~fault ~observe stim =
+    let good = machine c None in
+    let bad = machine c (Some fault) in
+    let cycles = Array.length stim in
+    let rec loop t =
+      if t >= cycles then None
+      else begin
+        List.iter
+          (fun (n, v) ->
+            good.v.(n) <- v;
+            bad.v.(n) <- v)
+          stim.(t);
+        eval_comb c good;
+        eval_comb c bad;
+        let hit =
+          Array.exists
+            (fun o -> complement_detect ~good:good.v.(o) ~faulty:bad.v.(o))
+            observe
+        in
+        if hit then Some t
+        else begin
+          clock c good;
+          clock c bad;
+          loop (t + 1)
+        end
+      end
+    in
+    loop 0
+end
+
+module Parallel = struct
+  let max_group = 62
+
+  type group = {
+    w : int; (* number of machines *)
+    full : int; (* mask of active machine bits *)
+    ones : int array; (* per net: bit k set = value 1 in machine k *)
+    zeros : int array; (* per net: bit k set = value 0 in machine k *)
+    latch1 : int array;
+    latch0 : int array;
+    (* stem injection planes, indexed by net *)
+    f1 : int array;
+    f0 : int array;
+    (* branch injections, indexed by node: (pin, one-mask, zero-mask) *)
+    branch : (int * int * int) list array;
+  }
+
+  let group_of (c : Circuit.t) faults =
+    let n = Circuit.num_nets c in
+    let w = Array.length faults in
+    assert (w <= max_group);
+    let g =
+      {
+        w;
+        full = (1 lsl w) - 1;
+        ones = Array.make n 0;
+        zeros = Array.make n 0;
+        latch1 = Array.make (Circuit.dff_count c) 0;
+        latch0 = Array.make (Circuit.dff_count c) 0;
+        f1 = Array.make n 0;
+        f0 = Array.make n 0;
+        branch = Array.make n [];
+      }
+    in
+    Array.iteri
+      (fun k (fault : Fault.t) ->
+        let bit = 1 lsl k in
+        match fault.Fault.site with
+        | Fault.Stem net ->
+          if fault.Fault.stuck then g.f1.(net) <- g.f1.(net) lor bit
+          else g.f0.(net) <- g.f0.(net) lor bit
+        | Fault.Branch { node; pin } ->
+          let one = if fault.Fault.stuck then bit else 0 in
+          let zero = if fault.Fault.stuck then 0 else bit in
+          g.branch.(node) <- (pin, one, zero) :: g.branch.(node))
+      faults;
+    Array.iteri
+      (fun i nd ->
+        match nd with
+        | Circuit.Const V3.One -> g.ones.(i) <- g.full
+        | Circuit.Const V3.Zero -> g.zeros.(i) <- g.full
+        | Circuit.Const V3.X | Circuit.Input | Circuit.Gate _ | Circuit.Dff _
+          -> ())
+      c.Circuit.nodes;
+    g
+
+  let inject g net =
+    let m1 = g.f1.(net) and m0 = g.f0.(net) in
+    if m1 lor m0 <> 0 then begin
+      let mask = lnot (m1 lor m0) in
+      g.ones.(net) <- g.ones.(net) land mask lor m1;
+      g.zeros.(net) <- g.zeros.(net) land mask lor m0
+    end
+
+  (* Reads fanin [pin] of [node], applying any branch-fault override. *)
+  let fanin_planes g node pin net =
+    let one = ref g.ones.(net) and zero = ref g.zeros.(net) in
+    List.iter
+      (fun (p, fo, fz) ->
+        if p = pin then begin
+          let m = lnot (fo lor fz) in
+          one := (!one land m) lor fo;
+          zero := (!zero land m) lor fz
+        end)
+      g.branch.(node);
+    (!one, !zero)
+
+  let eval_gate g kind node fi =
+    let n = Array.length fi in
+    match kind with
+    | Gate.And | Gate.Nand ->
+      let one = ref g.full and zero = ref 0 in
+      for pin = 0 to n - 1 do
+        let po, pz = fanin_planes g node pin fi.(pin) in
+        one := !one land po;
+        zero := !zero lor pz
+      done;
+      if kind = Gate.And then (!one, !zero) else (!zero, !one)
+    | Gate.Or | Gate.Nor ->
+      let one = ref 0 and zero = ref g.full in
+      for pin = 0 to n - 1 do
+        let po, pz = fanin_planes g node pin fi.(pin) in
+        one := !one lor po;
+        zero := !zero land pz
+      done;
+      if kind = Gate.Or then (!one, !zero) else (!zero, !one)
+    | Gate.Xor | Gate.Xnor ->
+      let one = ref 0 and zero = ref g.full in
+      for pin = 0 to n - 1 do
+        let po, pz = fanin_planes g node pin fi.(pin) in
+        let o = (!one land pz) lor (!zero land po) in
+        let z = (!one land po) lor (!zero land pz) in
+        one := o;
+        zero := z
+      done;
+      if kind = Gate.Xor then (!one, !zero) else (!zero, !one)
+    | Gate.Not ->
+      let po, pz = fanin_planes g node 0 fi.(0) in
+      (pz, po)
+    | Gate.Buf -> fanin_planes g node 0 fi.(0)
+
+  let eval_comb (c : Circuit.t) g =
+    Array.iter
+      (fun i ->
+        (match c.Circuit.nodes.(i) with
+         | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> ()
+         | Circuit.Gate (kind, fi) ->
+           let one, zero = eval_gate g kind i fi in
+           g.ones.(i) <- one;
+           g.zeros.(i) <- zero);
+        inject g i)
+      c.Circuit.topo
+
+  let set_input g net v =
+    (match v with
+     | V3.One ->
+       g.ones.(net) <- g.full;
+       g.zeros.(net) <- 0
+     | V3.Zero ->
+       g.ones.(net) <- 0;
+       g.zeros.(net) <- g.full
+     | V3.X ->
+       g.ones.(net) <- 0;
+       g.zeros.(net) <- 0);
+    inject g net
+
+  let clock (c : Circuit.t) g =
+    Array.iteri
+      (fun k ff ->
+        match c.Circuit.nodes.(ff) with
+        | Circuit.Dff data ->
+          let one, zero = fanin_planes g ff 0 data in
+          g.latch1.(k) <- one;
+          g.latch0.(k) <- zero
+        | Circuit.Input | Circuit.Const _ | Circuit.Gate _ -> assert false)
+      c.Circuit.dffs;
+    Array.iteri
+      (fun k ff ->
+        g.ones.(ff) <- g.latch1.(k);
+        g.zeros.(ff) <- g.latch0.(k);
+        inject g ff)
+      c.Circuit.dffs
+
+  (* Simulates one group of faults against [stim]; [record k t] is called on
+     the first detection of machine [k]. *)
+  let run_group (c : Circuit.t) faults ~observe stim record =
+    let g = group_of c faults in
+    let good = Sim.create c in
+    let alive = ref g.full in
+    let cycles = Array.length stim in
+    let t = ref 0 in
+    while !alive <> 0 && !t < cycles do
+      List.iter
+        (fun (n, v) ->
+          Sim.set_input c good n v;
+          set_input g n v)
+        stim.(!t);
+      Sim.eval_comb c good;
+      eval_comb c g;
+      Array.iter
+        (fun o ->
+          let detect_mask =
+            match Sim.value good o with
+            | V3.One -> g.zeros.(o)
+            | V3.Zero -> g.ones.(o)
+            | V3.X -> 0
+          in
+          let hits = detect_mask land !alive in
+          if hits <> 0 then
+            for k = 0 to g.w - 1 do
+              if hits land (1 lsl k) <> 0 then begin
+                record k !t;
+                alive := !alive land lnot (1 lsl k)
+              end
+            done)
+        observe;
+      Sim.clock c good;
+      clock c g;
+      incr t
+    done
+
+  let detect_all c ~faults ~observe stim =
+    let nf = Array.length faults in
+    let result = Array.make nf None in
+    let pos = ref 0 in
+    while !pos < nf do
+      let w = min max_group (nf - !pos) in
+      let chunk = Array.sub faults !pos w in
+      let base = !pos in
+      run_group c chunk ~observe stim (fun k t ->
+          if result.(base + k) = None then result.(base + k) <- Some t);
+      pos := !pos + w
+    done;
+    result
+
+  let detect_dropping c ~faults ~observe ~stimuli =
+    let nf = Array.length faults in
+    let result = Array.make nf None in
+    List.iteri
+      (fun block stim ->
+        let pending =
+          Array.of_list
+            (List.filter
+               (fun i -> result.(i) = None)
+               (List.init nf (fun i -> i)))
+        in
+        let n_pending = Array.length pending in
+        let pos = ref 0 in
+        while !pos < n_pending do
+          let w = min max_group (n_pending - !pos) in
+          let chunk_ids = Array.sub pending !pos w in
+          let chunk = Array.map (fun i -> faults.(i)) chunk_ids in
+          run_group c chunk ~observe stim (fun k t ->
+              let i = chunk_ids.(k) in
+              if result.(i) = None then result.(i) <- Some (block, t));
+          pos := !pos + w
+        done)
+      stimuli;
+    result
+end

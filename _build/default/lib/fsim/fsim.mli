@@ -1,0 +1,55 @@
+(** Sequential stuck-at fault simulation.
+
+    A test is a {!stimulus}: per clock cycle, assignments to primary inputs
+    (unassigned inputs hold their previous value, starting from [X]).
+    Detection is conservative: a fault is detected at cycle [t] when some
+    observed net carries a binary value in the good machine and the
+    complementary binary value in the faulty machine. A potential detection
+    (faulty value [X]) does not count, as in the paper. *)
+
+open Fst_logic
+open Fst_netlist
+open Fst_fault
+
+type stimulus = (int * V3.t) list array
+
+(** Reference implementation: one faulty machine at a time. *)
+module Serial : sig
+  (** [detect c ~fault ~observe stim] is [Some t] for the first cycle at
+      which [fault] is detected on one of the [observe] nets, else [None]. *)
+  val detect :
+    Circuit.t -> fault:Fault.t -> observe:int array -> stimulus -> int option
+
+  (** [trace c ~fault ~observe stim] runs the whole stimulus on the
+      (faulty, or fault-free when [fault] is [None]) machine and records
+      the [observe] net values at every cycle. *)
+  val trace :
+    Circuit.t ->
+    fault:Fault.t option ->
+    observe:int array ->
+    stimulus ->
+    V3.t array array
+end
+
+(** 62 faulty machines per pass, three-valued (two bit-planes per net). *)
+module Parallel : sig
+  (** [detect_all c ~faults ~observe stim] maps each fault to its first
+      detection cycle. Faults are processed in groups of up to 62. *)
+  val detect_all :
+    Circuit.t ->
+    faults:Fault.t array ->
+    observe:int array ->
+    stimulus ->
+    int option array
+
+  (** [detect_dropping c ~faults ~observe ~stimuli] simulates a list of
+      stimulus blocks in order with cross-block fault dropping: faults
+      detected in an earlier block are not simulated in later ones.
+      Returns, per fault, [Some (block, cycle)] or [None]. *)
+  val detect_dropping :
+    Circuit.t ->
+    faults:Fault.t array ->
+    observe:int array ->
+    stimuli:stimulus list ->
+    (int * int) option array
+end

@@ -1,0 +1,1 @@
+lib/gen/gen.ml: Array Builder Circuit Fst_logic Fst_netlist Gate List Printf Rng

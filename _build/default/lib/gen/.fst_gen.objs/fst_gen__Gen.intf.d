@@ -1,0 +1,1 @@
+lib/gen/gen.mli: Circuit Fst_netlist

@@ -1,0 +1,1 @@
+lib/gen/suite.ml: Char Gen Int64 List String Sys

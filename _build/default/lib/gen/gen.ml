@@ -1,0 +1,166 @@
+open Fst_logic
+open Fst_netlist
+
+type profile = {
+  name : string;
+  gates : int;
+  ffs : int;
+  pis : int;
+  pos : int;
+  seed : int64;
+}
+
+let scaled ~factor p =
+  let s x lo = max lo (int_of_float (float_of_int x *. factor)) in
+  {
+    p with
+    gates = s p.gates 2;
+    ffs = s p.ffs 1;
+    pis = s p.pis 2;
+    pos = s p.pos 1;
+  }
+
+(* Mapped-library gate mix: nand/nor dominated, occasional xor cells. *)
+let gate_mix =
+  [
+    (30, Gate.Nand);
+    (20, Gate.Nor);
+    (12, Gate.And);
+    (10, Gate.Or);
+    (15, Gate.Not);
+    (3, Gate.Buf);
+    (6, Gate.Xor);
+    (4, Gate.Xnor);
+  ]
+
+let fanin_mix = [ (55, 2); (30, 3); (15, 4) ]
+
+(* A growable pool of candidate fanin nets. *)
+type pool = { mutable nets : int array; mutable len : int }
+
+let pool_create cap = { nets = Array.make (max 8 cap) 0; len = 0 }
+
+let pool_push p net =
+  if p.len >= Array.length p.nets then begin
+    let bigger = Array.make (2 * Array.length p.nets) 0 in
+    Array.blit p.nets 0 bigger 0 p.len;
+    p.nets <- bigger
+  end;
+  p.nets.(p.len) <- net;
+  p.len <- p.len + 1
+
+(* Fanin selection: mostly local (recent nets, building depth), sometimes
+   global (reconvergence and wide cones). *)
+let pick_fanin rng p =
+  if p.len = 0 then invalid_arg "pick_fanin: empty pool";
+  let window = min p.len 64 in
+  if Rng.float rng < 0.7 then p.nets.(p.len - 1 - Rng.int rng window)
+  else p.nets.(Rng.int rng p.len)
+
+let distinct_fanins rng p k =
+  let rec take acc n =
+    if n = 0 then acc
+    else
+      let f = pick_fanin rng p in
+      if List.mem f acc && p.len > k then take acc n
+      else take (f :: acc) (n - 1)
+  in
+  take [] k
+
+let generate prof =
+  let rng = Rng.create prof.seed in
+  let b = Builder.create ~name:prof.name () in
+  let pis =
+    Array.init prof.pis (fun i ->
+        Builder.add_input ~name:(Printf.sprintf "pi%d" i) b)
+  in
+  let ffs =
+    Array.init prof.ffs (fun i ->
+        Builder.add_dff_placeholder ~name:(Printf.sprintf "ff%d" i) b)
+  in
+  (* The pool grows as gates are created; flip-flop outputs and inputs are
+     candidates from the start, so cones mix sequential and primary
+     sources. *)
+  let pool = pool_create (prof.pis + prof.ffs + prof.gates) in
+  Array.iter (fun n -> pool_push pool n) pis;
+  Array.iter (fun n -> pool_push pool n) ffs;
+  let core_gates = max 1 (prof.gates - (prof.gates / 10)) in
+  let gate_nets = ref [] in
+  for i = 0 to core_gates - 1 do
+    let g = Rng.weighted rng gate_mix in
+    let arity =
+      match g with
+      | Gate.Not | Gate.Buf -> 1
+      | Gate.And | Gate.Nand | Gate.Or | Gate.Nor | Gate.Xor | Gate.Xnor ->
+        Rng.weighted rng fanin_mix
+    in
+    let fanins = distinct_fanins rng pool arity in
+    let net = Builder.add_gate ~name:(Printf.sprintf "g%d" i) b g fanins in
+    gate_nets := net :: !gate_nets;
+    pool_push pool net
+  done;
+  let gate_arr = Array.of_list (List.rev !gate_nets) in
+  (* Flip-flop data inputs come from the combinational logic, creating
+     flip-flop to flip-flop paths for TPI to exploit. *)
+  Array.iter
+    (fun ff ->
+      let data =
+        if Array.length gate_arr > 0 then Rng.pick rng gate_arr
+        else Rng.pick rng pis
+      in
+      Builder.connect_dff b ~ff ~data)
+    ffs;
+  (* Collect sink nets (no consumers) and xor-compact them down to the
+     primary-output budget so every gate is observable. *)
+  let fo = Array.make (Builder.net_count b) 0 in
+  for i = 0 to Builder.net_count b - 1 do
+    let fanins =
+      match Builder.node b i with
+      | Circuit.Input | Circuit.Const _ -> [||]
+      | Circuit.Gate (_, fi) -> fi
+      | Circuit.Dff d -> [| d |]
+    in
+    Array.iter (fun f -> fo.(f) <- fo.(f) + 1) fanins
+  done;
+  let sinks = ref [] in
+  for i = Builder.net_count b - 1 downto 0 do
+    match Builder.node b i with
+    | (Circuit.Gate _ | Circuit.Dff _) when fo.(i) = 0 -> sinks := i :: !sinks
+    | Circuit.Gate _ | Circuit.Dff _ | Circuit.Input | Circuit.Const _ -> ()
+  done;
+  let target = max 1 prof.pos in
+  let sinks = ref (Array.of_list !sinks) in
+  let round = ref 0 in
+  while Array.length !sinks > target do
+    let s = !sinks in
+    let total = ref (Array.length s) in
+    let next = ref [] in
+    let i = ref 0 in
+    while !i < Array.length s do
+      if !i + 1 < Array.length s && !total > target then begin
+        let net =
+          Builder.add_gate
+            ~name:(Printf.sprintf "cmp%d_%d" !round !i)
+            b Gate.Xor
+            [ s.(!i); s.(!i + 1) ]
+        in
+        next := net :: !next;
+        decr total;
+        i := !i + 2
+      end
+      else begin
+        next := s.(!i) :: !next;
+        incr i
+      end
+    done;
+    incr round;
+    sinks := Array.of_list (List.rev !next)
+  done;
+  Array.iter (fun net -> Builder.mark_output b net) !sinks;
+  (* Guarantee the requested number of primary outputs even when the sink
+     count fell short. *)
+  let missing = target - Array.length !sinks in
+  for _ = 1 to missing do
+    Builder.mark_output b (Rng.pick rng gate_arr)
+  done;
+  Builder.freeze b

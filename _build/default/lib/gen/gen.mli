@@ -1,0 +1,25 @@
+(** Synthetic sequential benchmark circuits.
+
+    Stands in for the mapped ISCAS'89 netlists of the paper's test suite
+    (see DESIGN.md §5): given target gate/flip-flop/pin counts and a seed,
+    produces a deterministic circuit with a nand/nor-heavy mapped gate mix,
+    fanin 1–4, forward-biased locality (deep cones), flip-flop feedback
+    through the combinational logic, and xor-compacted sinks so that all
+    logic is observable. *)
+
+open Fst_netlist
+
+type profile = {
+  name : string;
+  gates : int;  (** approximate logic-gate target *)
+  ffs : int;
+  pis : int;
+  pos : int;  (** primary outputs (before sink compaction adds none) *)
+  seed : int64;
+}
+
+val generate : profile -> Circuit.t
+
+(** [scaled ~factor p] scales the gate/flip-flop/pin counts, keeping at
+    least 2 gates, 1 flip-flop, 2 inputs and 1 output. *)
+val scaled : factor:float -> profile -> profile

@@ -1,0 +1,52 @@
+type entry = { profile : Gen.profile; chains : int }
+
+(* name, gates, ffs, pis, pos, chains: published ISCAS'89 characteristics
+   (gate counts after technology mapping), chain counts chosen to keep
+   chains under a few hundred flip-flops as in the paper. *)
+let table =
+  [
+    ("s1423", 657, 74, 17, 5, 1);
+    ("s1488", 653, 6, 8, 19, 1);
+    ("s1494", 647, 6, 8, 19, 1);
+    ("s3330", 1789, 132, 40, 73, 2);
+    ("s4863", 2342, 104, 49, 16, 2);
+    ("s5378", 2779, 179, 35, 49, 2);
+    ("s6669", 3080, 239, 83, 55, 2);
+    ("s9234", 5597, 211, 36, 39, 4);
+    ("s13207", 7951, 638, 62, 152, 4);
+    ("s15850", 9772, 534, 77, 150, 4);
+    ("s38417", 22179, 1636, 28, 106, 8);
+    ("s38584", 19253, 1426, 38, 304, 8);
+  ]
+
+let seed_of name =
+  (* Stable seed derived from the circuit name. *)
+  let h = ref 0x51ED270B4A5EL in
+  String.iter
+    (fun ch ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code ch))) 0x100000001B3L)
+    name;
+  !h
+
+let suite ?(scale = 1.0) () =
+  List.map
+    (fun (name, gates, ffs, pis, pos, chains) ->
+      let profile =
+        Gen.scaled ~factor:scale
+          { Gen.name; gates; ffs; pis; pos; seed = seed_of name }
+      in
+      { profile; chains })
+    table
+
+let find ?(scale = 1.0) name =
+  match List.find_opt (fun e -> e.profile.Gen.name = name) (suite ~scale ()) with
+  | Some e -> e
+  | None -> raise Not_found
+
+let scale_from_env () =
+  match Sys.getenv_opt "FST_SCALE" with
+  | None -> 0.1
+  | Some s -> (
+    match float_of_string_opt s with
+    | Some f when f > 0.0 -> f
+    | Some _ | None -> 0.1)

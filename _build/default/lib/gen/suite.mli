@@ -1,0 +1,19 @@
+(** The paper's test suite: the 12 largest ISCAS'89 benchmarks, realized as
+    synthetic circuits with the published mapped gate and flip-flop counts
+    (see DESIGN.md §5 for the substitution rationale). Chain counts follow
+    the paper's practice of splitting large circuits into several chains to
+    keep chain length reasonable. *)
+
+type entry = { profile : Gen.profile; chains : int }
+
+(** [suite ~scale ()] is the 12-circuit suite, scaled by [scale] (1.0 =
+    published sizes). *)
+val suite : ?scale:float -> unit -> entry list
+
+(** [find ~scale name] is the suite entry for the given circuit name.
+    @raise Not_found if the name is not in the suite. *)
+val find : ?scale:float -> string -> entry
+
+(** Reads the [FST_SCALE] environment variable (default 0.1, the default
+    benchmark scale). *)
+val scale_from_env : unit -> float

@@ -1,0 +1,1 @@
+lib/logic/dval.ml: Array Fmt Gate Printf String V3

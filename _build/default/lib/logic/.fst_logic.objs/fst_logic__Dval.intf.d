@@ -1,0 +1,1 @@
+lib/logic/dval.mli: Fmt Gate V3

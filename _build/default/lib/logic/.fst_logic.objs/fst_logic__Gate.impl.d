@@ -1,0 +1,1 @@
+lib/logic/gate.ml: Array Fmt Printf String V3

@@ -1,0 +1,1 @@
+lib/logic/v3.mli: Fmt

@@ -1,0 +1,32 @@
+type t = { good : V3.t; faulty : V3.t }
+
+let make ~good ~faulty = { good; faulty }
+let zero = { good = V3.Zero; faulty = V3.Zero }
+let one = { good = V3.One; faulty = V3.One }
+let x = { good = V3.X; faulty = V3.X }
+let d = { good = V3.One; faulty = V3.Zero }
+let dbar = { good = V3.Zero; faulty = V3.One }
+let equal a b = V3.equal a.good b.good && V3.equal a.faulty b.faulty
+let of_v3 v = { good = v; faulty = v }
+
+let is_fault_effect v =
+  V3.is_binary v.good && V3.is_binary v.faulty && not (V3.equal v.good v.faulty)
+
+let is_binary v = V3.is_binary v.good && V3.is_binary v.faulty
+let has_x v = not (is_binary v)
+
+let eval g fanins =
+  let goods = Array.map (fun v -> v.good) fanins in
+  let faults = Array.map (fun v -> v.faulty) fanins in
+  { good = Gate.eval g goods; faulty = Gate.eval g faults }
+
+let bnot v = { good = V3.bnot v.good; faulty = V3.bnot v.faulty }
+
+let to_string v =
+  match v.good, v.faulty with
+  | V3.One, V3.Zero -> "D"
+  | V3.Zero, V3.One -> "D'"
+  | g, f when V3.equal g f -> String.make 1 (V3.to_char g)
+  | g, f -> Printf.sprintf "%c/%c" (V3.to_char g) (V3.to_char f)
+
+let pp ppf v = Fmt.string ppf (to_string v)

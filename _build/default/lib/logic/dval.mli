@@ -1,0 +1,41 @@
+(** The composite good/faulty value pairs used by the ATPG engines.
+
+    A value tracks the signal in the fault-free machine ([good]) and in the
+    faulty machine ([faulty]) simultaneously; the classic five-valued
+    D-calculus symbols are the binary/binary combinations:
+    [0/0 = zero], [1/1 = one], [1/0 = d], [0/1 = dbar], and anything
+    involving [X] collapses to partial knowledge. *)
+
+type t = private { good : V3.t; faulty : V3.t }
+
+val make : good:V3.t -> faulty:V3.t -> t
+
+val zero : t
+val one : t
+val x : t
+
+(** [d] is 1 in the good machine, 0 in the faulty machine. *)
+val d : t
+
+(** [dbar] is 0 in the good machine, 1 in the faulty machine. *)
+val dbar : t
+
+val equal : t -> t -> bool
+
+(** [of_v3 v] lifts a value present in both machines. *)
+val of_v3 : V3.t -> t
+
+(** [is_fault_effect v] holds when the two machines provably differ
+    ([d] or [dbar]). *)
+val is_fault_effect : t -> bool
+
+(** [is_binary v] holds when both components are binary. *)
+val is_binary : t -> bool
+
+(** [has_x v] holds when either component is [X]. *)
+val has_x : t -> bool
+
+val eval : Gate.t -> t array -> t
+val bnot : t -> t
+val pp : t Fmt.t
+val to_string : t -> string

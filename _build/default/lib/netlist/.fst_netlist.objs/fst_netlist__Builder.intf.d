@@ -1,0 +1,1 @@
+lib/netlist/builder.mli: Circuit Fst_logic Gate V3

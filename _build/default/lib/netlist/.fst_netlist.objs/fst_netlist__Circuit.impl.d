@@ -1,0 +1,1 @@
+lib/netlist/circuit.ml: Array Fmt Fst_logic Gate Hashtbl Printf Queue String V3

@@ -1,0 +1,1 @@
+lib/netlist/circuit.mli: Fmt Fst_logic Gate V3

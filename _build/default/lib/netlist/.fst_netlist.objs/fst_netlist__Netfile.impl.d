@@ -1,0 +1,1 @@
+lib/netlist/netfile.ml: Array Buffer Circuit Filename Fst_logic Gate Hashtbl List Printf String V3

@@ -1,0 +1,1 @@
+lib/netlist/opt.ml: Array Builder Circuit Fmt Fst_logic Gate List V3

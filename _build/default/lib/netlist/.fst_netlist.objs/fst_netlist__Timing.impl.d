@@ -1,0 +1,1 @@
+lib/netlist/timing.ml: Array Circuit Fst_logic Gate List

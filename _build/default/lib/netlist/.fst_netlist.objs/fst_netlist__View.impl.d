@@ -1,0 +1,1 @@
+lib/netlist/view.ml: Array Circuit Fst_logic List Printf V3

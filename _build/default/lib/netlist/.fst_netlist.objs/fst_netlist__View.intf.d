@@ -1,0 +1,1 @@
+lib/netlist/view.mli: Circuit Fst_logic V3

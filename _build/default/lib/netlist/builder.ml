@@ -1,0 +1,107 @@
+
+type t = {
+  mutable name : string;
+  mutable nodes : Circuit.node array;
+  mutable names : string array;
+  mutable len : int;
+  mutable outputs : int list;
+  names_seen : (string, int) Hashtbl.t;
+}
+
+let create ?(name = "circuit") () =
+  {
+    name;
+    nodes = Array.make 64 Circuit.Input;
+    names = Array.make 64 "";
+    len = 0;
+    outputs = [];
+    names_seen = Hashtbl.create 64;
+  }
+
+let grow b =
+  let cap = Array.length b.nodes in
+  if b.len >= cap then begin
+    let nodes = Array.make (2 * cap) Circuit.Input in
+    let names = Array.make (2 * cap) "" in
+    Array.blit b.nodes 0 nodes 0 b.len;
+    Array.blit b.names 0 names 0 b.len;
+    b.nodes <- nodes;
+    b.names <- names
+  end
+
+let add ?name b nd =
+  grow b;
+  let id = b.len in
+  let nm = match name with Some n -> n | None -> Printf.sprintf "n%d" id in
+  if Hashtbl.mem b.names_seen nm then
+    raise (Circuit.Malformed (Printf.sprintf "duplicate net name %S" nm));
+  Hashtbl.add b.names_seen nm id;
+  b.nodes.(id) <- nd;
+  b.names.(id) <- nm;
+  b.len <- b.len + 1;
+  id
+
+let add_input ?name b = add ?name b Circuit.Input
+let add_const ?name b v = add ?name b (Circuit.Const v)
+
+let add_gate ?name b g fanins =
+  add ?name b (Circuit.Gate (g, Array.of_list fanins))
+
+let add_dff ?name b ~data = add ?name b (Circuit.Dff data)
+let add_dff_placeholder ?name b = add ?name b (Circuit.Dff (-1))
+
+let connect_dff b ~ff ~data =
+  match b.nodes.(ff) with
+  | Circuit.Dff (-1) -> b.nodes.(ff) <- Circuit.Dff data
+  | Circuit.Dff _ ->
+    raise (Circuit.Malformed (Printf.sprintf "dff %d already connected" ff))
+  | Circuit.Input | Circuit.Const _ | Circuit.Gate _ ->
+    raise (Circuit.Malformed (Printf.sprintf "net %d is not a dff" ff))
+
+let rewire_fanin b ~node ~pin ~net =
+  match b.nodes.(node) with
+  | Circuit.Gate (g, fi) ->
+    let fi = Array.copy fi in
+    if pin < 0 || pin >= Array.length fi then
+      raise (Circuit.Malformed (Printf.sprintf "bad pin %d of node %d" pin node));
+    fi.(pin) <- net;
+    b.nodes.(node) <- Circuit.Gate (g, fi)
+  | Circuit.Dff _ when pin = 0 -> b.nodes.(node) <- Circuit.Dff net
+  | Circuit.Dff _ | Circuit.Input | Circuit.Const _ ->
+    raise (Circuit.Malformed (Printf.sprintf "node %d has no pin %d" node pin))
+
+let set_dff_data b ~ff ~data =
+  match b.nodes.(ff) with
+  | Circuit.Dff _ -> b.nodes.(ff) <- Circuit.Dff data
+  | Circuit.Input | Circuit.Const _ | Circuit.Gate _ ->
+    raise (Circuit.Malformed (Printf.sprintf "net %d is not a dff" ff))
+
+let mark_output b n = b.outputs <- n :: b.outputs
+let net_count b = b.len
+let node b n = b.nodes.(n)
+
+let freeze b =
+  let nodes = Array.sub b.nodes 0 b.len in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Circuit.Dff (-1) ->
+        raise
+          (Circuit.Malformed (Printf.sprintf "dff %d was never connected" i))
+      | Circuit.Dff _ | Circuit.Input | Circuit.Const _ | Circuit.Gate _ -> ())
+    nodes;
+  Circuit.make ~name:b.name ~nodes
+    ~net_names:(Array.sub b.names 0 b.len)
+    ~outputs:(Array.of_list (List.rev b.outputs))
+
+let of_circuit (c : Circuit.t) =
+  let b = create ~name:c.name () in
+  let n = Circuit.num_nets c in
+  b.nodes <- Array.make (max 64 n) Circuit.Input;
+  b.names <- Array.make (max 64 n) "";
+  Array.blit c.nodes 0 b.nodes 0 n;
+  Array.blit c.net_names 0 b.names 0 n;
+  b.len <- n;
+  b.outputs <- List.rev (Array.to_list c.outputs);
+  Array.iteri (fun i nm -> Hashtbl.add b.names_seen nm i) c.net_names;
+  b

@@ -1,0 +1,55 @@
+(** Incremental circuit construction.
+
+    A builder hands out net ids as nodes are added; [freeze] validates and
+    produces an immutable {!Circuit.t}. Net names are generated when not
+    supplied. Flip-flop data inputs may be wired after creation
+    ([add_dff_placeholder] / [connect_dff]) so that sequential feedback
+    loops can be built in one pass. *)
+
+open Fst_logic
+
+type t
+
+val create : ?name:string -> unit -> t
+
+(** [add_input b ~name] creates a primary input and returns its net id. *)
+val add_input : ?name:string -> t -> int
+
+val add_const : ?name:string -> t -> V3.t -> int
+
+(** [add_gate b g fanins] creates a gate; fanin arity is checked at
+    [freeze]. *)
+val add_gate : ?name:string -> t -> Gate.t -> int list -> int
+
+(** [add_dff b ~data] creates a flip-flop fed by net [data]. *)
+val add_dff : ?name:string -> t -> data:int -> int
+
+(** [add_dff_placeholder b] creates a flip-flop whose data input must be set
+    with [connect_dff] before [freeze]. *)
+val add_dff_placeholder : ?name:string -> t -> int
+
+val connect_dff : t -> ff:int -> data:int -> unit
+
+(** [rewire_fanin b ~node ~pin ~net] replaces fanin [pin] of [node] — used by
+    test-point insertion. *)
+val rewire_fanin : t -> node:int -> pin:int -> net:int -> unit
+
+(** [set_dff_data b ~ff ~data] replaces the data input of flip-flop [ff]. *)
+val set_dff_data : t -> ff:int -> data:int -> unit
+
+val mark_output : t -> int -> unit
+
+(** [net_count b] is the number of nets allocated so far. *)
+val net_count : t -> int
+
+(** [node b n] is the current driver of net [n]. *)
+val node : t -> int -> Circuit.node
+
+(** [freeze b] validates and returns the circuit.
+    @raise Circuit.Malformed if a placeholder flip-flop was never connected
+    or any arity/range check fails. *)
+val freeze : t -> Circuit.t
+
+(** [of_circuit c] reopens an existing circuit for modification (nodes are
+    copied; the original is untouched). *)
+val of_circuit : Circuit.t -> t

@@ -1,0 +1,182 @@
+open Fst_logic
+
+type node =
+  | Input
+  | Const of V3.t
+  | Gate of Gate.t * int array
+  | Dff of int
+
+type t = {
+  name : string;
+  nodes : node array;
+  net_names : string array;
+  outputs : int array;
+  inputs : int array;
+  dffs : int array;
+  fanout : int array array;
+  topo : int array;
+  level : int array;
+}
+
+exception Combinational_cycle of string
+exception Malformed of string
+
+let malformed fmt = Printf.ksprintf (fun s -> raise (Malformed s)) fmt
+
+let fanins_of = function
+  | Input | Const _ -> [||]
+  | Gate (_, fi) -> fi
+  | Dff d -> [| d |]
+
+let validate ~nodes ~net_names ~outputs =
+  let n = Array.length nodes in
+  if Array.length net_names <> n then
+    malformed "%d nodes but %d net names" n (Array.length net_names);
+  let seen = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i name ->
+      if Hashtbl.mem seen name then malformed "duplicate net name %S" name;
+      Hashtbl.add seen name i)
+    net_names;
+  let check_net ctx id =
+    if id < 0 || id >= n then malformed "%s references bad net %d" ctx id
+  in
+  Array.iteri
+    (fun i nd ->
+      match nd with
+      | Input | Const _ -> ()
+      | Gate (g, fi) ->
+        if not (Gate.arity_ok g (Array.length fi)) then
+          malformed "gate %s at net %d has %d fanins" (Gate.to_string g) i
+            (Array.length fi);
+        Array.iter (check_net (Printf.sprintf "gate at net %d" i)) fi
+      | Dff d -> check_net (Printf.sprintf "dff at net %d" i) d)
+    nodes;
+  Array.iter (check_net "output list") outputs
+
+let compute_fanout nodes =
+  let n = Array.length nodes in
+  let counts = Array.make n 0 in
+  let count_fanins i =
+    Array.iter (fun f -> counts.(f) <- counts.(f) + 1) (fanins_of nodes.(i))
+  in
+  for i = 0 to n - 1 do
+    count_fanins i
+  done;
+  let fanout = Array.map (fun c -> Array.make c (-1)) counts in
+  let fill = Array.make n 0 in
+  for i = 0 to n - 1 do
+    Array.iter
+      (fun f ->
+        fanout.(f).(fill.(f)) <- i;
+        fill.(f) <- fill.(f) + 1)
+      (fanins_of nodes.(i))
+  done;
+  fanout
+
+(* Kahn's algorithm over the combinational subgraph: inputs, constants and
+   flip-flop outputs are sources; a Dff node consumes its data net but its
+   own output breaks the cycle. *)
+let compute_topo ~name nodes fanout =
+  let n = Array.length nodes in
+  let pending = Array.make n 0 in
+  let order = Array.make n (-1) in
+  let pos = ref 0 in
+  let queue = Queue.create () in
+  let emit i =
+    order.(!pos) <- i;
+    incr pos
+  in
+  for i = 0 to n - 1 do
+    match nodes.(i) with
+    | Input | Const _ | Dff _ -> Queue.add i queue
+    | Gate (_, fi) -> pending.(i) <- Array.length fi
+  done;
+  (* Dff nodes are emitted as sources (their output is available at the start
+     of a cycle) even though their data fanin is combinational; the data net
+     is read only when the clock ticks. *)
+  while not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    emit i;
+    Array.iter
+      (fun consumer ->
+        match nodes.(consumer) with
+        | Gate _ ->
+          pending.(consumer) <- pending.(consumer) - 1;
+          if pending.(consumer) = 0 then Queue.add consumer queue
+        | Input | Const _ | Dff _ -> ())
+      fanout.(i)
+  done;
+  if !pos <> n then raise (Combinational_cycle name);
+  order
+
+let compute_levels nodes topo =
+  let n = Array.length nodes in
+  let level = Array.make n 0 in
+  Array.iter
+    (fun i ->
+      match nodes.(i) with
+      | Input | Const _ | Dff _ -> level.(i) <- 0
+      | Gate (_, fi) ->
+        let m = ref 0 in
+        Array.iter (fun f -> if level.(f) > !m then m := level.(f)) fi;
+        level.(i) <- !m + 1)
+    topo;
+  level
+
+let collect_kind nodes pred =
+  let acc = ref [] in
+  for i = Array.length nodes - 1 downto 0 do
+    if pred nodes.(i) then acc := i :: !acc
+  done;
+  Array.of_list !acc
+
+let make ~name ~nodes ~net_names ~outputs =
+  validate ~nodes ~net_names ~outputs;
+  let fanout = compute_fanout nodes in
+  let topo = compute_topo ~name nodes fanout in
+  let level = compute_levels nodes topo in
+  let inputs = collect_kind nodes (function Input -> true | _ -> false) in
+  let dffs = collect_kind nodes (function Dff _ -> true | _ -> false) in
+  { name; nodes; net_names; outputs; inputs; dffs; fanout; topo; level }
+
+let num_nets c = Array.length c.nodes
+
+let gate_count c =
+  Array.fold_left
+    (fun acc nd -> match nd with Gate _ -> acc + 1 | _ -> acc)
+    0 c.nodes
+
+let dff_count c = Array.length c.dffs
+let input_count c = Array.length c.inputs
+let node c n = c.nodes.(n)
+let fanins c n = fanins_of c.nodes.(n)
+let net_name c n = c.net_names.(n)
+
+let find_net c name =
+  let n = num_nets c in
+  let rec loop i =
+    if i >= n then raise Not_found
+    else if String.equal c.net_names.(i) name then i
+    else loop (i + 1)
+  in
+  loop 0
+
+let is_input c n = match c.nodes.(n) with Input -> true | _ -> false
+let is_dff c n = match c.nodes.(n) with Dff _ -> true | _ -> false
+let is_output c n = Array.exists (fun o -> o = n) c.outputs
+
+let max_fanin c =
+  Array.fold_left
+    (fun acc nd ->
+      match nd with
+      | Gate (_, fi) -> max acc (Array.length fi)
+      | Input | Const _ | Dff _ -> acc)
+    0 c.nodes
+
+let depth c = Array.fold_left max 0 c.level
+
+let pp_stats ppf c =
+  Fmt.pf ppf "%s: %d nets, %d gates, %d FFs, %d PIs, %d POs, depth %d" c.name
+    (num_nets c) (gate_count c) (dff_count c) (input_count c)
+    (Array.length c.outputs) (depth c)

@@ -1,0 +1,166 @@
+open Fst_logic
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+type statement =
+  | St_input of string
+  | St_output of string
+  | St_def of string * string * string list  (* lhs, op, args *)
+
+let strip s = String.trim s
+
+let split_args s =
+  String.split_on_char ',' s |> List.map strip
+  |> List.filter (fun a -> a <> "")
+
+(* Accepts "INPUT(g)" / "OUTPUT(g)" / "lhs = OP(a, b)" / "lhs = CONST0". *)
+let parse_line ~line s =
+  let s = strip s in
+  if s = "" || s.[0] = '#' then None
+  else
+    let paren name =
+      match String.index_opt s '(' with
+      | Some i when String.length s > 0 && s.[String.length s - 1] = ')' ->
+        let inner = String.sub s (i + 1) (String.length s - i - 2) in
+        String.sub s 0 i = name && String.length inner > 0, strip inner
+      | Some _ | None -> (false, "")
+    in
+    match paren "INPUT" with
+    | true, arg -> Some (St_input arg)
+    | false, _ -> (
+      match paren "OUTPUT" with
+      | true, arg -> Some (St_output arg)
+      | false, _ -> (
+        match String.index_opt s '=' with
+        | None -> fail line "expected INPUT(..), OUTPUT(..) or an assignment"
+        | Some eq ->
+          let lhs = strip (String.sub s 0 eq) in
+          let rhs = strip (String.sub s (eq + 1) (String.length s - eq - 1)) in
+          if lhs = "" then fail line "empty left-hand side";
+          (match String.index_opt rhs '(' with
+           | None -> Some (St_def (lhs, rhs, []))
+           | Some i ->
+             if rhs.[String.length rhs - 1] <> ')' then
+               fail line "missing closing parenthesis";
+             let op = strip (String.sub rhs 0 i) in
+             let args =
+               split_args (String.sub rhs (i + 1) (String.length rhs - i - 2))
+             in
+             Some (St_def (lhs, op, args)))))
+
+let const_of_op op =
+  match String.uppercase_ascii op with
+  | "CONST0" -> Some V3.Zero
+  | "CONST1" -> Some V3.One
+  | "CONSTX" -> Some V3.X
+  | _ -> None
+
+let parse_string ?(name = "netlist") text =
+  let statements = ref [] in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i raw ->
+         match parse_line ~line:(i + 1) raw with
+         | None -> ()
+         | Some st -> statements := (i + 1, st) :: !statements);
+  let statements = List.rev !statements in
+  (* First pass: allocate ids for every defined net (inputs and lhs). *)
+  let ids = Hashtbl.create 256 in
+  let order = ref [] in
+  let declare line nm =
+    if Hashtbl.mem ids nm then fail line "net %S defined twice" nm;
+    Hashtbl.add ids nm (Hashtbl.length ids);
+    order := nm :: !order
+  in
+  List.iter
+    (fun (line, st) ->
+      match st with
+      | St_input nm | St_def (nm, _, _) -> declare line nm
+      | St_output _ -> ())
+    statements;
+  let names = Array.of_list (List.rev !order) in
+  let lookup line nm =
+    match Hashtbl.find_opt ids nm with
+    | Some id -> id
+    | None -> fail line "undefined net %S" nm
+  in
+  let nodes = Array.make (Array.length names) Circuit.Input in
+  let outputs = ref [] in
+  List.iter
+    (fun (line, st) ->
+      match st with
+      | St_input _ -> ()
+      | St_output nm -> outputs := lookup line nm :: !outputs
+      | St_def (lhs, op, args) ->
+        let id = lookup line lhs in
+        let arg_ids () = List.map (lookup line) args in
+        let node =
+          match const_of_op op with
+          | Some v ->
+            if args <> [] then fail line "constant with arguments";
+            Circuit.Const v
+          | None -> (
+            if String.uppercase_ascii op = "DFF" then
+              match arg_ids () with
+              | [ d ] -> Circuit.Dff d
+              | _ -> fail line "DFF takes exactly one argument"
+            else
+              match Gate.of_string op with
+              | None -> fail line "unknown operator %S" op
+              | Some g ->
+                let fi = Array.of_list (arg_ids ()) in
+                if not (Gate.arity_ok g (Array.length fi)) then
+                  fail line "%s cannot take %d arguments" (Gate.to_string g)
+                    (Array.length fi);
+                Circuit.Gate (g, fi))
+        in
+        nodes.(id) <- node)
+    statements;
+  Circuit.make ~name ~nodes ~net_names:names
+    ~outputs:(Array.of_list (List.rev !outputs))
+
+let parse_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "# %s\n" c.Circuit.name);
+  Array.iter
+    (fun i ->
+      Buffer.add_string buf (Printf.sprintf "INPUT(%s)\n" (Circuit.net_name c i)))
+    c.Circuit.inputs;
+  Array.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "OUTPUT(%s)\n" (Circuit.net_name c o)))
+    c.Circuit.outputs;
+  let n = Circuit.num_nets c in
+  for i = 0 to n - 1 do
+    let nm = Circuit.net_name c i in
+    match Circuit.node c i with
+    | Circuit.Input -> ()
+    | Circuit.Const v ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = CONST%c\n" nm (V3.to_char v))
+    | Circuit.Dff d ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s = DFF(%s)\n" nm (Circuit.net_name c d))
+    | Circuit.Gate (g, fi) ->
+      let args =
+        Array.to_list fi |> List.map (Circuit.net_name c) |> String.concat ", "
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s = %s(%s)\n" nm (Gate.to_string g) args)
+  done;
+  Buffer.contents buf
+
+let write_file c path =
+  let oc = open_out path in
+  output_string oc (to_string c);
+  close_out oc

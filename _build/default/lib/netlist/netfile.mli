@@ -1,0 +1,21 @@
+(** Textual netlist format, modeled on the ISCAS'89 bench syntax:
+
+    {v
+    # comment
+    INPUT(G0)
+    OUTPUT(G17)
+    G10 = NAND(G0, G3)
+    G5  = DFF(G10)
+    G7  = CONST0        # also CONST1, CONSTX
+    v}
+
+    Definitions may appear in any order; forward references are resolved in
+    a second pass. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse_string : ?name:string -> string -> Circuit.t
+val parse_file : string -> Circuit.t
+
+val to_string : Circuit.t -> string
+val write_file : Circuit.t -> string -> unit

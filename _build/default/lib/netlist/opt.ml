@@ -1,0 +1,259 @@
+open Fst_logic
+
+type stats = { folded : int; bypassed : int; swept : int; decomposed : int }
+
+let zero_stats = { folded = 0; bypassed = 0; swept = 0; decomposed = 0 }
+
+let merge a b =
+  {
+    folded = a.folded + b.folded;
+    bypassed = a.bypassed + b.bypassed;
+    swept = a.swept + b.swept;
+    decomposed = a.decomposed + b.decomposed;
+  }
+
+let pp_stats ppf s =
+  Fmt.pf ppf "%d folded, %d bypassed, %d swept, %d decomposed" s.folded
+    s.bypassed s.swept s.decomposed
+
+(* Shared rebuild driver. [alias i] short-circuits net [i] to another net
+   (applied transitively; alias chains always point toward fanins, so they
+   terminate). [emit b lookup i] creates the replacement node(s) for a kept
+   source/gate net and returns the new id, or [None] to drop it. Flip-flops
+   are always kept (placeholder first, connected at the end) so sequential
+   behaviour is preserved. *)
+let rebuild (c : Circuit.t) ~alias ~emit =
+  let n = Circuit.num_nets c in
+  let b = Builder.create ~name:c.Circuit.name () in
+  let new_id = Array.make n (-1) in
+  let rec resolve i = match alias i with Some j -> resolve j | None -> i in
+  let lookup old =
+    let r = resolve old in
+    assert (new_id.(r) >= 0);
+    new_id.(r)
+  in
+  let dff_links = ref [] in
+  Array.iter
+    (fun i ->
+      if resolve i = i then
+        match Circuit.node c i with
+        | Circuit.Dff data ->
+          let nid = Builder.add_dff_placeholder ~name:(Circuit.net_name c i) b in
+          new_id.(i) <- nid;
+          dff_links := (nid, data) :: !dff_links
+        | Circuit.Input | Circuit.Const _ | Circuit.Gate _ -> (
+          match emit b lookup i with
+          | Some nid -> new_id.(i) <- nid
+          | None -> ()))
+    c.Circuit.topo;
+  List.iter
+    (fun (nid, data) -> Builder.connect_dff b ~ff:nid ~data:(lookup data))
+    !dff_links;
+  Array.iter (fun o -> Builder.mark_output b (lookup o)) c.Circuit.outputs;
+  Builder.freeze b
+
+let copy_source b c i =
+  match Circuit.node c i with
+  | Circuit.Input -> Some (Builder.add_input ~name:(Circuit.net_name c i) b)
+  | Circuit.Const v -> Some (Builder.add_const ~name:(Circuit.net_name c i) b v)
+  | Circuit.Gate _ | Circuit.Dff _ -> None
+
+(* --- constant folding ---------------------------------------------- *)
+
+let const_values (c : Circuit.t) =
+  let v = Array.make (Circuit.num_nets c) V3.X in
+  Array.iter
+    (fun i ->
+      match Circuit.node c i with
+      | Circuit.Input | Circuit.Dff _ -> ()
+      | Circuit.Const k -> v.(i) <- k
+      | Circuit.Gate (g, fi) -> v.(i) <- Gate.eval g (Array.map (fun f -> v.(f)) fi))
+    c.Circuit.topo;
+  v
+
+let constant_fold (c : Circuit.t) =
+  let v = const_values c in
+  let folded = ref 0 in
+  let emit b lookup i =
+    match copy_source b c i with
+    | Some nid -> Some nid
+    | None -> (
+      match Circuit.node c i with
+      | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> assert false
+      | Circuit.Gate (g, fi) ->
+        let name = Circuit.net_name c i in
+        if V3.is_binary v.(i) then begin
+          incr folded;
+          Some (Builder.add_const ~name b v.(i))
+        end
+        else (
+          match g with
+          | Gate.Not | Gate.Buf ->
+            Some (Builder.add_gate ~name b g [ lookup fi.(0) ])
+          | Gate.And | Gate.Nand | Gate.Or | Gate.Nor ->
+            let nc =
+              match Gate.controlling g with
+              | Some V3.Zero -> V3.One
+              | Some V3.One -> V3.Zero
+              | Some V3.X | None -> assert false
+            in
+            let live =
+              Array.to_list fi |> List.filter (fun f -> not (V3.equal v.(f) nc))
+            in
+            if List.length live < Array.length fi then incr folded;
+            (match live with
+             | [] -> assert false (* output would have been constant *)
+             | [ one ] ->
+               let kind = if Gate.inverting g then Gate.Not else Gate.Buf in
+               Some (Builder.add_gate ~name b kind [ lookup one ])
+             | _ :: _ :: _ ->
+               Some (Builder.add_gate ~name b g (List.map lookup live)))
+          | Gate.Xor | Gate.Xnor ->
+            let live, consts =
+              Array.to_list fi |> List.partition (fun f -> not (V3.is_binary v.(f)))
+            in
+            let parity =
+              List.fold_left
+                (fun acc f -> if V3.equal v.(f) V3.One then not acc else acc)
+                false consts
+            in
+            if consts <> [] then incr folded;
+            let inverting = Gate.inverting g <> parity in
+            (match live with
+             | [] -> assert false
+             | [ one ] ->
+               let kind = if inverting then Gate.Not else Gate.Buf in
+               Some (Builder.add_gate ~name b kind [ lookup one ])
+             | _ :: _ :: _ ->
+               let kind = if inverting then Gate.Xnor else Gate.Xor in
+               Some (Builder.add_gate ~name b kind (List.map lookup live)))))
+  in
+  let c' = rebuild c ~alias:(fun _ -> None) ~emit in
+  (c', { zero_stats with folded = !folded })
+
+(* --- buffer and double-inverter bypass ------------------------------ *)
+
+let collapse_buffers (c : Circuit.t) =
+  let bypassed = ref 0 in
+  let alias i =
+    match Circuit.node c i with
+    | Circuit.Gate (Gate.Buf, fi) -> Some fi.(0)
+    | Circuit.Gate (Gate.Not, fi) -> (
+      match Circuit.node c fi.(0) with
+      | Circuit.Gate (Gate.Not, inner) -> Some inner.(0)
+      | Circuit.Input | Circuit.Const _ | Circuit.Dff _ | Circuit.Gate _ ->
+        None)
+    | Circuit.Input | Circuit.Const _ | Circuit.Dff _ | Circuit.Gate _ -> None
+  in
+  (* Count actual bypasses (reachable aliased nodes). *)
+  Array.iteri (fun i _ -> if alias i <> None then incr bypassed) c.Circuit.nodes;
+  let emit b lookup i =
+    match copy_source b c i with
+    | Some nid -> Some nid
+    | None -> (
+      match Circuit.node c i with
+      | Circuit.Gate (g, fi) ->
+        Some
+          (Builder.add_gate ~name:(Circuit.net_name c i) b g
+             (Array.to_list (Array.map lookup fi)))
+      | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> assert false)
+  in
+  let c' = rebuild c ~alias ~emit in
+  (c', { zero_stats with bypassed = !bypassed })
+
+(* --- sweep ----------------------------------------------------------- *)
+
+let sweep (c : Circuit.t) =
+  let n = Circuit.num_nets c in
+  let live = Array.make n false in
+  let rec mark i =
+    if not live.(i) then begin
+      live.(i) <- true;
+      Array.iter mark (Circuit.fanins c i)
+    end
+  in
+  Array.iter mark c.Circuit.outputs;
+  Array.iter mark c.Circuit.dffs;
+  (* Primary inputs always survive (the interface is part of the design). *)
+  Array.iter (fun i -> live.(i) <- true) c.Circuit.inputs;
+  let swept = ref 0 in
+  let emit b lookup i =
+    if not live.(i) then begin
+      incr swept;
+      None
+    end
+    else
+      match copy_source b c i with
+      | Some nid -> Some nid
+      | None -> (
+        match Circuit.node c i with
+        | Circuit.Gate (g, fi) ->
+          Some
+            (Builder.add_gate ~name:(Circuit.net_name c i) b g
+               (Array.to_list (Array.map lookup fi)))
+        | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> assert false)
+  in
+  let c' = rebuild c ~alias:(fun _ -> None) ~emit in
+  (c', { zero_stats with swept = !swept })
+
+(* --- fanin decomposition --------------------------------------------- *)
+
+let base_of = function
+  | Gate.And | Gate.Nand -> Gate.And
+  | Gate.Or | Gate.Nor -> Gate.Or
+  | Gate.Xor | Gate.Xnor -> Gate.Xor
+  | (Gate.Not | Gate.Buf) as g -> g
+
+let limit_fanin ?(max_fanin = 4) (c : Circuit.t) =
+  assert (max_fanin >= 2);
+  let decomposed = ref 0 in
+  let emit b lookup i =
+    match copy_source b c i with
+    | Some nid -> Some nid
+    | None -> (
+      match Circuit.node c i with
+      | Circuit.Gate (g, fi) when Array.length fi <= max_fanin ->
+        Some
+          (Builder.add_gate ~name:(Circuit.net_name c i) b g
+             (Array.to_list (Array.map lookup fi)))
+      | Circuit.Gate (g, fi) ->
+        (* Reduce layer by layer with the associative base operation; the
+           original polarity stays at the root. *)
+        let base = base_of g in
+        let rec reduce ids =
+          if List.length ids <= max_fanin then ids
+          else begin
+            let rec chunk acc current = function
+              | [] -> List.rev (if current = [] then acc else List.rev current :: acc)
+              | x :: rest ->
+                if List.length current = max_fanin then
+                  chunk (List.rev current :: acc) [ x ] rest
+                else chunk acc (x :: current) rest
+            in
+            let groups = chunk [] [] ids in
+            let next =
+              List.map
+                (fun group ->
+                  match group with
+                  | [ single ] -> single
+                  | _ ->
+                    incr decomposed;
+                    Builder.add_gate b base group)
+                groups
+            in
+            reduce next
+          end
+        in
+        let ids = reduce (Array.to_list (Array.map lookup fi)) in
+        Some (Builder.add_gate ~name:(Circuit.net_name c i) b g ids)
+      | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> assert false)
+  in
+  let c' = rebuild c ~alias:(fun _ -> None) ~emit in
+  (c', { zero_stats with decomposed = !decomposed })
+
+let optimize ?max_fanin c =
+  let c, s1 = collapse_buffers c in
+  let c, s2 = constant_fold c in
+  let c, s3 = limit_fanin ?max_fanin c in
+  let c, s4 = sweep c in
+  (c, merge (merge s1 s2) (merge s3 s4))

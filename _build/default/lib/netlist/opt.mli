@@ -1,0 +1,34 @@
+(** Netlist clean-up passes — a lightweight stand-in for the SIS
+    [script.algebraic] preprocessing the paper applies before mapping.
+
+    Every pass returns a new circuit that is three-valued-equivalent at the
+    primary outputs and flip-flops (names are preserved, net ids are not).
+    Flip-flops are never removed. *)
+
+type stats = {
+  folded : int;  (** gates replaced by constants or simplified *)
+  bypassed : int;  (** buffers and double inverters short-circuited *)
+  swept : int;  (** unobservable gates removed *)
+  decomposed : int;  (** gates added by fanin decomposition *)
+}
+
+val pp_stats : stats Fmt.t
+
+(** [constant_fold c] propagates tie-cell constants: gates whose output is
+    a constant become tie cells, and constant non-controlling fanins are
+    dropped (xor parity folds into the gate polarity). *)
+val constant_fold : Circuit.t -> Circuit.t * stats
+
+(** [collapse_buffers c] short-circuits buffers and double inverters. *)
+val collapse_buffers : Circuit.t -> Circuit.t * stats
+
+(** [sweep c] removes logic with no path to a primary output or flip-flop. *)
+val sweep : Circuit.t -> Circuit.t * stats
+
+(** [limit_fanin ?max_fanin c] decomposes gates wider than [max_fanin]
+    (default 4) into balanced trees, keeping the polarity at the root. *)
+val limit_fanin : ?max_fanin:int -> Circuit.t -> Circuit.t * stats
+
+(** [optimize c] runs buffers → constants → fanin limit → sweep and merges
+    the statistics. *)
+val optimize : ?max_fanin:int -> Circuit.t -> Circuit.t * stats

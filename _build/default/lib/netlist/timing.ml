@@ -1,0 +1,67 @@
+open Fst_logic
+
+type model = { gate_delay : Gate.t -> int }
+
+let unit_model = { gate_delay = (fun _ -> 1) }
+
+let mapped_model =
+  {
+    gate_delay =
+      (function
+       | Gate.Not | Gate.Buf -> 6
+       | Gate.Nand | Gate.Nor -> 10
+       | Gate.And | Gate.Or -> 14
+       | Gate.Xor | Gate.Xnor -> 18);
+  }
+
+let arrival ?(model = unit_model) (c : Circuit.t) =
+  let at = Array.make (Circuit.num_nets c) 0 in
+  Array.iter
+    (fun i ->
+      match Circuit.node c i with
+      | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> at.(i) <- 0
+      | Circuit.Gate (g, fi) ->
+        let worst = Array.fold_left (fun m f -> max m at.(f)) 0 fi in
+        at.(i) <- worst + model.gate_delay g)
+    c.Circuit.topo;
+  at
+
+(* Capture points: primary outputs and flip-flop data nets. *)
+let capture_points (c : Circuit.t) ~ff_only =
+  let ffs =
+    Array.to_list c.Circuit.dffs
+    |> List.filter_map (fun ff ->
+           match Circuit.node c ff with
+           | Circuit.Dff d -> Some d
+           | Circuit.Input | Circuit.Const _ | Circuit.Gate _ -> None)
+  in
+  if ff_only then ffs else Array.to_list c.Circuit.outputs @ ffs
+
+let trace_back (c : Circuit.t) at target =
+  let rec walk net acc =
+    match Circuit.node c net with
+    | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> net :: acc
+    | Circuit.Gate (_, fi) ->
+      (* Follow the latest-arriving fanin. *)
+      let slowest =
+        Array.fold_left
+          (fun best f -> if at.(f) > at.(best) then f else best)
+          fi.(0) fi
+      in
+      walk slowest (net :: acc)
+  in
+  walk target []
+
+let critical_over ?(model = unit_model) c points =
+  let at = arrival ~model c in
+  match points with
+  | [] -> (0, [])
+  | p :: rest ->
+    let target = List.fold_left (fun b q -> if at.(q) > at.(b) then q else b) p rest in
+    (at.(target), trace_back c at target)
+
+let critical_path ?model (c : Circuit.t) =
+  critical_over ?model c (capture_points c ~ff_only:false)
+
+let worst_ff_path ?model (c : Circuit.t) =
+  fst (critical_over ?model c (capture_points c ~ff_only:true))

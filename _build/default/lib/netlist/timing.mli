@@ -1,0 +1,32 @@
+(** Static timing estimation.
+
+    A simple topological arrival-time analysis used to quantify the scan
+    performance overhead the paper's introduction cites: conventional
+    MUXed scan adds a multiplexer delay in front of {e every} flip-flop,
+    while TPI-based functional scan leaves sensitized mission paths
+    untouched. Delays are integer units per gate; interconnect is
+    ignored. *)
+
+
+type model = { gate_delay : Fst_logic.Gate.t -> int }
+
+(** Every gate costs one unit. *)
+val unit_model : model
+
+(** Rough mapped-library costs (inverter 6, nand/nor 10, and/or 14,
+    xor/xnor 18, buffer 6). *)
+val mapped_model : model
+
+(** [arrival ?model c] is the arrival time of every net, with inputs,
+    constants and flip-flop outputs at time 0. *)
+val arrival : ?model:model -> Circuit.t -> int array
+
+(** [critical_path ?model c] is the slowest register-to-register or
+    input-to-output path: its delay and its nets from launch to capture
+    point (a primary output or a flip-flop data input). *)
+val critical_path : ?model:model -> Circuit.t -> int * int list
+
+(** [worst_ff_path ?model c] restricts the capture points to flip-flop
+    data inputs (the cycle-time-limiting paths). 0 when there are no
+    flip-flops. *)
+val worst_ff_path : ?model:model -> Circuit.t -> int

@@ -1,0 +1,74 @@
+type align = Left | Right
+
+type line = Row of string list | Rule
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable lines : line list; (* reversed *)
+}
+
+let create ~title columns = { title; columns; lines = [] }
+
+let row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.row: %d cells for %d columns" (List.length cells)
+         (List.length t.columns));
+  t.lines <- Row cells :: t.lines
+
+let rule t = t.lines <- Rule :: t.lines
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+let render t =
+  let buf = Buffer.create 256 in
+  let line s = Buffer.add_string buf s; Buffer.add_char buf '\n' in
+  let lines = List.rev t.lines in
+  let headers = List.map fst t.columns in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun w line ->
+            match line with
+            | Row cells -> max w (String.length (List.nth cells i))
+            | Rule -> w)
+          (String.length h) lines)
+      headers
+  in
+  let render_cells cells =
+    List.map2 (fun (c, (_, a)) w -> pad a w c)
+      (List.combine cells t.columns)
+      widths
+    |> String.concat "  "
+  in
+  line "";
+  line t.title;
+  let header_line = render_cells headers in
+  line header_line;
+  line (String.make (String.length header_line) '-');
+  List.iter
+    (fun l ->
+      match l with
+      | Row cells -> line (render_cells cells)
+      | Rule -> line (String.make (String.length header_line) '-'))
+    lines;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_int = string_of_int
+let cell_pct p = Printf.sprintf "%.1f%%" p
+
+let cell_int_pct n ~of_ =
+  if of_ = 0 then Printf.sprintf "%d" n
+  else Printf.sprintf "%d (%.1f%%)" n (100.0 *. float_of_int n /. float_of_int of_)
+
+let cell_seconds s = Printf.sprintf "%.2fs" s

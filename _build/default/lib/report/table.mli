@@ -1,0 +1,33 @@
+(** Plain-text tables in the style of the paper's result tables. *)
+
+type align = Left | Right
+
+type t
+
+(** [create ~title columns] starts a table; each column is (header,
+    alignment). *)
+val create : title:string -> (string * align) list -> t
+
+(** [row t cells] appends a row; the cell count must match the column
+    count. *)
+val row : t -> string list -> unit
+
+(** [rule t] appends a horizontal rule (printed before the next row,
+    typically the totals row). *)
+val rule : t -> unit
+
+(** [render t] produces the aligned textual table. *)
+val render : t -> string
+
+(** [print t] writes [render t] to stdout. *)
+val print : t -> unit
+
+(** Cell helpers. *)
+
+val cell_int : int -> string
+val cell_pct : float -> string
+
+(** [cell_int_pct n ~of_] renders ["n (p%)"]. *)
+val cell_int_pct : int -> of_:int -> string
+
+val cell_seconds : float -> string

@@ -1,0 +1,1 @@
+lib/sim/event_sim.ml: Array Circuit Fst_logic Fst_netlist Gate List Printf V3

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Circuit Fst_logic Fst_netlist Gate List Printf V3

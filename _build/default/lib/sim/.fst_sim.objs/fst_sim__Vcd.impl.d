@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Buffer Char Circuit Fst_logic Fst_netlist List Printf Sim String V3

@@ -1,0 +1,104 @@
+open Fst_logic
+open Fst_netlist
+
+type t = {
+  c : Circuit.t;
+  v : V3.t array;
+  latch_buf : V3.t array;
+  (* levelized wave: one dirty list per combinational level *)
+  pending : int list array;
+  queued : bool array;
+  mutable events : int;
+}
+
+let create (c : Circuit.t) =
+  let n = Circuit.num_nets c in
+  let depth = Circuit.depth c in
+  let t =
+    {
+      c;
+      v = Array.make n V3.X;
+      latch_buf = Array.make (Circuit.dff_count c) V3.X;
+      pending = Array.make (depth + 1) [];
+      queued = Array.make n false;
+      events = 0;
+    }
+  in
+  Array.iteri
+    (fun i nd -> match nd with Circuit.Const k -> t.v.(i) <- k | _ -> ())
+    c.Circuit.nodes;
+  (* Initial wave: evaluate everything once so gate outputs are consistent
+     with the all-X inputs. *)
+  Array.iter
+    (fun i ->
+      match Circuit.node c i with
+      | Circuit.Gate (g, fi) ->
+        t.v.(i) <- Gate.eval g (Array.map (fun f -> t.v.(f)) fi)
+      | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> ())
+    c.Circuit.topo;
+  t
+
+let schedule t consumer =
+  match Circuit.node t.c consumer with
+  | Circuit.Gate _ ->
+    if not t.queued.(consumer) then begin
+      t.queued.(consumer) <- true;
+      let lvl = t.c.Circuit.level.(consumer) in
+      t.pending.(lvl) <- consumer :: t.pending.(lvl)
+    end
+  | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> ()
+
+let announce t net =
+  Array.iter (fun consumer -> schedule t consumer) t.c.Circuit.fanout.(net)
+
+let set_net t net v =
+  if not (V3.equal t.v.(net) v) then begin
+    t.v.(net) <- v;
+    announce t net
+  end
+
+let set_input t net v =
+  if not (Circuit.is_input t.c net) then
+    invalid_arg (Printf.sprintf "Event_sim.set_input: net %d is not an input" net);
+  set_net t net v
+
+let set_ff t net v =
+  if not (Circuit.is_dff t.c net) then
+    invalid_arg (Printf.sprintf "Event_sim.set_ff: net %d is not a flip-flop" net);
+  set_net t net v
+
+let settle t =
+  let depth = Array.length t.pending - 1 in
+  for lvl = 0 to depth do
+    (* New events may only be scheduled at strictly higher levels. *)
+    let batch = t.pending.(lvl) in
+    t.pending.(lvl) <- [];
+    List.iter
+      (fun i ->
+        t.queued.(i) <- false;
+        match Circuit.node t.c i with
+        | Circuit.Gate (g, fi) ->
+          t.events <- t.events + 1;
+          let nv = Gate.eval g (Array.map (fun f -> t.v.(f)) fi) in
+          if not (V3.equal nv t.v.(i)) then begin
+            t.v.(i) <- nv;
+            announce t i
+          end
+        | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> ())
+      batch
+  done
+
+let clock t =
+  settle t;
+  let dffs = t.c.Circuit.dffs in
+  Array.iteri
+    (fun k ff ->
+      match Circuit.node t.c ff with
+      | Circuit.Dff data -> t.latch_buf.(k) <- t.v.(data)
+      | Circuit.Input | Circuit.Const _ | Circuit.Gate _ -> assert false)
+    dffs;
+  Array.iteri (fun k ff -> set_net t ff t.latch_buf.(k)) dffs;
+  settle t
+
+let value t net = t.v.(net)
+let events t = t.events

@@ -1,0 +1,32 @@
+(** Event-driven three-valued simulation.
+
+    Functionally equivalent to {!Sim} but only re-evaluates logic reached
+    by value changes — the classic levelized event-driven scheme. In scan
+    mode most activity hugs the chain, so long shift sequences are much
+    cheaper than full sweeps; the [events] counter exposes the activity
+    for measurement. *)
+
+open Fst_logic
+open Fst_netlist
+
+type t
+
+val create : Circuit.t -> t
+
+(** [set_input t net v] schedules a primary-input change. *)
+val set_input : t -> int -> V3.t -> unit
+
+(** [set_ff t net v] forces a flip-flop output (test setup). *)
+val set_ff : t -> int -> V3.t -> unit
+
+(** [settle t] propagates all pending events through the combinational
+    logic (levelized, each gate at most once per wave). *)
+val settle : t -> unit
+
+(** [clock t] latches every flip-flop simultaneously and settles. *)
+val clock : t -> unit
+
+val value : t -> int -> V3.t
+
+(** [events t] is the number of gate evaluations performed so far. *)
+val events : t -> int

@@ -1,0 +1,71 @@
+open Fst_logic
+open Fst_netlist
+
+(* Short printable identifiers: base-94 over '!'..'~'. *)
+let ident k =
+  let base = 94 and first = 33 in
+  let rec go k acc =
+    let acc = String.make 1 (Char.chr (first + (k mod base))) ^ acc in
+    if k < base then acc else go ((k / base) - 1) acc
+  in
+  go k ""
+
+let sanitize name =
+  String.map (fun ch -> if ch = ' ' || ch = '\t' then '_' else ch) name
+
+let value_char = function
+  | V3.Zero -> '0'
+  | V3.One -> '1'
+  | V3.X -> 'x'
+
+let render (c : Circuit.t) ~nets ~trace =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  line "$version fst waveform dump $end";
+  line "$timescale 1 ns $end";
+  line "$scope module %s $end" (sanitize c.Circuit.name);
+  Array.iteri
+    (fun k net ->
+      line "$var wire 1 %s %s $end" (ident k) (sanitize (Circuit.net_name c net)))
+    nets;
+  line "$upscope $end";
+  line "$enddefinitions $end";
+  let previous = Array.make (Array.length nets) None in
+  Array.iteri
+    (fun t row ->
+      let changes = ref [] in
+      Array.iteri
+        (fun k v ->
+          if previous.(k) <> Some v then begin
+            previous.(k) <- Some v;
+            changes := (k, v) :: !changes
+          end)
+        row;
+      if !changes <> [] then begin
+        line "#%d" t;
+        List.iter
+          (fun (k, v) -> line "%c%s" (value_char v) (ident k))
+          (List.rev !changes)
+      end)
+    trace;
+  line "#%d" (Array.length trace);
+  Buffer.contents buf
+
+let of_stimulus (c : Circuit.t) ~nets stim =
+  let st = Sim.create c in
+  let trace =
+    Array.map
+      (fun assigns ->
+        List.iter (fun (n, v) -> Sim.set_input c st n v) assigns;
+        Sim.eval_comb c st;
+        let row = Array.map (fun n -> Sim.value st n) nets in
+        Sim.clock c st;
+        row)
+      stim
+  in
+  render c ~nets ~trace
+
+let write_file c ~nets ~trace path =
+  let oc = open_out path in
+  output_string oc (render c ~nets ~trace);
+  close_out oc

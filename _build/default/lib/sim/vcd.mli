@@ -1,0 +1,22 @@
+(** Value-change-dump (VCD) export for waveform debugging.
+
+    Renders a recorded per-cycle trace of selected nets in the standard
+    IEEE 1364 VCD text format readable by GTKWave and friends; one
+    timestep per clock cycle. *)
+
+open Fst_logic
+open Fst_netlist
+
+(** [render c ~nets ~trace] renders a dump for [nets], where
+    [trace.(t).(k)] is the value of [nets.(k)] at cycle [t]. Net names are
+    sanitized for VCD (spaces become underscores). *)
+val render : Circuit.t -> nets:int array -> trace:V3.t array array -> string
+
+(** [of_stimulus c ~nets stim] simulates the fault-free machine over
+    [stim] (recording before each clock edge) and renders the dump. *)
+val of_stimulus :
+  Circuit.t -> nets:int array -> (int * V3.t) list array -> string
+
+(** [write_file c ~nets ~trace path] writes [render] output to [path]. *)
+val write_file :
+  Circuit.t -> nets:int array -> trace:V3.t array array -> string -> unit

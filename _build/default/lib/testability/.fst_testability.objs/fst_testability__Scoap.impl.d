@@ -1,0 +1,1 @@
+lib/testability/scoap.ml: Array Circuit Fst_logic Fst_netlist Gate V3 View

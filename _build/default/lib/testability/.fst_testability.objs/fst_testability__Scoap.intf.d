@@ -1,0 +1,1 @@
+lib/testability/scoap.mli: Fst_logic Fst_netlist

@@ -1,0 +1,21 @@
+(** SCOAP testability measures over a combinational {!Fst_netlist.View.t}.
+
+    Controllabilities [cc0]/[cc1] estimate the effort to set a net to 0/1;
+    observability [obs] estimates the effort to propagate a net's value to
+    an observation point. Free inputs cost 1, tied nets cost 0 for their
+    value and {!infinite} for the opposite, unassignable sources are
+    {!infinite} both ways. Values saturate at {!infinite}. Used to guide
+    PODEM backtrace and D-frontier selection. *)
+
+type t = { cc0 : int array; cc1 : int array; obs : int array }
+
+val infinite : int
+
+(** Saturating addition that never exceeds {!infinite}. *)
+val ( +! ) : int -> int -> int
+
+val compute : Fst_netlist.View.t -> t
+
+(** [cc m net v] is the controllability of value [v] on [net] ([X] maps to
+    the cheaper of the two). *)
+val cc : t -> int -> Fst_logic.V3.t -> int

@@ -1,0 +1,1 @@
+lib/tpi/scan.ml: Array Circuit Fmt Fst_logic Fst_netlist Fst_sim List Printf Sim String V3

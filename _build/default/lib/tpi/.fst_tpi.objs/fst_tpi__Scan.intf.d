@@ -1,0 +1,1 @@
+lib/tpi/scan.mli: Circuit Fmt Fst_logic Fst_netlist Stdlib V3

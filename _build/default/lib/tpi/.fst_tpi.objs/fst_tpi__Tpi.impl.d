@@ -1,0 +1,1 @@
+lib/tpi/tpi.ml: Array Builder Circuit Fst_gen Fst_logic Fst_netlist Gate Hashtbl List Printf Scan Set V3

@@ -1,0 +1,1 @@
+lib/tpi/tpi.mli: Circuit Fst_netlist Scan

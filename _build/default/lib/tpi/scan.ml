@@ -1,0 +1,142 @@
+open Fst_logic
+open Fst_netlist
+open Fst_sim
+
+type segment = {
+  src : int;
+  dst_ff : int;
+  path : int array;
+  invert : bool;
+  via_mux : bool;
+}
+
+type chain = {
+  index : int;
+  scan_in : int;
+  scan_out : int;
+  ffs : int array;
+  segments : segment array;
+}
+
+type config = {
+  scan_mode : int;
+  constraints : (int * V3.t) list;
+  chains : chain array;
+  test_points : int;
+  mux_segments : int;
+}
+
+let scan_mode_values c config =
+  let st = Sim.create c in
+  List.iter (fun (n, v) -> Sim.set_input c st n v) config.constraints;
+  Sim.eval_comb c st;
+  Array.copy (Sim.values st)
+
+let chain_locations c config =
+  let locs = Array.make (Circuit.num_nets c) [] in
+  let add net loc = locs.(net) <- loc :: locs.(net) in
+  Array.iter
+    (fun ch ->
+      add ch.scan_in (ch.index, 0);
+      Array.iteri (fun p ff -> add ff (ch.index, p + 1)) ch.ffs;
+      Array.iteri
+        (fun s seg -> Array.iter (fun net -> add net (ch.index, s)) seg.path)
+        ch.segments)
+    config.chains;
+  Array.map List.rev locs
+
+let side_pins c config ~chain ~segment =
+  let ch = config.chains.(chain) in
+  let seg = ch.segments.(segment) in
+  let sides = ref [] in
+  let entering = ref seg.src in
+  Array.iter
+    (fun gate_net ->
+      let fi = Circuit.fanins c gate_net in
+      Array.iteri
+        (fun pin f ->
+          if f <> !entering then sides := (gate_net, pin, f) :: !sides)
+        fi;
+      entering := gate_net)
+    seg.path;
+  List.rev !sides
+
+let parity ch ~position =
+  let p = ref false in
+  for s = 0 to position do
+    if ch.segments.(s).invert then p := not !p
+  done;
+  !p
+
+let apply_parity v inv = if inv then V3.bnot v else v
+
+let scan_in_stream ch ~values =
+  let len = Array.length ch.ffs in
+  assert (Array.length values = len);
+  let stream = Array.make len V3.X in
+  for p = 0 to len - 1 do
+    stream.(len - 1 - p) <- apply_parity values.(p) (parity ch ~position:p)
+  done;
+  stream
+
+(* A small deterministic bit generator for the self-check pattern. *)
+let check_bit k = (k * 7 / 3) land 1 = 1
+
+let verify_shift c config =
+  let st = Sim.create c in
+  List.iter (fun (n, v) -> Sim.set_input c st n v) config.constraints;
+  let streams =
+    Array.map
+      (fun ch ->
+        let len = Array.length ch.ffs in
+        let desired =
+          Array.init len (fun p -> V3.of_bool (check_bit (p + ch.index)))
+        in
+        (ch, desired, scan_in_stream ch ~values:desired))
+      config.chains
+  in
+  let max_len =
+    Array.fold_left (fun m ch -> max m (Array.length ch.ffs)) 0 config.chains
+  in
+  for t = 0 to max_len - 1 do
+    Array.iter
+      (fun (ch, _, stream) ->
+        let len = Array.length ch.ffs in
+        (* Align streams so every chain finishes loading at [max_len]. *)
+        let v = if t < max_len - len then V3.X else stream.(t - (max_len - len)) in
+        Sim.set_input c st ch.scan_in v)
+      streams;
+    Sim.eval_comb c st;
+    Sim.clock c st
+  done;
+  let errors = ref [] in
+  Array.iter
+    (fun (ch, desired, _) ->
+      Array.iteri
+        (fun p ff ->
+          let got = Sim.value st ff in
+          if not (V3.equal got desired.(p)) then
+            errors :=
+              Printf.sprintf "chain %d position %d (%s): expected %c, got %c"
+                ch.index p (Circuit.net_name c ff)
+                (V3.to_char desired.(p))
+                (V3.to_char got)
+              :: !errors)
+        ch.ffs)
+    streams;
+  match !errors with
+  | [] -> Ok ()
+  | es -> Error (String.concat "; " (List.rev es))
+
+let pp_config c ppf config =
+  Fmt.pf ppf "scan: %d chain(s), %d test point(s), %d mux segment(s), %d constrained PI(s)"
+    (Array.length config.chains)
+    config.test_points config.mux_segments
+    (List.length config.constraints);
+  Array.iter
+    (fun ch ->
+      Fmt.pf ppf "@.  chain %d: %d FFs, scan_in=%s scan_out=%s" ch.index
+        (Array.length ch.ffs)
+        (Circuit.net_name c ch.scan_in)
+        (Circuit.net_name c ch.scan_out))
+    config.chains

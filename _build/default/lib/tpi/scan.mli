@@ -1,0 +1,70 @@
+(** Scan-chain description and scan-mode utilities.
+
+    A functional scan chain is an ordered list of flip-flops where each
+    consecutive pair is connected by a {e sensitized} combinational path:
+    in scan mode (fixed primary-input constraints) every side input along
+    the path holds a non-controlling value, so the chain behaves as a shift
+    register, possibly inverting per segment. *)
+
+open Fst_logic
+open Fst_netlist
+
+type segment = {
+  src : int;  (** driving net: previous flip-flop output, or the scan-in *)
+  dst_ff : int;  (** the flip-flop this segment loads *)
+  path : int array;
+      (** gate-output nets along the route, in order, ending with the data
+          net of [dst_ff]; empty when [src] directly feeds the data pin *)
+  invert : bool;  (** parity of the segment *)
+  via_mux : bool;  (** realized by an inserted scan multiplexer *)
+}
+
+type chain = {
+  index : int;
+  scan_in : int;  (** primary-input net *)
+  scan_out : int;  (** net observed as scan output (last flip-flop) *)
+  ffs : int array;  (** flip-flop output nets in scan order *)
+  segments : segment array;  (** [segments.(i)] loads [ffs.(i)] *)
+}
+
+type config = {
+  scan_mode : int;  (** the scan-enable primary input *)
+  constraints : (int * V3.t) list;
+      (** scan-mode primary-input assignments, including [scan_mode = 1] *)
+  chains : chain array;
+  test_points : int;  (** control points inserted by TPI *)
+  mux_segments : int;  (** segments that fell back to a scan multiplexer *)
+}
+
+(** [scan_mode_values c config] propagates the scan-mode constants: the
+    constrained inputs take their values, free inputs and flip-flop outputs
+    are [X]. *)
+val scan_mode_values : Circuit.t -> config -> V3.t array
+
+(** [chain_net_of c config] maps each net to the chain locations where it
+    lies on a scan path: [(chain index, segment index)] pairs. Flip-flop
+    output nets are on the segment they feed (their own chain position + 1)
+    and, for the last flip-flop, position [length]. *)
+val chain_locations : Circuit.t -> config -> (int * int) list array
+
+(** [side_pins c config] enumerates, per chain and segment, the side-input
+    pins of the gates along the path: [(node, pin, side net)] triples. *)
+val side_pins :
+  Circuit.t -> config -> chain:int -> segment:int -> (int * int * int) list
+
+(** [parity chain ~position] is the cumulative inversion from the scan-in
+    to flip-flop [position] (inclusive). *)
+val parity : chain -> position:int -> bool
+
+(** [scan_in_stream chain ~values] computes the scan-in sequence (length =
+    chain length) that loads [values.(p)] into chain position [p]; slots
+    corresponding to [X] targets are [X]. The first element is applied
+    first. *)
+val scan_in_stream : chain -> values:V3.t array -> V3.t array
+
+(** [verify_shift c config] simulates each chain with a random-looking
+    pattern and checks the shift-register behaviour; returns an error
+    message on failure. *)
+val verify_shift : Circuit.t -> config -> (unit, string) Stdlib.result
+
+val pp_config : Circuit.t -> config Fmt.t

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Builder Circuit Fst_fault Fst_fsim Fst_gen Fst_logic Fst_netlist Gate Hashtbl List Printf QCheck_alcotest Random String V3

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Array Circuit Classify Fault Fst_core Fst_fault Fst_fsim Fst_logic Fst_netlist Fst_tpi Helpers Int64 List Printf QCheck Scan Sequences Tpi V3

@@ -1,0 +1,1 @@
+test/test_compact.ml: Alcotest Array Circuit Compact Fst_core Fst_fault Fst_gen Fst_logic Fst_netlist Fst_tpi Helpers Int64 List Printf QCheck Scan Sequences Tpi V3

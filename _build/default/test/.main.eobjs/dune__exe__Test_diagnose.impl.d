@@ -1,0 +1,1 @@
+test/test_diagnose.ml: Alcotest Array Builder Diagnose Fault Format Fst_core Fst_fault Fst_gen Fst_netlist Fst_tpi Helpers Int64 List Printf QCheck Scan Tpi

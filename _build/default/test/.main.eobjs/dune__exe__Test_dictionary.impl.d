@@ -1,0 +1,1 @@
+test/test_dictionary.ml: Alcotest Array Circuit Dictionary Fault Fst_atpg Fst_core Fst_fault Fst_gen Fst_netlist Fst_tpi Helpers Int64 List Printf QCheck Scan Sequences Tpi View

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Array Builder Circuit Fault Fst_fault Fst_fsim Fst_gen Fst_logic Fst_netlist Gate Helpers Int64 List QCheck

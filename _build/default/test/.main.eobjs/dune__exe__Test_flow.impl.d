@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Circuit Classify Float Flow Fst_core Fst_fsim Fst_gen Fst_logic Fst_netlist Fst_tpi Helpers Int64 List QCheck Scan Sequences Tpi

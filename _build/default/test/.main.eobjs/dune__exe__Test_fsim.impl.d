@@ -1,0 +1,1 @@
+test/test_fsim.ml: Alcotest Array Builder Circuit Fault Fsim Fst_fault Fst_fsim Fst_gen Fst_logic Fst_netlist Gate Helpers Int64 List QCheck V3

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Circuit Fst_gen Fst_netlist Hashtbl Helpers Int64 List Netfile Option QCheck

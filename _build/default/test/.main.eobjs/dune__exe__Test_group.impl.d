@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Fst_core Group List Printf

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Dval Fst_logic Gate Helpers List Printf QCheck V3

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Builder Circuit Fst_logic Fst_netlist Gate Helpers Int64 List Netfile QCheck V3

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Builder Circuit Fst_gen Fst_logic Fst_netlist Fst_sim Gate Helpers Int64 List Opt Printf QCheck V3

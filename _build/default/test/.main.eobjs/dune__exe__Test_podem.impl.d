@@ -1,0 +1,1 @@
+test/test_podem.ml: Alcotest Array Builder Circuit Fault Fst_atpg Fst_fault Fst_fsim Fst_gen Fst_logic Fst_netlist Fst_testability Gate Helpers Int64 List Podem QCheck V3 View

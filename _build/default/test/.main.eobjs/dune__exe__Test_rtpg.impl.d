@@ -1,0 +1,1 @@
+test/test_rtpg.ml: Alcotest Array Builder Circuit Float Fst_atpg Fst_gen Fst_logic Fst_netlist Gate Hashtbl Helpers Int64 List Option Printf QCheck Rtpg V3 View

@@ -1,0 +1,1 @@
+test/test_scan_atpg.ml: Alcotest Array Circuit Flow Fst_core Fst_gen Fst_logic Fst_netlist Fst_sim Fst_tpi Helpers Int64 List QCheck Scan Scan_atpg Sequences Tpi V3

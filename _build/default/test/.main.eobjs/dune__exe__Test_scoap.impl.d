@@ -1,0 +1,1 @@
+test/test_scoap.ml: Alcotest Array Builder Circuit Fst_gen Fst_logic Fst_netlist Fst_sim Fst_testability Fst_tpi Gate Helpers Int64 List QCheck Scoap V3 View

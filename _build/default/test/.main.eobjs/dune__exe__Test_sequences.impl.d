@@ -1,0 +1,1 @@
+test/test_sequences.ml: Alcotest Array Circuit Fst_atpg Fst_core Fst_gen Fst_logic Fst_netlist Fst_sim Fst_tpi Helpers Int64 List Printf QCheck Scan Sequences Tpi V3

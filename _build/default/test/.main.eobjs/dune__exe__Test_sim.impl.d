@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Builder Circuit Event_sim Fst_gen Fst_logic Fst_netlist Fst_sim Gate Helpers Int64 List QCheck Sim V3

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Builder Fst_logic Fst_netlist Fst_tpi Gate Helpers List Printf Timing

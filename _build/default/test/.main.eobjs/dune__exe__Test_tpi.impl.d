@@ -1,0 +1,1 @@
+test/test_tpi.ml: Alcotest Array Builder Circuit Fst_logic Fst_netlist Fst_sim Fst_tpi Gate Helpers Int64 List Printf QCheck Scan Tpi V3

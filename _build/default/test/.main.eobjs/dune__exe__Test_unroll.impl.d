@@ -1,0 +1,1 @@
+test/test_unroll.ml: Alcotest Array Circuit Fst_atpg Fst_fault Fst_gen Fst_logic Fst_netlist Fst_sim Helpers Int64 List QCheck Unroll V3 View

@@ -1,0 +1,1 @@
+test/test_vcd.ml: Alcotest Array Builder Circuit Fst_logic Fst_netlist Fst_sim Gate Helpers List String V3 Vcd

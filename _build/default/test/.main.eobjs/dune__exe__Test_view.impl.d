@@ -1,0 +1,1 @@
+test/test_view.ml: Alcotest Array Circuit Fst_logic Fst_netlist Fst_tpi Helpers Netfile V3 View

@@ -1,0 +1,92 @@
+open Fst_logic
+open Fst_netlist
+open Fst_tpi
+open Fst_core
+module Q = QCheck
+
+let scan_small seed =
+  let c = Helpers.small_seq_circuit ~gates:150 ~ffs:10 seed in
+  Tpi.insert ~options:{ Tpi.default_options with Tpi.chains = 2 } c
+
+let random_blocks scanned config rng n =
+  let free =
+    Array.to_list scanned.Circuit.inputs
+    |> List.filter (fun i -> not (List.mem_assoc i config.Scan.constraints))
+  in
+  List.init n (fun _ ->
+      let ff_values =
+        Array.to_list scanned.Circuit.dffs
+        |> List.map (fun ff -> (ff, V3.of_bool (Fst_gen.Rng.bool rng)))
+      in
+      let pi_values =
+        List.map (fun pi -> (pi, V3.of_bool (Fst_gen.Rng.bool rng))) free
+      in
+      Sequences.of_comb_test scanned config ~ff_values ~pi_values)
+
+(* Reverse-order compaction keeps coverage exactly and never grows the
+   set. *)
+let prop_compaction_preserves_coverage =
+  Q.Test.make ~name:"reverse-order compaction preserves coverage" ~count:8
+    (Q.map Int64.of_int (Q.int_bound 100000))
+    (fun seed ->
+      let scanned, config = scan_small seed in
+      let rng = Fst_gen.Rng.create (Int64.add seed 31L) in
+      let blocks = random_blocks scanned config rng 24 in
+      let faults =
+        Fst_fault.Fault.collapse scanned (Fst_fault.Fault.universe scanned)
+      in
+      let observe = scanned.Circuit.outputs in
+      let before = Compact.coverage scanned ~faults ~observe ~blocks in
+      let kept, credited =
+        Compact.reverse_order scanned ~faults ~observe ~blocks
+      in
+      let kept_blocks = List.map (List.nth blocks) kept in
+      let after = Compact.coverage scanned ~faults ~observe ~blocks:kept_blocks in
+      credited = before && after = before
+      && List.length kept <= List.length blocks)
+
+let test_compaction_drops_redundant () =
+  let scanned, config = scan_small 5L in
+  let rng = Fst_gen.Rng.create 77L in
+  (* Duplicate every block: at least half the set must go. *)
+  let base = random_blocks scanned config rng 10 in
+  let blocks = base @ base in
+  let faults =
+    Fst_fault.Fault.collapse scanned (Fst_fault.Fault.universe scanned)
+  in
+  let kept, _ =
+    Compact.reverse_order scanned ~faults ~observe:scanned.Circuit.outputs
+      ~blocks
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "kept %d of %d" (List.length kept) (List.length blocks))
+    true
+    (List.length kept <= List.length base)
+
+let test_kept_indices_sorted_and_valid () =
+  let scanned, config = scan_small 9L in
+  let rng = Fst_gen.Rng.create 13L in
+  let blocks = random_blocks scanned config rng 12 in
+  let faults =
+    Fst_fault.Fault.collapse scanned (Fst_fault.Fault.universe scanned)
+  in
+  let kept, _ =
+    Compact.reverse_order scanned ~faults ~observe:scanned.Circuit.outputs
+      ~blocks
+  in
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a < b && sorted rest
+  in
+  Alcotest.(check bool) "sorted" true (sorted kept);
+  List.iter
+    (fun i ->
+      Alcotest.(check bool) "in range" true (i >= 0 && i < List.length blocks))
+    kept
+
+let suite =
+  [
+    Helpers.qcheck prop_compaction_preserves_coverage;
+    Alcotest.test_case "drops redundant blocks" `Quick test_compaction_drops_redundant;
+    Alcotest.test_case "kept indices sorted" `Quick test_kept_indices_sorted_and_valid;
+  ]

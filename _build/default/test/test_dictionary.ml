@@ -1,0 +1,97 @@
+open Fst_netlist
+open Fst_fault
+open Fst_tpi
+open Fst_core
+module Q = QCheck
+
+let scan_small seed =
+  let c = Helpers.small_seq_circuit ~gates:120 ~ffs:8 seed in
+  Tpi.insert ~options:{ Tpi.default_options with Tpi.chains = 2 } c
+
+let random_blocks scanned config rng n =
+  let view =
+    View.scan_mode scanned ~constraints:config.Scan.constraints ()
+  in
+  List.init n (fun _ ->
+      let ff_values, pi_values =
+        List.partition
+          (fun (net, _) -> Circuit.is_dff scanned net)
+          (Fst_atpg.Rtpg.uniform rng view)
+      in
+      Sequences.of_comb_test scanned config ~ff_values ~pi_values)
+
+let test_signatures_match_observation () =
+  let scanned, config = scan_small 3L in
+  let rng = Fst_gen.Rng.create 1L in
+  let blocks = random_blocks scanned config rng 12 in
+  let faults =
+    Fault.collapse scanned (Fault.universe scanned)
+    |> Array.to_list
+    |> List.filteri (fun i _ -> i mod 9 = 0)
+    |> Array.of_list
+  in
+  let d =
+    Dictionary.build scanned ~faults ~observe:scanned.Circuit.outputs ~blocks
+  in
+  Alcotest.(check int) "blocks recorded" 12 (Dictionary.num_blocks d);
+  (* A dictionary fault observed on the "tester" matches its own entry, so
+     ranking it returns distance 0 at the top. *)
+  Array.iteri
+    (fun i fault ->
+      let observed = Dictionary.observe_defect scanned d ~fault ~blocks in
+      Alcotest.(check (list int))
+        (Printf.sprintf "signature %d consistent" i)
+        (Dictionary.signature d ~fault_index:i)
+        observed;
+      match Dictionary.rank d ~observed with
+      | (_, 0) :: _ -> ()
+      | (_, dist) :: _ ->
+        Alcotest.failf "own signature at distance %d" dist
+      | [] -> Alcotest.fail "empty ranking")
+    faults
+
+(* The true fault is always among the minimal-distance candidates, and the
+   candidates at distance 0 share its signature exactly. *)
+let prop_ranking_finds_injected_fault =
+  Q.Test.make ~name:"dictionary ranking finds the injected fault" ~count:6
+    (Q.map Int64.of_int (Q.int_bound 100000))
+    (fun seed ->
+      let scanned, config = scan_small seed in
+      let rng = Fst_gen.Rng.create (Int64.add seed 7L) in
+      let blocks = random_blocks scanned config rng 16 in
+      let faults = Fault.collapse scanned (Fault.universe scanned) in
+      let d =
+        Dictionary.build scanned ~faults ~observe:scanned.Circuit.outputs
+          ~blocks
+      in
+      let target = Fst_gen.Rng.int rng (Array.length faults) in
+      let observed =
+        Dictionary.observe_defect scanned d ~fault:faults.(target) ~blocks
+      in
+      match Dictionary.rank d ~observed with
+      | [] -> false
+      | (_, best) :: _ as ranking ->
+        best = 0
+        && List.exists (fun (i, dist) -> i = target && dist = 0) ranking)
+
+let test_distinguishability () =
+  let scanned, config = scan_small 5L in
+  let rng = Fst_gen.Rng.create 2L in
+  let faults = Fault.collapse scanned (Fault.universe scanned) in
+  let few = Dictionary.build scanned ~faults ~observe:scanned.Circuit.outputs
+      ~blocks:(random_blocks scanned config rng 2) in
+  let many = Dictionary.build scanned ~faults ~observe:scanned.Circuit.outputs
+      ~blocks:(random_blocks scanned config rng 16) in
+  (* More sequences can only refine the partition. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "resolution grows (%d -> %d)"
+       (Dictionary.distinguishable few) (Dictionary.distinguishable many))
+    true
+    (Dictionary.distinguishable many >= Dictionary.distinguishable few)
+
+let suite =
+  [
+    Alcotest.test_case "signatures match observation" `Quick test_signatures_match_observation;
+    Helpers.qcheck prop_ranking_finds_injected_fault;
+    Alcotest.test_case "distinguishability" `Quick test_distinguishability;
+  ]

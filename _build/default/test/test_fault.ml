@@ -1,0 +1,123 @@
+open Fst_logic
+open Fst_netlist
+open Fst_fault
+module Q = QCheck
+
+let test_universe_counts () =
+  let c, _, _, _, _ = Helpers.figure2_circuit () in
+  (* 5 nets -> 10 stem faults; every net has fanout 1 except ff1 (feeds g0
+     data? no: pi0->g0, ff0->g0, g0->ff1, ff1->g1, g1->ff0+po). g1 feeds
+     ff0 and is an output, so fanout(g1) = 1 consumer; no branch faults
+     except nets with >1 consumers. *)
+  let u = Fault.universe c in
+  let stems, branches =
+    Array.fold_left
+      (fun (s, b) f ->
+        match f.Fault.site with
+        | Fault.Stem _ -> (s + 1, b)
+        | Fault.Branch _ -> (s, b + 1))
+      (0, 0) u
+  in
+  Alcotest.(check int) "stem faults" 10 stems;
+  Alcotest.(check int) "no branch faults on fanout-1 nets" 0 branches
+
+let test_branch_faults_on_fanout () =
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let y1 = Builder.add_gate ~name:"y1" b Gate.Not [ a ] in
+  let y2 = Builder.add_gate ~name:"y2" b Gate.Buf [ a ] in
+  Builder.mark_output b y1;
+  Builder.mark_output b y2;
+  let c = Builder.freeze b in
+  let u = Fault.universe c in
+  let branches =
+    Array.to_list u
+    |> List.filter (fun f ->
+           match f.Fault.site with Fault.Branch _ -> true | Fault.Stem _ -> false)
+  in
+  (* net a has two consumers: 2 pins x 2 polarities. *)
+  Alcotest.(check int) "branch faults" 4 (List.length branches)
+
+let test_collapse_inverter_chain () =
+  (* a -> NOT -> NOT -> po: all six stem faults collapse to two classes. *)
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let n1 = Builder.add_gate ~name:"n1" b Gate.Not [ a ] in
+  let n2 = Builder.add_gate ~name:"n2" b Gate.Not [ n1 ] in
+  Builder.mark_output b n2;
+  let c = Builder.freeze b in
+  let reps = Fault.collapse c (Fault.universe c) in
+  Alcotest.(check int) "collapsed classes" 2 (Array.length reps)
+
+let test_collapse_and_gate () =
+  (* and(a, b) -> po: universe = 6 stem faults; a s-a-0 = b s-a-0 = y s-a-0
+     -> 4 classes. *)
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let b2 = Builder.add_input ~name:"b" b in
+  let y = Builder.add_gate ~name:"y" b Gate.And [ a; b2 ] in
+  Builder.mark_output b y;
+  let c = Builder.freeze b in
+  let reps = Fault.collapse c (Fault.universe c) in
+  Alcotest.(check int) "collapsed classes" 4 (Array.length reps)
+
+let test_collapse_classes_cover () =
+  let c = Helpers.small_seq_circuit 3L in
+  let u = Fault.universe c in
+  let reps, class_of = Fault.collapse_classes c u in
+  Alcotest.(check int) "every fault mapped" (Array.length u) (Array.length class_of);
+  Array.iter
+    (fun cls ->
+      Alcotest.(check bool) "class in range" true
+        (cls >= 0 && cls < Array.length reps))
+    class_of
+
+(* Collapsed faults are genuinely equivalent: on a small combinational
+   circuit, every fault in a class is detected by exactly the same
+   exhaustive input assignments as its representative. *)
+let prop_collapse_equivalence =
+  Q.Test.make ~name:"collapsed faults are test-equivalent" ~count:12
+    (Q.map Int64.of_int (Q.int_bound 10000))
+    (fun seed ->
+      let rng = Fst_gen.Rng.create seed in
+      let c = Helpers.random_comb_circuit rng ~inputs:5 ~gates:12 in
+      let u = Fault.universe c in
+      let reps, class_of = Fault.collapse_classes c u in
+      let detects fault code =
+        let stim =
+          [| Array.to_list
+               (Array.mapi
+                  (fun k pi ->
+                    (pi, Fst_logic.V3.of_bool (code land (1 lsl k) <> 0)))
+                  c.Circuit.inputs) |]
+        in
+        Fst_fsim.Fsim.Serial.detect c ~fault ~observe:c.Circuit.outputs stim
+        <> None
+      in
+      let n_codes = 1 lsl Array.length c.Circuit.inputs in
+      let ok = ref true in
+      Array.iteri
+        (fun i fault ->
+          let rep = reps.(class_of.(i)) in
+          if not (Fault.equal fault rep) then
+            for code = 0 to n_codes - 1 do
+              if detects fault code <> detects rep code then ok := false
+            done)
+        u;
+      !ok)
+
+let test_to_string () =
+  let c, pi0, _, _, _ = Helpers.figure2_circuit () in
+  let s = Fault.to_string c { Fault.site = Fault.Stem pi0; stuck = false } in
+  Alcotest.(check string) "fault name" "pi0 s-a-0" s
+
+let suite =
+  [
+    Alcotest.test_case "universe counts" `Quick test_universe_counts;
+    Alcotest.test_case "branch faults on fanout" `Quick test_branch_faults_on_fanout;
+    Alcotest.test_case "collapse inverter chain" `Quick test_collapse_inverter_chain;
+    Alcotest.test_case "collapse and gate" `Quick test_collapse_and_gate;
+    Alcotest.test_case "collapse classes cover" `Quick test_collapse_classes_cover;
+    Helpers.qcheck prop_collapse_equivalence;
+    Alcotest.test_case "fault to_string" `Quick test_to_string;
+  ]

@@ -1,0 +1,132 @@
+open Fst_netlist
+open Fst_tpi
+open Fst_core
+module Q = QCheck
+
+let scan_small ?(gates = 150) ?(ffs = 10) ?(chains = 2) seed =
+  let c = Helpers.small_seq_circuit ~gates ~ffs seed in
+  Tpi.insert ~options:{ Tpi.default_options with Tpi.chains; justify_depth = 4 } c
+
+let quick_params =
+  {
+    Flow.default_params with
+    Flow.comb_backtrack = 100;
+    seq_backtrack = 200;
+    final_backtrack = 500;
+    frames = [ 1; 2 ];
+    final_frames = [ 1; 2; 4 ];
+  }
+
+let test_flow_bookkeeping () =
+  let scanned, config = scan_small 7L in
+  let r = Flow.run ~params:quick_params scanned config in
+  let hard = Array.length r.Flow.classify.Classify.hard in
+  (* Step-2 buckets partition the hard faults. *)
+  Alcotest.(check int) "step2 partition" hard
+    (r.Flow.step2.Flow.detected + r.Flow.step2.Flow.untestable
+   + r.Flow.step2.Flow.undetected);
+  (* Step-3 buckets partition the step-2 undetected. *)
+  Alcotest.(check int) "step3 partition" r.Flow.step2.Flow.undetected
+    (r.Flow.step3.Flow.detected + r.Flow.step3.Flow.untestable
+   + r.Flow.step3.Flow.undetected);
+  Alcotest.(check int) "undetected list" r.Flow.step3.Flow.undetected
+    (List.length r.Flow.undetected);
+  Alcotest.(check int) "affecting accessor" r.Flow.classify.Classify.affecting
+    (Flow.affecting r);
+  Alcotest.(check int) "total accessor" (Array.length r.Flow.faults)
+    (Flow.total_faults r)
+
+(* The headline property: across small random instances, the flow leaves at
+   most a tiny residue of the chain-affecting faults undetected. *)
+let prop_flow_coverage =
+  Q.Test.make ~name:"flow detects almost all hard faults" ~count:5
+    (Q.map Int64.of_int (Q.int_bound 100000))
+    (fun seed ->
+      let scanned, config = scan_small ~gates:200 ~ffs:12 seed in
+      let r = Flow.run ~params:quick_params scanned config in
+      let hard = Array.length r.Flow.classify.Classify.hard in
+      (* Allow a small residue: aborts are possible with the tight budgets
+         used here, and a handful of scan-enable-network faults are only
+         potentially detectable (see EXPERIMENTS.md). *)
+      hard = 0
+      || float_of_int (List.length r.Flow.undetected)
+         <= Float.max 3.0 (0.15 *. float_of_int hard))
+
+(* Figure 5's shape: the detection curve is monotone and most detections
+   happen early. *)
+let test_curve_monotone () =
+  let scanned, config = scan_small ~gates:250 ~ffs:14 9L in
+  let r = Flow.run ~params:quick_params scanned config in
+  let curve = r.Flow.step2.Flow.curve in
+  Alcotest.(check bool) "curve captured" true (Array.length curve > 0);
+  let mono = ref true in
+  for i = 1 to Array.length curve - 1 do
+    if snd curve.(i) < snd curve.(i - 1) then mono := false;
+    if fst curve.(i) <> i then mono := false
+  done;
+  Alcotest.(check bool) "monotone" true !mono;
+  Alcotest.(check int) "final point is the detected count"
+    r.Flow.step2.Flow.detected
+    (snd curve.(Array.length curve - 1))
+
+let test_truncation_reduces_vectors () =
+  let scanned, config = scan_small ~gates:250 ~ffs:14 9L in
+  let full = Flow.run ~params:quick_params scanned config in
+  let truncated =
+    Flow.run
+      ~params:{ quick_params with Flow.truncate_blocks = Some 0.5 }
+      scanned config
+  in
+  Alcotest.(check bool) "fewer vectors" true
+    (truncated.Flow.step2.Flow.vectors <= full.Flow.step2.Flow.vectors);
+  Alcotest.(check bool) "not fewer undetected after step2" true
+    (truncated.Flow.step2.Flow.undetected >= full.Flow.step2.Flow.undetected)
+
+(* Every fault the flow reports as undetectable really resists a pile of
+   random scan-mode test sequences. *)
+let prop_untestable_resists_random =
+  Q.Test.make ~name:"untestable verdicts resist random sequences" ~count:4
+    (Q.map Int64.of_int (Q.int_bound 100000))
+    (fun seed ->
+      let scanned, config = scan_small ~gates:150 ~ffs:8 seed in
+      let r = Flow.run ~params:quick_params scanned config in
+      Alcotest.(check int)
+        "untestable counts match list"
+        (r.Flow.step2.Flow.untestable + r.Flow.step3.Flow.untestable)
+        (List.length r.Flow.untestable_faults);
+      let rng = Fst_gen.Rng.create (Int64.add seed 77L) in
+      let free =
+        Array.to_list scanned.Circuit.inputs
+        |> List.filter (fun i -> not (List.mem_assoc i config.Scan.constraints))
+      in
+      let random_block () =
+        let ff_values =
+          Array.to_list scanned.Circuit.dffs
+          |> List.map (fun ff ->
+                 (ff, Fst_logic.V3.of_bool (Fst_gen.Rng.bool rng)))
+        in
+        let pi_values =
+          List.map
+            (fun pi -> (pi, Fst_logic.V3.of_bool (Fst_gen.Rng.bool rng)))
+            free
+        in
+        Sequences.of_comb_test scanned config ~ff_values ~pi_values
+      in
+      let stim =
+        Sequences.concat (List.init 30 (fun _ -> random_block ()))
+      in
+      List.for_all
+        (fun fault ->
+          Fst_fsim.Fsim.Serial.detect scanned ~fault
+            ~observe:scanned.Circuit.outputs stim
+          = None)
+        r.Flow.untestable_faults)
+
+let suite =
+  [
+    Alcotest.test_case "flow bookkeeping" `Quick test_flow_bookkeeping;
+    Helpers.qcheck prop_flow_coverage;
+    Alcotest.test_case "figure-5 curve monotone" `Quick test_curve_monotone;
+    Alcotest.test_case "truncation reduces vectors" `Quick test_truncation_reduces_vectors;
+    Helpers.qcheck prop_untestable_resists_random;
+  ]

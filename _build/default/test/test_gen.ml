@@ -1,0 +1,102 @@
+open Fst_netlist
+module Q = QCheck
+
+let test_rng_determinism () =
+  let a = Fst_gen.Rng.create 42L and b = Fst_gen.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Fst_gen.Rng.int a 1000)
+      (Fst_gen.Rng.int b 1000)
+  done
+
+let test_rng_bounds () =
+  let rng = Fst_gen.Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Fst_gen.Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Fst_gen.Rng.float rng in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_weighted () =
+  let rng = Fst_gen.Rng.create 9L in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let v = Fst_gen.Rng.weighted rng [ (1, `A); (2, `B); (7, `C) ] in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check bool) "c dominates" true (get `C > get `B && get `B > get `A)
+
+let test_generator_determinism () =
+  let p = { Fst_gen.Gen.name = "d"; gates = 200; ffs = 12; pis = 6; pos = 4; seed = 5L } in
+  let a = Fst_gen.Gen.generate p and b = Fst_gen.Gen.generate p in
+  Alcotest.(check string) "identical netlists" (Netfile.to_string a)
+    (Netfile.to_string b)
+
+let prop_generator_respects_profile =
+  Q.Test.make ~name:"generator respects the profile" ~count:15
+    (Q.map Int64.of_int (Q.int_bound 1000000))
+    (fun seed ->
+      let p =
+        { Fst_gen.Gen.name = "p"; gates = 300; ffs = 20; pis = 8; pos = 6; seed }
+      in
+      let c = Fst_gen.Gen.generate p in
+      Circuit.dff_count c = 20
+      && Circuit.input_count c = 8
+      && Array.length c.Circuit.outputs >= 6
+      && abs (Circuit.gate_count c - 300) < 100)
+
+let prop_all_logic_observable =
+  Q.Test.make ~name:"no dangling logic after compaction" ~count:10
+    (Q.map Int64.of_int (Q.int_bound 1000000))
+    (fun seed ->
+      let c = Helpers.small_seq_circuit ~gates:150 ~ffs:10 seed in
+      let ok = ref true in
+      Array.iteri
+        (fun i nd ->
+          match nd with
+          | Circuit.Gate _ | Circuit.Dff _ ->
+            if Array.length c.Circuit.fanout.(i) = 0 && not (Circuit.is_output c i)
+            then ok := false
+          | Circuit.Input | Circuit.Const _ -> ())
+        c.Circuit.nodes;
+      !ok)
+
+let test_scaled_profile () =
+  let p = { Fst_gen.Gen.name = "s"; gates = 1000; ffs = 100; pis = 20; pos = 10; seed = 1L } in
+  let q = Fst_gen.Gen.scaled ~factor:0.1 p in
+  Alcotest.(check int) "gates scaled" 100 q.Fst_gen.Gen.gates;
+  Alcotest.(check int) "ffs scaled" 10 q.Fst_gen.Gen.ffs;
+  let tiny = Fst_gen.Gen.scaled ~factor:0.0001 p in
+  Alcotest.(check bool) "floors hold" true
+    (tiny.Fst_gen.Gen.gates >= 2 && tiny.Fst_gen.Gen.ffs >= 1)
+
+let test_suite_names () =
+  let entries = Fst_gen.Suite.suite ~scale:0.05 () in
+  Alcotest.(check int) "12 circuits" 12 (List.length entries);
+  let e = Fst_gen.Suite.find ~scale:0.05 "s38584" in
+  Alcotest.(check int) "chains" 8 e.Fst_gen.Suite.chains;
+  (match Fst_gen.Suite.find "nosuch" with
+   | exception Not_found -> ()
+   | _ -> Alcotest.fail "expected Not_found")
+
+let test_suite_generates () =
+  let e = Fst_gen.Suite.find ~scale:0.02 "s13207" in
+  let c = Fst_gen.Gen.generate e.Fst_gen.Suite.profile in
+  Alcotest.(check bool) "has flip-flops" true (Circuit.dff_count c > 0);
+  Alcotest.(check string) "named" "s13207" c.Circuit.name
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng weighted" `Quick test_rng_weighted;
+    Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+    Helpers.qcheck prop_generator_respects_profile;
+    Helpers.qcheck prop_all_logic_observable;
+    Alcotest.test_case "scaled profile" `Quick test_scaled_profile;
+    Alcotest.test_case "suite names" `Quick test_suite_names;
+    Alcotest.test_case "suite generates" `Quick test_suite_generates;
+  ]

@@ -1,0 +1,132 @@
+open Fst_core
+module G = Group
+
+let fp index locations = G.footprint_of ~index ~locations
+
+let params = { G.large = 4; med = 3; dist = 2 }
+
+(* The paper's Figure 4: eight faults, LARGE_DIST=4, MED_DIST=3, DIST=2.
+   fault1 spans 4 -> group 1; fault2 spans 3 -> group 2 (with fault3 and
+   fault4 inside its window); the rest cluster under DIST=2. *)
+let figure4 () =
+  [
+    fp 1 [ (0, 2); (0, 6) ];  (* span 4: locations l=2 and l=6 *)
+    fp 2 [ (0, 2); (0, 5) ];  (* span 3 *)
+    fp 3 [ (0, 3) ];
+    fp 4 [ (0, 4) ];
+    fp 5 [ (0, 1) ];
+    fp 6 [ (0, 2) ];
+    fp 7 [ (0, 6) ];
+    fp 8 [ (0, 7) ];
+  ]
+
+let kinds groups =
+  List.map
+    (function
+      | G.Solo fp -> `Solo fp.G.index
+      | G.Shared { leader; members } ->
+        `Shared (leader.G.index, List.map (fun m -> m.G.index) members)
+      | G.Cluster { members; _ } ->
+        `Cluster (List.map (fun m -> m.G.index) members))
+    groups
+
+let test_figure4_grouping () =
+  let groups = G.make params (figure4 ()) in
+  let ks = kinds groups in
+  (* fault1 is solo. *)
+  Alcotest.(check bool) "fault1 solo" true (List.mem (`Solo 1) ks);
+  (* fault2 leads a shared group containing faults 3 and 4. *)
+  let shared =
+    List.filter_map (function `Shared x -> Some x | _ -> None) ks
+  in
+  (match shared with
+   | [ (2, members) ] ->
+     Alcotest.(check bool) "fault3 rides along" true (List.mem 3 members);
+     Alcotest.(check bool) "fault4 rides along" true (List.mem 4 members)
+   | _ -> Alcotest.fail "expected exactly one shared group led by fault2");
+  (* Remaining faults are clustered with window <= DIST. *)
+  let clusters =
+    List.filter_map (function `Cluster m -> Some m | _ -> None) ks
+  in
+  Alcotest.(check bool) "at least two clusters" true (List.length clusters >= 2);
+  List.iter
+    (fun members ->
+      Alcotest.(check bool) "cluster non-empty" true (members <> []))
+    clusters
+
+let test_cluster_window_bound () =
+  let groups = G.make params (figure4 ()) in
+  List.iter
+    (function
+      | G.Cluster { lo; hi; members; _ } ->
+        Alcotest.(check bool) "window bounded" true (hi - lo <= params.G.dist);
+        List.iter
+          (fun m ->
+            match m.G.spans with
+            | [ (_, (l1, ln)) ] ->
+              Alcotest.(check bool) "member inside window" true
+                (l1 >= lo && ln <= hi)
+            | _ -> Alcotest.fail "cluster member not single-chain")
+          members
+      | G.Solo _ | G.Shared _ -> ())
+    groups
+
+let test_multi_chain_goes_solo () =
+  let groups =
+    G.make params [ fp 1 [ (0, 1); (1, 3) ]; fp 2 [ (0, 2) ] ]
+  in
+  let solos =
+    List.filter_map (function G.Solo f -> Some f.G.index | _ -> None) groups
+  in
+  Alcotest.(check (list int)) "multi-chain fault solo" [ 1 ] solos
+
+let test_every_fault_in_some_group () =
+  let fps = figure4 () in
+  let groups = G.make params fps in
+  let covered =
+    List.concat_map
+      (function
+        | G.Solo f -> [ f.G.index ]
+        | G.Shared { leader; _ } -> [ leader.G.index ]
+        | G.Cluster { members; _ } -> List.map (fun m -> m.G.index) members)
+      groups
+    |> List.sort_uniq compare
+  in
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "fault %d targeted" f.G.index)
+        true
+        (List.mem f.G.index covered))
+    fps
+
+let test_paper_params () =
+  let p = G.paper_params ~maxsize:100 ~floor_scale:1.0 in
+  Alcotest.(check int) "large" 60 p.G.large;
+  Alcotest.(check int) "med" 25 p.G.med;
+  Alcotest.(check int) "dist" 20 p.G.dist;
+  (* Small chains: floors dominate. *)
+  let p = G.paper_params ~maxsize:10 ~floor_scale:1.0 in
+  Alcotest.(check int) "large floor" 50 p.G.large;
+  (* Scaled floors shrink with the benchmark scale. *)
+  let p = G.paper_params ~maxsize:10 ~floor_scale:0.1 in
+  Alcotest.(check int) "scaled large floor" 6 p.G.large
+
+let test_bounds_of_group () =
+  let lead = fp 2 [ (0, 2); (0, 5) ] in
+  let b = G.bounds_of_group (G.Solo lead) in
+  Alcotest.(check bool) "solo bounds" true (b = [ (0, (2, 5)) ]);
+  let b =
+    G.bounds_of_group (G.Cluster { chain = 1; lo = 3; hi = 7; members = [] })
+  in
+  Alcotest.(check bool) "cluster bounds" true (b = [ (1, (3, 7)) ])
+
+let suite =
+  [
+    Alcotest.test_case "figure 4 grouping" `Quick test_figure4_grouping;
+    Alcotest.test_case "cluster window bound" `Quick test_cluster_window_bound;
+    Alcotest.test_case "multi-chain solo" `Quick test_multi_chain_goes_solo;
+    Alcotest.test_case "all faults targeted" `Quick test_every_fault_in_some_group;
+    Alcotest.test_case "paper parameters" `Quick test_paper_params;
+    Alcotest.test_case "bounds of group" `Quick test_bounds_of_group;
+  ]

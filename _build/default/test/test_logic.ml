@@ -1,0 +1,139 @@
+open Fst_logic
+module Q = QCheck
+
+let arb_v3 = Q.oneofl Helpers.all_v3
+
+let check_binary_agrees name op bop =
+  Alcotest.test_case name `Quick (fun () ->
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              Helpers.check_v3
+                (Printf.sprintf "%s %c %c" name (V3.to_char (V3.of_bool a))
+                   (V3.to_char (V3.of_bool b)))
+                (V3.of_bool (bop a b))
+                (op (V3.of_bool a) (V3.of_bool b)))
+            [ false; true ])
+        [ false; true ])
+
+let test_x_absorption () =
+  Helpers.check_v3 "0 and X" V3.Zero (V3.band V3.Zero V3.X);
+  Helpers.check_v3 "X and 0" V3.Zero (V3.band V3.X V3.Zero);
+  Helpers.check_v3 "1 and X" V3.X (V3.band V3.One V3.X);
+  Helpers.check_v3 "1 or X" V3.One (V3.bor V3.One V3.X);
+  Helpers.check_v3 "0 or X" V3.X (V3.bor V3.Zero V3.X);
+  Helpers.check_v3 "X xor 1" V3.X (V3.bxor V3.X V3.One);
+  Helpers.check_v3 "not X" V3.X (V3.bnot V3.X)
+
+let test_char_roundtrip () =
+  List.iter
+    (fun v -> Helpers.check_v3 "char roundtrip" v (V3.of_char (V3.to_char v)))
+    Helpers.all_v3
+
+let test_int_roundtrip () =
+  List.iter
+    (fun v -> Helpers.check_v3 "int roundtrip" v (V3.of_int (V3.to_int v)))
+    Helpers.all_v3
+
+let prop_de_morgan =
+  Q.Test.make ~name:"de morgan over v3" ~count:200
+    (Q.pair arb_v3 arb_v3)
+    (fun (a, b) ->
+      V3.equal (V3.bnot (V3.band a b)) (V3.bor (V3.bnot a) (V3.bnot b)))
+
+let prop_refines_monotone_and =
+  (* Refining an X operand never changes an already-binary result. *)
+  Q.Test.make ~name:"band monotone under refinement" ~count:500
+    (Q.triple arb_v3 arb_v3 (Q.oneofl [ V3.Zero; V3.One ]))
+    (fun (a, b, r) ->
+      let before = V3.band a b in
+      let a' = if V3.equal a V3.X then r else a in
+      let after = V3.band a' b in
+      V3.refines after before)
+
+let test_gate_eval_truth_tables () =
+  let expect g ins out =
+    Helpers.check_v3
+      (Printf.sprintf "%s" (Gate.to_string g))
+      out
+      (Gate.eval_list g ins)
+  in
+  expect Gate.And [ V3.One; V3.One ] V3.One;
+  expect Gate.And [ V3.One; V3.Zero ] V3.Zero;
+  expect Gate.Nand [ V3.One; V3.One ] V3.Zero;
+  expect Gate.Nand [ V3.Zero; V3.X ] V3.One;
+  expect Gate.Or [ V3.Zero; V3.Zero ] V3.Zero;
+  expect Gate.Nor [ V3.Zero; V3.Zero ] V3.One;
+  expect Gate.Xor [ V3.One; V3.One; V3.One ] V3.One;
+  expect Gate.Xor [ V3.One; V3.Zero ] V3.One;
+  expect Gate.Xnor [ V3.One; V3.Zero ] V3.Zero;
+  expect Gate.Not [ V3.Zero ] V3.One;
+  expect Gate.Buf [ V3.X ] V3.X
+
+let test_controlling_values () =
+  List.iter
+    (fun g ->
+      match Gate.controlling g with
+      | Some c ->
+        (* A controlling value at one input fixes the output. *)
+        let out = Gate.eval_list g [ c; V3.X; V3.X ] in
+        Helpers.check_v3
+          (Gate.to_string g ^ " controlled")
+          (Gate.controlled_output g) out
+      | None -> ())
+    [ Gate.And; Gate.Nand; Gate.Or; Gate.Nor ]
+
+let test_inverting_matches_eval () =
+  List.iter
+    (fun g ->
+      match g with
+      | Gate.Not | Gate.Buf ->
+        List.iter
+          (fun v ->
+            let out = Gate.eval_list g [ v ] in
+            let expected = if Gate.inverting g then V3.bnot v else v in
+            Helpers.check_v3 (Gate.to_string g) expected out)
+          Helpers.all_v3
+      | _ -> ())
+    Gate.all
+
+let test_dval_calculus () =
+  let check name expected got =
+    Alcotest.check (Alcotest.testable Dval.pp Dval.equal) name expected got
+  in
+  check "and(d, 1) = d" Dval.d (Dval.eval Gate.And [| Dval.d; Dval.one |]);
+  check "and(d, 0) = 0" Dval.zero (Dval.eval Gate.And [| Dval.d; Dval.zero |]);
+  check "not d = d'" Dval.dbar (Dval.bnot Dval.d);
+  check "xor(d, d) = 0" Dval.zero (Dval.eval Gate.Xor [| Dval.d; Dval.d |]);
+  check "xor(d, d') = 1" Dval.one (Dval.eval Gate.Xor [| Dval.d; Dval.dbar |]);
+  Alcotest.(check bool) "d is effect" true (Dval.is_fault_effect Dval.d);
+  Alcotest.(check bool) "x is not effect" false (Dval.is_fault_effect Dval.x);
+  Alcotest.(check bool)
+    "and(d, x) undetermined" true
+    (Dval.has_x (Dval.eval Gate.And [| Dval.d; Dval.x |]))
+
+let test_gate_string_roundtrip () =
+  List.iter
+    (fun g ->
+      match Gate.of_string (Gate.to_string g) with
+      | Some g' -> Alcotest.(check bool) "gate roundtrip" true (Gate.equal g g')
+      | None -> Alcotest.fail "gate name did not parse")
+    Gate.all
+
+let suite =
+  [
+    check_binary_agrees "band" V3.band ( && );
+    check_binary_agrees "bor" V3.bor ( || );
+    check_binary_agrees "bxor" V3.bxor ( <> );
+    Alcotest.test_case "x absorption" `Quick test_x_absorption;
+    Alcotest.test_case "char roundtrip" `Quick test_char_roundtrip;
+    Alcotest.test_case "int roundtrip" `Quick test_int_roundtrip;
+    Helpers.qcheck prop_de_morgan;
+    Helpers.qcheck prop_refines_monotone_and;
+    Alcotest.test_case "gate truth tables" `Quick test_gate_eval_truth_tables;
+    Alcotest.test_case "controlling values" `Quick test_controlling_values;
+    Alcotest.test_case "inversion parity" `Quick test_inverting_matches_eval;
+    Alcotest.test_case "d calculus" `Quick test_dval_calculus;
+    Alcotest.test_case "gate name roundtrip" `Quick test_gate_string_roundtrip;
+  ]

@@ -1,0 +1,149 @@
+open Fst_logic
+open Fst_netlist
+open Fst_fault
+open Fst_atpg
+module Q = QCheck
+
+let comb_view (c : Circuit.t) =
+  View.make c
+    ~free:(Array.to_list c.Circuit.inputs)
+    ~fixed:[]
+    ~observe:(Array.to_list c.Circuit.outputs |> List.map (fun o -> View.Onet o))
+
+let run_assignment_detects c fault assignment =
+  let stim = [| assignment |] in
+  Fst_fsim.Fsim.Serial.detect c ~fault ~observe:c.Circuit.outputs stim <> None
+
+let test_and_gate_test () =
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let b2 = Builder.add_input ~name:"b" b in
+  let y = Builder.add_gate ~name:"y" b Gate.And [ a; b2 ] in
+  Builder.mark_output b y;
+  let c = Builder.freeze b in
+  let view = comb_view c in
+  let fault = { Fault.site = Fault.Stem y; stuck = false } in
+  match Podem.run view ~faults:[ fault ] with
+  | Podem.Test assignment, _ ->
+    Alcotest.(check bool) "test detects" true
+      (run_assignment_detects c fault assignment);
+    (* The only test for y s-a-0 is a=b=1. *)
+    Alcotest.(check bool) "a assigned 1" true
+      (List.mem (a, V3.One) assignment);
+    Alcotest.(check bool) "b assigned 1" true
+      (List.mem (b2, V3.One) assignment)
+  | (Podem.Untestable | Podem.Aborted), _ -> Alcotest.fail "expected a test"
+
+let test_redundant_fault_untestable () =
+  (* y = OR(a, NOT a) is constant 1: y s-a-1 is untestable. *)
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let na = Builder.add_gate ~name:"na" b Gate.Not [ a ] in
+  let y = Builder.add_gate ~name:"y" b Gate.Or [ a; na ] in
+  Builder.mark_output b y;
+  let c = Builder.freeze b in
+  let fault = { Fault.site = Fault.Stem y; stuck = true } in
+  match Podem.run (comb_view c) ~faults:[ fault ] with
+  | Podem.Untestable, _ -> ()
+  | Podem.Test _, _ -> Alcotest.fail "redundant fault got a test"
+  | Podem.Aborted, _ -> Alcotest.fail "redundant fault aborted"
+
+let test_fixed_input_blocks_test () =
+  (* y = AND(a, k) with k tied to 0: a faults are untestable. *)
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let k = Builder.add_input ~name:"k" b in
+  let y = Builder.add_gate ~name:"y" b Gate.And [ a; k ] in
+  Builder.mark_output b y;
+  let c = Builder.freeze b in
+  let view =
+    View.make c ~free:[ a ] ~fixed:[ (k, V3.Zero) ] ~observe:[ View.Onet y ]
+  in
+  let fault = { Fault.site = Fault.Stem a; stuck = true } in
+  match Podem.run view ~faults:[ fault ] with
+  | Podem.Untestable, _ -> ()
+  | Podem.Test _, _ -> Alcotest.fail "blocked fault got a test"
+  | Podem.Aborted, _ -> Alcotest.fail "blocked fault aborted"
+
+let test_branch_fault_test () =
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let y1 = Builder.add_gate ~name:"y1" b Gate.Buf [ a ] in
+  let y2 = Builder.add_gate ~name:"y2" b Gate.Not [ a ] in
+  Builder.mark_output b y1;
+  Builder.mark_output b y2;
+  let c = Builder.freeze b in
+  let fault = { Fault.site = Fault.Branch { node = y1; pin = 0 }; stuck = true } in
+  match Podem.run (comb_view c) ~faults:[ fault ] with
+  | Podem.Test assignment, _ ->
+    Alcotest.(check bool) "test detects" true
+      (run_assignment_detects c fault assignment)
+  | (Podem.Untestable | Podem.Aborted), _ ->
+    Alcotest.fail "branch fault should be testable"
+
+(* PODEM agrees with exhaustive search on random small circuits:
+   - a produced test must actually detect (verified by fault simulation);
+   - an Untestable verdict must match the brute-force answer. *)
+let prop_podem_vs_brute_force =
+  Q.Test.make ~name:"podem agrees with brute force" ~count:30
+    (Q.map Int64.of_int (Q.int_bound 1000000))
+    (fun seed ->
+      let rng = Fst_gen.Rng.create seed in
+      let c = Helpers.random_comb_circuit rng ~inputs:5 ~gates:14 in
+      let view = comb_view c in
+      let scoap = Fst_testability.Scoap.compute view in
+      let faults = Fault.collapse c (Fault.universe c) in
+      let ok = ref true in
+      Array.iter
+        (fun fault ->
+          match Podem.run ~backtrack_limit:4000 ~scoap view ~faults:[ fault ] with
+          | Podem.Test assignment, _ ->
+            if not (run_assignment_detects c fault assignment) then ok := false
+          | Podem.Untestable, _ ->
+            if Helpers.brute_force_detectable c fault then ok := false
+          | Podem.Aborted, _ -> ())
+        faults;
+      !ok)
+
+(* Multi-site injection: a fault on every copy of a duplicated subcircuit
+   (as used in time-frame expansion) is found when any copy detects. *)
+let test_multi_site () =
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let en = Builder.add_input ~name:"en" b in
+  let y1 = Builder.add_gate ~name:"y1" b Gate.And [ a; en ] in
+  let y2 = Builder.add_gate ~name:"y2" b Gate.Or [ a; en ] in
+  Builder.mark_output b y1;
+  Builder.mark_output b y2;
+  let c = Builder.freeze b in
+  let faults =
+    [
+      { Fault.site = Fault.Stem y1; stuck = false };
+      { Fault.site = Fault.Stem y2; stuck = false };
+    ]
+  in
+  match Podem.run (comb_view c) ~faults with
+  | Podem.Test _, _ -> ()
+  | (Podem.Untestable | Podem.Aborted), _ ->
+    Alcotest.fail "multi-site fault should be trivially testable"
+
+let test_stats_accounting () =
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let y = Builder.add_gate ~name:"y" b Gate.Not [ a ] in
+  Builder.mark_output b y;
+  let c = Builder.freeze b in
+  let fault = { Fault.site = Fault.Stem y; stuck = false } in
+  let _, st = Podem.run (comb_view c) ~faults:[ fault ] in
+  Alcotest.(check bool) "implied at least once" true (st.Podem.implications >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "and gate test" `Quick test_and_gate_test;
+    Alcotest.test_case "redundant fault untestable" `Quick test_redundant_fault_untestable;
+    Alcotest.test_case "fixed input blocks test" `Quick test_fixed_input_blocks_test;
+    Alcotest.test_case "branch fault test" `Quick test_branch_fault_test;
+    Helpers.qcheck prop_podem_vs_brute_force;
+    Alcotest.test_case "multi-site injection" `Quick test_multi_site;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+  ]

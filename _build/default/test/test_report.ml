@@ -1,0 +1,41 @@
+open Fst_report
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec at i = i + n <= h && (String.sub hay i n = needle || at (i + 1)) in
+  at 0
+
+let test_render () =
+  let t =
+    Table.create ~title:"Table X"
+      [ ("name", Table.Left); ("count", Table.Right) ]
+  in
+  Table.row t [ "alpha"; "10" ];
+  Table.row t [ "b"; "2000" ];
+  Table.rule t;
+  Table.row t [ "total"; "2010" ];
+  let out = Table.render t in
+  Alcotest.(check bool) "has title" true (contains ~needle:"Table X" out);
+  Alcotest.(check bool) "right-aligned count" true
+    (contains ~needle:"   10" out);
+  Alcotest.(check bool) "has rule" true (contains ~needle:"---" out)
+
+let test_row_arity_checked () =
+  let t = Table.create ~title:"t" [ ("a", Table.Left) ] in
+  match Table.row t [ "x"; "y" ] with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+let test_cells () =
+  Alcotest.(check string) "int" "42" (Table.cell_int 42);
+  Alcotest.(check string) "pct" "12.5%" (Table.cell_pct 12.5);
+  Alcotest.(check string) "int pct" "5 (50.0%)" (Table.cell_int_pct 5 ~of_:10);
+  Alcotest.(check string) "int pct zero" "5" (Table.cell_int_pct 5 ~of_:0);
+  Alcotest.(check string) "seconds" "1.50s" (Table.cell_seconds 1.5)
+
+let suite =
+  [
+    Alcotest.test_case "render" `Quick test_render;
+    Alcotest.test_case "row arity" `Quick test_row_arity_checked;
+    Alcotest.test_case "cells" `Quick test_cells;
+  ]

@@ -1,0 +1,76 @@
+open Fst_logic
+open Fst_netlist
+open Fst_atpg
+module Q = QCheck
+
+let comb_view c =
+  View.make c
+    ~free:(Array.to_list c.Circuit.inputs)
+    ~fixed:[]
+    ~observe:(Array.to_list c.Circuit.outputs |> List.map (fun o -> View.Onet o))
+
+let test_uniform_covers_all_inputs () =
+  let rng = Fst_gen.Rng.create 1L in
+  let c = Helpers.random_comb_circuit (Fst_gen.Rng.create 2L) ~inputs:6 ~gates:10 in
+  let v = Rtpg.uniform rng (comb_view c) in
+  Alcotest.(check int) "all inputs assigned" 6 (List.length v);
+  List.iter
+    (fun (_, value) ->
+      Alcotest.(check bool) "binary" true (V3.is_binary value))
+    v
+
+let test_weights_bias_direction () =
+  (* An input feeding only AND gates must be biased toward 1; one feeding
+     only OR gates toward 0. *)
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let o = Builder.add_input ~name:"o" b in
+  let x = Builder.add_input ~name:"x" b in
+  let y1 = Builder.add_gate ~name:"y1" b Gate.And [ a; x ] in
+  let y2 = Builder.add_gate ~name:"y2" b Gate.Nand [ a; x ] in
+  let y3 = Builder.add_gate ~name:"y3" b Gate.Or [ o; x ] in
+  let y4 = Builder.add_gate ~name:"y4" b Gate.Nor [ o; x ] in
+  Builder.mark_output b y1;
+  Builder.mark_output b y2;
+  Builder.mark_output b y3;
+  Builder.mark_output b y4;
+  let c = Builder.freeze b in
+  let w = Rtpg.weights (comb_view c) in
+  let wa = List.assoc a w and wo = List.assoc o w in
+  Alcotest.(check bool) (Printf.sprintf "and-fed biased high (%.2f)" wa) true (wa > 0.5);
+  Alcotest.(check bool) (Printf.sprintf "or-fed biased low (%.2f)" wo) true (wo < 0.5)
+
+let prop_weighted_respects_weights =
+  Q.Test.make ~name:"weighted sampling tracks the weights" ~count:5
+    (Q.map Int64.of_int (Q.int_bound 100000))
+    (fun seed ->
+      let c =
+        Helpers.random_comb_circuit (Fst_gen.Rng.create seed) ~inputs:5
+          ~gates:15
+      in
+      let view = comb_view c in
+      let w = Rtpg.weights view in
+      let rng = Fst_gen.Rng.create (Int64.add seed 3L) in
+      let counts = Hashtbl.create 8 in
+      let trials = 2000 in
+      for _ = 1 to trials do
+        List.iter
+          (fun (net, v) ->
+            if V3.equal v V3.One then
+              Hashtbl.replace counts net
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts net)))
+          (Rtpg.weighted rng view)
+      done;
+      List.for_all
+        (fun (net, p) ->
+          let ones = Option.value ~default:0 (Hashtbl.find_opt counts net) in
+          let freq = float_of_int ones /. float_of_int trials in
+          Float.abs (freq -. p) < 0.08)
+        w)
+
+let suite =
+  [
+    Alcotest.test_case "uniform covers inputs" `Quick test_uniform_covers_all_inputs;
+    Alcotest.test_case "weights bias direction" `Quick test_weights_bias_direction;
+    Helpers.qcheck prop_weighted_respects_weights;
+  ]

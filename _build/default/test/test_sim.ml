@@ -1,0 +1,171 @@
+open Fst_logic
+open Fst_netlist
+open Fst_sim
+module Q = QCheck
+
+(* A 3-stage plain shift register: si -> ff0 -> ff1 -> ff2 (po). *)
+let shift3 () =
+  let b = Builder.create ~name:"shift3" () in
+  let si = Builder.add_input ~name:"si" b in
+  let ff0 = Builder.add_dff ~name:"ff0" b ~data:si in
+  let ff1 = Builder.add_dff ~name:"ff1" b ~data:ff0 in
+  let ff2 = Builder.add_dff ~name:"ff2" b ~data:ff1 in
+  Builder.mark_output b ff2;
+  (Builder.freeze b, si, ff2)
+
+let test_shift_register () =
+  let c, si, ff2 = shift3 () in
+  let observed = ref [] in
+  let pattern = [| V3.One; V3.Zero; V3.Zero; V3.One; V3.One; V3.X |] in
+  Sim.run c ~cycles:(Array.length pattern)
+    ~stimulus:(fun t -> [ (si, pattern.(t)) ])
+    ~observe:(fun _ st -> observed := Sim.value st ff2 :: !observed);
+  let got = Array.of_list (List.rev !observed) in
+  (* Output lags input by three cycles; initial state is X. *)
+  Helpers.check_v3 "t0" V3.X got.(0);
+  Helpers.check_v3 "t3" V3.One got.(3);
+  Helpers.check_v3 "t4" V3.Zero got.(4);
+  Helpers.check_v3 "t5" V3.Zero got.(5)
+
+let test_comb_eval () =
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let bb = Builder.add_input ~name:"b" b in
+  let y = Builder.add_gate ~name:"y" b Gate.Nand [ a; bb ] in
+  Builder.mark_output b y;
+  let c = Builder.freeze b in
+  let st = Sim.create c in
+  Sim.set_input c st a V3.One;
+  Sim.set_input c st bb V3.One;
+  Sim.eval_comb c st;
+  Helpers.check_v3 "nand(1,1)" V3.Zero (Sim.value st y)
+
+let test_const_nets () =
+  let b = Builder.create () in
+  let k = Builder.add_const ~name:"k1" b V3.One in
+  let a = Builder.add_input ~name:"a" b in
+  let y = Builder.add_gate ~name:"y" b Gate.And [ k; a ] in
+  Builder.mark_output b y;
+  let c = Builder.freeze b in
+  let st = Sim.create c in
+  Sim.set_input c st a V3.Zero;
+  Sim.eval_comb c st;
+  Helpers.check_v3 "and(1,0)" V3.Zero (Sim.value st y)
+
+let test_set_input_guard () =
+  let c, _si, ff2 = shift3 () in
+  let st = Sim.create c in
+  match Sim.set_input c st ff2 V3.One with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Invalid_argument"
+
+let test_simultaneous_latch () =
+  (* A two-stage swap: ff0 <- ff1, ff1 <- ff0. After one clock the values
+     must exchange (not cascade), proving the latch is simultaneous. *)
+  let b = Builder.create () in
+  let ff0 = Builder.add_dff_placeholder ~name:"f0" b in
+  let ff1 = Builder.add_dff_placeholder ~name:"f1" b in
+  Builder.connect_dff b ~ff:ff0 ~data:ff1;
+  Builder.connect_dff b ~ff:ff1 ~data:ff0;
+  Builder.mark_output b ff0;
+  let c = Builder.freeze b in
+  let st = Sim.create c in
+  Sim.set_ff c st ff0 V3.One;
+  Sim.set_ff c st ff1 V3.Zero;
+  Sim.eval_comb c st;
+  Sim.clock c st;
+  Helpers.check_v3 "ff0 got old ff1" V3.Zero (Sim.value st ff0);
+  Helpers.check_v3 "ff1 got old ff0" V3.One (Sim.value st ff1)
+
+(* Monotonicity: refining an X primary input to a binary value never
+   changes an output that was already binary. *)
+let prop_monotone =
+  Q.Test.make ~name:"3-valued simulation is monotone" ~count:60
+    (Q.pair (Q.map Int64.of_int (Q.int_bound 10000)) (Q.int_bound 1000))
+    (fun (seed, salt) ->
+      let c = Helpers.small_seq_circuit seed in
+      let rng = Fst_gen.Rng.create (Int64.of_int (salt + 17)) in
+      let base =
+        Array.map
+          (fun pi ->
+            ( pi,
+              match Fst_gen.Rng.int rng 3 with
+              | 0 -> V3.Zero
+              | 1 -> V3.One
+              | _ -> V3.X ))
+          c.Circuit.inputs
+      in
+      let refined =
+        Array.map
+          (fun (pi, v) ->
+            ( pi,
+              if V3.equal v V3.X && Fst_gen.Rng.bool rng then
+                V3.of_bool (Fst_gen.Rng.bool rng)
+              else v ))
+          base
+      in
+      let out values =
+        let st = Sim.create c in
+        Array.iter (fun (pi, v) -> Sim.set_input c st pi v) values;
+        Sim.eval_comb c st;
+        Sim.outputs c st
+      in
+      let before = out base and after = out refined in
+      Array.for_all2 (fun a b -> V3.refines a b) after before)
+
+(* The event-driven engine matches the sweep engine cycle for cycle on
+   random circuits and stimuli. *)
+let prop_event_sim_equivalent =
+  Q.Test.make ~name:"event-driven simulation matches sweep simulation" ~count:25
+    (Q.map Int64.of_int (Q.int_bound 1000000))
+    (fun seed ->
+      let c = Helpers.small_seq_circuit ~gates:120 ~ffs:8 seed in
+      let rng = Fst_gen.Rng.create (Int64.add seed 5L) in
+      let sweep = Sim.create c in
+      let ev = Event_sim.create c in
+      let ok = ref true in
+      for _ = 1 to 12 do
+        Array.iter
+          (fun pi ->
+            let v =
+              match Fst_gen.Rng.int rng 3 with
+              | 0 -> V3.Zero
+              | 1 -> V3.One
+              | _ -> V3.X
+            in
+            Sim.set_input c sweep pi v;
+            Event_sim.set_input ev pi v)
+          c.Circuit.inputs;
+        Sim.eval_comb c sweep;
+        Event_sim.settle ev;
+        for net = 0 to Circuit.num_nets c - 1 do
+          if not (V3.equal (Sim.value sweep net) (Event_sim.value ev net)) then
+            ok := false
+        done;
+        Sim.clock c sweep;
+        Event_sim.clock ev
+      done;
+      !ok)
+
+let test_event_sim_activity () =
+  (* A stable circuit processes no events once settled. *)
+  let c, si, _ = shift3 () in
+  let ev = Event_sim.create c in
+  Event_sim.set_input ev si V3.One;
+  Event_sim.settle ev;
+  let before = Event_sim.events ev in
+  Event_sim.set_input ev si V3.One (* no change *);
+  Event_sim.settle ev;
+  Alcotest.(check int) "no new events" before (Event_sim.events ev)
+
+let suite =
+  [
+    Alcotest.test_case "shift register" `Quick test_shift_register;
+    Helpers.qcheck prop_event_sim_equivalent;
+    Alcotest.test_case "event-driven activity" `Quick test_event_sim_activity;
+    Alcotest.test_case "comb eval" `Quick test_comb_eval;
+    Alcotest.test_case "const nets" `Quick test_const_nets;
+    Alcotest.test_case "set_input guard" `Quick test_set_input_guard;
+    Alcotest.test_case "simultaneous latch" `Quick test_simultaneous_latch;
+    Helpers.qcheck prop_monotone;
+  ]

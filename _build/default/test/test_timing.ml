@@ -1,0 +1,66 @@
+open Fst_logic
+open Fst_netlist
+
+let chain_of_gates n =
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let rec build prev k =
+    if k = 0 then prev
+    else build (Builder.add_gate ~name:(Printf.sprintf "g%d" k) b Gate.Not [ prev ]) (k - 1)
+  in
+  let last = build a n in
+  Builder.mark_output b last;
+  Builder.freeze b
+
+let test_unit_chain_depth () =
+  let c = chain_of_gates 5 in
+  let delay, path = Timing.critical_path c in
+  Alcotest.(check int) "five units" 5 delay;
+  Alcotest.(check int) "path nets" 6 (List.length path)
+
+let test_mapped_model () =
+  let c = chain_of_gates 3 in
+  let delay, _ = Timing.critical_path ~model:Timing.mapped_model c in
+  Alcotest.(check int) "three inverters" 18 delay
+
+let test_worst_ff_path () =
+  let b = Builder.create () in
+  let a = Builder.add_input ~name:"a" b in
+  let ff = Builder.add_dff_placeholder ~name:"ff" b in
+  let g1 = Builder.add_gate ~name:"g1" b Gate.And [ a; ff ] in
+  let g2 = Builder.add_gate ~name:"g2" b Gate.Not [ g1 ] in
+  Builder.connect_dff b ~ff ~data:g2;
+  (* A faster path feeds the output. *)
+  let po = Builder.add_gate ~name:"po" b Gate.Buf [ a ] in
+  Builder.mark_output b po;
+  let c = Builder.freeze b in
+  Alcotest.(check int) "ff path is two gates" 2 (Timing.worst_ff_path c);
+  let full, _ = Timing.critical_path c in
+  Alcotest.(check int) "overall still two" 2 full
+
+let test_no_ffs () =
+  let c = chain_of_gates 2 in
+  Alcotest.(check int) "no ff paths" 0 (Timing.worst_ff_path c)
+
+let test_scan_mux_slows_ff_paths () =
+  (* Conventional MUXed scan adds gates on every flip-flop data path; TPI
+     adds them only on mux segments — the paper's performance argument. *)
+  let c = Helpers.small_seq_circuit ~gates:200 ~ffs:14 9L in
+  let before = Timing.worst_ff_path ~model:Timing.mapped_model c in
+  let full, _ = Fst_tpi.Tpi.full_scan ~chains:2 c in
+  let after_full = Timing.worst_ff_path ~model:Timing.mapped_model full in
+  Alcotest.(check bool)
+    (Printf.sprintf "full scan slows the worst path (%d -> %d)" before after_full)
+    true (after_full >= before);
+  (* The worst path through a scan mux costs and+or on top of the original
+     logic whenever the worst path ends in a muxed flip-flop. *)
+  Alcotest.(check bool) "positive delay" true (before > 0)
+
+let suite =
+  [
+    Alcotest.test_case "unit chain depth" `Quick test_unit_chain_depth;
+    Alcotest.test_case "mapped model" `Quick test_mapped_model;
+    Alcotest.test_case "worst ff path" `Quick test_worst_ff_path;
+    Alcotest.test_case "no flip-flops" `Quick test_no_ffs;
+    Alcotest.test_case "scan mux slows ff paths" `Quick test_scan_mux_slows_ff_paths;
+  ]

@@ -1,0 +1,72 @@
+open Fst_logic
+open Fst_netlist
+open Fst_sim
+
+let contains = Helpers.contains_substring
+
+let small () =
+  let b = Builder.create ~name:"wave" () in
+  let a = Builder.add_input ~name:"a" b in
+  let y = Builder.add_gate ~name:"y" b Gate.Not [ a ] in
+  Builder.mark_output b y;
+  (Builder.freeze b, a, y)
+
+let test_header_and_vars () =
+  let c, a, y = small () in
+  let out =
+    Vcd.render c ~nets:[| a; y |]
+      ~trace:[| [| V3.Zero; V3.One |]; [| V3.One; V3.Zero |] |]
+  in
+  Alcotest.(check bool) "version" true (contains ~needle:"$version" out);
+  Alcotest.(check bool) "var a" true (contains ~needle:"$var wire 1 ! a $end" out);
+  Alcotest.(check bool) "var y" true (contains ~needle:"$var wire 1 \" y $end" out);
+  Alcotest.(check bool) "enddefinitions" true
+    (contains ~needle:"$enddefinitions $end" out)
+
+let test_change_compression () =
+  let c, a, _ = small () in
+  (* Value held constant: only one change record for that signal. *)
+  let out =
+    Vcd.render c ~nets:[| a |]
+      ~trace:[| [| V3.One |]; [| V3.One |]; [| V3.Zero |] |]
+  in
+  Alcotest.(check bool) "t0 dumped" true (contains ~needle:"#0\n1!" out);
+  Alcotest.(check bool) "no redundant t1" false (contains ~needle:"#1\n" out);
+  Alcotest.(check bool) "t2 change" true (contains ~needle:"#2\n0!" out)
+
+let test_x_values () =
+  let c, a, _ = small () in
+  let out = Vcd.render c ~nets:[| a |] ~trace:[| [| V3.X |] |] in
+  Alcotest.(check bool) "x dumped" true (contains ~needle:"x!" out)
+
+let test_of_stimulus () =
+  let c, a, y = small () in
+  let out =
+    Vcd.of_stimulus c ~nets:[| a; y |]
+      [| [ (a, V3.One) ]; [ (a, V3.Zero) ] |]
+  in
+  (* y is the inverse of a at every step. *)
+  Alcotest.(check bool) "t0: a=1 y=0" true
+    (contains ~needle:"#0" out && contains ~needle:"1!" out
+   && contains ~needle:"0\"" out)
+
+let test_ident_uniqueness () =
+  (* Identifier generation must be injective over a wide range. *)
+  let c = Helpers.small_seq_circuit ~gates:200 ~ffs:10 1L in
+  let nets = Array.init (Circuit.num_nets c) (fun i -> i) in
+  let trace = [| Array.make (Array.length nets) V3.Zero |] in
+  let out = Vcd.render c ~nets ~trace in
+  (* every net got a $var line *)
+  let count = ref 0 in
+  String.split_on_char '\n' out
+  |> List.iter (fun l -> if String.length l > 4 && String.sub l 0 4 = "$var" then incr count);
+  Alcotest.(check int) "one var per net" (Array.length nets) !count
+
+let suite =
+  [
+    Alcotest.test_case "header and vars" `Quick test_header_and_vars;
+    Alcotest.test_case "change compression" `Quick test_change_compression;
+    Alcotest.test_case "x values" `Quick test_x_values;
+    Alcotest.test_case "of_stimulus" `Quick test_of_stimulus;
+    Alcotest.test_case "identifier uniqueness" `Quick test_ident_uniqueness;
+  ]

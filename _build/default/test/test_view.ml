@@ -1,0 +1,56 @@
+open Fst_logic
+open Fst_netlist
+
+let test_make_checks_roles () =
+  let c, pi0, _ff0, _ff1, g0 = Helpers.figure2_circuit () in
+  (* A gate-driven net cannot be free. *)
+  (match View.make c ~free:[ g0 ] ~fixed:[] ~observe:[] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "gate-driven free net accepted");
+  (* A net cannot be both free and fixed. *)
+  match View.make c ~free:[ pi0 ] ~fixed:[ (pi0, V3.One) ] ~observe:[] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "free+fixed accepted"
+
+let test_obs_source_net () =
+  let c, _pi0, _ff0, ff1, g0 = Helpers.figure2_circuit () in
+  let v = View.make c ~free:[] ~fixed:[] ~observe:[ View.Onet g0 ] in
+  Alcotest.(check int) "net point" g0 (View.obs_source_net v (View.Onet g0));
+  (* ff1's data pin reads g0. *)
+  Alcotest.(check int) "pin point" g0
+    (View.obs_source_net v (View.Opin { node = ff1; pin = 0 }))
+
+let test_free_inputs_sorted () =
+  let c = Helpers.small_seq_circuit ~gates:60 ~ffs:4 2L in
+  let v =
+    View.make c
+      ~free:(Array.to_list c.Circuit.inputs @ Array.to_list c.Circuit.dffs)
+      ~fixed:[] ~observe:[]
+  in
+  let free = View.free_inputs v in
+  Alcotest.(check int) "count" (Circuit.input_count c + Circuit.dff_count c)
+    (Array.length free);
+  let sorted = ref true in
+  for i = 1 to Array.length free - 1 do
+    if free.(i) <= free.(i - 1) then sorted := false
+  done;
+  Alcotest.(check bool) "ascending ids" true !sorted
+
+let test_scanned_netfile_roundtrip () =
+  (* Scanned circuits (with test points and muxes) survive the text
+     format. *)
+  let c = Helpers.small_seq_circuit ~gates:120 ~ffs:8 5L in
+  let scanned, _config = Fst_tpi.Tpi.insert c in
+  let text = Netfile.to_string scanned in
+  let c2 = Netfile.parse_string ~name:scanned.Circuit.name text in
+  Alcotest.(check int) "nets preserved" (Circuit.num_nets scanned)
+    (Circuit.num_nets c2);
+  Alcotest.(check string) "stable round trip" text (Netfile.to_string c2)
+
+let suite =
+  [
+    Alcotest.test_case "role checks" `Quick test_make_checks_roles;
+    Alcotest.test_case "obs source nets" `Quick test_obs_source_net;
+    Alcotest.test_case "free inputs" `Quick test_free_inputs_sorted;
+    Alcotest.test_case "scanned netlist roundtrip" `Quick test_scanned_netfile_roundtrip;
+  ]
