@@ -1,0 +1,21 @@
+# Convenience targets for local development and CI.
+
+.PHONY: all build test check bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full local gate: compile everything, run the test suite, then smoke-run
+# the micro benchmark at a tiny scale so bench/ rot is caught early.
+check: build test bench-smoke
+
+bench-smoke:
+	FST_SCALE=0.02 dune exec -- bench/main.exe micro
+
+clean:
+	dune clean

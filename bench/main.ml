@@ -5,7 +5,7 @@
 
    Usage:  main.exe [table1|table2|table3|fig5|ablate-alt|ablate-dist|
                      ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|
-                     coverage|micro|all]
+                     coverage|fsim|micro|all]
    The suite size is controlled by FST_SCALE (default 0.10; 1.0 =
    published circuit sizes). *)
 
@@ -651,6 +651,137 @@ let ablate_rtpg () =
     "\nRandom vectors alone (the paper's partial-scan option) reach most but not\nall hard faults; deterministic ATPG closes the gap."
 
 (* ------------------------------------------------------------------ *)
+(* Fault-simulation engine comparison: serial vs bit-parallel vs       *)
+(* multicore bit-parallel, per circuit, recorded as BENCH_fsim.json so *)
+(* the perf trajectory is tracked across PRs.                          *)
+(* ------------------------------------------------------------------ *)
+
+let fsim_bench () =
+  let jobs =
+    match Sys.getenv_opt "FST_JOBS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> max 1 n
+        | None -> failwith (Printf.sprintf "FST_JOBS=%S is not an integer" s))
+    | None -> Fst_exec.Pool.default_jobs ()
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows =
+    List.map
+      (fun prep ->
+        let name = prep.entry.Fst_gen.Suite.profile.Fst_gen.Gen.name in
+        Printf.eprintf "[fsim] %s...\n%!" name;
+        let faults =
+          Fst_fault.Fault.collapse prep.scanned
+            (Fst_fault.Fault.universe prep.scanned)
+        in
+        let view =
+          View.scan_mode prep.scanned
+            ~constraints:prep.config.Scan.constraints ()
+        in
+        (* A step-2-shaped workload: the alternating chain test plus random
+           scan-mode blocks, simulated with cross-block dropping. *)
+        let rng = Fst_gen.Rng.create 0xBE5CL in
+        let random_block () =
+          let ff_values, pi_values =
+            List.partition
+              (fun (net, _) -> Circuit.is_dff prep.scanned net)
+              (Fst_atpg.Rtpg.uniform rng view)
+          in
+          Sequences.of_comb_test prep.scanned prep.config ~ff_values
+            ~pi_values
+        in
+        let stimuli =
+          Sequences.alternating prep.scanned prep.config ~repeats:2
+          :: List.init 8 (fun _ -> random_block ())
+        in
+        let cycles =
+          List.fold_left (fun a s -> a + Array.length s) 0 stimuli
+        in
+        let observe = prep.scanned.Circuit.outputs in
+        let module F = Fst_fsim.Fsim in
+        (* Serial is ~62x the work per fault: time it on one group's worth
+           of faults so the column stays affordable at every scale. *)
+        let serial_faults =
+          Array.sub faults 0 (min (Array.length faults) F.Parallel.max_group)
+        in
+        let _, serial_s =
+          wall (fun () ->
+              F.Engine.detect_dropping ~backend:`Serial ~jobs:1 prep.scanned
+                ~faults:serial_faults ~observe ~stimuli)
+        in
+        let r1, parallel_s =
+          wall (fun () ->
+              F.Engine.detect_dropping ~jobs:1 prep.scanned ~faults ~observe
+                ~stimuli)
+        in
+        let rn, multicore_s =
+          wall (fun () ->
+              F.Engine.detect_dropping ~jobs prep.scanned ~faults ~observe
+                ~stimuli)
+        in
+        if r1 <> rn then
+          failwith (name ^ ": multicore fsim diverged from single-core");
+        ( name,
+          Array.length faults,
+          Array.length serial_faults,
+          cycles,
+          serial_s,
+          parallel_s,
+          multicore_s ))
+      (Lazy.force prepared_suite)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "Fault-simulation engines (jobs=%d; serial timed on one group)"
+           jobs)
+      [
+        ("name", Table.Left);
+        ("#faults", Table.Right);
+        ("cycles", Table.Right);
+        ("serial", Table.Right);
+        ("parallel", Table.Right);
+        ("multicore", Table.Right);
+        ("speedup", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, nf, _, cycles, ser, par, mc) ->
+      Table.row t
+        [
+          name;
+          Table.cell_int nf;
+          Table.cell_int cycles;
+          Table.cell_seconds ser;
+          Table.cell_seconds par;
+          Table.cell_seconds mc;
+          Printf.sprintf "%.2fx" (par /. Float.max 1e-9 mc);
+        ])
+    rows;
+  Table.print t;
+  let oc = open_out "BENCH_fsim.json" in
+  Printf.fprintf oc "{\n  \"scale\": %.3f,\n  \"jobs\": %d,\n  \"circuits\": [" scale jobs;
+  List.iteri
+    (fun i (name, nf, nser, cycles, ser, par, mc) ->
+      Printf.fprintf oc
+        "%s\n    { \"name\": %S, \"faults\": %d, \"serial_faults\": %d, \
+         \"cycles\": %d, \"serial_s\": %.6f, \"parallel_s\": %.6f, \
+         \"multicore_s\": %.6f, \"multicore_speedup\": %.3f }"
+        (if i = 0 then "" else ",")
+        name nf nser cycles ser par mc
+        (par /. Float.max 1e-9 mc))
+    rows;
+  Printf.fprintf oc "\n  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote BENCH_fsim.json (%d circuits, jobs=%d)\n" (List.length rows) jobs
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the per-table kernels.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -732,7 +863,7 @@ let micro () =
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|micro|all]"
+    "usage: main.exe [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|fsim|micro|all]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -750,6 +881,7 @@ let () =
   | "ablate-compact" -> ablate_compact ()
   | "ablate-rtpg" -> ablate_rtpg ()
   | "coverage" -> coverage_table ()
+  | "fsim" -> fsim_bench ()
   | "micro" -> micro ()
   | "all" ->
     table1 ();
@@ -763,5 +895,6 @@ let () =
     ablate_compact ();
     ablate_rtpg ();
     coverage_table ();
+    fsim_bench ();
     micro ()
   | _ -> usage ()

@@ -167,10 +167,13 @@ let print_flow_report r =
       Printf.printf "undetected: %s\n" (Fst_fault.Fault.to_string r.Flow.scanned f))
     r.Flow.undetected
 
-let run_flow name scale file chains =
+let run_flow name scale file chains jobs =
   let circuit = or_die (load ~name ~scale ~file) in
   let scanned, config = or_die (insert_chains circuit chains) in
-  let params = { Flow.default_params with Flow.dist_floor_scale = scale } in
+  let jobs = if jobs <= 0 then Fst_exec.Pool.default_jobs () else jobs in
+  let params =
+    { Flow.default_params with Flow.dist_floor_scale = scale; jobs }
+  in
   let r = Flow.run ~params scanned config in
   print_flow_report r;
   0
@@ -241,6 +244,11 @@ let out_arg =
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Output netlist file.")
 
+let jobs_arg =
+  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Domains for fault simulation and grouped sequential ATPG \
+               (0 = one per recommended core; 1 = single-core flow).")
+
 let gen_cmd =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List the benchmark suite.")
@@ -281,7 +289,8 @@ let flow_cmd =
   Cmd.v
     (Cmd.info "flow"
        ~doc:"Run the complete functional scan chain testing flow")
-    Term.(const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg)
+    Term.(
+      const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg $ jobs_arg)
 
 let diag_cmd =
   let position =

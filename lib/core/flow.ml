@@ -3,8 +3,10 @@ open Fst_fault
 open Fst_fsim
 open Fst_atpg
 open Fst_tpi
+module Pool = Fst_exec.Pool
 
 type params = {
+  jobs : int;
   dist_floor_scale : float;
   comb_backtrack : int;
   seq_backtrack : int;
@@ -22,6 +24,7 @@ type params = {
 
 let default_params =
   {
+    jobs = Pool.default_jobs ();
     dist_floor_scale = 1.0;
     comb_backtrack = 200;
     seq_backtrack = 400;
@@ -154,7 +157,7 @@ let run_step2 ~params scanned config ~hard_faults =
   in
   let sim_faults = Array.map (fun i -> hard_faults.(i)) simulate in
   let outcome =
-    Fsim.Parallel.detect_dropping scanned ~faults:sim_faults
+    Fsim.Engine.detect_dropping ~jobs:params.jobs scanned ~faults:sim_faults
       ~observe:scanned.Circuit.outputs ~stimuli:blocks
   in
   let fsim_seconds = Sys.time () -. t1 in
@@ -246,7 +249,7 @@ type step3_state = {
 
 (* Fault-simulates a realized sequence against every still-alive remaining
    fault and retires the detections; returns the detected indices. *)
-let retire_detections st scanned ~remaining_faults ~stim =
+let retire_detections ~jobs st scanned ~remaining_faults ~stim =
   let alive_ids =
     Hashtbl.fold (fun i () acc -> i :: acc) st.alive [] |> List.sort Int.compare
   in
@@ -254,7 +257,7 @@ let retire_detections st scanned ~remaining_faults ~stim =
     Array.of_list (List.map (fun i -> remaining_faults.(i)) alive_ids)
   in
   let outcome =
-    Fsim.Parallel.detect_all scanned ~faults:faults_arr
+    Fsim.Engine.detect_all ~jobs scanned ~faults:faults_arr
       ~observe:scanned.Circuit.outputs stim
   in
   let hits = ref [] in
@@ -272,24 +275,34 @@ let retire_detections st scanned ~remaining_faults ~stim =
 (* Runs sequential ATPG for one fault on the given model; on success,
    fault-simulates the realized sequence against every still-alive fault
    and retires the detections. *)
-let attack st scanned config ~remaining_faults ~bounds ~positions ~frames
+(* Sequential-ATPG planning for one fault: realize a detecting sequence on
+   the bounded model, without touching any shared state (safe to run on a
+   pool domain). *)
+let plan_sequence scanned config ~remaining_faults ~bounds ~positions ~frames
     ~backtrack ~seconds target_idx =
+  let controllable, observable = predicates_of_bounds positions bounds in
+  let fault = remaining_faults.(target_idx) in
+  match
+    Seq.run ~deadline:(Sys.time () +. seconds) scanned
+      ~constraints:config.Scan.constraints
+      ~controllable_ff:controllable ~observable_ff:observable ~fault
+      ~frames_list:frames ~backtrack_limit:backtrack
+  with
+  | Seq.Seq_aborted, _ -> None
+  | Seq.Seq_test test, _ -> Some (Sequences.of_seq_test scanned config test)
+
+let attack ~jobs st scanned config ~remaining_faults ~bounds ~positions
+    ~frames ~backtrack ~seconds target_idx =
   if not (Hashtbl.mem st.alive target_idx) then false
-  else begin
-    let controllable, observable = predicates_of_bounds positions bounds in
-    let fault = remaining_faults.(target_idx) in
+  else
     match
-      Seq.run ~deadline:(Sys.time () +. seconds) scanned
-        ~constraints:config.Scan.constraints
-        ~controllable_ff:controllable ~observable_ff:observable ~fault
-        ~frames_list:frames ~backtrack_limit:backtrack
+      plan_sequence scanned config ~remaining_faults ~bounds ~positions
+        ~frames ~backtrack ~seconds target_idx
     with
-    | Seq.Seq_aborted, _ -> false
-    | Seq.Seq_test test, _ ->
-      let stim = Sequences.of_seq_test scanned config test in
-      let hits = retire_detections st scanned ~remaining_faults ~stim in
+    | None -> false
+    | Some stim ->
+      let hits = retire_detections ~jobs st scanned ~remaining_faults ~stim in
       List.mem target_idx hits
-  end
 
 let run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
     ~scoap =
@@ -326,26 +339,78 @@ let run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
   let untestable_faults3 = ref [] in
   List.iteri (fun k _ -> Hashtbl.replace st.alive k ()) remaining;
   let any_alive fps = List.exists (fun fp -> Hashtbl.mem st.alive fp.Group.index) fps in
-  List.iter
-    (fun group ->
-      let bounds = Group.bounds_of_group group in
-      let targets =
-        match group with
-        | Group.Solo fp -> [ fp ]
-        | Group.Shared { leader; members } -> leader :: members
-        | Group.Cluster { members; _ } -> members
+  let targets_of group =
+    match group with
+    | Group.Solo fp -> [ fp ]
+    | Group.Shared { leader; members } -> leader :: members
+    | Group.Cluster { members; _ } -> members
+  in
+  if params.jobs <= 1 then
+    (* One core: the original fully-dropped order — every realized sequence
+       retires faults before the next target is even attacked. *)
+    List.iter
+      (fun group ->
+        let bounds = Group.bounds_of_group group in
+        let targets = targets_of group in
+        if any_alive targets then begin
+          st.group_circuits <- st.group_circuits + 1;
+          List.iter
+            (fun fp ->
+              ignore
+                (attack ~jobs:1 st scanned config ~remaining_faults ~bounds
+                   ~positions ~frames:params.frames
+                   ~backtrack:params.seq_backtrack
+                   ~seconds:params.seq_fault_seconds fp.Group.index))
+            targets
+        end)
+      groups
+  else begin
+    (* Multicore: waves of up to [jobs] groups. Planning (sequential ATPG on
+       the group's bounded model) runs on the pool against a snapshot of the
+       alive set; realized sequences are then committed in group order on
+       the main domain, so the merge order — and hence the result for a
+       fixed [jobs] — is deterministic. Fault dropping still happens between
+       waves and at commit time, only not between the groups of one wave. *)
+    let jobs = params.jobs in
+    let groups_arr = Array.of_list groups in
+    let n_groups = Array.length groups_arr in
+    let pos = ref 0 in
+    while !pos < n_groups do
+      let wave = ref [] in
+      while List.length !wave < jobs && !pos < n_groups do
+        let group = groups_arr.(!pos) in
+        incr pos;
+        let targets = targets_of group in
+        if any_alive targets then begin
+          st.group_circuits <- st.group_circuits + 1;
+          wave := (Group.bounds_of_group group, targets) :: !wave
+        end
+      done;
+      let snapshot = Hashtbl.copy st.alive in
+      let plans =
+        Pool.map_array ~jobs ~chunk:1
+          (fun (bounds, targets) ->
+            List.filter_map
+              (fun fp ->
+                let i = fp.Group.index in
+                if not (Hashtbl.mem snapshot i) then None
+                else
+                  plan_sequence scanned config ~remaining_faults ~bounds
+                    ~positions ~frames:params.frames
+                    ~backtrack:params.seq_backtrack
+                    ~seconds:params.seq_fault_seconds i
+                  |> Option.map (fun stim -> (i, stim)))
+              targets)
+          (Array.of_list (List.rev !wave))
       in
-      if any_alive targets then begin
-        st.group_circuits <- st.group_circuits + 1;
-        List.iter
-          (fun fp ->
-            ignore
-              (attack st scanned config ~remaining_faults ~bounds ~positions
-                 ~frames:params.frames ~backtrack:params.seq_backtrack
-                 ~seconds:params.seq_fault_seconds fp.Group.index))
-          targets
-      end)
-    groups;
+      Array.iter
+        (List.iter (fun (i, stim) ->
+             if Hashtbl.mem st.alive i then
+               ignore
+                 (retire_detections ~jobs st scanned ~remaining_faults ~stim)))
+        plans
+    done
+  end;
   (* Final faults: prove undetectable through the relaxed combinational
      model where possible, otherwise target individually with a larger
      budget (the paper's "additional time"). *)
@@ -370,12 +435,14 @@ let run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
           let stim =
             Sequences.of_comb_test scanned config ~ff_values ~pi_values
           in
-          ignore (retire_detections st scanned ~remaining_faults ~stim);
+          ignore
+            (retire_detections ~jobs:params.jobs st scanned ~remaining_faults
+               ~stim);
           if Hashtbl.mem st.alive i then begin
             let fp = List.nth footprints i in
             st.final_circuits <- st.final_circuits + 1;
             ignore
-              (attack st scanned config ~remaining_faults
+              (attack ~jobs:params.jobs st scanned config ~remaining_faults
                  ~bounds:fp.Group.spans ~positions ~frames:params.final_frames
                  ~backtrack:params.final_backtrack
                  ~seconds:params.final_fault_seconds i)
@@ -384,7 +451,7 @@ let run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
           let fp = List.nth footprints i in
           st.final_circuits <- st.final_circuits + 1;
           ignore
-            (attack st scanned config ~remaining_faults
+            (attack ~jobs:params.jobs st scanned config ~remaining_faults
                ~bounds:fp.Group.spans ~positions ~frames:params.final_frames
                ~backtrack:params.final_backtrack
                ~seconds:params.final_fault_seconds i)

@@ -18,6 +18,13 @@ open Fst_fault
 open Fst_tpi
 
 type params = {
+  jobs : int;
+      (** domains used for fault simulation and grouped sequential ATPG
+          ({!Fst_exec.Pool}); default [Domain.recommended_domain_count ()].
+          [jobs = 1] reproduces the single-core flow exactly. Step-2 results
+          are identical for every [jobs] value; in step 3, [jobs > 1] plans
+          the sequential-ATPG groups in deterministic waves, which can
+          change (only) how detections are credited between groups. *)
   dist_floor_scale : float;
       (** scales the absolute floors of the paper's distance formula; use
           the benchmark scale for scaled-down runs *)

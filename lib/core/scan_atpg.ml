@@ -5,9 +5,20 @@ open Fst_fsim
 open Fst_atpg
 open Fst_tpi
 
-type params = { backtrack : int; random_blocks : int; random_seed : int64 }
+type params = {
+  backtrack : int;
+  random_blocks : int;
+  random_seed : int64;
+  jobs : int;
+}
 
-let default_params = { backtrack = 200; random_blocks = 32; random_seed = 0xCAFEL }
+let default_params =
+  {
+    backtrack = 200;
+    random_blocks = 32;
+    random_seed = 0xCAFEL;
+    jobs = Fst_exec.Pool.default_jobs ();
+  }
 
 type result = {
   targeted : int;
@@ -67,7 +78,7 @@ let run ?(params = default_params) scanned config ~already_detected =
     List.rev !blocks @ List.init params.random_blocks (fun _ -> random_block ())
   in
   let outcome =
-    Fsim.Parallel.detect_dropping scanned ~faults:targets
+    Fsim.Engine.detect_dropping ~jobs:params.jobs scanned ~faults:targets
       ~observe:scanned.Circuit.outputs ~stimuli:blocks
   in
   let detected = ref 0 and untestable = ref 0 in

@@ -21,6 +21,7 @@ type params = {
   backtrack : int;  (** PODEM budget per fault *)
   random_blocks : int;  (** random capture tests appended to the set *)
   random_seed : int64;
+  jobs : int;  (** domains for the fault-simulation pass ({!Fst_exec.Pool}) *)
 }
 
 val default_params : params

@@ -1,0 +1,76 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Claims [chunk] consecutive task indices at a time from a shared atomic
+   cursor. Each slot of [results] is written by exactly one domain;
+   [Domain.join] publishes those writes to the caller. *)
+let run_tasks ~jobs ~chunk n (run_one : int -> unit) =
+  if n > 0 then begin
+    if jobs <= 1 then
+      for i = 0 to n - 1 do
+        run_one i
+      done
+    else begin
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let lo = Atomic.fetch_and_add next chunk in
+          if lo < n then begin
+            for i = lo to min (lo + chunk) n - 1 do
+              run_one i
+            done;
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let helpers =
+        Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+      in
+      worker ();
+      Array.iter Domain.join helpers
+    end
+  end
+
+let chunk_of ?chunk ~jobs n =
+  match chunk with
+  | Some c when c > 0 -> c
+  | Some _ | None ->
+    (* Small chunks keep the queue balanced when task costs vary; four
+       chunks per domain is enough to amortize the atomic claim. *)
+    if jobs <= 1 then n else max 1 (n / (jobs * 4))
+
+let reraise_first n (slots : ('b, exn * Printexc.raw_backtrace) result option array) =
+  for i = 0 to n - 1 do
+    match slots.(i) with
+    | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | Some (Ok _) | None -> ()
+  done
+
+let map_array ?chunk ~jobs f xs =
+  let n = Array.length xs in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 then Array.map f xs
+  else begin
+    let slots = Array.make n None in
+    let run_one i =
+      slots.(i) <-
+        Some
+          (match f xs.(i) with
+           | y -> Ok y
+           | exception e -> Error (e, Printexc.get_raw_backtrace ()))
+    in
+    run_tasks ~jobs ~chunk:(chunk_of ?chunk ~jobs n) n run_one;
+    reraise_first n slots;
+    Array.map
+      (function
+        | Some (Ok y) -> y
+        | Some (Error _) | None -> assert false)
+      slots
+  end
+
+let mapi_array ?chunk ~jobs f xs =
+  let indexed = Array.mapi (fun i x -> (i, x)) xs in
+  map_array ?chunk ~jobs (fun (i, x) -> f i x) indexed
+
+let map_list ?chunk ~jobs f xs =
+  Array.to_list (map_array ?chunk ~jobs f (Array.of_list xs))

@@ -1,0 +1,29 @@
+(** A stdlib-only domain pool (OCaml 5 [Domain], no domainslib).
+
+    Work items are claimed in chunks from a shared atomic cursor and run on
+    up to [jobs] domains (the calling domain participates, so [jobs = 2]
+    spawns one helper). Results are merged back in input order regardless of
+    completion order, so output is deterministic for any [jobs] value. If
+    any task raises, every claimed task still runs to completion and the
+    exception of the lowest-index failing task is re-raised (with its
+    backtrace) on the calling domain.
+
+    [jobs <= 1] runs everything sequentially on the calling domain — no
+    domains are spawned and behavior is exactly that of [Array.map]. Tasks
+    must not share mutable state unless they synchronize themselves; the
+    intended use is read-only shared inputs (e.g. an immutable circuit) with
+    task-private machine state. *)
+
+(** [default_jobs ()] is [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [map_array ~jobs f xs] is [Array.map f xs], computed on up to [jobs]
+    domains. [chunk] overrides the work-queue claim granularity (default:
+    about four chunks per domain). *)
+val map_array : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [mapi_array] is {!map_array} with the input index. *)
+val mapi_array : ?chunk:int -> jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+
+(** [map_list ~jobs f xs] is [List.map f xs] via {!map_array}. *)
+val map_list : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list

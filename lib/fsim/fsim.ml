@@ -3,12 +3,28 @@ open Fst_netlist
 open Fst_sim
 open Fst_fault
 
-type stimulus = (int * V3.t) list array
+type stimulus = Sim.stimulus
 
 let complement_detect ~good ~faulty =
   match good, faulty with
   | V3.One, V3.Zero | V3.Zero, V3.One -> true
   | (V3.Zero | V3.One | V3.X), _ -> false
+
+module type ENGINE = sig
+  val detect_all :
+    Circuit.t ->
+    faults:Fault.t array ->
+    observe:int array ->
+    stimulus ->
+    int option array
+
+  val detect_dropping :
+    Circuit.t ->
+    faults:Fault.t array ->
+    observe:int array ->
+    stimuli:stimulus list ->
+    (int * int) option array
+end
 
 module Serial = struct
   type machine = {
@@ -61,45 +77,64 @@ module Serial = struct
       c.Circuit.dffs;
     Array.iteri (fun k ff -> m.v.(ff) <- m.latch.(k)) c.Circuit.dffs
 
+  module Machine = struct
+    type t = machine
+
+    let set_input _c m n v = m.v.(n) <- v
+    let eval_comb = eval_comb
+    let clock = clock
+  end
+
+  (* The good and faulty machines driven in lock-step, as one machine. *)
+  module Pair = struct
+    type t = { good : machine; bad : machine }
+
+    let set_input c p n v =
+      Machine.set_input c p.good n v;
+      Machine.set_input c p.bad n v
+
+    let eval_comb c p =
+      eval_comb c p.good;
+      eval_comb c p.bad
+
+    let clock c p =
+      clock c p.good;
+      clock c p.bad
+  end
+
+  module Drive_one = Sim.Drive (Machine)
+  module Drive_pair = Sim.Drive (Pair)
+
   let trace c ~fault ~observe stim =
     let m = machine c fault in
-    Array.map
-      (fun assigns ->
-        List.iter (fun (n, v) -> m.v.(n) <- v) assigns;
-        eval_comb c m;
-        let row = Array.map (fun o -> m.v.(o)) observe in
-        clock c m;
-        row)
-      stim
+    let rows = Array.make (Array.length stim) [||] in
+    Drive_one.run c m stim ~observe:(fun t ->
+        rows.(t) <- Array.map (fun o -> m.v.(o)) observe);
+    rows
 
   let detect c ~fault ~observe stim =
-    let good = machine c None in
-    let bad = machine c (Some fault) in
-    let cycles = Array.length stim in
-    let rec loop t =
-      if t >= cycles then None
-      else begin
-        List.iter
-          (fun (n, v) ->
-            good.v.(n) <- v;
-            bad.v.(n) <- v)
-          stim.(t);
-        eval_comb c good;
-        eval_comb c bad;
-        let hit =
-          Array.exists
-            (fun o -> complement_detect ~good:good.v.(o) ~faulty:bad.v.(o))
-            observe
+    let p = { Pair.good = machine c None; bad = machine c (Some fault) } in
+    Drive_pair.run_until c p stim ~observe:(fun _t ->
+        Array.exists
+          (fun o ->
+            complement_detect ~good:p.Pair.good.v.(o) ~faulty:p.Pair.bad.v.(o))
+          observe)
+
+  let detect_all c ~faults ~observe stim =
+    Array.map (fun fault -> detect c ~fault ~observe stim) faults
+
+  let detect_dropping c ~faults ~observe ~stimuli =
+    Array.map
+      (fun fault ->
+        let rec scan block = function
+          | [] -> None
+          | stim :: rest -> (
+            match detect c ~fault ~observe stim with
+            | Some t -> Some (block, t)
+            | None -> scan (block + 1) rest)
         in
-        if hit then Some t
-        else begin
-          clock c good;
-          clock c bad;
-          loop (t + 1)
-        end
-      end
-    in
-    loop 0
+        scan 0 stimuli)
+      faults
 end
 
 module Parallel = struct
@@ -255,43 +290,53 @@ module Parallel = struct
         inject g ff)
       c.Circuit.dffs
 
+  (* The fault-free sweep machine and the 62-wide faulty group driven in
+     lock-step, as one machine. *)
+  module Duo = struct
+    type t = { good : Sim.state; g : group }
+
+    let set_input c d n v =
+      Sim.set_input c d.good n v;
+      set_input d.g n v
+
+    let eval_comb c d =
+      Sim.eval_comb c d.good;
+      eval_comb c d.g
+
+    let clock c d =
+      Sim.clock c d.good;
+      clock c d.g
+  end
+
+  module Driver = Sim.Drive (Duo)
+
   (* Simulates one group of faults against [stim]; [record k t] is called on
-     the first detection of machine [k]. *)
+     the first detection of machine [k]. Stops as soon as every machine in
+     the group has been detected (fault dropping within the group). *)
   let run_group (c : Circuit.t) faults ~observe stim record =
-    let g = group_of c faults in
-    let good = Sim.create c in
+    let d = { Duo.good = Sim.create c; g = group_of c faults } in
+    let g = d.Duo.g in
     let alive = ref g.full in
-    let cycles = Array.length stim in
-    let t = ref 0 in
-    while !alive <> 0 && !t < cycles do
-      List.iter
-        (fun (n, v) ->
-          Sim.set_input c good n v;
-          set_input g n v)
-        stim.(!t);
-      Sim.eval_comb c good;
-      eval_comb c g;
-      Array.iter
-        (fun o ->
-          let detect_mask =
-            match Sim.value good o with
-            | V3.One -> g.zeros.(o)
-            | V3.Zero -> g.ones.(o)
-            | V3.X -> 0
-          in
-          let hits = detect_mask land !alive in
-          if hits <> 0 then
-            for k = 0 to g.w - 1 do
-              if hits land (1 lsl k) <> 0 then begin
-                record k !t;
-                alive := !alive land lnot (1 lsl k)
-              end
-            done)
-        observe;
-      Sim.clock c good;
-      clock c g;
-      incr t
-    done
+    ignore
+      (Driver.run_until c d stim ~observe:(fun t ->
+           Array.iter
+             (fun o ->
+               let detect_mask =
+                 match Sim.value d.Duo.good o with
+                 | V3.One -> g.zeros.(o)
+                 | V3.Zero -> g.ones.(o)
+                 | V3.X -> 0
+               in
+               let hits = detect_mask land !alive in
+               if hits <> 0 then
+                 for k = 0 to g.w - 1 do
+                   if hits land (1 lsl k) <> 0 then begin
+                     record k t;
+                     alive := !alive land lnot (1 lsl k)
+                   end
+                 done)
+             observe;
+           !alive = 0))
 
   let detect_all c ~faults ~observe stim =
     let nf = Array.length faults in
@@ -331,4 +376,57 @@ module Parallel = struct
         done)
       stimuli;
     result
+end
+
+type backend = [ `Serial | `Bit_parallel ]
+
+let engine : backend -> (module ENGINE) = function
+  | `Serial -> (module Serial)
+  | `Bit_parallel -> (module Parallel)
+
+module Engine = struct
+  module Pool = Fst_exec.Pool
+
+  (* Shard size per pool task: whole 62-wide groups for the bit-parallel
+     back-end (so sharding never splits a group), single faults grouped for
+     the serial one; about two shards per domain keeps the queue balanced
+     without shrinking groups. *)
+  let shard_size ~backend ~jobs nf =
+    let target = max 1 (jobs * 2) in
+    match backend with
+    | `Serial -> max 1 ((nf + target - 1) / target)
+    | `Bit_parallel ->
+      let groups = (nf + Parallel.max_group - 1) / Parallel.max_group in
+      Parallel.max_group * max 1 ((groups + target - 1) / target)
+
+  let shards ~backend ~jobs faults =
+    let nf = Array.length faults in
+    let size = shard_size ~backend ~jobs nf in
+    let n = (nf + size - 1) / size in
+    Array.init n (fun k ->
+        Array.sub faults (k * size) (min size (nf - (k * size))))
+
+  let detect_all ?(backend = `Bit_parallel) ?(jobs = 1) c ~faults ~observe
+      stim =
+    let module E = (val engine backend) in
+    let jobs = max 1 jobs in
+    if jobs = 1 || Array.length faults = 0 then
+      E.detect_all c ~faults ~observe stim
+    else
+      Pool.map_array ~jobs ~chunk:1
+        (fun fs -> E.detect_all c ~faults:fs ~observe stim)
+        (shards ~backend ~jobs faults)
+      |> Array.to_list |> Array.concat
+
+  let detect_dropping ?(backend = `Bit_parallel) ?(jobs = 1) c ~faults
+      ~observe ~stimuli =
+    let module E = (val engine backend) in
+    let jobs = max 1 jobs in
+    if jobs = 1 || Array.length faults = 0 then
+      E.detect_dropping c ~faults ~observe ~stimuli
+    else
+      Pool.map_array ~jobs ~chunk:1
+        (fun fs -> E.detect_dropping c ~faults:fs ~observe ~stimuli)
+        (shards ~backend ~jobs faults)
+      |> Array.to_list |> Array.concat
 end

@@ -5,13 +5,44 @@
     Detection is conservative: a fault is detected at cycle [t] when some
     observed net carries a binary value in the good machine and the
     complementary binary value in the faulty machine. A potential detection
-    (faulty value [X]) does not count, as in the paper. *)
+    (faulty value [X]) does not count, as in the paper.
+
+    Two interchangeable back-ends implement the common {!ENGINE} interface:
+    {!Serial} (one faulty machine at a time, the reference) and {!Parallel}
+    (62 faulty machines per pass, bit-parallel). {!Engine} selects a
+    back-end per workload and shards the fault list across a domain pool
+    ({!Fst_exec.Pool}) when [jobs > 1]. *)
 
 open Fst_logic
 open Fst_netlist
 open Fst_fault
 
-type stimulus = (int * V3.t) list array
+type stimulus = Fst_sim.Sim.stimulus
+
+(** The whole-workload interface every fault-simulation back-end provides.
+    Results are per input fault, in input order, independent of back-end
+    grouping. *)
+module type ENGINE = sig
+  (** [detect_all c ~faults ~observe stim] maps each fault to its first
+      detection cycle. *)
+  val detect_all :
+    Circuit.t ->
+    faults:Fault.t array ->
+    observe:int array ->
+    stimulus ->
+    int option array
+
+  (** [detect_dropping c ~faults ~observe ~stimuli] simulates a list of
+      stimulus blocks in order with cross-block fault dropping: faults
+      detected in an earlier block are not simulated in later ones.
+      Returns, per fault, [Some (block, cycle)] or [None]. *)
+  val detect_dropping :
+    Circuit.t ->
+    faults:Fault.t array ->
+    observe:int array ->
+    stimuli:stimulus list ->
+    (int * int) option array
+end
 
 (** Reference implementation: one faulty machine at a time. *)
 module Serial : sig
@@ -29,24 +60,43 @@ module Serial : sig
     observe:int array ->
     stimulus ->
     V3.t array array
+
+  include ENGINE
 end
 
 (** 62 faulty machines per pass, three-valued (two bit-planes per net). *)
 module Parallel : sig
-  (** [detect_all c ~faults ~observe stim] maps each fault to its first
-      detection cycle. Faults are processed in groups of up to 62. *)
+  (** Machines per bit-parallel pass. *)
+  val max_group : int
+
+  include ENGINE
+end
+
+type backend = [ `Serial | `Bit_parallel ]
+
+(** [engine b] is the back-end as a first-class {!ENGINE}. *)
+val engine : backend -> (module ENGINE)
+
+(** Back-end selection plus multicore dispatch. With [jobs = 1] (the
+    default) these call the chosen back-end directly and behave exactly
+    like it; with [jobs > 1] the fault list is sharded into back-end-sized
+    chunks (whole 62-wide groups for [`Bit_parallel]) that run on a domain
+    pool, and the per-shard results are merged back in input order — the
+    result is identical for every [jobs] value because faulty machines
+    never interact. *)
+module Engine : sig
   val detect_all :
+    ?backend:backend ->
+    ?jobs:int ->
     Circuit.t ->
     faults:Fault.t array ->
     observe:int array ->
     stimulus ->
     int option array
 
-  (** [detect_dropping c ~faults ~observe ~stimuli] simulates a list of
-      stimulus blocks in order with cross-block fault dropping: faults
-      detected in an earlier block are not simulated in later ones.
-      Returns, per fault, [Some (block, cycle)] or [None]. *)
   val detect_dropping :
+    ?backend:backend ->
+    ?jobs:int ->
     Circuit.t ->
     faults:Fault.t array ->
     observe:int array ->

@@ -7,6 +7,7 @@ let () =
       ("view", Test_view.suite);
       ("timing", Test_timing.suite);
       ("sim", Test_sim.suite);
+      ("exec", Test_exec.suite);
       ("vcd", Test_vcd.suite);
       ("fault", Test_fault.suite);
       ("fsim", Test_fsim.suite);

@@ -1,0 +1,92 @@
+module Pool = Fst_exec.Pool
+module Q = QCheck
+
+exception Boom of int
+
+let squares n = Array.init n (fun i -> i)
+
+let test_deterministic_order () =
+  List.iter
+    (fun jobs ->
+      List.iter
+        (fun n ->
+          let xs = squares n in
+          let expect = Array.map (fun x -> x * x) xs in
+          let got = Pool.map_array ~jobs (fun x -> x * x) xs in
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d n=%d" jobs n)
+            expect got)
+        [ 0; 1; 2; 3; 7; 63; 200 ])
+    [ 1; 2; 4; 8 ]
+
+let test_map_list () =
+  Alcotest.(check (list int))
+    "map_list" [ 2; 4; 6 ]
+    (Pool.map_list ~jobs:4 (fun x -> 2 * x) [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "empty" [] (Pool.map_list ~jobs:4 Fun.id [])
+
+let test_mapi () =
+  let got = Pool.mapi_array ~jobs:3 (fun i x -> (i * 10) + x) [| 5; 6; 7 |] in
+  Alcotest.(check (array int)) "mapi" [| 5; 16; 27 |] got
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map_array ~jobs
+          (fun x -> if x mod 5 = 3 then raise (Boom x) else x)
+          (squares 40)
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      (* The lowest failing index wins deterministically. *)
+      | exception Boom v -> Alcotest.(check int) "first failure" 3 v)
+    [ 1; 2; 8 ]
+
+let test_chunk_override () =
+  let xs = squares 17 in
+  let got = Pool.map_array ~chunk:1 ~jobs:4 (fun x -> x + 1) xs in
+  Alcotest.(check (array int)) "chunk=1" (Array.map (fun x -> x + 1) xs) got;
+  let got = Pool.map_array ~chunk:100 ~jobs:4 (fun x -> x + 1) xs in
+  Alcotest.(check (array int))
+    "chunk>n" (Array.map (fun x -> x + 1) xs) got
+
+(* Tasks run with real shared-memory parallelism yet results land in input
+   order even when early tasks finish last. *)
+let test_order_independent_of_duration () =
+  let n = 24 in
+  let got =
+    Pool.map_array ~jobs:4
+      (fun i ->
+        (* Earlier indices spin longer, so completion order is reversed. *)
+        let spin = (n - i) * 2000 in
+        let acc = ref 0 in
+        for k = 1 to spin do
+          acc := !acc + k
+        done;
+        ignore !acc;
+        i)
+      (squares n)
+  in
+  Alcotest.(check (array int)) "input order" (squares n) got
+
+let prop_matches_sequential =
+  Q.Test.make ~name:"pool map_array = Array.map for any jobs" ~count:50
+    Q.(pair (int_bound 7) (list_of_size (Gen.int_bound 50) small_int))
+    (fun (jobs, xs) ->
+      let xs = Array.of_list xs in
+      let f x = (x * 31) lxor 5 in
+      Pool.map_array ~jobs:(jobs + 1) f xs = Array.map f xs)
+
+let suite =
+  [
+    Alcotest.test_case "deterministic merge order" `Quick
+      test_deterministic_order;
+    Alcotest.test_case "map_list" `Quick test_map_list;
+    Alcotest.test_case "mapi_array" `Quick test_mapi;
+    Alcotest.test_case "exception propagation" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "chunk override" `Quick test_chunk_override;
+    Alcotest.test_case "order independent of task duration" `Quick
+      test_order_independent_of_duration;
+    Helpers.qcheck prop_matches_sequential;
+  ]

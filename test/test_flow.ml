@@ -17,6 +17,27 @@ let quick_params =
     final_frames = [ 1; 2; 4 ];
   }
 
+(* Multicore dispatch: step 2 is bit-identical for any [jobs]; step 3's
+   wave scheduling may only move credit between buckets, never lose
+   faults. *)
+let test_flow_jobs () =
+  let scanned, config = scan_small 11L in
+  let r1 = Flow.run ~params:{ quick_params with Flow.jobs = 1 } scanned config in
+  let r3 = Flow.run ~params:{ quick_params with Flow.jobs = 3 } scanned config in
+  Alcotest.(check int) "step2 detected" r1.Flow.step2.Flow.detected
+    r3.Flow.step2.Flow.detected;
+  Alcotest.(check int) "step2 untestable" r1.Flow.step2.Flow.untestable
+    r3.Flow.step2.Flow.untestable;
+  Alcotest.(check int) "step2 undetected" r1.Flow.step2.Flow.undetected
+    r3.Flow.step2.Flow.undetected;
+  Alcotest.(check int) "step2 vectors" r1.Flow.step2.Flow.vectors
+    r3.Flow.step2.Flow.vectors;
+  Alcotest.(check int) "step3 partition" r3.Flow.step2.Flow.undetected
+    (r3.Flow.step3.Flow.detected + r3.Flow.step3.Flow.untestable
+   + r3.Flow.step3.Flow.undetected);
+  Alcotest.(check int) "undetected list matches" r3.Flow.step3.Flow.undetected
+    (List.length r3.Flow.undetected)
+
 let test_flow_bookkeeping () =
   let scanned, config = scan_small 7L in
   let r = Flow.run ~params:quick_params scanned config in
@@ -125,6 +146,7 @@ let prop_untestable_resists_random =
 let suite =
   [
     Alcotest.test_case "flow bookkeeping" `Quick test_flow_bookkeeping;
+    Alcotest.test_case "multicore jobs invariants" `Quick test_flow_jobs;
     Helpers.qcheck prop_flow_coverage;
     Alcotest.test_case "figure-5 curve monotone" `Quick test_curve_monotone;
     Alcotest.test_case "truncation reduces vectors" `Quick test_truncation_reduces_vectors;

@@ -101,6 +101,64 @@ let prop_serial_parallel_agree =
         chosen;
       !ok)
 
+(* One random workload reused by the engine-interface properties. *)
+let random_workload seed =
+  let c = Helpers.small_seq_circuit ~gates:60 ~ffs:6 seed in
+  let rng = Fst_gen.Rng.create (Int64.add seed 7L) in
+  let faults = Fault.universe c in
+  let chosen =
+    Array.init (min 100 (Array.length faults)) (fun _ ->
+        Fst_gen.Rng.pick rng faults)
+  in
+  let block () =
+    Array.init 12 (fun _ ->
+        Array.to_list c.Circuit.inputs
+        |> List.map (fun pi ->
+               ( pi,
+                 match Fst_gen.Rng.int rng 4 with
+                 | 0 -> V3.X
+                 | 1 -> V3.Zero
+                 | _ -> V3.One )))
+  in
+  (c, chosen, List.init 3 (fun _ -> block ()))
+
+(* The serial and bit-parallel back-ends implement the same ENGINE
+   semantics: identical per-fault results on both engine operations. *)
+let prop_engines_agree =
+  Q.Test.make ~name:"serial and bit-parallel engines agree" ~count:15
+    (Q.map Int64.of_int (Q.int_bound 100000))
+    (fun seed ->
+      let c, chosen, stimuli = random_workload seed in
+      let observe = c.Circuit.outputs in
+      let stim = List.hd stimuli in
+      Fsim.Serial.detect_all c ~faults:chosen ~observe stim
+      = Fsim.Parallel.detect_all c ~faults:chosen ~observe stim
+      && Fsim.Serial.detect_dropping c ~faults:chosen ~observe ~stimuli
+         = Fsim.Parallel.detect_dropping c ~faults:chosen ~observe ~stimuli)
+
+(* Multicore dispatch is invisible: any [jobs] value gives the single-core
+   result, for both back-ends and both engine operations. *)
+let prop_jobs_invariant =
+  Q.Test.make ~name:"engine jobs>1 agrees with jobs=1" ~count:15
+    (Q.pair
+       (Q.map Int64.of_int (Q.int_bound 100000))
+       (Q.int_range 2 6))
+    (fun (seed, jobs) ->
+      let c, chosen, stimuli = random_workload seed in
+      let observe = c.Circuit.outputs in
+      let stim = List.hd stimuli in
+      List.for_all
+        (fun backend ->
+          Fsim.Engine.detect_all ~backend ~jobs:1 c ~faults:chosen ~observe
+            stim
+          = Fsim.Engine.detect_all ~backend ~jobs c ~faults:chosen ~observe
+              stim
+          && Fsim.Engine.detect_dropping ~backend ~jobs:1 c ~faults:chosen
+               ~observe ~stimuli
+             = Fsim.Engine.detect_dropping ~backend ~jobs c ~faults:chosen
+                 ~observe ~stimuli)
+        [ `Serial; `Bit_parallel ])
+
 let test_detect_dropping_blocks () =
   let c, si, en, ff0, _g, _ff1 = small_chain () in
   let faults =
@@ -129,5 +187,7 @@ let suite =
     Alcotest.test_case "no detection through X good" `Quick test_detection_requires_binary_good;
     Alcotest.test_case "branch fault locality" `Quick test_branch_fault_detection;
     Helpers.qcheck prop_serial_parallel_agree;
+    Helpers.qcheck prop_engines_agree;
+    Helpers.qcheck prop_jobs_invariant;
     Alcotest.test_case "dropping across blocks" `Quick test_detect_dropping_blocks;
   ]
