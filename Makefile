@@ -1,6 +1,6 @@
 # Convenience targets for local development and CI.
 
-.PHONY: all build test check bench-smoke clean
+.PHONY: all build test check bench-smoke degradation-smoke resume-smoke clean
 
 all: build
 
@@ -11,11 +11,38 @@ test:
 	dune runtest
 
 # Full local gate: compile everything, run the test suite, then smoke-run
-# the micro benchmark at a tiny scale so bench/ rot is caught early.
-check: build test bench-smoke
+# the micro benchmark at a tiny scale so bench/ rot is caught early, and
+# exercise the budget-degradation and checkpoint/resume CLI paths.
+check: build test bench-smoke degradation-smoke resume-smoke
 
 bench-smoke:
 	FST_SCALE=0.02 dune exec -- bench/main.exe micro
+
+FST_EXE := ./_build/default/bin/fst.exe
+SMOKE_FLOW := flow -n s1423 --scale 0.25 -j 1
+
+# A near-zero wall-clock budget must exit cleanly with non-zero abort
+# accounting (greppable `aborts:` lines), never crash or hang.
+degradation-smoke: build
+	@out=`$(FST_EXE) $(SMOKE_FLOW) --time-budget 0.001` || \
+	  { echo "degradation-smoke: flow exited non-zero"; exit 1; }; \
+	echo "$$out" | grep -q "budget_exhausted=true" || \
+	  { echo "degradation-smoke: budget not reported exhausted"; exit 1; }; \
+	echo "$$out" | grep -Eq "aborted_faults=[1-9]" || \
+	  { echo "degradation-smoke: no aborted faults reported"; exit 1; }; \
+	echo "degradation-smoke: OK"
+
+# A checkpointed run resumed from its file must print the same report as a
+# fresh uninterrupted run (timing lines filtered out).
+resume-smoke: build
+	@tmp=`mktemp -d`; \
+	$(FST_EXE) $(SMOKE_FLOW) | grep -v "CPU" > $$tmp/fresh.txt; \
+	$(FST_EXE) $(SMOKE_FLOW) --checkpoint $$tmp/ck > /dev/null; \
+	$(FST_EXE) $(SMOKE_FLOW) --checkpoint $$tmp/ck --resume \
+	  | grep -v "CPU" > $$tmp/resumed.txt; \
+	diff $$tmp/fresh.txt $$tmp/resumed.txt || \
+	  { echo "resume-smoke: resumed report differs"; rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; echo "resume-smoke: OK"
 
 clean:
 	dune clean

@@ -18,6 +18,8 @@ let read_circuit path =
   try Ok (Netfile.parse_file path) with
   | Netfile.Parse_error { line; message } ->
     Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Circuit.Malformed message | Circuit.Combinational_cycle message ->
+    Error (Printf.sprintf "%s: %s" path message)
   | Sys_error e -> Error e
 
 let load ~name ~scale ~file =
@@ -161,20 +163,49 @@ let print_flow_report r =
   Table.rule t;
   Table.row t
     [ "undetected"; Table.cell_int_pct (List.length r.Flow.undetected) ~of_:total ];
+  (if Flow.budget_exhausted r.Flow.aborts then begin
+     Table.rule t;
+     Table.row t
+       [ "aborted (budget)"; Table.cell_int r.Flow.aborts.Flow.aborted_faults ];
+     Table.row t
+       [ "ATPG aborts"; Table.cell_int (Flow.atpg_aborts r.Flow.aborts) ];
+     Table.row t
+       [ "cancelled groups"; Table.cell_int (Flow.cancelled_groups r.Flow.aborts) ]
+   end);
   Table.print t;
+  (* One greppable line per phase for scripts and the degradation smoke. *)
+  List.iter
+    (fun p ->
+      if p.Flow.budget_exhausted || p.Flow.atpg_aborts > 0
+         || p.Flow.cancelled_groups > 0 then
+        Printf.printf
+          "aborts: phase=%s budget_exhausted=%b atpg_aborts=%d \
+           cancelled_groups=%d\n"
+          p.Flow.phase p.Flow.budget_exhausted p.Flow.atpg_aborts
+          p.Flow.cancelled_groups)
+    r.Flow.aborts.Flow.phases;
+  if r.Flow.aborts.Flow.aborted_faults > 0 then
+    Printf.printf "aborts: aborted_faults=%d\n" r.Flow.aborts.Flow.aborted_faults;
   List.iter
     (fun f ->
       Printf.printf "undetected: %s\n" (Fst_fault.Fault.to_string r.Flow.scanned f))
     r.Flow.undetected
 
-let run_flow name scale file chains jobs =
+let run_flow name scale file chains jobs time_budget checkpoint resume =
   let circuit = or_die (load ~name ~scale ~file) in
   let scanned, config = or_die (insert_chains circuit chains) in
   let jobs = if jobs <= 0 then Fst_exec.Pool.default_jobs () else jobs in
   let params =
     { Flow.default_params with Flow.dist_floor_scale = scale; jobs }
   in
-  let r = Flow.run ~params scanned config in
+  let budget =
+    match time_budget with
+    | None -> Fst_exec.Budget.unlimited
+    | Some s -> Fst_exec.Budget.of_seconds s
+  in
+  if resume && checkpoint = None then
+    or_die (Error "--resume requires --checkpoint PATH");
+  let r = Flow.run ~params ~budget ?checkpoint ~resume scanned config in
   print_flow_report r;
   0
 
@@ -286,11 +317,28 @@ let opt_cmd =
     Term.(const run_opt $ file $ out_arg)
 
 let flow_cmd =
+  let time_budget =
+    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"S"
+           ~doc:"Wall-clock budget for the whole flow, in seconds. When a \
+                 phase overruns its share the remaining work is cancelled \
+                 cooperatively and reported in the abort accounting.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH"
+           ~doc:"Persist flow progress to $(docv) after every phase and \
+                 every step-3 wave (atomic rewrite).")
+  in
+  let resume =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Resume from the --checkpoint file if it matches this \
+                 circuit, configuration and parameter set.")
+  in
   Cmd.v
     (Cmd.info "flow"
        ~doc:"Run the complete functional scan chain testing flow")
     Term.(
-      const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg $ jobs_arg)
+      const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg $ jobs_arg
+      $ time_budget $ checkpoint $ resume)
 
 let diag_cmd =
   let position =
@@ -311,5 +359,18 @@ let alt_cmd =
 let () =
   let doc = "functional scan chain testing (DATE'98 reproduction)" in
   let info = Cmd.info "fst" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info
-       [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; flow_cmd; alt_cmd; diag_cmd ]))
+  (* Netlist errors escaping a deeper pass (TPI, generation) still exit
+     with a one-line diagnostic instead of a backtrace. *)
+  let code =
+    try
+      Cmd.eval' (Cmd.group info
+           [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; flow_cmd; alt_cmd; diag_cmd ])
+    with
+    | Netfile.Parse_error { line; message } ->
+      prerr_endline (Printf.sprintf "fst: line %d: %s" line message);
+      1
+    | Circuit.Malformed message | Circuit.Combinational_cycle message ->
+      prerr_endline ("fst: " ^ message);
+      1
+  in
+  exit code

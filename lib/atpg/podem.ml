@@ -368,7 +368,7 @@ let extract_test e =
   done;
   !acc
 
-let run ?(backtrack_limit = 1000) ?deadline ?scoap view ~faults =
+let run ?(backtrack_limit = 1000) ?should_abort ?scoap view ~faults =
   let scoap =
     match scoap with Some s -> s | None -> Fst_testability.Scoap.compute view
   in
@@ -396,7 +396,7 @@ let run ?(backtrack_limit = 1000) ?deadline ?scoap view ~faults =
   and backtrack () =
     if e.backtracks >= backtrack_limit then Aborted
     else if
-      (match deadline with Some d -> Sys.time () > d | None -> false)
+      (match should_abort with Some f -> f () | None -> false)
     then Aborted
     else
       match !stack with

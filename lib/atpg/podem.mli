@@ -28,13 +28,16 @@ type stats = { backtracks : int; decisions : int; implications : int }
     ordinary fault).
 
     @param backtrack_limit default 1000.
-    @param deadline absolute [Sys.time] value; the search aborts at the
-    next backtrack after it passes.
+    @param should_abort cooperative abort hook, polled between backtracks;
+    once it returns true the search reports {!Aborted} at the next
+    backtrack. Callers derive it from a wall-clock deadline and/or a
+    {!Fst_exec.Pool.token}, so one stuck target cannot pin a domain past
+    its budget.
     @param scoap computed from [view] when not supplied (pass it when
     running many faults on one view). *)
 val run :
   ?backtrack_limit:int ->
-  ?deadline:float ->
+  ?should_abort:(unit -> bool) ->
   ?scoap:Fst_testability.Scoap.t ->
   View.t ->
   faults:Fault.t list ->

@@ -20,15 +20,15 @@ let test_of_assignment u frames assignment =
     assignment;
   { frames; init_state = !init_state; pi_frames }
 
-let run ?deadline c ~constraints ~controllable_ff ~observable_ff ~fault
+let run ?should_abort c ~constraints ~controllable_ff ~observable_ff ~fault
     ~frames_list ~backtrack_limit =
   let runs = ref 0 and backtracks = ref 0 in
-  let out_of_time () =
-    match deadline with None -> false | Some d -> Sys.time () > d
+  let aborting () =
+    match should_abort with None -> false | Some f -> f ()
   in
   let rec try_frames = function
     | [] -> (Seq_aborted, { runs = !runs; backtracks = !backtracks })
-    | _ :: _ when out_of_time () ->
+    | _ :: _ when aborting () ->
       (Seq_aborted, { runs = !runs; backtracks = !backtracks })
     | frames :: rest -> (
       let u =
@@ -36,7 +36,7 @@ let run ?deadline c ~constraints ~controllable_ff ~observable_ff ~fault
       in
       let faults = Unroll.map_fault u fault in
       incr runs;
-      match Podem.run ~backtrack_limit ?deadline u.Unroll.view ~faults with
+      match Podem.run ~backtrack_limit ?should_abort u.Unroll.view ~faults with
       | Podem.Test assignment, st ->
         backtracks := !backtracks + st.Podem.backtracks;
         ( Seq_test (test_of_assignment u frames assignment),

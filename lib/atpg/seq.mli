@@ -24,11 +24,12 @@ type result = Seq_test of test | Seq_aborted
 
 type stats = { runs : int; backtracks : int }
 
-(** @param deadline absolute [Sys.time] value after which no further
-    frame counts are attempted (the current PODEM run is not interrupted,
-    so the limit is approximate). *)
+(** @param should_abort cooperative abort hook: polled before each frame
+    count and between PODEM backtracks, so a tripped wall-clock deadline
+    or a cancellation token ({!Fst_exec.Pool.token}) stops the search
+    promptly instead of letting one target pin a domain. *)
 val run :
-  ?deadline:float ->
+  ?should_abort:(unit -> bool) ->
   Circuit.t ->
   constraints:(int * V3.t) list ->
   controllable_ff:(int -> bool) ->

@@ -1,0 +1,28 @@
+let magic = "FST-CHECKPOINT"
+
+let save ~path ~fingerprint ~version payload =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      Printf.fprintf oc "%s %d %s\n" magic version fingerprint;
+      Marshal.to_channel oc payload []);
+  Sys.rename tmp path
+
+let load ~path ~fingerprint ~version =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match input_line ic with
+        | exception End_of_file -> None
+        | header ->
+          if header = Printf.sprintf "%s %d %s" magic version fingerprint
+          then
+            match Marshal.from_channel ic with
+            | payload -> Some payload
+            | exception (End_of_file | Failure _) -> None
+          else None)

@@ -1,0 +1,24 @@
+(** Versioned on-disk checkpoints for long-running flows.
+
+    A checkpoint file is a small self-describing header (magic string,
+    format version, and a caller-supplied fingerprint of the inputs)
+    followed by a marshalled payload. Writes go through a temporary file
+    and an atomic rename, so a crash mid-write can never corrupt an
+    existing checkpoint — the previous one simply survives.
+
+    The fingerprint ties a checkpoint to the exact circuit, scan
+    configuration and parameters that produced it: {!load} refuses (by
+    returning [None]) a file whose fingerprint differs, so a resumed run
+    can never silently mix state from a different workload. The payload
+    type is the caller's responsibility — always load with the same type
+    (and the same binary) that saved; the version field is bumped whenever
+    the flow's payload layout changes. *)
+
+(** [save ~path ~fingerprint ~version payload] atomically (re)writes the
+    checkpoint at [path]. *)
+val save : path:string -> fingerprint:string -> version:int -> 'a -> unit
+
+(** [load ~path ~fingerprint ~version] is the payload stored at [path],
+    or [None] when the file is missing, unreadable, truncated, of a
+    different format version, or was written for different inputs. *)
+val load : path:string -> fingerprint:string -> version:int -> 'a option

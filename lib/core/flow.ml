@@ -4,6 +4,8 @@ open Fst_fsim
 open Fst_atpg
 open Fst_tpi
 module Pool = Fst_exec.Pool
+module Clock = Fst_exec.Clock
+module Budget = Fst_exec.Budget
 
 type params = {
   jobs : int;
@@ -59,6 +61,21 @@ type step3 = {
   seconds : float;
 }
 
+type phase_aborts = {
+  phase : string;
+  budget_exhausted : bool;
+  atpg_aborts : int;
+  cancelled_groups : int;
+}
+
+type aborts = { phases : phase_aborts list; aborted_faults : int }
+
+let budget_exhausted a = List.exists (fun p -> p.budget_exhausted) a.phases
+let atpg_aborts a = List.fold_left (fun n p -> n + p.atpg_aborts) 0 a.phases
+
+let cancelled_groups a =
+  List.fold_left (fun n p -> n + p.cancelled_groups) 0 a.phases
+
 type result = {
   scanned : Circuit.t;
   config : Scan.config;
@@ -69,6 +86,8 @@ type result = {
   step3 : step3;
   undetected : Fault.t list;
   untestable_faults : Fault.t list;
+  aborted : Fault.t list;
+  aborts : aborts;
 }
 
 let total_faults r = Array.length r.faults
@@ -76,10 +95,11 @@ let affecting r = r.classify.Classify.affecting
 
 (* Everything the chain-testing phase credits as detected: the category-1
    faults (alternating sequence) plus the hard faults that neither stayed
-   undetected nor were proven untestable. *)
+   undetected (or budget-aborted) nor were proven untestable. *)
 let chain_detected_faults r =
   let open_set = Hashtbl.create 64 in
   List.iter (fun f -> Hashtbl.replace open_set f ()) r.undetected;
+  List.iter (fun f -> Hashtbl.replace open_set f ()) r.aborted;
   List.iter (fun f -> Hashtbl.replace open_set f ()) r.untestable_faults;
   let easy =
     Array.to_list r.classify.Classify.easy
@@ -98,28 +118,153 @@ let chain_detected_faults r =
 let split_assignment c assignment =
   List.partition (fun (net, _) -> Circuit.is_dff c net) assignment
 
+(* --- abort accounting --------------------------------------------------- *)
+
+(* Mutable per-phase accounting, threaded through the phases and stored in
+   every checkpoint so a resumed run keeps what the interrupted one already
+   spent or skipped. *)
+type acct = {
+  mutable cl_late : bool;
+  mutable s2a_late : bool;
+  mutable s2a_aborts : int;
+  mutable s2f_late : bool;
+  mutable s3_late : bool;
+  mutable s3_aborts : int;
+  mutable s3_cancelled : int;
+  mutable fin_late : bool;
+  mutable fin_aborts : int;
+  mutable fin_cancelled : int;
+}
+
+let fresh_acct () =
+  {
+    cl_late = false;
+    s2a_late = false;
+    s2a_aborts = 0;
+    s2f_late = false;
+    s3_late = false;
+    s3_aborts = 0;
+    s3_cancelled = 0;
+    fin_late = false;
+    fin_aborts = 0;
+    fin_cancelled = 0;
+  }
+
+let aborts_of acct ~aborted_faults =
+  {
+    phases =
+      [
+        { phase = "classify"; budget_exhausted = acct.cl_late;
+          atpg_aborts = 0; cancelled_groups = 0 };
+        { phase = "step2-atpg"; budget_exhausted = acct.s2a_late;
+          atpg_aborts = acct.s2a_aborts; cancelled_groups = 0 };
+        { phase = "step2-fsim"; budget_exhausted = acct.s2f_late;
+          atpg_aborts = 0; cancelled_groups = 0 };
+        { phase = "step3"; budget_exhausted = acct.s3_late;
+          atpg_aborts = acct.s3_aborts;
+          cancelled_groups = acct.s3_cancelled };
+        { phase = "finals"; budget_exhausted = acct.fin_late;
+          atpg_aborts = acct.fin_aborts;
+          cancelled_groups = acct.fin_cancelled };
+      ];
+    aborted_faults;
+  }
+
+(* --- checkpoint state --------------------------------------------------- *)
+
+(* Bump whenever the marshalled layout below (or anything it embeds)
+   changes; [Checkpoint.load] rejects other versions. *)
+let ckpt_version = 1
+
+type plan = {
+  blocks : Fsim.stimulus list;
+  untestable2 : int list;  (* indices into the hard-fault array, ascending *)
+  attempted : int;  (* hard faults that actually got their PODEM attempt *)
+  plan_atpg_seconds : float;
+  rng_state : int64;
+}
+
+type s2_state = {
+  s2_step2 : step2;
+  s2_remaining : int list;  (* indices into the hard-fault array, ascending *)
+}
+
+type s3_progress = {
+  cursor : int;  (* groups already committed *)
+  alive_idx : int list;  (* step-3 indices still alive *)
+  p_detected3 : int;
+  p_group_circuits : int;
+  seconds_before : float;  (* step-3 wall clock spent before this resume *)
+}
+
+type finish = {
+  f_step3 : step3;
+  undetected_idx : int list;  (* indices into the remaining-fault array *)
+  aborted_idx : int list;
+  untestable3_idx : int list;
+}
+
+type ckpt = {
+  mutable c_classify : (Classify.t * float) option;
+  mutable c_plan : plan option;
+  mutable c_s2 : s2_state option;
+  mutable c_s3 : s3_progress option;
+  mutable c_fin : finish option;
+  mutable aborted_flag : bool array;  (* per hard fault: denied an attempt *)
+  acct : acct;
+}
+
+let fresh_ckpt () =
+  {
+    c_classify = None;
+    c_plan = None;
+    c_s2 = None;
+    c_s3 = None;
+    c_fin = None;
+    aborted_flag = [||];
+    acct = fresh_acct ();
+  }
+
+(* A checkpoint is only valid against the exact circuit, scan configuration
+   and parameters that produced it. *)
+let fingerprint scanned config params =
+  Digest.to_hex (Digest.string (Marshal.to_string (scanned, config, params) []))
+
 (* --- Step 2: combinational ATPG + sequential fault simulation ---------- *)
 
-let run_step2 ~params scanned config ~hard_faults =
-  let t0 = Sys.time () in
-  let view = View.scan_mode scanned ~constraints:config.Scan.constraints () in
-  let scoap = Fst_testability.Scoap.compute view in
-  let blocks = ref [] and untestable = ref [] and no_test = ref [] in
-  Array.iteri
-    (fun i fault ->
-      match
-        Podem.run ~backtrack_limit:params.comb_backtrack ~scoap view
-          ~faults:[ fault ]
-      with
-      | Podem.Test assignment, _ ->
-        let ff_values, pi_values = split_assignment scanned assignment in
-        blocks :=
-          Sequences.of_comb_test scanned config ~ff_values ~pi_values
-          :: !blocks
-      | Podem.Untestable, _ -> untestable := i :: !untestable
-      | Podem.Aborted, _ -> no_test := i :: !no_test)
-    hard_faults;
-  let atpg_seconds = Sys.time () -. t0 in
+let plan_step2 ~params ~budget ~acct ~aborted_flag view scoap scanned config
+    ~hard_faults =
+  let dl = Budget.deadline budget Budget.Step2_atpg in
+  let t0 = Clock.now () in
+  let n = Array.length hard_faults in
+  let blocks = ref [] and untestable = ref [] in
+  let i = ref 0 in
+  while !i < n && not (Clock.expired dl) do
+    (match
+       Podem.run ~backtrack_limit:params.comb_backtrack
+         ~should_abort:(fun () -> Clock.expired dl)
+         ~scoap view ~faults:[ hard_faults.(!i) ]
+     with
+     | Podem.Test assignment, _ ->
+       let ff_values, pi_values = split_assignment scanned assignment in
+       blocks :=
+         Sequences.of_comb_test scanned config ~ff_values ~pi_values
+         :: !blocks
+     | Podem.Untestable, _ -> untestable := !i :: !untestable
+     | Podem.Aborted, _ ->
+       acct.s2a_aborts <- acct.s2a_aborts + 1;
+       (* A deadline-tripped abort (as opposed to a backtrack-limit one)
+          means the fault was denied its full attempt. *)
+       if Clock.expired dl then aborted_flag.(!i) <- true);
+    incr i
+  done;
+  let attempted = !i in
+  if attempted < n then begin
+    acct.s2a_late <- true;
+    for k = attempted to n - 1 do
+      aborted_flag.(k) <- true
+    done
+  end;
   (* Deterministic random scan-mode tests appended after the ATPG set (the
      paper's random-vector option): they mop up aborted-ATPG faults during
      the same fault-simulation pass. The free inputs of the scan-mode view
@@ -145,23 +290,69 @@ let run_step2 ~params scanned config ~hard_faults =
       in
       List.filteri (fun i _ -> i < keep) blocks
   in
-  let t1 = Sys.time () in
-  let untestable_set = List.fold_left (fun s i -> i :: s) [] !untestable in
+  {
+    blocks;
+    untestable2 = List.rev !untestable;
+    attempted;
+    plan_atpg_seconds = Clock.now () -. t0;
+    rng_state = Fst_gen.Rng.state rng;
+  }
+
+let fsim_step2 ~params ~budget ~acct scanned ~hard_faults ~(plan : plan) =
+  let dl = Budget.deadline budget Budget.Step2_fsim in
+  let t1 = Clock.now () in
+  let n = Array.length hard_faults in
+  let untestable_set = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.replace untestable_set i ()) plan.untestable2;
+  (* Untestable faults are excluded from simulation: they cannot be
+     detected and would waste machine slots. *)
   let simulate =
-    (* Untestable faults are excluded from simulation: they cannot be
-       detected and would waste machine slots. *)
     Array.of_list
       (List.filter
-         (fun i -> not (List.mem i untestable_set))
-         (List.init (Array.length hard_faults) (fun i -> i)))
+         (fun i -> not (Hashtbl.mem untestable_set i))
+         (List.init n (fun i -> i)))
   in
   let sim_faults = Array.map (fun i -> hard_faults.(i)) simulate in
-  let outcome =
-    Fsim.Engine.detect_dropping ~jobs:params.jobs scanned ~faults:sim_faults
-      ~observe:scanned.Circuit.outputs ~stimuli:blocks
-  in
-  let fsim_seconds = Sys.time () -. t1 in
-  let detected = Array.make (Array.length hard_faults) false in
+  let ns = Array.length simulate in
+  let outcome = Array.make ns None in
+  (* Block-at-a-time fault simulation with cross-block dropping — the same
+     results as a single [detect_dropping] pass, but the budget is checked
+     between blocks so a tripped deadline keeps every detection made so
+     far. *)
+  let blocks_arr = Array.of_list plan.blocks in
+  let nb = Array.length blocks_arr in
+  let b = ref 0 and stopped = ref false in
+  while !b < nb && not !stopped do
+    if Clock.expired dl then begin
+      stopped := true;
+      acct.s2f_late <- true
+    end
+    else begin
+      let pending =
+        Array.of_list
+          (List.filter
+             (fun k -> outcome.(k) = None)
+             (List.init ns (fun k -> k)))
+      in
+      if Array.length pending = 0 then stopped := true
+      else begin
+        let faults = Array.map (fun k -> sim_faults.(k)) pending in
+        let res =
+          Fsim.Engine.detect_all ~jobs:params.jobs scanned ~faults
+            ~observe:scanned.Circuit.outputs blocks_arr.(!b)
+        in
+        Array.iteri
+          (fun j k ->
+            match res.(j) with
+            | Some t -> outcome.(k) <- Some (!b, t)
+            | None -> ())
+          pending;
+        incr b
+      end
+    end
+  done;
+  let fsim_seconds = Clock.now () -. t1 in
+  let detected = Array.make n false in
   Array.iteri
     (fun k i -> match outcome.(k) with
        | Some _ -> detected.(i) <- true
@@ -170,8 +361,7 @@ let run_step2 ~params scanned config ~hard_faults =
   let curve =
     if not params.capture_curve then [||]
     else begin
-      let n_blocks = List.length blocks in
-      let per_block = Array.make (n_blocks + 1) 0 in
+      let per_block = Array.make (nb + 1) 0 in
       Array.iter
         (function
           | Some (block, _) -> per_block.(block + 1) <- per_block.(block + 1) + 1
@@ -185,27 +375,25 @@ let run_step2 ~params scanned config ~hard_faults =
         per_block
     end
   in
-  let n_detected = Array.fold_left (fun a b -> if b then a + 1 else a) 0 detected in
-  let n_untestable = List.length !untestable in
+  let n_detected =
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 detected
+  in
+  let n_untestable = List.length plan.untestable2 in
   let remaining = ref [] in
-  Array.iteri
-    (fun i _ ->
-      if (not detected.(i)) && not (List.mem i untestable_set) then
-        remaining := i :: !remaining)
-    hard_faults;
+  for i = n - 1 downto 0 do
+    if (not detected.(i)) && not (Hashtbl.mem untestable_set i) then
+      remaining := i :: !remaining
+  done;
   ( {
       detected = n_detected;
       untestable = n_untestable;
-      undetected = Array.length hard_faults - n_detected - n_untestable;
-      vectors = List.length blocks;
-      atpg_seconds;
+      undetected = n - n_detected - n_untestable;
+      vectors = nb;
+      atpg_seconds = plan.plan_atpg_seconds;
       fsim_seconds;
       curve;
     },
-    List.rev !remaining,
-    List.map (fun i -> hard_faults.(i)) (List.rev !untestable),
-    view,
-    scoap )
+    !remaining )
 
 (* --- Step 3: grouped sequential ATPG ------------------------------------ *)
 
@@ -272,60 +460,52 @@ let retire_detections ~jobs st scanned ~remaining_faults ~stim =
     alive_ids;
   !hits
 
-(* Runs sequential ATPG for one fault on the given model; on success,
-   fault-simulates the realized sequence against every still-alive fault
-   and retires the detections. *)
 (* Sequential-ATPG planning for one fault: realize a detecting sequence on
    the bounded model, without touching any shared state (safe to run on a
-   pool domain). *)
+   pool domain). [should_abort] folds the per-fault wall-clock deadline
+   with the wave's cancellation token, so one stuck target cannot pin a
+   domain past its budget. *)
 let plan_sequence scanned config ~remaining_faults ~bounds ~positions ~frames
-    ~backtrack ~seconds target_idx =
+    ~backtrack ~should_abort target_idx =
   let controllable, observable = predicates_of_bounds positions bounds in
   let fault = remaining_faults.(target_idx) in
   match
-    Seq.run ~deadline:(Sys.time () +. seconds) scanned
-      ~constraints:config.Scan.constraints
+    Seq.run ~should_abort scanned ~constraints:config.Scan.constraints
       ~controllable_ff:controllable ~observable_ff:observable ~fault
       ~frames_list:frames ~backtrack_limit:backtrack
   with
   | Seq.Seq_aborted, _ -> None
   | Seq.Seq_test test, _ -> Some (Sequences.of_seq_test scanned config test)
 
-let attack ~jobs st scanned config ~remaining_faults ~bounds ~positions
-    ~frames ~backtrack ~seconds target_idx =
-  if not (Hashtbl.mem st.alive target_idx) then false
-  else
-    match
-      plan_sequence scanned config ~remaining_faults ~bounds ~positions
-        ~frames ~backtrack ~seconds target_idx
-    with
-    | None -> false
-    | Some stim ->
-      let hits = retire_detections ~jobs st scanned ~remaining_faults ~stim in
-      List.mem target_idx hits
-
-let run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
-    ~scoap =
-  let t0 = Sys.time () in
+let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
+    scanned config ~classify ~hard_index ~remaining ~view ~scoap =
+  let dl3 = Budget.deadline budget Budget.Step3 in
+  let t0 = Clock.now () in
+  let remaining_arr = Array.of_list remaining in
   let remaining_faults =
-    Array.of_list
-      (List.map (fun i -> classify.Classify.infos.(hard_index.(i)).Classify.fault) remaining)
+    Array.map
+      (fun i -> classify.Classify.infos.(hard_index.(i)).Classify.fault)
+      remaining_arr
   in
   let footprints =
-    List.mapi
-      (fun k i ->
-        let info = classify.Classify.infos.(hard_index.(i)) in
-        let locations =
-          List.map (fun (chain, seg, _) -> (chain, seg)) info.Classify.locations
-        in
-        Group.footprint_of ~index:k ~locations)
-      remaining
+    Array.of_list
+      (List.mapi
+         (fun k i ->
+           let info = classify.Classify.infos.(hard_index.(i)) in
+           let locations =
+             List.map
+               (fun (chain, seg, _) -> (chain, seg))
+               info.Classify.locations
+           in
+           Group.footprint_of ~index:k ~locations)
+         remaining)
   in
   let maxsize = Sequences.max_chain_length config in
   let dist =
     Group.paper_params ~maxsize ~floor_scale:params.dist_floor_scale
   in
-  let groups = Group.make dist footprints in
+  let groups = Array.of_list (Group.make dist (Array.to_list footprints)) in
+  let n_groups = Array.length groups in
   let positions = positions_of config in
   let st =
     {
@@ -336,129 +516,249 @@ let run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
       alive = Hashtbl.create 64;
     }
   in
-  let untestable_faults3 = ref [] in
-  List.iteri (fun k _ -> Hashtbl.replace st.alive k ()) remaining;
-  let any_alive fps = List.exists (fun fp -> Hashtbl.mem st.alive fp.Group.index) fps in
+  let cursor = ref 0 and seconds_before = ref 0.0 in
+  (match progress with
+   | None -> List.iteri (fun k _ -> Hashtbl.replace st.alive k ()) remaining
+   | Some p ->
+     (* Resume mid-step-3: the groups are recomputed deterministically from
+        the classification, so only the cursor, the alive set and the
+        counters need restoring. *)
+     List.iter (fun k -> Hashtbl.replace st.alive k ()) p.alive_idx;
+     cursor := p.cursor;
+     st.detected3 <- p.p_detected3;
+     st.group_circuits <- p.p_group_circuits;
+     seconds_before := p.seconds_before);
+  let untestable_idx3 = ref [] in
+  let any_alive fps =
+    List.exists (fun fp -> Hashtbl.mem st.alive fp.Group.index) fps
+  in
   let targets_of group =
     match group with
     | Group.Solo fp -> [ fp ]
     | Group.Shared { leader; members } -> leader :: members
     | Group.Cluster { members; _ } -> members
   in
-  if params.jobs <= 1 then
-    (* One core: the original fully-dropped order — every realized sequence
-       retires faults before the next target is even attacked. *)
-    List.iter
-      (fun group ->
-        let bounds = Group.bounds_of_group group in
-        let targets = targets_of group in
-        if any_alive targets then begin
-          st.group_circuits <- st.group_circuits + 1;
-          List.iter
-            (fun fp ->
-              ignore
-                (attack ~jobs:1 st scanned config ~remaining_faults ~bounds
-                   ~positions ~frames:params.frames
-                   ~backtrack:params.seq_backtrack
-                   ~seconds:params.seq_fault_seconds fp.Group.index))
-            targets
-        end)
-      groups
-  else begin
-    (* Multicore: waves of up to [jobs] groups. Planning (sequential ATPG on
-       the group's bounded model) runs on the pool against a snapshot of the
-       alive set; realized sequences are then committed in group order on
-       the main domain, so the merge order — and hence the result for a
-       fixed [jobs] — is deterministic. Fault dropping still happens between
-       waves and at commit time, only not between the groups of one wave. *)
-    let jobs = params.jobs in
-    let groups_arr = Array.of_list groups in
-    let n_groups = Array.length groups_arr in
-    let pos = ref 0 in
-    while !pos < n_groups do
+  let flag_idx i = aborted_flag.(remaining_arr.(i)) <- true in
+  let token = Pool.token () in
+  let checkpoint_wave () =
+    save_progress
+      {
+        cursor = !cursor;
+        alive_idx =
+          Hashtbl.fold (fun i () acc -> i :: acc) st.alive []
+          |> List.sort Int.compare;
+        p_detected3 = st.detected3;
+        p_group_circuits = st.group_circuits;
+        seconds_before = !seconds_before +. (Clock.now () -. t0);
+      }
+  in
+  (* Accounts every group from the cursor onward as cancelled (with its
+     alive members denied) when the phase budget trips. *)
+  let drain_cancelled () =
+    acct.s3_late <- true;
+    for g = !cursor to n_groups - 1 do
+      let alive_targets =
+        List.filter
+          (fun fp -> Hashtbl.mem st.alive fp.Group.index)
+          (targets_of groups.(g))
+      in
+      if alive_targets <> [] then begin
+        acct.s3_cancelled <- acct.s3_cancelled + 1;
+        List.iter (fun fp -> flag_idx fp.Group.index) alive_targets
+      end
+    done;
+    cursor := n_groups
+  in
+  while !cursor < n_groups do
+    if Clock.expired dl3 || Pool.cancelled token then drain_cancelled ()
+    else if params.jobs <= 1 then begin
+      (* One core: the original fully-dropped order — every realized
+         sequence retires faults before the next target is even attacked.
+         One group per wave, checkpointed after commit. *)
+      let group = groups.(!cursor) in
+      incr cursor;
+      let bounds = Group.bounds_of_group group in
+      let targets = targets_of group in
+      if any_alive targets then begin
+        st.group_circuits <- st.group_circuits + 1;
+        List.iter
+          (fun fp ->
+            let i = fp.Group.index in
+            if Hashtbl.mem st.alive i then begin
+              let dlf =
+                Budget.fault_deadline budget Budget.Step3
+                  params.seq_fault_seconds
+              in
+              match
+                plan_sequence scanned config ~remaining_faults ~bounds
+                  ~positions ~frames:params.frames
+                  ~backtrack:params.seq_backtrack
+                  ~should_abort:(fun () -> Clock.expired dlf)
+                  i
+              with
+              | None ->
+                acct.s3_aborts <- acct.s3_aborts + 1;
+                if Clock.expired dl3 then flag_idx i
+              | Some stim ->
+                ignore
+                  (retire_detections ~jobs:1 st scanned ~remaining_faults
+                     ~stim)
+            end)
+          targets;
+        checkpoint_wave ()
+      end
+    end
+    else begin
+      (* Multicore: waves of up to [jobs] groups. Planning (sequential ATPG
+         on the group's bounded model) runs on the pool against a snapshot
+         of the alive set; realized sequences are then committed in group
+         order on the main domain, so the merge order — and hence the
+         result for a fixed [jobs] — is deterministic. Fault dropping still
+         happens between waves and at commit time, only not between the
+         groups of one wave. A tripped budget cancels the wave's unclaimed
+         groups cooperatively. *)
+      let jobs = params.jobs in
       let wave = ref [] in
-      while List.length !wave < jobs && !pos < n_groups do
-        let group = groups_arr.(!pos) in
-        incr pos;
+      while List.length !wave < jobs && !cursor < n_groups do
+        let group = groups.(!cursor) in
+        incr cursor;
         let targets = targets_of group in
-        if any_alive targets then begin
-          st.group_circuits <- st.group_circuits + 1;
+        if any_alive targets then
           wave := (Group.bounds_of_group group, targets) :: !wave
-        end
       done;
+      let wave_arr = Array.of_list (List.rev !wave) in
       let snapshot = Hashtbl.copy st.alive in
       let plans =
-        Pool.map_array ~jobs ~chunk:1
+        Pool.map_cancellable ~jobs ~chunk:1 ~token ~deadline:dl3
           (fun (bounds, targets) ->
-            List.filter_map
+            List.map
               (fun fp ->
                 let i = fp.Group.index in
-                if not (Hashtbl.mem snapshot i) then None
-                else
-                  plan_sequence scanned config ~remaining_faults ~bounds
-                    ~positions ~frames:params.frames
-                    ~backtrack:params.seq_backtrack
-                    ~seconds:params.seq_fault_seconds i
-                  |> Option.map (fun stim -> (i, stim)))
+                if not (Hashtbl.mem snapshot i) then (i, None, false)
+                else begin
+                  let dlf =
+                    Budget.fault_deadline budget Budget.Step3
+                      params.seq_fault_seconds
+                  in
+                  match
+                    plan_sequence scanned config ~remaining_faults ~bounds
+                      ~positions ~frames:params.frames
+                      ~backtrack:params.seq_backtrack
+                      ~should_abort:(fun () ->
+                        Clock.expired dlf || Pool.cancelled token)
+                      i
+                  with
+                  | None -> (i, None, true)
+                  | Some stim -> (i, Some stim, false)
+                end)
               targets)
-          (Array.of_list (List.rev !wave))
+          wave_arr
       in
-      Array.iter
-        (List.iter (fun (i, stim) ->
-             if Hashtbl.mem st.alive i then
-               ignore
-                 (retire_detections ~jobs st scanned ~remaining_faults ~stim)))
-        plans
-    done
-  end;
+      Array.iteri
+        (fun w outcome ->
+          match outcome with
+          | Pool.Cancelled ->
+            (* The group's model was never built: its alive members were
+               denied their attempt. *)
+            let _, targets = wave_arr.(w) in
+            let alive_targets =
+              List.filter
+                (fun fp -> Hashtbl.mem st.alive fp.Group.index)
+                targets
+            in
+            acct.s3_late <- true;
+            if alive_targets <> [] then begin
+              acct.s3_cancelled <- acct.s3_cancelled + 1;
+              List.iter (fun fp -> flag_idx fp.Group.index) alive_targets
+            end
+          | Pool.Done results ->
+            st.group_circuits <- st.group_circuits + 1;
+            List.iter
+              (fun (i, stim_opt, atpg_aborted) ->
+                match stim_opt with
+                | Some stim ->
+                  if Hashtbl.mem st.alive i then
+                    ignore
+                      (retire_detections ~jobs st scanned ~remaining_faults
+                         ~stim)
+                | None ->
+                  if atpg_aborted then begin
+                    acct.s3_aborts <- acct.s3_aborts + 1;
+                    if Clock.expired dl3 && Hashtbl.mem st.alive i then
+                      flag_idx i
+                  end)
+              results)
+        plans;
+      checkpoint_wave ()
+    end
+  done;
   (* Final faults: prove undetectable through the relaxed combinational
      model where possible, otherwise target individually with a larger
      budget (the paper's "additional time"). *)
-  let finals = Hashtbl.fold (fun i () acc -> i :: acc) st.alive [] |> List.sort Int.compare in
+  let dl_fin = Budget.deadline budget Budget.Finals in
+  let finals =
+    Hashtbl.fold (fun i () acc -> i :: acc) st.alive [] |> List.sort Int.compare
+  in
+  let attack_final i fp =
+    let dlf =
+      Budget.fault_deadline budget Budget.Finals params.final_fault_seconds
+    in
+    st.final_circuits <- st.final_circuits + 1;
+    match
+      plan_sequence scanned config ~remaining_faults ~bounds:fp.Group.spans
+        ~positions ~frames:params.final_frames
+        ~backtrack:params.final_backtrack
+        ~should_abort:(fun () -> Clock.expired dlf)
+        i
+    with
+    | None ->
+      acct.fin_aborts <- acct.fin_aborts + 1;
+      if Clock.expired dl_fin then flag_idx i
+    | Some stim ->
+      ignore (retire_detections ~jobs:params.jobs st scanned ~remaining_faults ~stim)
+  in
   List.iter
     (fun i ->
       if Hashtbl.mem st.alive i then begin
-        let fault = remaining_faults.(i) in
-        match
-          Podem.run ~backtrack_limit:params.final_backtrack ~scoap view
-            ~faults:[ fault ]
-        with
-        | Podem.Untestable, _ ->
-          Hashtbl.remove st.alive i;
-          st.untestable3 <- st.untestable3 + 1;
-          untestable_faults3 := fault :: !untestable_faults3
-        | Podem.Test assignment, _ ->
-          (* The larger budget found a combinational test that step 2
-             missed; realize and confirm it sequentially before falling
-             back to the restricted sequential model. *)
-          let ff_values, pi_values = split_assignment scanned assignment in
-          let stim =
-            Sequences.of_comb_test scanned config ~ff_values ~pi_values
-          in
-          ignore
-            (retire_detections ~jobs:params.jobs st scanned ~remaining_faults
-               ~stim);
-          if Hashtbl.mem st.alive i then begin
-            let fp = List.nth footprints i in
-            st.final_circuits <- st.final_circuits + 1;
+        if Clock.expired dl_fin then begin
+          acct.fin_late <- true;
+          acct.fin_cancelled <- acct.fin_cancelled + 1;
+          flag_idx i
+        end
+        else begin
+          let fault = remaining_faults.(i) in
+          match
+            Podem.run ~backtrack_limit:params.final_backtrack
+              ~should_abort:(fun () -> Clock.expired dl_fin)
+              ~scoap view ~faults:[ fault ]
+          with
+          | Podem.Untestable, _ ->
+            Hashtbl.remove st.alive i;
+            st.untestable3 <- st.untestable3 + 1;
+            untestable_idx3 := i :: !untestable_idx3
+          | Podem.Test assignment, _ ->
+            (* The larger budget found a combinational test that step 2
+               missed; realize and confirm it sequentially before falling
+               back to the restricted sequential model. *)
+            let ff_values, pi_values = split_assignment scanned assignment in
+            let stim =
+              Sequences.of_comb_test scanned config ~ff_values ~pi_values
+            in
             ignore
-              (attack ~jobs:params.jobs st scanned config ~remaining_faults
-                 ~bounds:fp.Group.spans ~positions ~frames:params.final_frames
-                 ~backtrack:params.final_backtrack
-                 ~seconds:params.final_fault_seconds i)
-          end
-        | Podem.Aborted, _ ->
-          let fp = List.nth footprints i in
-          st.final_circuits <- st.final_circuits + 1;
-          ignore
-            (attack ~jobs:params.jobs st scanned config ~remaining_faults
-               ~bounds:fp.Group.spans ~positions ~frames:params.final_frames
-               ~backtrack:params.final_backtrack
-               ~seconds:params.final_fault_seconds i)
+              (retire_detections ~jobs:params.jobs st scanned
+                 ~remaining_faults ~stim);
+            if Hashtbl.mem st.alive i then attack_final i footprints.(i)
+          | Podem.Aborted, _ ->
+            acct.fin_aborts <- acct.fin_aborts + 1;
+            attack_final i footprints.(i)
+        end
       end)
     finals;
-  let undetected_idx =
+  let alive_idx =
     Hashtbl.fold (fun i () acc -> i :: acc) st.alive [] |> List.sort Int.compare
+  in
+  let undetected_idx, aborted_idx =
+    List.partition (fun i -> not aborted_flag.(remaining_arr.(i))) alive_idx
   in
   ( {
       detected = st.detected3;
@@ -466,26 +766,108 @@ let run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
       undetected = List.length undetected_idx;
       group_circuits = st.group_circuits;
       final_circuits = st.final_circuits;
-      seconds = Sys.time () -. t0;
+      seconds = !seconds_before +. (Clock.now () -. t0);
     },
-    List.map (fun i -> remaining_faults.(i)) undetected_idx,
-    List.rev !untestable_faults3 )
+    undetected_idx,
+    aborted_idx,
+    List.rev !untestable_idx3 )
 
-let run ?(params = default_params) scanned config =
+(* --- orchestration ------------------------------------------------------ *)
+
+let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
+    ?(resume = false) ?on_checkpoint scanned config =
   let faults = Fault.collapse scanned (Fault.universe scanned) in
-  let t0 = Sys.time () in
-  let classify = Classify.run scanned config faults in
-  let classify_seconds = Sys.time () -. t0 in
+  let fp = fingerprint scanned config params in
+  let ck =
+    let loaded =
+      if resume then
+        match checkpoint with
+        | Some path ->
+          Checkpoint.load ~path ~fingerprint:fp ~version:ckpt_version
+        | None -> None
+      else None
+    in
+    match loaded with Some ck -> ck | None -> fresh_ckpt ()
+  in
+  let save stage =
+    (match checkpoint with
+     | Some path ->
+       Checkpoint.save ~path ~fingerprint:fp ~version:ckpt_version ck
+     | None -> ());
+    match on_checkpoint with Some f -> f stage | None -> ()
+  in
+  (* Phase 1: classification. Runs to completion even under a tiny budget —
+     every later phase's accounting is defined in terms of the hard-fault
+     set, so there is no meaningful way to truncate it. *)
+  let classify, classify_seconds =
+    match ck.c_classify with
+    | Some (c, s) -> (c, s)
+    | None ->
+      let t0 = Clock.now () in
+      let c = Classify.run scanned config faults in
+      let s = Clock.now () -. t0 in
+      if Clock.expired (Budget.deadline budget Budget.Classify) then
+        ck.acct.cl_late <- true;
+      ck.c_classify <- Some (c, s);
+      ck.aborted_flag <- Array.make (Array.length c.Classify.hard) false;
+      save "classify";
+      (c, s)
+  in
   let hard_index = classify.Classify.hard in
   let hard_faults =
     Array.map (fun i -> classify.Classify.infos.(i).Classify.fault) hard_index
   in
-  let step2, remaining, untestable2, view, scoap =
-    run_step2 ~params scanned config ~hard_faults
+  let view = View.scan_mode scanned ~constraints:config.Scan.constraints () in
+  let scoap = Fst_testability.Scoap.compute view in
+  (* Phase 2a: combinational ATPG over the hard faults. *)
+  let plan =
+    match ck.c_plan with
+    | Some p -> p
+    | None ->
+      let p =
+        plan_step2 ~params ~budget ~acct:ck.acct
+          ~aborted_flag:ck.aborted_flag view scoap scanned config ~hard_faults
+      in
+      ck.c_plan <- Some p;
+      save "step2-atpg";
+      p
   in
-  let step3, undetected, untestable3 =
-    run_step3 ~params scanned config ~classify ~hard_index ~remaining ~view
-      ~scoap
+  (* Phase 2b: sequential fault simulation of the realized sequences. *)
+  let step2, remaining =
+    match ck.c_s2 with
+    | Some s -> (s.s2_step2, s.s2_remaining)
+    | None ->
+      let step2, remaining =
+        fsim_step2 ~params ~budget ~acct:ck.acct scanned ~hard_faults ~plan
+      in
+      ck.c_s2 <- Some { s2_step2 = step2; s2_remaining = remaining };
+      save "step2-fsim";
+      (step2, remaining)
+  in
+  let untestable2 = List.map (fun i -> hard_faults.(i)) plan.untestable2 in
+  (* Phases 3 and 4: grouped sequential ATPG waves, then final targeting. *)
+  let remaining_faults =
+    Array.of_list
+      (List.map
+         (fun i -> classify.Classify.infos.(hard_index.(i)).Classify.fault)
+         remaining)
+  in
+  let step3, undetected_idx, aborted_idx, untestable3_idx =
+    match ck.c_fin with
+    | Some f -> (f.f_step3, f.undetected_idx, f.aborted_idx, f.untestable3_idx)
+    | None ->
+      let step3, undetected_idx, aborted_idx, untestable3_idx =
+        run_step3 ~params ~budget ~acct:ck.acct
+          ~aborted_flag:ck.aborted_flag ~progress:ck.c_s3
+          ~save_progress:(fun p ->
+            ck.c_s3 <- Some p;
+            save "step3-wave")
+          scanned config ~classify ~hard_index ~remaining ~view ~scoap
+      in
+      ck.c_fin <-
+        Some { f_step3 = step3; undetected_idx; aborted_idx; untestable3_idx };
+      save "finished";
+      (step3, undetected_idx, aborted_idx, untestable3_idx)
   in
   {
     scanned;
@@ -495,6 +877,9 @@ let run ?(params = default_params) scanned config =
     classify_seconds;
     step2;
     step3;
-    undetected;
-    untestable_faults = untestable2 @ untestable3;
+    undetected = List.map (fun i -> remaining_faults.(i)) undetected_idx;
+    untestable_faults =
+      untestable2 @ List.map (fun i -> remaining_faults.(i)) untestable3_idx;
+    aborted = List.map (fun i -> remaining_faults.(i)) aborted_idx;
+    aborts = aborts_of ck.acct ~aborted_faults:(List.length aborted_idx);
   }

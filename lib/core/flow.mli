@@ -11,7 +11,14 @@
       enhanced chain controllability/observability ({!Group}), retrying the
       survivors individually with a larger budget, and proving
       undetectability through the relaxed combinational model where
-      possible. *)
+      possible.
+
+    Long runs are governed by an optional monotonic wall-clock budget
+    ({!Fst_exec.Budget}): each phase receives a cumulative share of the
+    total, a tripped deadline cancels the remaining work cooperatively
+    (partial results are kept, denied faults are reported as aborted), and
+    the flow can persist its progress to a versioned checkpoint file and
+    resume from it after a crash or kill. *)
 
 open Fst_netlist
 open Fst_fault
@@ -45,7 +52,8 @@ type params = {
       (** bias the random tests with {!Fst_atpg.Rtpg.weighted} instead of
           fair coins *)
   seq_fault_seconds : float;
-      (** approximate CPU budget per fault for grouped sequential ATPG *)
+      (** approximate wall-clock budget per fault for grouped sequential
+          ATPG (always additionally capped by the phase deadline) *)
   final_fault_seconds : float;
       (** budget per fault for the final individual targeting (the paper's
           "additional time") *)
@@ -73,6 +81,32 @@ type step3 = {
   seconds : float;
 }
 
+(** Per-phase abort accounting under a wall-clock budget. *)
+type phase_aborts = {
+  phase : string;  (** {!Fst_exec.Budget.phase_name} of the phase *)
+  budget_exhausted : bool;
+      (** the phase's deadline tripped before its work was complete *)
+  atpg_aborts : int;
+      (** ATPG attempts that ended in an abort (backtrack limit, per-fault
+          deadline, or phase deadline) during this phase *)
+  cancelled_groups : int;
+      (** step-3 groups (or final-targeting faults) whose attempt was
+          denied outright by the tripped deadline *)
+}
+
+type aborts = {
+  phases : phase_aborts list;  (** one entry per phase, in flow order *)
+  aborted_faults : int;
+      (** hard faults left alive at the end of the flow whose attempt was
+          denied by the budget — reported separately from [undetected] so
+          that detected + untestable + undetected + aborted always equals
+          the number of hard faults *)
+}
+
+val budget_exhausted : aborts -> bool
+val atpg_aborts : aborts -> int
+val cancelled_groups : aborts -> int
+
 type result = {
   scanned : Circuit.t;
   config : Scan.config;
@@ -81,15 +115,41 @@ type result = {
   classify_seconds : float;
   step2 : step2;
   step3 : step3;
-  undetected : Fault.t list;  (** survivors of the whole flow *)
+  undetected : Fault.t list;
+      (** survivors of the whole flow that received their full attempt *)
   untestable_faults : Fault.t list;
       (** faults proven untestable (step-2 combinational proofs plus the
           relaxed-model proofs of step 3) *)
+  aborted : Fault.t list;
+      (** survivors whose attempt was denied by the wall-clock budget *)
+  aborts : aborts;
 }
 
-(** [run ?params scanned config] executes the flow on an already-scanned
-    circuit. *)
-val run : ?params:params -> Circuit.t -> Scan.config -> result
+(** [run ?params ?budget ?checkpoint ?resume ?on_checkpoint scanned config]
+    executes the flow on an already-scanned circuit.
+
+    [budget] (default {!Fst_exec.Budget.unlimited}) bounds the whole run in
+    monotonic wall-clock time; when a phase overruns its cumulative share,
+    the remaining work of that phase is cancelled cooperatively and
+    accounted in {!type-aborts}.
+
+    [checkpoint] names a file to which the flow atomically persists its
+    progress after every phase and every step-3 wave. With [resume = true]
+    the flow first tries to load that file — a checkpoint written for a
+    different circuit, configuration, parameter set, or format version is
+    ignored — and continues from the last completed stage; a resumed
+    [jobs = 1] run produces results identical to an uninterrupted one.
+    [on_checkpoint] is called with a stage label ("classify", "step2-atpg",
+    "step2-fsim", "step3-wave", "finished") after each save. *)
+val run :
+  ?params:params ->
+  ?budget:Fst_exec.Budget.t ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  ?on_checkpoint:(string -> unit) ->
+  Circuit.t ->
+  Scan.config ->
+  result
 
 (** [total_faults r], [affecting r]: Table-2/3 denominators. *)
 val total_faults : result -> int

@@ -4,6 +4,7 @@ open Fst_fault
 open Fst_fsim
 open Fst_atpg
 open Fst_tpi
+module Clock = Fst_exec.Clock
 
 type params = {
   backtrack : int;
@@ -25,6 +26,7 @@ type result = {
   detected : int;
   untestable : int;
   undetected : int;
+  aborted : int;
   vectors : int;
   seconds : float;
 }
@@ -35,8 +37,9 @@ type result = {
 let functional_view (scanned : Circuit.t) (config : Scan.config) =
   View.scan_mode scanned ~constraints:[ (config.Scan.scan_mode, V3.Zero) ] ()
 
-let run ?(params = default_params) scanned config ~already_detected =
-  let t0 = Sys.time () in
+let run ?(params = default_params) ?(deadline = Clock.never) scanned config
+    ~already_detected =
+  let t0 = Clock.now () in
   let universe = Fault.collapse scanned (Fault.universe scanned) in
   let done_set = Hashtbl.create (2 * List.length already_detected) in
   List.iter (fun f -> Hashtbl.replace done_set f ()) already_detected;
@@ -45,26 +48,33 @@ let run ?(params = default_params) scanned config ~already_detected =
     |> List.filter (fun f -> not (Hashtbl.mem done_set f))
     |> Array.of_list
   in
+  let n = Array.length targets in
   let view = functional_view scanned config in
   let scoap = Fst_testability.Scoap.compute view in
   let blocks = ref [] in
-  let proven = Array.make (Array.length targets) false in
-  Array.iteri
-    (fun i fault ->
-      match
-        Podem.run ~backtrack_limit:params.backtrack ~scoap view
-          ~faults:[ fault ]
-      with
-      | Podem.Test assignment, _ ->
-        let ff_values, pi_values =
-          List.partition (fun (net, _) -> Circuit.is_dff scanned net) assignment
-        in
-        blocks :=
-          Sequences.of_capture_test scanned config ~ff_values ~pi_values
-          :: !blocks
-      | Podem.Untestable, _ -> proven.(i) <- true
-      | Podem.Aborted, _ -> ())
-    targets;
+  let proven = Array.make n false in
+  let denied = Array.make n false in
+  let i = ref 0 in
+  while !i < n && not (Clock.expired deadline) do
+    (match
+       Podem.run ~backtrack_limit:params.backtrack
+         ~should_abort:(fun () -> Clock.expired deadline)
+         ~scoap view ~faults:[ targets.(!i) ]
+     with
+     | Podem.Test assignment, _ ->
+       let ff_values, pi_values =
+         List.partition (fun (net, _) -> Circuit.is_dff scanned net) assignment
+       in
+       blocks :=
+         Sequences.of_capture_test scanned config ~ff_values ~pi_values
+         :: !blocks
+     | Podem.Untestable, _ -> proven.(!i) <- true
+     | Podem.Aborted, _ -> if Clock.expired deadline then denied.(!i) <- true);
+    incr i
+  done;
+  for k = !i to n - 1 do
+    denied.(k) <- true
+  done;
   let rng = Fst_gen.Rng.create params.random_seed in
   let random_block () =
     let ff_values, pi_values =
@@ -81,22 +91,27 @@ let run ?(params = default_params) scanned config ~already_detected =
     Fsim.Engine.detect_dropping ~jobs:params.jobs scanned ~faults:targets
       ~observe:scanned.Circuit.outputs ~stimuli:blocks
   in
-  let detected = ref 0 and untestable = ref 0 in
+  let detected = ref 0 and untestable = ref 0 and aborted = ref 0 in
   Array.iteri
     (fun i o ->
       (* A capture-model-untestable fault can still fall to the load or
-         unload portion of another sequence; simulation wins. *)
+         unload portion of another sequence; simulation wins. A fault whose
+         attempt the deadline denied counts as aborted only if nothing
+         detected it anyway. *)
       match o with
       | Some _ -> incr detected
-      | None -> if proven.(i) then incr untestable)
+      | None ->
+        if proven.(i) then incr untestable
+        else if denied.(i) then incr aborted)
     outcome;
   {
-    targeted = Array.length targets;
+    targeted = n;
     detected = !detected;
     untestable = !untestable;
-    undetected = Array.length targets - !detected - !untestable;
+    undetected = n - !detected - !untestable - !aborted;
+    aborted = !aborted;
     vectors = List.length blocks;
-    seconds = Sys.time () -. t0;
+    seconds = Clock.now () -. t0;
   }
 
 let coverage ~chain_detected ~result ~total =

@@ -31,16 +31,23 @@ type result = {
   detected : int;
   untestable : int;
   undetected : int;
+  aborted : int;
+      (** faults whose ATPG attempt was denied by [deadline] and that no
+          other sequence detected *)
   vectors : int;
-  seconds : float;
+  seconds : float;  (** wall-clock time ({!Fst_exec.Clock}) *)
 }
 
-(** [run ?params scanned config ~already_detected] tests the functional
-    logic through the scan chain. [already_detected] lists faults credited
-    to the chain-testing phase (dropped from the target list and counted
-    as covered in {!coverage}). *)
+(** [run ?params ?deadline scanned config ~already_detected] tests the
+    functional logic through the scan chain. [already_detected] lists
+    faults credited to the chain-testing phase (dropped from the target
+    list and counted as covered in {!coverage}). A tripped [deadline]
+    (default {!Fst_exec.Clock.never}) skips the remaining ATPG attempts;
+    the skipped faults still ride through fault simulation and any left
+    undetected are reported as [aborted]. *)
 val run :
   ?params:params ->
+  ?deadline:Fst_exec.Clock.deadline ->
   Circuit.t ->
   Scan.config ->
   already_detected:Fault.t list ->

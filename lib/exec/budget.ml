@@ -1,0 +1,32 @@
+type phase = Classify | Step2_atpg | Step2_fsim | Step3 | Finals
+
+type t = { start : float; total : float option }
+
+let unlimited = { start = 0.0; total = None }
+let of_seconds s = { start = Clock.now (); total = Some (Float.max 0.0 s) }
+let is_limited b = b.total <> None
+
+(* Cumulative share of the total allowance by which each phase must be
+   done; the last entry is 1.0 by construction so the flow deadline and
+   the finals deadline coincide. *)
+let cumulative = function
+  | Classify -> 0.05
+  | Step2_atpg -> 0.35
+  | Step2_fsim -> 0.65
+  | Step3 -> 0.90
+  | Finals -> 1.0
+
+let deadline b phase =
+  match b.total with
+  | None -> Clock.never
+  | Some total -> Clock.at (b.start +. (total *. cumulative phase))
+
+let fault_deadline b phase s = Clock.earliest (Clock.after s) (deadline b phase)
+let exhausted b = Clock.expired (deadline b Finals)
+
+let phase_name = function
+  | Classify -> "classify"
+  | Step2_atpg -> "step2-atpg"
+  | Step2_fsim -> "step2-fsim"
+  | Step3 -> "step3"
+  | Finals -> "finals"

@@ -1,24 +1,43 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* --- cooperative cancellation ------------------------------------------ *)
+
+type token = bool Atomic.t
+
+let token () = Atomic.make false
+let cancel t = Atomic.set t true
+let cancelled t = Atomic.get t
+
+type 'a outcome = Done of 'a | Cancelled
+
 (* Claims [chunk] consecutive task indices at a time from a shared atomic
    cursor. Each slot of [results] is written by exactly one domain;
-   [Domain.join] publishes those writes to the caller. *)
-let run_tasks ~jobs ~chunk n (run_one : int -> unit) =
+   [Domain.join] publishes those writes to the caller. [stop] is polled
+   before every chunk claim (and between tasks on the sequential path), so
+   a tripped deadline or a cancelled token drains the queue instead of
+   running it to completion; tasks already claimed run to the end of their
+   chunk. *)
+let run_tasks ~jobs ~chunk ~stop n (run_one : int -> unit) =
   if n > 0 then begin
-    if jobs <= 1 then
-      for i = 0 to n - 1 do
-        run_one i
+    if jobs <= 1 then begin
+      let i = ref 0 in
+      while !i < n && not (stop ()) do
+        run_one !i;
+        incr i
       done
+    end
     else begin
       let next = Atomic.make 0 in
       let worker () =
         let rec loop () =
-          let lo = Atomic.fetch_and_add next chunk in
-          if lo < n then begin
-            for i = lo to min (lo + chunk) n - 1 do
-              run_one i
-            done;
-            loop ()
+          if not (stop ()) then begin
+            let lo = Atomic.fetch_and_add next chunk in
+            if lo < n then begin
+              for i = lo to min (lo + chunk) n - 1 do
+                run_one i
+              done;
+              loop ()
+            end
           end
         in
         loop ()
@@ -30,6 +49,8 @@ let run_tasks ~jobs ~chunk n (run_one : int -> unit) =
       Array.iter Domain.join helpers
     end
   end
+
+let never_stop () = false
 
 let chunk_of ?chunk ~jobs n =
   match chunk with
@@ -59,7 +80,7 @@ let map_array ?chunk ~jobs f xs =
            | y -> Ok y
            | exception e -> Error (e, Printexc.get_raw_backtrace ()))
     in
-    run_tasks ~jobs ~chunk:(chunk_of ?chunk ~jobs n) n run_one;
+    run_tasks ~jobs ~chunk:(chunk_of ?chunk ~jobs n) ~stop:never_stop n run_one;
     reraise_first n slots;
     Array.map
       (function
@@ -74,3 +95,30 @@ let mapi_array ?chunk ~jobs f xs =
 
 let map_list ?chunk ~jobs f xs =
   Array.to_list (map_array ?chunk ~jobs f (Array.of_list xs))
+
+let map_cancellable ?chunk ?token:tok ?(deadline = Clock.never) ~jobs f xs =
+  let n = Array.length xs in
+  let jobs = max 1 (min jobs n) in
+  let tok = match tok with Some t -> t | None -> token () in
+  let slots = Array.make n None in
+  let run_one i =
+    slots.(i) <-
+      Some
+        (match f xs.(i) with
+         | y -> Ok y
+         | exception e ->
+           (* A failing task drains the queue: unclaimed work stays
+              [Cancelled] and the first failure (in input order) is
+              re-raised after the join. *)
+           cancel tok;
+           Error (e, Printexc.get_raw_backtrace ()))
+  in
+  let stop () = cancelled tok || Clock.expired deadline in
+  run_tasks ~jobs ~chunk:(chunk_of ?chunk ~jobs n) ~stop n run_one;
+  reraise_first n slots;
+  Array.map
+    (function
+      | Some (Ok y) -> Done y
+      | None -> Cancelled
+      | Some (Error _) -> assert false)
+    slots

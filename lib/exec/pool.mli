@@ -4,9 +4,8 @@
     up to [jobs] domains (the calling domain participates, so [jobs = 2]
     spawns one helper). Results are merged back in input order regardless of
     completion order, so output is deterministic for any [jobs] value. If
-    any task raises, every claimed task still runs to completion and the
-    exception of the lowest-index failing task is re-raised (with its
-    backtrace) on the calling domain.
+    any task raises, the exception of the lowest-index failing task is
+    re-raised (with its backtrace) on the calling domain.
 
     [jobs <= 1] runs everything sequentially on the calling domain — no
     domains are spawned and behavior is exactly that of [Array.map]. Tasks
@@ -17,9 +16,28 @@
 (** [default_jobs ()] is [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int
 
+(** {1 Cooperative cancellation}
+
+    A {!token} is a shared stop flag. Workers poll it before every chunk
+    claim, so cancelling drains the remaining queue promptly while letting
+    already-claimed tasks finish — no task is ever interrupted midway, and
+    the results that exist are trustworthy. *)
+
+type token
+
+val token : unit -> token
+val cancel : token -> unit
+val cancelled : token -> bool
+
+(** Outcome of one task under cancellation: either its result, or
+    [Cancelled] because the queue was drained (token tripped, deadline
+    expired, or an earlier task failed) before the task was claimed. *)
+type 'a outcome = Done of 'a | Cancelled
+
 (** [map_array ~jobs f xs] is [Array.map f xs], computed on up to [jobs]
     domains. [chunk] overrides the work-queue claim granularity (default:
-    about four chunks per domain). *)
+    about four chunks per domain). If any task raises, every claimed task
+    still runs to completion and the lowest-index failure is re-raised. *)
 val map_array : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 
 (** [mapi_array] is {!map_array} with the input index. *)
@@ -27,3 +45,20 @@ val mapi_array : ?chunk:int -> jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b a
 
 (** [map_list ~jobs f xs] is [List.map f xs] via {!map_array}. *)
 val map_list : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_cancellable ~jobs f xs] is {!map_array} with cooperative
+    cancellation: the queue stops being claimed once [token] is cancelled
+    or [deadline] expires, and every unclaimed slot comes back
+    [Cancelled], in input order. A raising task cancels the token (so the
+    rest of the queue drains) and the lowest-index recorded failure is
+    re-raised after the join. With [jobs <= 1] the stop condition is
+    checked between consecutive tasks, so the [Done] prefix is exactly the
+    tasks that ran — fully deterministic. *)
+val map_cancellable :
+  ?chunk:int ->
+  ?token:token ->
+  ?deadline:Clock.deadline ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b outcome array

@@ -1,4 +1,5 @@
 module Pool = Fst_exec.Pool
+module Clock = Fst_exec.Clock
 module Q = QCheck
 
 exception Boom of int
@@ -77,6 +78,149 @@ let prop_matches_sequential =
       let f x = (x * 31) lxor 5 in
       Pool.map_array ~jobs:(jobs + 1) f xs = Array.map f xs)
 
+(* --- cooperative cancellation ------------------------------------------ *)
+
+let test_cancellable_no_stop () =
+  List.iter
+    (fun jobs ->
+      let got = Pool.map_cancellable ~jobs (fun x -> x * x) (squares 30) in
+      Alcotest.(check (array int))
+        (Printf.sprintf "all done jobs=%d" jobs)
+        (Array.map (fun x -> x * x) (squares 30))
+        (Array.map
+           (function Pool.Done y -> y | Pool.Cancelled -> -1)
+           got))
+    [ 1; 4 ]
+
+(* Sequential path: the stop flag is checked between tasks, so the [Done]
+   prefix is exactly the tasks that ran before the cancel. *)
+let test_cancel_exact_prefix () =
+  let tok = Pool.token () in
+  let got =
+    Pool.map_cancellable ~jobs:1 ~token:tok
+      (fun x ->
+        if x = 5 then Pool.cancel tok;
+        x * 2)
+      (squares 12)
+  in
+  Array.iteri
+    (fun i o ->
+      let expect = if i <= 5 then Pool.Done (i * 2) else Pool.Cancelled in
+      Alcotest.(check bool) (Printf.sprintf "slot %d" i) true (o = expect))
+    got
+
+let test_expired_deadline_drains_everything () =
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.map_cancellable ~jobs ~deadline:(Clock.after (-1.0))
+          (fun x -> x)
+          (squares 20)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "all cancelled jobs=%d" jobs)
+        true
+        (Array.for_all (fun o -> o = Pool.Cancelled) got))
+    [ 1; 2; 4 ]
+
+(* Tasks that block until the deadline expires: the claimed ones finish,
+   and everything behind them in the queue comes back [Cancelled]. *)
+let test_blocking_tasks_respect_deadline () =
+  let deadline = Clock.after 0.05 in
+  let got =
+    Pool.map_cancellable ~jobs:2 ~chunk:1 ~deadline
+      (fun x ->
+        while not (Clock.expired deadline) do
+          Domain.cpu_relax ()
+        done;
+        x)
+      (squares 6)
+  in
+  let done_count =
+    Array.fold_left
+      (fun n o -> match o with Pool.Done _ -> n + 1 | Pool.Cancelled -> n)
+      0 got
+  in
+  (* Only the tasks claimed before the deadline ran (at most one per
+     domain, since each blocks until expiry); indices are claimed in order,
+     so the finished slots form a prefix and the drained tail stayed
+     cancelled. *)
+  Alcotest.(check bool) "some but not all tasks ran" true
+    (done_count >= 1 && done_count <= 2);
+  Array.iteri
+    (fun i o ->
+      let expect =
+        if i < done_count then Pool.Done i else Pool.Cancelled
+      in
+      Alcotest.(check bool) (Printf.sprintf "slot %d" i) true (o = expect))
+    got
+
+(* A raising task cancels the shared token (draining the queue) and its
+   exception is re-raised after the join. *)
+let test_failing_task_cancels_token () =
+  List.iter
+    (fun jobs ->
+      let tok = Pool.token () in
+      (match
+         Pool.map_cancellable ~jobs ~chunk:1 ~token:tok
+           (fun x -> if x = 7 then raise (Boom x) else x)
+           (squares 40)
+       with
+       | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+       | exception Boom v -> Alcotest.(check int) "failure index" 7 v);
+      Alcotest.(check bool)
+        (Printf.sprintf "token tripped jobs=%d" jobs)
+        true (Pool.cancelled tok))
+    [ 1; 2; 8 ]
+
+(* Fault injection: wherever the cancel lands and whatever [jobs] is, every
+   [Done] slot carries the result for its own input (partial results are in
+   input order), and the task that tripped the token always completed. *)
+let prop_cancel_partial_results_ordered =
+  Q.Test.make ~name:"cancellation keeps partial results in input order"
+    ~count:100
+    Q.(triple (int_bound 7) (int_bound 60) (int_bound 60))
+    (fun (jobs, n, cancel_at) ->
+      let jobs = jobs + 1 and n = n + 1 in
+      let cancel_at = cancel_at mod n in
+      let tok = Pool.token () in
+      let got =
+        Pool.map_cancellable ~jobs ~token:tok
+          (fun x ->
+            if x = cancel_at then Pool.cancel tok;
+            (x * 13) lxor 3)
+          (squares n)
+      in
+      let ok =
+        ref
+          (Array.length got = n
+          && got.(cancel_at) = Pool.Done ((cancel_at * 13) lxor 3))
+      in
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Pool.Done y -> if y <> (i * 13) lxor 3 then ok := false
+          | Pool.Cancelled -> ())
+        got;
+      !ok)
+
+(* Fault injection: a raising task at a random position always surfaces its
+   own exception, and the sequential path records the exact prefix. *)
+let prop_raise_drains_queue =
+  Q.Test.make ~name:"raising task drains the queue deterministically"
+    ~count:100
+    Q.(pair (int_bound 40) (int_bound 40))
+    (fun (n, boom_at) ->
+      let n = n + 1 in
+      let boom_at = boom_at mod n in
+      match
+        Pool.map_cancellable ~jobs:1
+          (fun x -> if x = boom_at then raise (Boom x) else x)
+          (squares n)
+      with
+      | _ -> false
+      | exception Boom v -> v = boom_at)
+
 let suite =
   [
     Alcotest.test_case "deterministic merge order" `Quick
@@ -89,4 +233,16 @@ let suite =
     Alcotest.test_case "order independent of task duration" `Quick
       test_order_independent_of_duration;
     Helpers.qcheck prop_matches_sequential;
+    Alcotest.test_case "cancellable without stop = map" `Quick
+      test_cancellable_no_stop;
+    Alcotest.test_case "cancel gives exact sequential prefix" `Quick
+      test_cancel_exact_prefix;
+    Alcotest.test_case "expired deadline drains everything" `Quick
+      test_expired_deadline_drains_everything;
+    Alcotest.test_case "blocking tasks respect deadline" `Quick
+      test_blocking_tasks_respect_deadline;
+    Alcotest.test_case "failing task cancels token" `Quick
+      test_failing_task_cancels_token;
+    Helpers.qcheck prop_cancel_partial_results_ordered;
+    Helpers.qcheck prop_raise_drains_queue;
   ]

@@ -143,6 +143,121 @@ let prop_untestable_resists_random =
           = None)
         r.Flow.untestable_faults)
 
+(* --- wall-clock budgets and checkpoint/resume --------------------------- *)
+
+(* A near-zero budget must degrade cleanly: no exception, and every hard
+   fault accounted for exactly once across detected / untestable /
+   undetected / aborted. *)
+let test_zero_budget_accounting () =
+  let scanned, config = scan_small 7L in
+  let r =
+    Flow.run ~params:quick_params
+      ~budget:(Fst_exec.Budget.of_seconds 0.0)
+      scanned config
+  in
+  let hard = Array.length r.Flow.classify.Classify.hard in
+  Alcotest.(check int) "identity over hard faults" hard
+    (r.Flow.step2.Flow.detected + r.Flow.step2.Flow.untestable
+   + r.Flow.step3.Flow.detected + r.Flow.step3.Flow.untestable
+   + List.length r.Flow.undetected
+   + List.length r.Flow.aborted);
+  Alcotest.(check bool) "budget reported exhausted" true
+    (Flow.budget_exhausted r.Flow.aborts);
+  Alcotest.(check int) "aborted count matches list"
+    (List.length r.Flow.aborted)
+    r.Flow.aborts.Flow.aborted_faults;
+  Alcotest.(check bool) "something was actually denied" true
+    (hard = 0 || r.Flow.aborts.Flow.aborted_faults > 0)
+
+(* An unlimited budget must report no aborts at all in the accounting. *)
+let test_unlimited_budget_clean_accounting () =
+  let scanned, config = scan_small 7L in
+  let r = Flow.run ~params:quick_params scanned config in
+  Alcotest.(check bool) "no phase exhausted" false
+    (Flow.budget_exhausted r.Flow.aborts);
+  Alcotest.(check int) "no aborted faults" 0
+    r.Flow.aborts.Flow.aborted_faults;
+  Alcotest.(check (list string)) "aborted list empty" []
+    (List.map (Fst_fault.Fault.to_string scanned) r.Flow.aborted)
+
+exception Killed
+
+let counts r =
+  ( r.Flow.step2.Flow.detected,
+    r.Flow.step2.Flow.untestable,
+    r.Flow.step2.Flow.vectors,
+    r.Flow.step3.Flow.detected,
+    r.Flow.step3.Flow.untestable,
+    r.Flow.step3.Flow.group_circuits,
+    r.Flow.step3.Flow.final_circuits )
+
+let fault_names scanned fs =
+  List.map (Fst_fault.Fault.to_string scanned) fs
+
+(* Kill-and-resume round trip: interrupt the flow right after each stage's
+   checkpoint lands, resume from the file, and require the resumed jobs=1
+   run to reproduce the uninterrupted one bit for bit. *)
+let test_kill_and_resume_round_trip () =
+  let scanned, config = scan_small 7L in
+  (* Cripple step 2 so that survivors reach the step-3 waves (otherwise
+     there is no "step3-wave" checkpoint to interrupt). *)
+  let params =
+    { quick_params with Flow.jobs = 1; comb_backtrack = 1; random_blocks = 2 }
+  in
+  let reference = Flow.run ~params scanned config in
+  List.iter
+    (fun stage ->
+      let path = Filename.temp_file "fst-ckpt" ".bin" in
+      let killed = ref false in
+      (try
+         ignore
+           (Flow.run ~params ~checkpoint:path
+              ~on_checkpoint:(fun s ->
+                if s = stage && not !killed then begin
+                  killed := true;
+                  raise Killed
+                end)
+              scanned config)
+       with Killed -> ());
+      Alcotest.(check bool) (stage ^ " reached") true !killed;
+      let resumed =
+        Flow.run ~params ~checkpoint:path ~resume:true scanned config
+      in
+      Sys.remove path;
+      Alcotest.(check bool)
+        (stage ^ ": counts identical")
+        true
+        (counts resumed = counts reference);
+      Alcotest.(check (list string))
+        (stage ^ ": undetected identical")
+        (fault_names scanned reference.Flow.undetected)
+        (fault_names scanned resumed.Flow.undetected);
+      Alcotest.(check (list string))
+        (stage ^ ": untestable identical")
+        (fault_names scanned reference.Flow.untestable_faults)
+        (fault_names scanned resumed.Flow.untestable_faults);
+      Alcotest.(check bool)
+        (stage ^ ": curve identical")
+        true
+        (resumed.Flow.step2.Flow.curve = reference.Flow.step2.Flow.curve))
+    [ "classify"; "step2-atpg"; "step2-fsim"; "step3-wave" ]
+
+(* A checkpoint written for one circuit must be ignored when resuming on
+   another: the run falls back to a fresh flow instead of mixing state. *)
+let test_checkpoint_fingerprint_mismatch () =
+  let scanned_a, config_a = scan_small 7L in
+  let scanned_b, config_b = scan_small 11L in
+  let params = { quick_params with Flow.jobs = 1 } in
+  let path = Filename.temp_file "fst-ckpt" ".bin" in
+  ignore (Flow.run ~params ~checkpoint:path scanned_a config_a);
+  let fresh = Flow.run ~params scanned_b config_b in
+  let resumed =
+    Flow.run ~params ~checkpoint:path ~resume:true scanned_b config_b
+  in
+  Sys.remove path;
+  Alcotest.(check bool) "mismatched checkpoint ignored" true
+    (counts resumed = counts fresh)
+
 let suite =
   [
     Alcotest.test_case "flow bookkeeping" `Quick test_flow_bookkeeping;
@@ -151,4 +266,12 @@ let suite =
     Alcotest.test_case "figure-5 curve monotone" `Quick test_curve_monotone;
     Alcotest.test_case "truncation reduces vectors" `Quick test_truncation_reduces_vectors;
     Helpers.qcheck prop_untestable_resists_random;
+    Alcotest.test_case "near-zero budget degrades cleanly" `Quick
+      test_zero_budget_accounting;
+    Alcotest.test_case "unlimited budget reports no aborts" `Quick
+      test_unlimited_budget_clean_accounting;
+    Alcotest.test_case "kill-and-resume round trip" `Quick
+      test_kill_and_resume_round_trip;
+    Alcotest.test_case "checkpoint fingerprint mismatch ignored" `Quick
+      test_checkpoint_fingerprint_mismatch;
   ]

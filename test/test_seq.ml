@@ -114,9 +114,10 @@ let test_deadline_aborts () =
   let fault =
     { Fault.site = Fault.Stem config.Scan.chains.(0).Scan.ffs.(0); stuck = true }
   in
-  (* A deadline in the past aborts immediately without any run. *)
+  (* An already-tripped abort hook (e.g. an expired wall-clock deadline)
+     aborts immediately without any run. *)
   match
-    Seq.run ~deadline:(Sys.time () -. 1.0) scanned
+    Seq.run ~should_abort:(fun () -> true) scanned
       ~constraints:config.Scan.constraints
       ~controllable_ff:(fun _ -> true)
       ~observable_ff:(fun _ -> true)
