@@ -1,6 +1,7 @@
 # Convenience targets for local development and CI.
 
-.PHONY: all build test check bench-smoke degradation-smoke resume-smoke clean
+.PHONY: all build test check bench-smoke degradation-smoke resume-smoke \
+  obs-smoke noop-sink-smoke clean
 
 all: build
 
@@ -12,14 +13,19 @@ test:
 
 # Full local gate: compile everything, run the test suite, then smoke-run
 # the micro benchmark at a tiny scale so bench/ rot is caught early, and
-# exercise the budget-degradation and checkpoint/resume CLI paths.
-check: build test bench-smoke degradation-smoke resume-smoke
+# exercise the budget-degradation, checkpoint/resume, and observability
+# CLI paths.
+check: build test bench-smoke degradation-smoke resume-smoke obs-smoke \
+  noop-sink-smoke
 
 bench-smoke:
 	FST_SCALE=0.02 dune exec -- bench/main.exe micro
 
 FST_EXE := ./_build/default/bin/fst.exe
 SMOKE_FLOW := flow -n s1423 --scale 0.25 -j 1
+# Multicore variant for the observability smoke: per-domain pool metrics
+# only exist when the pool actually spins up helper domains.
+SMOKE_FLOW_MT := flow -n s1423 --scale 0.25 -j 2
 
 # A near-zero wall-clock budget must exit cleanly with non-zero abort
 # accounting (greppable `aborts:` lines), never crash or hang.
@@ -43,6 +49,38 @@ resume-smoke: build
 	diff $$tmp/fresh.txt $$tmp/resumed.txt || \
 	  { echo "resume-smoke: resumed report differs"; rm -rf $$tmp; exit 1; }; \
 	rm -rf $$tmp; echo "resume-smoke: OK"
+
+# The full observability path: trace + metrics + events + heartbeat on a
+# small flow, then machine-validate every artifact with `fst jsonlint`.
+obs-smoke: build
+	@tmp=`mktemp -d`; \
+	$(FST_EXE) $(SMOKE_FLOW_MT) --trace $$tmp/trace.json \
+	  --metrics $$tmp/metrics.json --events $$tmp/events.jsonl \
+	  --progress > /dev/null 2> $$tmp/stderr.txt || \
+	  { echo "obs-smoke: flow exited non-zero"; rm -rf $$tmp; exit 1; }; \
+	grep -q "^\[flow\]" $$tmp/stderr.txt || \
+	  { echo "obs-smoke: no heartbeat on stderr"; rm -rf $$tmp; exit 1; }; \
+	$(FST_EXE) jsonlint $$tmp/trace.json --expect traceEvents \
+	  --expect '"cat":"phase"' || { rm -rf $$tmp; exit 1; }; \
+	$(FST_EXE) jsonlint $$tmp/metrics.json \
+	  --expect atpg.podem.backtracks --expect busy_frac || \
+	  { rm -rf $$tmp; exit 1; }; \
+	$(FST_EXE) jsonlint $$tmp/events.jsonl --expect phase_start \
+	  --expect phase_end || { rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; echo "obs-smoke: OK"
+
+# Observability must be a pure observer: the report of an instrumented
+# jobs=1 run is identical to the plain run (timing lines filtered, like
+# resume-smoke).
+noop-sink-smoke: build
+	@tmp=`mktemp -d`; \
+	$(FST_EXE) $(SMOKE_FLOW) | grep -v "CPU" > $$tmp/plain.txt; \
+	$(FST_EXE) $(SMOKE_FLOW) --trace $$tmp/t.json --metrics $$tmp/m.json \
+	  --events $$tmp/e.jsonl 2> /dev/null | grep -v "CPU" > $$tmp/obs.txt; \
+	diff $$tmp/plain.txt $$tmp/obs.txt || \
+	  { echo "noop-sink-smoke: instrumented report differs"; \
+	    rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; echo "noop-sink-smoke: OK"
 
 clean:
 	dune clean

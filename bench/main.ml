@@ -5,7 +5,7 @@
 
    Usage:  main.exe [table1|table2|table3|fig5|ablate-alt|ablate-dist|
                      ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|
-                     coverage|fsim|micro|all]
+                     coverage|fsim|flow|micro|all]
    The suite size is controlled by FST_SCALE (default 0.10; 1.0 =
    published circuit sizes). *)
 
@@ -782,6 +782,129 @@ let fsim_bench () =
   Printf.printf "wrote BENCH_fsim.json (%d circuits, jobs=%d)\n" (List.length rows) jobs
 
 (* ------------------------------------------------------------------ *)
+(* Whole-flow benchmark: per-phase wall clock and key counters per      *)
+(* circuit, serial vs jobs=N, read off a live metrics sink and written  *)
+(* to BENCH_flow.json so the perf trajectory is tracked across PRs.     *)
+(* ------------------------------------------------------------------ *)
+
+let flow_bench () =
+  let jobs =
+    match Sys.getenv_opt "FST_JOBS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> max 1 n
+        | None -> failwith (Printf.sprintf "FST_JOBS=%S is not an integer" s))
+    | None -> Fst_exec.Pool.default_jobs ()
+  in
+  let module J = Fst_obs.Json in
+  let module M = Fst_obs.Metrics in
+  let phases = [ "classify"; "step2-atpg"; "step2-fsim"; "step3" ] in
+  (* One instrumented run: a metrics-only sink (no trace buffer, no event
+     log), so everything reported here comes off the registry snapshot. *)
+  let variant ~jobs prep =
+    let metrics = M.create () in
+    let sink = Fst_obs.Sink.create ~metrics () in
+    let params = { flow_params with Flow.jobs; sink } in
+    let t0 = Unix.gettimeofday () in
+    let flow = Flow.run ~params prep.scanned prep.config in
+    let wall = Unix.gettimeofday () -. t0 in
+    let gauge name = M.Gauge.value (M.gauge metrics name) in
+    let count name = M.Counter.value (M.counter metrics name) in
+    let a = flow.Flow.atpg in
+    let json =
+      J.Obj
+        [
+          ("jobs", J.Int jobs);
+          ("wall_s", J.Float wall);
+          ( "phases",
+            J.Obj
+              (List.map
+                 (fun p -> (p, J.Float (gauge ("flow." ^ p ^ ".wall_s"))))
+                 phases) );
+          ( "counters",
+            J.Obj
+              [
+                ("podem_runs", J.Int a.Flow.podem_runs);
+                ("podem_backtracks", J.Int a.Flow.podem_backtracks);
+                ("podem_decisions", J.Int a.Flow.podem_decisions);
+                ("podem_implications", J.Int a.Flow.podem_implications);
+                ("seq_runs", J.Int a.Flow.seq_runs);
+                ("seq_backtracks", J.Int a.Flow.seq_backtracks);
+                ("fsim_calls", J.Int (count "fsim.detect_all.calls"));
+                ("fsim_faults", J.Int (count "fsim.detect_all.faults"));
+                ("step2_blocks", J.Int (count "flow.step2.blocks"));
+              ] );
+          ( "busy_frac",
+            J.List
+              (List.init jobs (fun k ->
+                   J.Float
+                     (gauge (Printf.sprintf "pool.domain%d.busy_frac" k)))) );
+          ( "detected",
+            J.Int (flow.Flow.step2.Flow.detected + flow.Flow.step3.Flow.detected)
+          );
+        ]
+    in
+    (wall, json)
+  in
+  let rows =
+    List.map
+      (fun prep ->
+        let name = prep.entry.Fst_gen.Suite.profile.Fst_gen.Gen.name in
+        Printf.eprintf "[flow-bench] %s...\n%!" name;
+        let serial_wall, serial_json = variant ~jobs:1 prep in
+        let multi_wall, multi_json = variant ~jobs prep in
+        (name, serial_wall, multi_wall, serial_json, multi_json))
+      (Lazy.force prepared_suite)
+  in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf "Whole-flow wall clock, serial vs jobs=%d" jobs)
+      [
+        ("name", Table.Left);
+        ("serial", Table.Right);
+        ("multicore", Table.Right);
+        ("speedup", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, ser, mc, _, _) ->
+      Table.row t
+        [
+          name;
+          Table.cell_seconds ser;
+          Table.cell_seconds mc;
+          Printf.sprintf "%.2fx" (ser /. Float.max 1e-9 mc);
+        ])
+    rows;
+  Table.print t;
+  let doc =
+    J.Obj
+      [
+        ("scale", J.Float scale);
+        ("jobs", J.Int jobs);
+        ( "circuits",
+          J.List
+            (List.map
+               (fun (name, ser, mc, sj, mj) ->
+                 J.Obj
+                   [
+                     ("name", J.String name);
+                     ("serial", sj);
+                     ("multicore", mj);
+                     ("speedup", J.Float (ser /. Float.max 1e-9 mc));
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_flow.json" in
+  J.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_flow.json (%d circuits, jobs=%d)\n"
+    (List.length rows) jobs
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the per-table kernels.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -798,6 +921,7 @@ let micro () =
     View.scan_mode prep.scanned ~constraints:prep.config.Scan.constraints ()
   in
   let scoap = Fst_testability.Scoap.compute view in
+  let live_sink = Fst_obs.Sink.create ~metrics:(Fst_obs.Metrics.create ()) () in
   let tests =
     [
       Test.make ~name:"table2/classify-universe"
@@ -812,6 +936,20 @@ let micro () =
         (Staged.stage (fun () ->
              ignore
                (Fst_fsim.Fsim.Parallel.detect_all prep.scanned ~faults:chunk
+                  ~observe:prep.scanned.Circuit.outputs stim)));
+      (* The observability overhead pair: the Engine entry point with the
+         default null sink must cost the same as the raw backend (a single
+         branch); a live metrics sink adds a couple of counters per call. *)
+      Test.make ~name:"obs/fsim-engine-nullsink-62"
+        (Staged.stage (fun () ->
+             ignore
+               (Fst_fsim.Fsim.Engine.detect_all ~jobs:1 prep.scanned
+                  ~faults:chunk ~observe:prep.scanned.Circuit.outputs stim)));
+      Test.make ~name:"obs/fsim-engine-livesink-62"
+        (Staged.stage (fun () ->
+             ignore
+               (Fst_fsim.Fsim.Engine.detect_all ~obs:live_sink ~jobs:1
+                  prep.scanned ~faults:chunk
                   ~observe:prep.scanned.Circuit.outputs stim)));
       Test.make ~name:"table3/fsim-serial-1"
         (Staged.stage (fun () ->
@@ -831,6 +969,7 @@ let micro () =
     Table.create ~title:"Micro-benchmarks (Bechamel, monotonic clock)"
       [ ("kernel", Table.Left); ("time/run", Table.Right) ]
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let cfg =
@@ -848,6 +987,7 @@ let micro () =
           let cell =
             match Analyze.OLS.estimates result with
             | Some [ ns ] ->
+              estimates := (name, ns) :: !estimates;
               if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
               else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
               else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
@@ -857,13 +997,24 @@ let micro () =
           Table.row t [ name; cell ])
         analysis)
     tests;
-  Table.print t
+  Table.print t;
+  (match
+     ( List.assoc_opt "table3/fsim-parallel-62" !estimates,
+       List.assoc_opt "obs/fsim-engine-nullsink-62" !estimates,
+       List.assoc_opt "obs/fsim-engine-livesink-62" !estimates )
+   with
+  | Some raw, Some null_s, Some live when raw > 0.0 ->
+    Printf.printf
+      "\nobs overhead vs raw backend: null sink %+.2f%%, live metrics sink %+.2f%%\n"
+      (100.0 *. (null_s -. raw) /. raw)
+      (100.0 *. (live -. raw) /. raw)
+  | _ -> ())
 
 (* ------------------------------------------------------------------ *)
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|fsim|micro|all]"
+    "usage: main.exe [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|fsim|flow|micro|all]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -882,6 +1033,7 @@ let () =
   | "ablate-rtpg" -> ablate_rtpg ()
   | "coverage" -> coverage_table ()
   | "fsim" -> fsim_bench ()
+  | "flow" -> flow_bench ()
   | "micro" -> micro ()
   | "all" ->
     table1 ();
@@ -896,5 +1048,6 @@ let () =
     ablate_rtpg ();
     coverage_table ();
     fsim_bench ();
+    flow_bench ();
     micro ()
   | _ -> usage ()

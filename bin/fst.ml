@@ -161,6 +161,22 @@ let print_flow_report r =
     ];
   Table.row t [ "step 3 CPU"; Table.cell_seconds r.Flow.step3.Flow.seconds ];
   Table.rule t;
+  (* Aggregate ATPG engine statistics — previously computed and thrown
+     away by the call sites. *)
+  let a = r.Flow.atpg in
+  Table.row t [ "PODEM runs"; Table.cell_int a.Flow.podem_runs ];
+  Table.row t [ "PODEM backtracks"; Table.cell_int a.Flow.podem_backtracks ];
+  Table.row t [ "PODEM decisions"; Table.cell_int a.Flow.podem_decisions ];
+  Table.row t [ "PODEM implications"; Table.cell_int a.Flow.podem_implications ];
+  Table.row t
+    [
+      "PODEM aborts (limit/deadline)";
+      Printf.sprintf "%d/%d" a.Flow.podem_aborted_limit
+        a.Flow.podem_aborted_deadline;
+    ];
+  Table.row t [ "seq ATPG runs"; Table.cell_int a.Flow.seq_runs ];
+  Table.row t [ "seq ATPG backtracks"; Table.cell_int a.Flow.seq_backtracks ];
+  Table.rule t;
   Table.row t
     [ "undetected"; Table.cell_int_pct (List.length r.Flow.undetected) ~of_:total ];
   (if Flow.budget_exhausted r.Flow.aborts then begin
@@ -191,12 +207,56 @@ let print_flow_report r =
       Printf.printf "undetected: %s\n" (Fst_fault.Fault.to_string r.Flow.scanned f))
     r.Flow.undetected
 
-let run_flow name scale file chains jobs time_budget checkpoint resume =
+(* Builds the observability sink requested on the command line, plus the
+   action that writes the collected data out once the flow is done. With
+   no observability flag the null sink is installed and the run stays
+   bit-identical to an uninstrumented one. *)
+let make_sink ~trace ~metrics ~events ~progress =
+  if trace = None && metrics = None && events = None && not progress then
+    (Fst_obs.Sink.null, fun () -> ())
+  else begin
+    let tr =
+      match trace with Some _ -> Some (Fst_obs.Trace.create ()) | None -> None
+    in
+    let ev_oc = Option.map (fun path -> (path, open_out path)) events in
+    let ev = Option.map (fun (_, oc) -> Fst_obs.Events.to_channel oc) ev_oc in
+    let pr = if progress then Some (Fst_obs.Progress.create ()) else None in
+    let sink = Fst_obs.Sink.create ?trace:tr ?events:ev ?progress:pr () in
+    let finish () =
+      (match trace, tr with
+       | Some path, Some tr ->
+         let oc = open_out path in
+         Fst_obs.Json.to_channel oc (Fst_obs.Trace.to_json tr);
+         close_out oc;
+         Printf.eprintf "trace: %d events written to %s\n%!"
+           (Fst_obs.Trace.event_count tr)
+           path
+       | _ -> ());
+      (match metrics with
+       | Some path ->
+         let oc = open_out path in
+         Fst_obs.Json.to_channel oc
+           (Fst_obs.Metrics.to_json sink.Fst_obs.Sink.metrics);
+         close_out oc;
+         Printf.eprintf "metrics: written to %s\n%!" path
+       | None -> ());
+      match ev_oc with
+      | Some (path, oc) ->
+        close_out oc;
+        Printf.eprintf "events: written to %s\n%!" path
+      | None -> ()
+    in
+    (sink, finish)
+  end
+
+let run_flow name scale file chains jobs time_budget checkpoint resume trace
+    metrics events progress =
   let circuit = or_die (load ~name ~scale ~file) in
   let scanned, config = or_die (insert_chains circuit chains) in
   let jobs = if jobs <= 0 then Fst_exec.Pool.default_jobs () else jobs in
+  let sink, finish_obs = make_sink ~trace ~metrics ~events ~progress in
   let params =
-    { Flow.default_params with Flow.dist_floor_scale = scale; jobs }
+    { Flow.default_params with Flow.dist_floor_scale = scale; jobs; sink }
   in
   let budget =
     match time_budget with
@@ -207,7 +267,73 @@ let run_flow name scale file chains jobs time_budget checkpoint resume =
     or_die (Error "--resume requires --checkpoint PATH");
   let r = Flow.run ~params ~budget ?checkpoint ~resume scanned config in
   print_flow_report r;
+  finish_obs ();
   0
+
+(* --- jsonlint ----------------------------------------------------- *)
+
+(* Validation helper for the make-check smokes: parse each file as JSON
+   (or, for .jsonl files, as one JSON object per line) and optionally
+   require substrings, e.g. metric names that must be present. *)
+let run_jsonlint files expects =
+  let read_all path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let lint path =
+    let text = try Ok (read_all path) with Sys_error e -> Error e in
+    match text with
+    | Error e -> Error e
+    | Ok text ->
+      let parse () =
+        if Filename.check_suffix path ".jsonl" then
+          String.split_on_char '\n' text
+          |> List.iteri (fun i line ->
+                 if String.trim line <> "" then
+                   try ignore (Fst_obs.Json.of_string line)
+                   with Fst_obs.Json.Parse_error m ->
+                     failwith (Printf.sprintf "line %d: %s" (i + 1) m))
+        else ignore (Fst_obs.Json.of_string text)
+      in
+      (match parse () with
+       | () ->
+         let missing =
+           List.filter
+             (fun needle ->
+               (* substring search *)
+               let nl = String.length needle and tl = String.length text in
+               let rec at i =
+                 if i + nl > tl then true
+                 else if String.sub text i nl = needle then false
+                 else at (i + 1)
+               in
+               at 0)
+             expects
+         in
+         if missing = [] then Ok ()
+         else
+           Error
+             (Printf.sprintf "missing expected content: %s"
+                (String.concat ", " missing))
+       | exception Fst_obs.Json.Parse_error m -> Error m
+       | exception Failure m -> Error m)
+  in
+  let failures =
+    List.filter_map
+      (fun path ->
+        match lint path with
+        | Ok () ->
+          Printf.printf "jsonlint: %s OK\n" path;
+          None
+        | Error e ->
+          Printf.eprintf "jsonlint: %s: %s\n" path e;
+          Some path)
+      files
+  in
+  if failures = [] then 0 else 1
 
 (* --- alt ---------------------------------------------------------- *)
 
@@ -333,12 +459,50 @@ let flow_cmd =
            ~doc:"Resume from the --checkpoint file if it matches this \
                  circuit, configuration and parameter set.")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file (open in Perfetto or \
+                 chrome://tracing): spans for every phase, step-3 \
+                 wave/group, per-domain pool chunk, and each ATPG call \
+                 over 1ms.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write a JSON metrics snapshot (counters, gauges, \
+                 histograms): ATPG totals, per-domain busy fractions, \
+                 fault-simulation counts.")
+  in
+  let events =
+    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
+           ~doc:"Write a JSONL structured event log: phase start/end, \
+                 checkpoint writes, budget trips, abort records.")
+  in
+  let progress =
+    Arg.(value & flag & info [ "progress" ]
+           ~doc:"Print a one-line heartbeat to stderr (phase, faults \
+                 done/total, detected, ETA).")
+  in
   Cmd.v
     (Cmd.info "flow"
        ~doc:"Run the complete functional scan chain testing flow")
     Term.(
       const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg $ jobs_arg
-      $ time_budget $ checkpoint $ resume)
+      $ time_budget $ checkpoint $ resume $ trace $ metrics $ events
+      $ progress)
+
+let jsonlint_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+           ~doc:"JSON file (or .jsonl: one JSON object per line).")
+  in
+  let expects =
+    Arg.(value & opt_all string [] & info [ "expect" ] ~docv:"TEXT"
+           ~doc:"Fail unless the file contains $(docv) (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "jsonlint"
+       ~doc:"Validate JSON/JSONL files written by --trace/--metrics/--events")
+    Term.(const run_jsonlint $ files $ expects)
 
 let diag_cmd =
   let position =
@@ -364,7 +528,8 @@ let () =
   let code =
     try
       Cmd.eval' (Cmd.group info
-           [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; flow_cmd; alt_cmd; diag_cmd ])
+           [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; flow_cmd; alt_cmd;
+             diag_cmd; jsonlint_cmd ])
     with
     | Netfile.Parse_error { line; message } ->
       prerr_endline (Printf.sprintf "fst: line %d: %s" line message);

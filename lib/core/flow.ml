@@ -6,6 +6,10 @@ open Fst_tpi
 module Pool = Fst_exec.Pool
 module Clock = Fst_exec.Clock
 module Budget = Fst_exec.Budget
+module Sink = Fst_obs.Sink
+module Metrics = Fst_obs.Metrics
+module Trace = Fst_obs.Trace
+module Json = Fst_obs.Json
 
 type params = {
   jobs : int;
@@ -22,6 +26,7 @@ type params = {
   weighted_random : bool;
   seq_fault_seconds : float;
   final_fault_seconds : float;
+  sink : Sink.t;
 }
 
 let default_params =
@@ -40,6 +45,7 @@ let default_params =
     weighted_random = false;
     seq_fault_seconds = 0.5;
     final_fault_seconds = 2.0;
+    sink = Sink.null;
   }
 
 type step2 = {
@@ -76,6 +82,17 @@ let atpg_aborts a = List.fold_left (fun n p -> n + p.atpg_aborts) 0 a.phases
 let cancelled_groups a =
   List.fold_left (fun n p -> n + p.cancelled_groups) 0 a.phases
 
+type atpg_stats = {
+  podem_runs : int;
+  podem_backtracks : int;
+  podem_decisions : int;
+  podem_implications : int;
+  podem_aborted_limit : int;
+  podem_aborted_deadline : int;
+  seq_runs : int;
+  seq_backtracks : int;
+}
+
 type result = {
   scanned : Circuit.t;
   config : Scan.config;
@@ -88,6 +105,7 @@ type result = {
   untestable_faults : Fault.t list;
   aborted : Fault.t list;
   aborts : aborts;
+  atpg : atpg_stats;
 }
 
 let total_faults r = Array.length r.faults
@@ -134,6 +152,18 @@ type acct = {
   mutable fin_late : bool;
   mutable fin_aborts : int;
   mutable fin_cancelled : int;
+  (* Aggregate ATPG engine statistics (satellite: they used to be computed
+     and thrown away). PODEM/Seq stats from pool domains are committed
+     here on the main domain in deterministic wave order, and the record
+     rides inside every checkpoint so a resumed run keeps the totals. *)
+  mutable p_runs : int;
+  mutable p_backtracks : int;
+  mutable p_decisions : int;
+  mutable p_implications : int;
+  mutable p_ab_limit : int;
+  mutable p_ab_deadline : int;
+  mutable s_runs : int;
+  mutable s_backtracks : int;
 }
 
 let fresh_acct () =
@@ -148,6 +178,36 @@ let fresh_acct () =
     fin_late = false;
     fin_aborts = 0;
     fin_cancelled = 0;
+    p_runs = 0;
+    p_backtracks = 0;
+    p_decisions = 0;
+    p_implications = 0;
+    p_ab_limit = 0;
+    p_ab_deadline = 0;
+    s_runs = 0;
+    s_backtracks = 0;
+  }
+
+let add_podem_stats acct (s : Podem.stats) =
+  acct.p_runs <- acct.p_runs + 1;
+  acct.p_backtracks <- acct.p_backtracks + s.Podem.backtracks;
+  acct.p_decisions <- acct.p_decisions + s.Podem.decisions;
+  acct.p_implications <- acct.p_implications + s.Podem.implications
+
+let add_seq_stats acct (s : Seq.stats) =
+  acct.s_runs <- acct.s_runs + s.Seq.runs;
+  acct.s_backtracks <- acct.s_backtracks + s.Seq.backtracks
+
+let atpg_stats_of acct =
+  {
+    podem_runs = acct.p_runs;
+    podem_backtracks = acct.p_backtracks;
+    podem_decisions = acct.p_decisions;
+    podem_implications = acct.p_implications;
+    podem_aborted_limit = acct.p_ab_limit;
+    podem_aborted_deadline = acct.p_ab_deadline;
+    seq_runs = acct.s_runs;
+    seq_backtracks = acct.s_backtracks;
   }
 
 let aborts_of acct ~aborted_faults =
@@ -174,7 +234,7 @@ let aborts_of acct ~aborted_faults =
 
 (* Bump whenever the marshalled layout below (or anything it embeds)
    changes; [Checkpoint.load] rejects other versions. *)
-let ckpt_version = 1
+let ckpt_version = 2
 
 type plan = {
   blocks : Fsim.stimulus list;
@@ -226,36 +286,112 @@ let fresh_ckpt () =
   }
 
 (* A checkpoint is only valid against the exact circuit, scan configuration
-   and parameters that produced it. *)
-let fingerprint scanned config params =
-  Digest.to_hex (Digest.string (Marshal.to_string (scanned, config, params) []))
+   and parameters that produced it. The sink is excluded: it holds mutexes
+   and closures (unmarshalable), and attaching observability must not
+   invalidate a checkpoint taken without it. *)
+let fingerprint scanned config (p : params) =
+  let key =
+    ( p.jobs,
+      p.dist_floor_scale,
+      p.comb_backtrack,
+      p.seq_backtrack,
+      p.final_backtrack,
+      p.frames,
+      p.final_frames,
+      p.truncate_blocks,
+      (p.capture_curve, p.random_blocks, p.random_seed, p.weighted_random),
+      (p.seq_fault_seconds, p.final_fault_seconds) )
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string (scanned, config, key) []))
+
+(* --- instrumentation helpers ------------------------------------------- *)
+
+(* Times an individual ATPG call and records a trace span when it clears
+   the sink's threshold; a single branch when observability is off. Safe
+   on pool domains (the trace buffer is mutex-protected and the span
+   lands on the recording domain's tid). *)
+let timed_atpg (sink : Sink.t) name f =
+  if not sink.Sink.enabled then f ()
+  else
+    match sink.Sink.trace with
+    | None -> f ()
+    | Some tr ->
+      let t0 = Clock.now () in
+      let r = f () in
+      let dt = Clock.now () -. t0 in
+      if dt >= sink.Sink.atpg_span_s then
+        Trace.complete tr ~name ~cat:"atpg" ~start_s:t0 ~dur_s:dt;
+      r
+
+(* Wraps one phase body: start/end events, a phase span, a wall-clock
+   gauge, and Gc gauges sampled at the phase boundary. *)
+let phase_obs (sink : Sink.t) name f =
+  if not sink.Sink.enabled then f ()
+  else begin
+    Sink.event sink ~kind:"phase_start" [ ("phase", Json.String name) ];
+    let t0 = Clock.now () in
+    let r = Sink.span sink ~name ~cat:"phase" f in
+    let dt = Clock.now () -. t0 in
+    let m = sink.Sink.metrics in
+    Metrics.Gauge.set (Metrics.gauge m ("flow." ^ name ^ ".wall_s")) dt;
+    let g = Gc.quick_stat () in
+    Metrics.Gauge.set
+      (Metrics.gauge m "flow.gc.heap_words")
+      (float_of_int g.Gc.heap_words);
+    Metrics.Gauge.set
+      (Metrics.gauge m "flow.gc.minor_collections")
+      (float_of_int g.Gc.minor_collections);
+    Metrics.Gauge.set
+      (Metrics.gauge m "flow.gc.major_collections")
+      (float_of_int g.Gc.major_collections);
+    Sink.event sink ~kind:"phase_end"
+      [ ("phase", Json.String name); ("wall_s", Json.Float dt) ];
+    r
+  end
 
 (* --- Step 2: combinational ATPG + sequential fault simulation ---------- *)
 
 let plan_step2 ~params ~budget ~acct ~aborted_flag view scoap scanned config
     ~hard_faults =
+  let sink = params.sink in
   let dl = Budget.deadline budget Budget.Step2_atpg in
   let t0 = Clock.now () in
   let n = Array.length hard_faults in
   let blocks = ref [] and untestable = ref [] in
+  let n_tests = ref 0 in
   let i = ref 0 in
   while !i < n && not (Clock.expired dl) do
     (match
-       Podem.run ~backtrack_limit:params.comb_backtrack
-         ~should_abort:(fun () -> Clock.expired dl)
-         ~scoap view ~faults:[ hard_faults.(!i) ]
+       timed_atpg sink
+         (Printf.sprintf "podem[%d]" !i)
+         (fun () ->
+           Podem.run ~backtrack_limit:params.comb_backtrack
+             ~should_abort:(fun () -> Clock.expired dl)
+             ~scoap view ~faults:[ hard_faults.(!i) ])
      with
-     | Podem.Test assignment, _ ->
+     | Podem.Test assignment, stats ->
+       add_podem_stats acct stats;
+       incr n_tests;
        let ff_values, pi_values = split_assignment scanned assignment in
        blocks :=
          Sequences.of_comb_test scanned config ~ff_values ~pi_values
          :: !blocks
-     | Podem.Untestable, _ -> untestable := !i :: !untestable
-     | Podem.Aborted, _ ->
+     | Podem.Untestable, stats ->
+       add_podem_stats acct stats;
+       untestable := !i :: !untestable
+     | Podem.Aborted, stats ->
+       add_podem_stats acct stats;
        acct.s2a_aborts <- acct.s2a_aborts + 1;
        (* A deadline-tripped abort (as opposed to a backtrack-limit one)
           means the fault was denied its full attempt. *)
-       if Clock.expired dl then aborted_flag.(!i) <- true);
+       if Clock.expired dl then begin
+         acct.p_ab_deadline <- acct.p_ab_deadline + 1;
+         aborted_flag.(!i) <- true
+       end
+       else acct.p_ab_limit <- acct.p_ab_limit + 1);
+    if sink.Sink.enabled then
+      Sink.tick sink ~phase:"step2-atpg" ~done_:(!i + 1) ~total:n
+        ~detected:!n_tests ~budget_left:(Clock.remaining dl);
     incr i
   done;
   let attempted = !i in
@@ -299,8 +435,10 @@ let plan_step2 ~params ~budget ~acct ~aborted_flag view scoap scanned config
   }
 
 let fsim_step2 ~params ~budget ~acct scanned ~hard_faults ~(plan : plan) =
+  let sink = params.sink in
   let dl = Budget.deadline budget Budget.Step2_fsim in
   let t1 = Clock.now () in
+  let n_hit = ref 0 in
   let n = Array.length hard_faults in
   let untestable_set = Hashtbl.create 64 in
   List.iter (fun i -> Hashtbl.replace untestable_set i ()) plan.untestable2;
@@ -338,16 +476,24 @@ let fsim_step2 ~params ~budget ~acct scanned ~hard_faults ~(plan : plan) =
       else begin
         let faults = Array.map (fun k -> sim_faults.(k)) pending in
         let res =
-          Fsim.Engine.detect_all ~jobs:params.jobs scanned ~faults
+          Fsim.Engine.detect_all ~obs:sink ~jobs:params.jobs scanned ~faults
             ~observe:scanned.Circuit.outputs blocks_arr.(!b)
         in
         Array.iteri
           (fun j k ->
             match res.(j) with
-            | Some t -> outcome.(k) <- Some (!b, t)
+            | Some t ->
+              outcome.(k) <- Some (!b, t);
+              incr n_hit
             | None -> ())
           pending;
-        incr b
+        incr b;
+        if sink.Sink.enabled then begin
+          Metrics.Counter.incr
+            (Metrics.counter sink.Sink.metrics "flow.step2.blocks");
+          Sink.tick sink ~phase:"step2-fsim" ~done_:!b ~total:nb
+            ~detected:!n_hit ~budget_left:(Clock.remaining dl)
+        end
       end
     end
   done;
@@ -437,7 +583,7 @@ type step3_state = {
 
 (* Fault-simulates a realized sequence against every still-alive remaining
    fault and retires the detections; returns the detected indices. *)
-let retire_detections ~jobs st scanned ~remaining_faults ~stim =
+let retire_detections ~sink ~jobs st scanned ~remaining_faults ~stim =
   let alive_ids =
     Hashtbl.fold (fun i () acc -> i :: acc) st.alive [] |> List.sort Int.compare
   in
@@ -445,7 +591,7 @@ let retire_detections ~jobs st scanned ~remaining_faults ~stim =
     Array.of_list (List.map (fun i -> remaining_faults.(i)) alive_ids)
   in
   let outcome =
-    Fsim.Engine.detect_all ~jobs scanned ~faults:faults_arr
+    Fsim.Engine.detect_all ~obs:sink ~jobs scanned ~faults:faults_arr
       ~observe:scanned.Circuit.outputs stim
   in
   let hits = ref [] in
@@ -465,20 +611,25 @@ let retire_detections ~jobs st scanned ~remaining_faults ~stim =
    pool domain). [should_abort] folds the per-fault wall-clock deadline
    with the wave's cancellation token, so one stuck target cannot pin a
    domain past its budget. *)
-let plan_sequence scanned config ~remaining_faults ~bounds ~positions ~frames
-    ~backtrack ~should_abort target_idx =
+let plan_sequence ~sink scanned config ~remaining_faults ~bounds ~positions
+    ~frames ~backtrack ~should_abort target_idx =
   let controllable, observable = predicates_of_bounds positions bounds in
   let fault = remaining_faults.(target_idx) in
   match
-    Seq.run ~should_abort scanned ~constraints:config.Scan.constraints
-      ~controllable_ff:controllable ~observable_ff:observable ~fault
-      ~frames_list:frames ~backtrack_limit:backtrack
+    timed_atpg sink
+      (Printf.sprintf "seq[%d]" target_idx)
+      (fun () ->
+        Seq.run ~should_abort scanned ~constraints:config.Scan.constraints
+          ~controllable_ff:controllable ~observable_ff:observable ~fault
+          ~frames_list:frames ~backtrack_limit:backtrack)
   with
-  | Seq.Seq_aborted, _ -> None
-  | Seq.Seq_test test, _ -> Some (Sequences.of_seq_test scanned config test)
+  | Seq.Seq_aborted, stats -> (None, stats)
+  | Seq.Seq_test test, stats ->
+    (Some (Sequences.of_seq_test scanned config test), stats)
 
 let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
     scanned config ~classify ~hard_index ~remaining ~view ~scoap =
+  let sink = params.sink in
   let dl3 = Budget.deadline budget Budget.Step3 in
   let t0 = Clock.now () in
   let remaining_arr = Array.of_list remaining in
@@ -576,36 +727,46 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
          sequence retires faults before the next target is even attacked.
          One group per wave, checkpointed after commit. *)
       let group = groups.(!cursor) in
+      let group_no = !cursor in
       incr cursor;
       let bounds = Group.bounds_of_group group in
       let targets = targets_of group in
       if any_alive targets then begin
         st.group_circuits <- st.group_circuits + 1;
-        List.iter
-          (fun fp ->
-            let i = fp.Group.index in
-            if Hashtbl.mem st.alive i then begin
-              let dlf =
-                Budget.fault_deadline budget Budget.Step3
-                  params.seq_fault_seconds
-              in
-              match
-                plan_sequence scanned config ~remaining_faults ~bounds
-                  ~positions ~frames:params.frames
-                  ~backtrack:params.seq_backtrack
-                  ~should_abort:(fun () -> Clock.expired dlf)
-                  i
-              with
-              | None ->
-                acct.s3_aborts <- acct.s3_aborts + 1;
-                if Clock.expired dl3 then flag_idx i
-              | Some stim ->
-                ignore
-                  (retire_detections ~jobs:1 st scanned ~remaining_faults
-                     ~stim)
-            end)
-          targets;
-        checkpoint_wave ()
+        Sink.span sink
+          ~name:(Printf.sprintf "step3.group%d" group_no)
+          ~cat:"step3"
+          (fun () ->
+            List.iter
+              (fun fp ->
+                let i = fp.Group.index in
+                if Hashtbl.mem st.alive i then begin
+                  let dlf =
+                    Budget.fault_deadline budget Budget.Step3
+                      params.seq_fault_seconds
+                  in
+                  match
+                    plan_sequence ~sink scanned config ~remaining_faults
+                      ~bounds ~positions ~frames:params.frames
+                      ~backtrack:params.seq_backtrack
+                      ~should_abort:(fun () -> Clock.expired dlf)
+                      i
+                  with
+                  | None, stats ->
+                    add_seq_stats acct stats;
+                    acct.s3_aborts <- acct.s3_aborts + 1;
+                    if Clock.expired dl3 then flag_idx i
+                  | Some stim, stats ->
+                    add_seq_stats acct stats;
+                    ignore
+                      (retire_detections ~sink ~jobs:1 st scanned
+                         ~remaining_faults ~stim)
+                end)
+              targets);
+        checkpoint_wave ();
+        if sink.Sink.enabled then
+          Sink.tick sink ~phase:"step3" ~done_:!cursor ~total:n_groups
+            ~detected:st.detected3 ~budget_left:(Clock.remaining dl3)
       end
     end
     else begin
@@ -618,6 +779,7 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
          groups of one wave. A tripped budget cancels the wave's unclaimed
          groups cooperatively. *)
       let jobs = params.jobs in
+      let wave_no = !cursor in
       let wave = ref [] in
       while List.length !wave < jobs && !cursor < n_groups do
         let group = groups.(!cursor) in
@@ -628,68 +790,83 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
       done;
       let wave_arr = Array.of_list (List.rev !wave) in
       let snapshot = Hashtbl.copy st.alive in
-      let plans =
-        Pool.map_cancellable ~jobs ~chunk:1 ~token ~deadline:dl3
-          (fun (bounds, targets) ->
-            List.map
-              (fun fp ->
-                let i = fp.Group.index in
-                if not (Hashtbl.mem snapshot i) then (i, None, false)
-                else begin
-                  let dlf =
-                    Budget.fault_deadline budget Budget.Step3
-                      params.seq_fault_seconds
-                  in
-                  match
-                    plan_sequence scanned config ~remaining_faults ~bounds
-                      ~positions ~frames:params.frames
-                      ~backtrack:params.seq_backtrack
-                      ~should_abort:(fun () ->
-                        Clock.expired dlf || Pool.cancelled token)
-                      i
-                  with
-                  | None -> (i, None, true)
-                  | Some stim -> (i, Some stim, false)
-                end)
-              targets)
-          wave_arr
-      in
-      Array.iteri
-        (fun w outcome ->
-          match outcome with
-          | Pool.Cancelled ->
-            (* The group's model was never built: its alive members were
-               denied their attempt. *)
-            let _, targets = wave_arr.(w) in
-            let alive_targets =
-              List.filter
-                (fun fp -> Hashtbl.mem st.alive fp.Group.index)
-                targets
-            in
-            acct.s3_late <- true;
-            if alive_targets <> [] then begin
-              acct.s3_cancelled <- acct.s3_cancelled + 1;
-              List.iter (fun fp -> flag_idx fp.Group.index) alive_targets
-            end
-          | Pool.Done results ->
-            st.group_circuits <- st.group_circuits + 1;
-            List.iter
-              (fun (i, stim_opt, atpg_aborted) ->
-                match stim_opt with
-                | Some stim ->
-                  if Hashtbl.mem st.alive i then
-                    ignore
-                      (retire_detections ~jobs st scanned ~remaining_faults
-                         ~stim)
-                | None ->
-                  if atpg_aborted then begin
-                    acct.s3_aborts <- acct.s3_aborts + 1;
-                    if Clock.expired dl3 && Hashtbl.mem st.alive i then
-                      flag_idx i
-                  end)
-              results)
-        plans;
-      checkpoint_wave ()
+      Sink.span sink
+        ~name:(Printf.sprintf "step3.wave@%d" wave_no)
+        ~cat:"step3"
+        (fun () ->
+          let plans =
+            Pool.map_cancellable ~obs:sink ~label:"step3" ~jobs ~chunk:1
+              ~token ~deadline:dl3
+              (fun (bounds, targets) ->
+                List.map
+                  (fun fp ->
+                    let i = fp.Group.index in
+                    if not (Hashtbl.mem snapshot i) then (i, None, false, None)
+                    else begin
+                      let dlf =
+                        Budget.fault_deadline budget Budget.Step3
+                          params.seq_fault_seconds
+                      in
+                      match
+                        plan_sequence ~sink scanned config ~remaining_faults
+                          ~bounds ~positions ~frames:params.frames
+                          ~backtrack:params.seq_backtrack
+                          ~should_abort:(fun () ->
+                            Clock.expired dlf || Pool.cancelled token)
+                          i
+                      with
+                      | None, stats -> (i, None, true, Some stats)
+                      | Some stim, stats -> (i, Some stim, false, Some stats)
+                    end)
+                  targets)
+              wave_arr
+          in
+          (* Results — including the ATPG statistics gathered on the pool
+             domains — are committed here on the main domain, in wave
+             order, so the totals in [acct] are deterministic for a fixed
+             [jobs]. *)
+          Array.iteri
+            (fun w outcome ->
+              match outcome with
+              | Pool.Cancelled ->
+                (* The group's model was never built: its alive members were
+                   denied their attempt. *)
+                let _, targets = wave_arr.(w) in
+                let alive_targets =
+                  List.filter
+                    (fun fp -> Hashtbl.mem st.alive fp.Group.index)
+                    targets
+                in
+                acct.s3_late <- true;
+                if alive_targets <> [] then begin
+                  acct.s3_cancelled <- acct.s3_cancelled + 1;
+                  List.iter (fun fp -> flag_idx fp.Group.index) alive_targets
+                end
+              | Pool.Done results ->
+                st.group_circuits <- st.group_circuits + 1;
+                List.iter
+                  (fun (i, stim_opt, atpg_aborted, stats_opt) ->
+                    (match stats_opt with
+                     | Some stats -> add_seq_stats acct stats
+                     | None -> ());
+                    match stim_opt with
+                    | Some stim ->
+                      if Hashtbl.mem st.alive i then
+                        ignore
+                          (retire_detections ~sink ~jobs st scanned
+                             ~remaining_faults ~stim)
+                    | None ->
+                      if atpg_aborted then begin
+                        acct.s3_aborts <- acct.s3_aborts + 1;
+                        if Clock.expired dl3 && Hashtbl.mem st.alive i then
+                          flag_idx i
+                      end)
+                  results)
+            plans);
+      checkpoint_wave ();
+      if sink.Sink.enabled then
+        Sink.tick sink ~phase:"step3" ~done_:!cursor ~total:n_groups
+          ~detected:st.detected3 ~budget_left:(Clock.remaining dl3)
     end
   done;
   (* Final faults: prove undetectable through the relaxed combinational
@@ -705,17 +882,21 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
     in
     st.final_circuits <- st.final_circuits + 1;
     match
-      plan_sequence scanned config ~remaining_faults ~bounds:fp.Group.spans
-        ~positions ~frames:params.final_frames
+      plan_sequence ~sink scanned config ~remaining_faults
+        ~bounds:fp.Group.spans ~positions ~frames:params.final_frames
         ~backtrack:params.final_backtrack
         ~should_abort:(fun () -> Clock.expired dlf)
         i
     with
-    | None ->
+    | None, stats ->
+      add_seq_stats acct stats;
       acct.fin_aborts <- acct.fin_aborts + 1;
       if Clock.expired dl_fin then flag_idx i
-    | Some stim ->
-      ignore (retire_detections ~jobs:params.jobs st scanned ~remaining_faults ~stim)
+    | Some stim, stats ->
+      add_seq_stats acct stats;
+      ignore
+        (retire_detections ~sink ~jobs:params.jobs st scanned
+           ~remaining_faults ~stim)
   in
   List.iter
     (fun i ->
@@ -728,15 +909,20 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
         else begin
           let fault = remaining_faults.(i) in
           match
-            Podem.run ~backtrack_limit:params.final_backtrack
-              ~should_abort:(fun () -> Clock.expired dl_fin)
-              ~scoap view ~faults:[ fault ]
+            timed_atpg sink
+              (Printf.sprintf "podem.final[%d]" i)
+              (fun () ->
+                Podem.run ~backtrack_limit:params.final_backtrack
+                  ~should_abort:(fun () -> Clock.expired dl_fin)
+                  ~scoap view ~faults:[ fault ])
           with
-          | Podem.Untestable, _ ->
+          | Podem.Untestable, stats ->
+            add_podem_stats acct stats;
             Hashtbl.remove st.alive i;
             st.untestable3 <- st.untestable3 + 1;
             untestable_idx3 := i :: !untestable_idx3
-          | Podem.Test assignment, _ ->
+          | Podem.Test assignment, stats ->
+            add_podem_stats acct stats;
             (* The larger budget found a combinational test that step 2
                missed; realize and confirm it sequentially before falling
                back to the restricted sequential model. *)
@@ -745,10 +931,14 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
               Sequences.of_comb_test scanned config ~ff_values ~pi_values
             in
             ignore
-              (retire_detections ~jobs:params.jobs st scanned
+              (retire_detections ~sink ~jobs:params.jobs st scanned
                  ~remaining_faults ~stim);
             if Hashtbl.mem st.alive i then attack_final i footprints.(i)
-          | Podem.Aborted, _ ->
+          | Podem.Aborted, stats ->
+            add_podem_stats acct stats;
+            if Clock.expired dl_fin then
+              acct.p_ab_deadline <- acct.p_ab_deadline + 1
+            else acct.p_ab_limit <- acct.p_ab_limit + 1;
             acct.fin_aborts <- acct.fin_aborts + 1;
             attack_final i footprints.(i)
         end
@@ -776,6 +966,7 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
 
 let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
     ?(resume = false) ?on_checkpoint scanned config =
+  let sink = params.sink in
   let faults = Fault.collapse scanned (Fault.universe scanned) in
   let fp = fingerprint scanned config params in
   let ck =
@@ -792,7 +983,9 @@ let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
   let save stage =
     (match checkpoint with
      | Some path ->
-       Checkpoint.save ~path ~fingerprint:fp ~version:ckpt_version ck
+       Checkpoint.save ~path ~fingerprint:fp ~version:ckpt_version ck;
+       Sink.event sink ~kind:"checkpoint"
+         [ ("stage", Json.String stage); ("path", Json.String path) ]
      | None -> ());
     match on_checkpoint with Some f -> f stage | None -> ()
   in
@@ -803,15 +996,16 @@ let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
     match ck.c_classify with
     | Some (c, s) -> (c, s)
     | None ->
-      let t0 = Clock.now () in
-      let c = Classify.run scanned config faults in
-      let s = Clock.now () -. t0 in
-      if Clock.expired (Budget.deadline budget Budget.Classify) then
-        ck.acct.cl_late <- true;
-      ck.c_classify <- Some (c, s);
-      ck.aborted_flag <- Array.make (Array.length c.Classify.hard) false;
-      save "classify";
-      (c, s)
+      phase_obs sink "classify" (fun () ->
+          let t0 = Clock.now () in
+          let c = Classify.run scanned config faults in
+          let s = Clock.now () -. t0 in
+          if Clock.expired (Budget.deadline budget Budget.Classify) then
+            ck.acct.cl_late <- true;
+          ck.c_classify <- Some (c, s);
+          ck.aborted_flag <- Array.make (Array.length c.Classify.hard) false;
+          save "classify";
+          (c, s))
   in
   let hard_index = classify.Classify.hard in
   let hard_faults =
@@ -824,25 +1018,29 @@ let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
     match ck.c_plan with
     | Some p -> p
     | None ->
-      let p =
-        plan_step2 ~params ~budget ~acct:ck.acct
-          ~aborted_flag:ck.aborted_flag view scoap scanned config ~hard_faults
-      in
-      ck.c_plan <- Some p;
-      save "step2-atpg";
-      p
+      phase_obs sink "step2-atpg" (fun () ->
+          let p =
+            plan_step2 ~params ~budget ~acct:ck.acct
+              ~aborted_flag:ck.aborted_flag view scoap scanned config
+              ~hard_faults
+          in
+          ck.c_plan <- Some p;
+          save "step2-atpg";
+          p)
   in
   (* Phase 2b: sequential fault simulation of the realized sequences. *)
   let step2, remaining =
     match ck.c_s2 with
     | Some s -> (s.s2_step2, s.s2_remaining)
     | None ->
-      let step2, remaining =
-        fsim_step2 ~params ~budget ~acct:ck.acct scanned ~hard_faults ~plan
-      in
-      ck.c_s2 <- Some { s2_step2 = step2; s2_remaining = remaining };
-      save "step2-fsim";
-      (step2, remaining)
+      phase_obs sink "step2-fsim" (fun () ->
+          let step2, remaining =
+            fsim_step2 ~params ~budget ~acct:ck.acct scanned ~hard_faults
+              ~plan
+          in
+          ck.c_s2 <- Some { s2_step2 = step2; s2_remaining = remaining };
+          save "step2-fsim";
+          (step2, remaining))
   in
   let untestable2 = List.map (fun i -> hard_faults.(i)) plan.untestable2 in
   (* Phases 3 and 4: grouped sequential ATPG waves, then final targeting. *)
@@ -856,19 +1054,47 @@ let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
     match ck.c_fin with
     | Some f -> (f.f_step3, f.undetected_idx, f.aborted_idx, f.untestable3_idx)
     | None ->
-      let step3, undetected_idx, aborted_idx, untestable3_idx =
-        run_step3 ~params ~budget ~acct:ck.acct
-          ~aborted_flag:ck.aborted_flag ~progress:ck.c_s3
-          ~save_progress:(fun p ->
-            ck.c_s3 <- Some p;
-            save "step3-wave")
-          scanned config ~classify ~hard_index ~remaining ~view ~scoap
-      in
-      ck.c_fin <-
-        Some { f_step3 = step3; undetected_idx; aborted_idx; untestable3_idx };
-      save "finished";
-      (step3, undetected_idx, aborted_idx, untestable3_idx)
+      phase_obs sink "step3" (fun () ->
+          let step3, undetected_idx, aborted_idx, untestable3_idx =
+            run_step3 ~params ~budget ~acct:ck.acct
+              ~aborted_flag:ck.aborted_flag ~progress:ck.c_s3
+              ~save_progress:(fun p ->
+                ck.c_s3 <- Some p;
+                save "step3-wave")
+              scanned config ~classify ~hard_index ~remaining ~view ~scoap
+          in
+          ck.c_fin <-
+            Some
+              { f_step3 = step3; undetected_idx; aborted_idx; untestable3_idx };
+          save "finished";
+          (step3, undetected_idx, aborted_idx, untestable3_idx))
   in
+  let aborts = aborts_of ck.acct ~aborted_faults:(List.length aborted_idx) in
+  if sink.Sink.enabled then begin
+    (* The machine-readable counterpart of the report's [aborts:] lines. *)
+    List.iter
+      (fun p ->
+        if p.budget_exhausted || p.atpg_aborts > 0 || p.cancelled_groups > 0
+        then
+          Sink.event sink ~kind:"aborts"
+            [
+              ("phase", Json.String p.phase);
+              ("budget_exhausted", Json.Bool p.budget_exhausted);
+              ("atpg_aborts", Json.Int p.atpg_aborts);
+              ("cancelled_groups", Json.Int p.cancelled_groups);
+            ])
+      aborts.phases;
+    let m = sink.Sink.metrics in
+    let set_c name v = Metrics.Counter.add (Metrics.counter m name) v in
+    set_c "atpg.podem.runs" ck.acct.p_runs;
+    set_c "atpg.podem.backtracks" ck.acct.p_backtracks;
+    set_c "atpg.podem.decisions" ck.acct.p_decisions;
+    set_c "atpg.podem.implications" ck.acct.p_implications;
+    set_c "atpg.podem.aborted_limit" ck.acct.p_ab_limit;
+    set_c "atpg.podem.aborted_deadline" ck.acct.p_ab_deadline;
+    set_c "atpg.seq.runs" ck.acct.s_runs;
+    set_c "atpg.seq.backtracks" ck.acct.s_backtracks
+  end;
   {
     scanned;
     config;
@@ -881,5 +1107,6 @@ let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
     untestable_faults =
       untestable2 @ List.map (fun i -> remaining_faults.(i)) untestable3_idx;
     aborted = List.map (fun i -> remaining_faults.(i)) aborted_idx;
-    aborts = aborts_of ck.acct ~aborted_faults:(List.length aborted_idx);
+    aborts;
+    atpg = atpg_stats_of ck.acct;
   }

@@ -57,6 +57,13 @@ type params = {
   final_fault_seconds : float;
       (** budget per fault for the final individual targeting (the paper's
           "additional time") *)
+  sink : Fst_obs.Sink.t;
+      (** observability sink threaded through every layer (phases, pool,
+          fault simulation, individual ATPG calls). The default
+          {!Fst_obs.Sink.null} compiles instrumentation down to a branch,
+          so unobserved [jobs = 1] runs are bit-identical to the seed.
+          The sink is excluded from the checkpoint fingerprint: attaching
+          observability never invalidates an existing checkpoint. *)
 }
 
 val default_params : params
@@ -107,6 +114,23 @@ val budget_exhausted : aborts -> bool
 val atpg_aborts : aborts -> int
 val cancelled_groups : aborts -> int
 
+(** Aggregate ATPG engine statistics over the whole flow (previously
+    computed by {!Fst_atpg.Podem}/{!Fst_atpg.Seq} and discarded).
+    Accumulated deterministically: statistics produced on pool domains
+    are committed on the main domain in wave order, and the totals ride
+    inside checkpoints, so a resumed run reports the same numbers as an
+    uninterrupted one. *)
+type atpg_stats = {
+  podem_runs : int;  (** individual PODEM invocations *)
+  podem_backtracks : int;
+  podem_decisions : int;
+  podem_implications : int;
+  podem_aborted_limit : int;  (** aborts caused by the backtrack limit *)
+  podem_aborted_deadline : int;  (** aborts caused by a tripped deadline *)
+  seq_runs : int;  (** PODEM runs inside sequential (unrolled) ATPG *)
+  seq_backtracks : int;
+}
+
 type result = {
   scanned : Circuit.t;
   config : Scan.config;
@@ -123,6 +147,7 @@ type result = {
   aborted : Fault.t list;
       (** survivors whose attempt was denied by the wall-clock budget *)
   aborts : aborts;
+  atpg : atpg_stats;
 }
 
 (** [run ?params ?budget ?checkpoint ?resume ?on_checkpoint scanned config]

@@ -5,12 +5,14 @@ open Fst_fsim
 open Fst_atpg
 open Fst_tpi
 module Clock = Fst_exec.Clock
+module Sink = Fst_obs.Sink
 
 type params = {
   backtrack : int;
   random_blocks : int;
   random_seed : int64;
   jobs : int;
+  sink : Sink.t;
 }
 
 let default_params =
@@ -19,6 +21,7 @@ let default_params =
     random_blocks = 32;
     random_seed = 0xCAFEL;
     jobs = Fst_exec.Pool.default_jobs ();
+    sink = Sink.null;
   }
 
 type result = {
@@ -39,6 +42,8 @@ let functional_view (scanned : Circuit.t) (config : Scan.config) =
 
 let run ?(params = default_params) ?(deadline = Clock.never) scanned config
     ~already_detected =
+  let sink = params.sink in
+  Sink.span sink ~name:"scan-atpg" ~cat:"phase" @@ fun () ->
   let t0 = Clock.now () in
   let universe = Fault.collapse scanned (Fault.universe scanned) in
   let done_set = Hashtbl.create (2 * List.length already_detected) in
@@ -70,6 +75,10 @@ let run ?(params = default_params) ?(deadline = Clock.never) scanned config
          :: !blocks
      | Podem.Untestable, _ -> proven.(!i) <- true
      | Podem.Aborted, _ -> if Clock.expired deadline then denied.(!i) <- true);
+    if sink.Sink.enabled then
+      Sink.tick sink ~phase:"scan-atpg" ~done_:(!i + 1) ~total:n
+        ~detected:(List.length !blocks)
+        ~budget_left:(Clock.remaining deadline);
     incr i
   done;
   for k = !i to n - 1 do
@@ -88,8 +97,8 @@ let run ?(params = default_params) ?(deadline = Clock.never) scanned config
     List.rev !blocks @ List.init params.random_blocks (fun _ -> random_block ())
   in
   let outcome =
-    Fsim.Engine.detect_dropping ~jobs:params.jobs scanned ~faults:targets
-      ~observe:scanned.Circuit.outputs ~stimuli:blocks
+    Fsim.Engine.detect_dropping ~obs:sink ~jobs:params.jobs scanned
+      ~faults:targets ~observe:scanned.Circuit.outputs ~stimuli:blocks
   in
   let detected = ref 0 and untestable = ref 0 and aborted = ref 0 in
   Array.iteri

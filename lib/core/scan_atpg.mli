@@ -22,6 +22,9 @@ type params = {
   random_blocks : int;  (** random capture tests appended to the set *)
   random_seed : int64;
   jobs : int;  (** domains for the fault-simulation pass ({!Fst_exec.Pool}) *)
+  sink : Fst_obs.Sink.t;
+      (** observability sink (default {!Fst_obs.Sink.null}): a phase span,
+          a progress heartbeat during ATPG, and fault-simulation metrics *)
 }
 
 val default_params : params

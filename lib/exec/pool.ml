@@ -10,6 +10,23 @@ let cancelled t = Atomic.get t
 
 type 'a outcome = Done of 'a | Cancelled
 
+module Sink = Fst_obs.Sink
+module Metrics = Fst_obs.Metrics
+
+(* Per-worker accounting, folded into the shared registry once when the
+   worker retires: cumulative busy / wall seconds per domain slot plus a
+   derived busy fraction gauge. Only touched when the sink is live. *)
+let retire_worker (obs : Sink.t) k ~busy ~wall =
+  let m = obs.Sink.metrics in
+  let b = Metrics.fcounter m (Printf.sprintf "pool.domain%d.busy_s" k) in
+  let w = Metrics.fcounter m (Printf.sprintf "pool.domain%d.wall_s" k) in
+  Metrics.Fcounter.add b busy;
+  Metrics.Fcounter.add w wall;
+  let bt = Metrics.Fcounter.value b and wt = Metrics.Fcounter.value w in
+  Metrics.Gauge.set
+    (Metrics.gauge m (Printf.sprintf "pool.domain%d.busy_frac" k))
+    (if wt > 0.0 then bt /. wt else 0.0)
+
 (* Claims [chunk] consecutive task indices at a time from a shared atomic
    cursor. Each slot of [results] is written by exactly one domain;
    [Domain.join] publishes those writes to the caller. [stop] is polled
@@ -17,35 +34,81 @@ type 'a outcome = Done of 'a | Cancelled
    a tripped deadline or a cancelled token drains the queue instead of
    running it to completion; tasks already claimed run to the end of their
    chunk. *)
-let run_tasks ~jobs ~chunk ~stop n (run_one : int -> unit) =
+let run_tasks ~obs ~label ~jobs ~chunk ~stop n (run_one : int -> unit) =
   if n > 0 then begin
+    let live = obs.Sink.enabled in
     if jobs <= 1 then begin
+      let t0 = if live then Clock.now () else 0.0 in
       let i = ref 0 in
       while !i < n && not (stop ()) do
         run_one !i;
         incr i
-      done
+      done;
+      if live then begin
+        let dt = Clock.now () -. t0 in
+        retire_worker obs 0 ~busy:dt ~wall:dt
+      end
     end
     else begin
       let next = Atomic.make 0 in
-      let worker () =
+      let chunks_c =
+        if live then
+          Some (Metrics.counter obs.Sink.metrics ("pool." ^ label ^ ".chunks"))
+        else None
+      in
+      let chunk_h =
+        if live then
+          Some
+            (Metrics.histogram obs.Sink.metrics ("pool." ^ label ^ ".chunk_s"))
+        else None
+      in
+      let worker k =
+        let wall0 = if live then Clock.now () else 0.0 in
+        let busy = ref 0.0 in
         let rec loop () =
           if not (stop ()) then begin
             let lo = Atomic.fetch_and_add next chunk in
             if lo < n then begin
-              for i = lo to min (lo + chunk) n - 1 do
+              let hi = min (lo + chunk) n - 1 in
+              let t0 = if live then Clock.now () else 0.0 in
+              let sp =
+                match obs.Sink.trace with
+                | Some tr when live ->
+                  Some
+                    ( tr,
+                      Fst_obs.Trace.begin_span tr
+                        ~name:(Printf.sprintf "%s[%d..%d]" label lo hi)
+                        ~cat:"pool" )
+                | _ -> None
+              in
+              for i = lo to hi do
                 run_one i
               done;
+              (match sp with
+               | Some (tr, sp) -> ignore (Fst_obs.Trace.end_span tr sp)
+               | None -> ());
+              if live then begin
+                let dt = Clock.now () -. t0 in
+                busy := !busy +. dt;
+                (match chunks_c with
+                 | Some c -> Metrics.Counter.incr c
+                 | None -> ());
+                match chunk_h with
+                | Some h -> Metrics.Histogram.observe h dt
+                | None -> ()
+              end;
               loop ()
             end
           end
         in
-        loop ()
+        loop ();
+        if live then retire_worker obs k ~busy:!busy ~wall:(Clock.now () -. wall0)
       in
       let helpers =
-        Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+        Array.init (min jobs n - 1) (fun i ->
+            Domain.spawn (fun () -> worker (i + 1)))
       in
-      worker ();
+      worker 0;
       Array.iter Domain.join helpers
     end
   end
@@ -67,10 +130,10 @@ let reraise_first n (slots : ('b, exn * Printexc.raw_backtrace) result option ar
     | Some (Ok _) | None -> ()
   done
 
-let map_array ?chunk ~jobs f xs =
+let map_array ?(obs = Sink.null) ?(label = "map") ?chunk ~jobs f xs =
   let n = Array.length xs in
   let jobs = max 1 (min jobs n) in
-  if jobs = 1 then Array.map f xs
+  if jobs = 1 && not obs.Sink.enabled then Array.map f xs
   else begin
     let slots = Array.make n None in
     let run_one i =
@@ -80,7 +143,8 @@ let map_array ?chunk ~jobs f xs =
            | y -> Ok y
            | exception e -> Error (e, Printexc.get_raw_backtrace ()))
     in
-    run_tasks ~jobs ~chunk:(chunk_of ?chunk ~jobs n) ~stop:never_stop n run_one;
+    run_tasks ~obs ~label ~jobs ~chunk:(chunk_of ?chunk ~jobs n)
+      ~stop:never_stop n run_one;
     reraise_first n slots;
     Array.map
       (function
@@ -89,14 +153,15 @@ let map_array ?chunk ~jobs f xs =
       slots
   end
 
-let mapi_array ?chunk ~jobs f xs =
+let mapi_array ?obs ?label ?chunk ~jobs f xs =
   let indexed = Array.mapi (fun i x -> (i, x)) xs in
-  map_array ?chunk ~jobs (fun (i, x) -> f i x) indexed
+  map_array ?obs ?label ?chunk ~jobs (fun (i, x) -> f i x) indexed
 
-let map_list ?chunk ~jobs f xs =
-  Array.to_list (map_array ?chunk ~jobs f (Array.of_list xs))
+let map_list ?obs ?label ?chunk ~jobs f xs =
+  Array.to_list (map_array ?obs ?label ?chunk ~jobs f (Array.of_list xs))
 
-let map_cancellable ?chunk ?token:tok ?(deadline = Clock.never) ~jobs f xs =
+let map_cancellable ?(obs = Sink.null) ?(label = "map") ?chunk ?token:tok
+    ?(deadline = Clock.never) ~jobs f xs =
   let n = Array.length xs in
   let jobs = max 1 (min jobs n) in
   let tok = match tok with Some t -> t | None -> token () in
@@ -114,7 +179,7 @@ let map_cancellable ?chunk ?token:tok ?(deadline = Clock.never) ~jobs f xs =
            Error (e, Printexc.get_raw_backtrace ()))
   in
   let stop () = cancelled tok || Clock.expired deadline in
-  run_tasks ~jobs ~chunk:(chunk_of ?chunk ~jobs n) ~stop n run_one;
+  run_tasks ~obs ~label ~jobs ~chunk:(chunk_of ?chunk ~jobs n) ~stop n run_one;
   reraise_first n slots;
   Array.map
     (function

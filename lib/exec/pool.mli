@@ -34,17 +34,50 @@ val cancelled : token -> bool
     expired, or an earlier task failed) before the task was claimed. *)
 type 'a outcome = Done of 'a | Cancelled
 
+(** {1 Observability}
+
+    Every map takes an optional [obs] sink ({!Fst_obs.Sink}, default
+    {!Fst_obs.Sink.null}) and a [label] naming the parallel region.
+    With a live sink the pool records, per domain slot [k], cumulative
+    [pool.domain<k>.busy_s] / [wall_s] float counters and a derived
+    [pool.domain<k>.busy_frac] gauge; per region it counts
+    [pool.<label>.chunks] and fills a [pool.<label>.chunk_s] duration
+    histogram; and when the sink carries a trace buffer, each claimed
+    chunk becomes a span on its worker's tid. With the null sink the
+    only cost is one branch per chunk claim. *)
+
 (** [map_array ~jobs f xs] is [Array.map f xs], computed on up to [jobs]
     domains. [chunk] overrides the work-queue claim granularity (default:
     about four chunks per domain). If any task raises, every claimed task
     still runs to completion and the lowest-index failure is re-raised. *)
-val map_array : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?obs:Fst_obs.Sink.t ->
+  ?label:string ->
+  ?chunk:int ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 
 (** [mapi_array] is {!map_array} with the input index. *)
-val mapi_array : ?chunk:int -> jobs:int -> (int -> 'a -> 'b) -> 'a array -> 'b array
+val mapi_array :
+  ?obs:Fst_obs.Sink.t ->
+  ?label:string ->
+  ?chunk:int ->
+  jobs:int ->
+  (int -> 'a -> 'b) ->
+  'a array ->
+  'b array
 
 (** [map_list ~jobs f xs] is [List.map f xs] via {!map_array}. *)
-val map_list : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?obs:Fst_obs.Sink.t ->
+  ?label:string ->
+  ?chunk:int ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 
 (** [map_cancellable ~jobs f xs] is {!map_array} with cooperative
     cancellation: the queue stops being claimed once [token] is cancelled
@@ -55,6 +88,8 @@ val map_list : ?chunk:int -> jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     checked between consecutive tasks, so the [Done] prefix is exactly the
     tasks that ran — fully deterministic. *)
 val map_cancellable :
+  ?obs:Fst_obs.Sink.t ->
+  ?label:string ->
   ?chunk:int ->
   ?token:token ->
   ?deadline:Clock.deadline ->

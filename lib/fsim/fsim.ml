@@ -386,6 +386,8 @@ let engine : backend -> (module ENGINE) = function
 
 module Engine = struct
   module Pool = Fst_exec.Pool
+  module Sink = Fst_obs.Sink
+  module Metrics = Fst_obs.Metrics
 
   (* Shard size per pool task: whole 62-wide groups for the bit-parallel
      back-end (so sharding never splits a group), single faults grouped for
@@ -406,27 +408,48 @@ module Engine = struct
     Array.init n (fun k ->
         Array.sub faults (k * size) (min size (nf - (k * size))))
 
-  let detect_all ?(backend = `Bit_parallel) ?(jobs = 1) c ~faults ~observe
-      stim =
-    let module E = (val engine backend) in
-    let jobs = max 1 jobs in
-    if jobs = 1 || Array.length faults = 0 then
-      E.detect_all c ~faults ~observe stim
-    else
-      Pool.map_array ~jobs ~chunk:1
-        (fun fs -> E.detect_all c ~faults:fs ~observe stim)
-        (shards ~backend ~jobs faults)
-      |> Array.to_list |> Array.concat
+  (* One branch when the sink is off; handle resolution and the clock
+     read only happen on live sinks. The inner simulation loops in
+     [Serial]/[Parallel] are never touched. *)
+  let observe_call (obs : Sink.t) name ~faults f =
+    if not obs.Sink.enabled then f ()
+    else begin
+      let m = obs.Sink.metrics in
+      Metrics.Counter.incr (Metrics.counter m ("fsim." ^ name ^ ".calls"));
+      Metrics.Counter.add
+        (Metrics.counter m ("fsim." ^ name ^ ".faults"))
+        (Array.length faults);
+      let t0 = Fst_exec.Clock.now () in
+      let r = Sink.span obs ~name:("fsim." ^ name) ~cat:"fsim" f in
+      Metrics.Histogram.observe
+        (Metrics.histogram m ("fsim." ^ name ^ ".call_s"))
+        (Fst_exec.Clock.now () -. t0);
+      r
+    end
 
-  let detect_dropping ?(backend = `Bit_parallel) ?(jobs = 1) c ~faults
-      ~observe ~stimuli =
+  let detect_all ?(obs = Sink.null) ?(backend = `Bit_parallel) ?(jobs = 1) c
+      ~faults ~observe stim =
     let module E = (val engine backend) in
     let jobs = max 1 jobs in
-    if jobs = 1 || Array.length faults = 0 then
-      E.detect_dropping c ~faults ~observe ~stimuli
-    else
-      Pool.map_array ~jobs ~chunk:1
-        (fun fs -> E.detect_dropping c ~faults:fs ~observe ~stimuli)
-        (shards ~backend ~jobs faults)
-      |> Array.to_list |> Array.concat
+    observe_call obs "detect_all" ~faults (fun () ->
+        if jobs = 1 || Array.length faults = 0 then
+          E.detect_all c ~faults ~observe stim
+        else
+          Pool.map_array ~obs ~label:"fsim" ~jobs ~chunk:1
+            (fun fs -> E.detect_all c ~faults:fs ~observe stim)
+            (shards ~backend ~jobs faults)
+          |> Array.to_list |> Array.concat)
+
+  let detect_dropping ?(obs = Sink.null) ?(backend = `Bit_parallel)
+      ?(jobs = 1) c ~faults ~observe ~stimuli =
+    let module E = (val engine backend) in
+    let jobs = max 1 jobs in
+    observe_call obs "detect_dropping" ~faults (fun () ->
+        if jobs = 1 || Array.length faults = 0 then
+          E.detect_dropping c ~faults ~observe ~stimuli
+        else
+          Pool.map_array ~obs ~label:"fsim" ~jobs ~chunk:1
+            (fun fs -> E.detect_dropping c ~faults:fs ~observe ~stimuli)
+            (shards ~backend ~jobs faults)
+          |> Array.to_list |> Array.concat)
 end

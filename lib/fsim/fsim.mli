@@ -85,7 +85,15 @@ val engine : backend -> (module ENGINE)
     result is identical for every [jobs] value because faulty machines
     never interact. *)
 module Engine : sig
+  (** With a live [obs] sink each call counts
+      [fsim.<entry>.calls] / [.faults], fills a [.call_s] duration
+      histogram, emits a trace span, and threads the sink into the pool
+      (per-domain busy accounting). With the default
+      {!Fst_obs.Sink.null} the instrumentation is a single branch per
+      call — the inner simulation loops are never touched. *)
+
   val detect_all :
+    ?obs:Fst_obs.Sink.t ->
     ?backend:backend ->
     ?jobs:int ->
     Circuit.t ->
@@ -95,6 +103,7 @@ module Engine : sig
     int option array
 
   val detect_dropping :
+    ?obs:Fst_obs.Sink.t ->
     ?backend:backend ->
     ?jobs:int ->
     Circuit.t ->

@@ -1,0 +1,32 @@
+type t = { write : string -> unit; lock : Mutex.t }
+
+let to_channel oc =
+  {
+    write =
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc);
+    lock = Mutex.create ();
+  }
+
+let to_buffer buf =
+  {
+    write =
+      (fun line ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n');
+    lock = Mutex.create ();
+  }
+
+let emit t ~kind fields =
+  let line =
+    Json.to_string
+      (Json.Obj
+         (("ts", Json.Float (Unix.gettimeofday ()))
+         :: ("kind", Json.String kind)
+         :: fields))
+  in
+  Mutex.lock t.lock;
+  t.write line;
+  Mutex.unlock t.lock

@@ -1,0 +1,15 @@
+(** Structured JSONL event log.
+
+    One JSON object per line: [{"ts": <unix seconds>, "kind": "...",
+    ...fields}]. This is the machine-readable channel for what the
+    greppable [aborts:] report lines say in prose — phase start/end,
+    checkpoint writes, budget trips, abort records. Writes are
+    mutex-serialized and flushed per line so a killed run keeps every
+    event already emitted. *)
+
+type t
+
+val to_channel : out_channel -> t
+val to_buffer : Buffer.t -> t
+
+val emit : t -> kind:string -> (string * Json.t) list -> unit

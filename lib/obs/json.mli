@@ -1,0 +1,29 @@
+(** Minimal JSON tree: enough to build metric snapshots and trace files,
+    and to re-parse them in tests and the [fst jsonlint] smoke. Stdlib
+    only; no external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering. Floats use ["%.17g"] so round-trips
+    are exact; NaN/inf are rendered as [null] (JSON has no spelling for
+    them). *)
+
+val to_channel : out_channel -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Strict parser for the subset we emit (no unicode escapes beyond
+    [\uXXXX], which is decoded to UTF-8). Raises {!Parse_error}. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] looks up key [k]; [None] on absence or
+    non-object. *)

@@ -1,0 +1,212 @@
+module Counter = struct
+  type c = int Atomic.t
+
+  let incr c = Atomic.incr c
+  let add c n = ignore (Atomic.fetch_and_add c n)
+  let value c = Atomic.get c
+end
+
+module Gauge = struct
+  (* A boxed float behind an Atomic: the load/store is a pointer, so
+     reads are torn-free. (Not float bits in an Atomic int: OCaml ints
+     are 63-bit, which silently drops the float's sign bit.) *)
+  type g = float Atomic.t
+
+  let set g v = Atomic.set g v
+  let value g = Atomic.get g
+end
+
+module Fcounter = struct
+  type f = float Atomic.t
+
+  (* The CAS hands back the exact box it read, so physical-equality
+     compare_and_set implements the retry loop correctly. *)
+  let add f v =
+    let rec go () =
+      let old = Atomic.get f in
+      if not (Atomic.compare_and_set f old (old +. v)) then go ()
+    in
+    go ()
+
+  let value f = Atomic.get f
+end
+
+module Histogram = struct
+  (* Power-of-two buckets: bucket [i] holds values whose frexp exponent
+     is [i + offset], clamped. Bucket upper bound = 2^(i + lo). Only
+     integer counts and min/max are kept, so merges commute exactly. *)
+  let lo = -20 (* ~1e-6 *)
+  let hi = 31 (* ~2e9 *)
+  let nbuckets = hi - lo + 1
+
+  type h = {
+    buckets : int Atomic.t array;
+    count : int Atomic.t;
+    minb : float Atomic.t;
+    maxb : float Atomic.t;
+  }
+
+  let create () =
+    {
+      buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
+      count = Atomic.make 0;
+      minb = Atomic.make infinity;
+      maxb = Atomic.make neg_infinity;
+    }
+
+  let bucket_of v =
+    if v <= 0.0 then 0
+    else
+      let _, e = Float.frexp v in
+      let i = e - lo in
+      if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+  let cas_extreme cell better v =
+    let rec go () =
+      let old = Atomic.get cell in
+      if better v old then
+        if Atomic.compare_and_set cell old v then () else go ()
+    in
+    go ()
+
+  let observe h v =
+    Atomic.incr h.buckets.(bucket_of v);
+    Atomic.incr h.count;
+    cas_extreme h.minb (fun a b -> a < b) v;
+    cas_extreme h.maxb (fun a b -> a > b) v
+
+  let merge_into ~dst ~src =
+    Array.iteri
+      (fun i b ->
+        let n = Atomic.get b in
+        if n > 0 then ignore (Atomic.fetch_and_add dst.buckets.(i) n))
+      src.buckets;
+    let n = Atomic.get src.count in
+    if n > 0 then ignore (Atomic.fetch_and_add dst.count n);
+    cas_extreme dst.minb (fun a b -> a < b) (Atomic.get src.minb);
+    cas_extreme dst.maxb (fun a b -> a > b) (Atomic.get src.maxb)
+
+  let count h = Atomic.get h.count
+
+  let buckets h =
+    let out = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      let n = Atomic.get h.buckets.(i) in
+      if n > 0 then out := (Float.ldexp 1.0 (i + lo), n) :: !out
+    done;
+    !out
+
+  let min_value h = Atomic.get h.minb
+  let max_value h = Atomic.get h.maxb
+end
+
+type metric =
+  | C of Counter.c
+  | G of Gauge.g
+  | F of Fcounter.f
+  | H of Histogram.h
+
+type t = { mutable items : (string * metric) list; lock : Mutex.t }
+
+let create () = { items = []; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let get_or_make t name make unpack =
+  with_lock t (fun () ->
+      match List.assoc_opt name t.items with
+      | Some m -> unpack m
+      | None ->
+          let m = make () in
+          t.items <- (name, m) :: t.items;
+          unpack m)
+
+let wrong name = invalid_arg ("Fst_obs.Metrics: " ^ name ^ " has another type")
+
+let counter t name =
+  get_or_make t name
+    (fun () -> C (Atomic.make 0))
+    (function C c -> c | _ -> wrong name)
+
+let gauge t name =
+  get_or_make t name
+    (fun () -> G (Atomic.make 0.0))
+    (function G g -> g | _ -> wrong name)
+
+let fcounter t name =
+  get_or_make t name
+    (fun () -> F (Atomic.make 0.0))
+    (function F f -> f | _ -> wrong name)
+
+let histogram t name =
+  get_or_make t name
+    (fun () -> H (Histogram.create ()))
+    (function H h -> h | _ -> wrong name)
+
+let sorted_items t =
+  let items = with_lock t (fun () -> t.items) in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) items
+
+let json_float f = if Float.is_finite f then Json.Float f else Json.Null
+
+let to_json t =
+  let items = sorted_items t in
+  let pick f = List.filter_map f items in
+  let counters =
+    pick (function n, C c -> Some (n, Json.Int (Counter.value c)) | _ -> None)
+  in
+  let gauges =
+    pick (function
+      | n, G g -> Some (n, json_float (Gauge.value g))
+      | _ -> None)
+  in
+  let fcounters =
+    pick (function
+      | n, F f -> Some (n, json_float (Fcounter.value f))
+      | _ -> None)
+  in
+  let histograms =
+    pick (function
+      | n, H h ->
+          let buckets =
+            List.map
+              (fun (ub, c) -> Json.List [ json_float ub; Json.Int c ])
+              (Histogram.buckets h)
+          in
+          Some
+            ( n,
+              Json.Obj
+                [
+                  ("count", Json.Int (Histogram.count h));
+                  ("min", json_float (Histogram.min_value h));
+                  ("max", json_float (Histogram.max_value h));
+                  ("buckets", Json.List buckets);
+                ] )
+      | _ -> None)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj counters);
+      ("gauges", Json.Obj gauges);
+      ("fcounters", Json.Obj fcounters);
+      ("histograms", Json.Obj histograms);
+    ]
+
+let to_text t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (n, m) ->
+      match m with
+      | C c -> Buffer.add_string buf (Printf.sprintf "%s %d\n" n (Counter.value c))
+      | G g -> Buffer.add_string buf (Printf.sprintf "%s %g\n" n (Gauge.value g))
+      | F f ->
+          Buffer.add_string buf (Printf.sprintf "%s %g\n" n (Fcounter.value f))
+      | H h ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s{count=%d,min=%g,max=%g}\n" n
+               (Histogram.count h) (Histogram.min_value h)
+               (Histogram.max_value h)))
+    (sorted_items t);
+  Buffer.contents buf

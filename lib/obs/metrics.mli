@@ -1,0 +1,91 @@
+(** Domain-safe metrics registry.
+
+    All mutation paths are lock-free ([Atomic]); only metric
+    registration takes a mutex (it happens a handful of times per run).
+    Counters and histogram buckets are integers, so concurrent updates
+    from Pool domains commute exactly — a snapshot taken after a
+    parallel region is identical to the serial one regardless of
+    interleaving (see the qcheck property in [test/test_obs.ml]). *)
+
+type t
+(** A registry. *)
+
+val create : unit -> t
+
+(** {1 Counters} — monotonically increasing integers. *)
+
+module Counter : sig
+  type c
+
+  val incr : c -> unit
+  val add : c -> int -> unit
+  val value : c -> int
+end
+
+val counter : t -> string -> Counter.c
+(** Get-or-create; the same name always yields the same counter. *)
+
+(** {1 Gauges} — last-write-wins floats (Gc live words, busy fraction…). *)
+
+module Gauge : sig
+  type g
+
+  val set : g -> float -> unit
+  val value : g -> float
+end
+
+val gauge : t -> string -> Gauge.g
+
+(** {1 Float accumulators} — CAS-looped float sums (seconds of busy
+    time per domain). Not bit-deterministic under contention (float
+    addition does not commute exactly); use for durations, never for
+    anything a test compares bit-for-bit. *)
+
+module Fcounter : sig
+  type f
+
+  val add : f -> float -> unit
+  val value : f -> float
+end
+
+val fcounter : t -> string -> Fcounter.f
+
+(** {1 Log-scale histograms} — power-of-two buckets over non-negative
+    values. Bucket counts, total count, and min/max only (no float sum),
+    so merging is exact and order-independent. *)
+
+module Histogram : sig
+  type h
+
+  val create : unit -> h
+  (** A free-standing histogram (per-domain local accumulation). *)
+
+  val observe : h -> float -> unit
+
+  val merge_into : dst:h -> src:h -> unit
+  (** Commutative, associative bucket-wise add; min/max combine. *)
+
+  val count : h -> int
+
+  val buckets : h -> (float * int) list
+  (** [(upper_bound, count)] for each non-empty bucket, ascending. *)
+
+  val min_value : h -> float
+  (** [infinity] when empty. *)
+
+  val max_value : h -> float
+  (** [neg_infinity] when empty. *)
+end
+
+val histogram : t -> string -> Histogram.h
+
+(** {1 Snapshots} *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "fcounters": {...},
+     "histograms": {name: {count, min, max, buckets: [[ub, n], ...]}}}],
+    keys sorted for determinism. *)
+
+val to_text : t -> string
+(** One ["name value"] line per metric, sorted; histograms render as
+    [name{count,min,max}]. *)

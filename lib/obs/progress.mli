@@ -1,0 +1,25 @@
+(** Progress heartbeat: a rate-limited one-line status printer.
+
+    [tick] is cheap to call from inner loops — it reads the clock and
+    returns unless [interval] seconds have passed since the last line
+    (the very first tick always prints, so short runs still show a
+    heartbeat). Lines go to [stderr] and look like:
+
+    {v [flow] step2-atpg 412/1204 done, 287 detected, 34% | eta 12.3s v} *)
+
+type t
+
+val create : ?interval:float -> unit -> t
+(** [interval] defaults to 1 second. *)
+
+val tick :
+  t ->
+  phase:string ->
+  done_:int ->
+  total:int ->
+  detected:int ->
+  budget_left:float ->
+  unit
+(** [budget_left] is the seconds remaining in the phase's budget
+    ([infinity] when unbudgeted); the ETA printed is the smaller of the
+    rate-extrapolated finish and the budget left. *)

@@ -8,6 +8,7 @@ let () =
       ("timing", Test_timing.suite);
       ("sim", Test_sim.suite);
       ("exec", Test_exec.suite);
+      ("obs", Test_obs.suite);
       ("vcd", Test_vcd.suite);
       ("fault", Test_fault.suite);
       ("fsim", Test_fsim.suite);
