@@ -1,7 +1,7 @@
 # Convenience targets for local development and CI.
 
-.PHONY: all build test check bench-smoke degradation-smoke resume-smoke \
-  obs-smoke noop-sink-smoke clean
+.PHONY: all build test check static-check lint-smoke bench-smoke \
+  degradation-smoke resume-smoke obs-smoke noop-sink-smoke clean
 
 all: build
 
@@ -11,12 +11,40 @@ build:
 test:
 	dune runtest
 
-# Full local gate: compile everything, run the test suite, then smoke-run
-# the micro benchmark at a tiny scale so bench/ rot is caught early, and
-# exercise the budget-degradation, checkpoint/resume, and observability
-# CLI paths.
-check: build test bench-smoke degradation-smoke resume-smoke obs-smoke \
-  noop-sink-smoke
+# Full local gate: compile everything (all warnings fatal in dev, see the
+# root dune env stanza), run the test suite, then smoke-run the micro
+# benchmark at a tiny scale so bench/ rot is caught early, lint every
+# example netlist, and exercise the budget-degradation, checkpoint/resume,
+# and observability CLI paths.
+check: static-check build test lint-smoke bench-smoke degradation-smoke \
+  resume-smoke obs-smoke noop-sink-smoke
+
+# Type-check every library and executable (including ones @default would
+# skip); the dev env stanza promotes warnings to errors.
+static-check:
+	dune build @check
+
+# `fst lint` over every example netlist with scan insertion must be clean
+# at error level; a seeded-defect netlist must fail; the --json rendering
+# must machine-validate with `fst jsonlint`.
+lint-smoke: build
+	@for f in examples/data/*.net; do \
+	  $(FST_EXE) lint $$f -c 1 --fail-on error > /dev/null || \
+	    { echo "lint-smoke: $$f not clean at error level"; exit 1; }; \
+	  echo "lint-smoke: $$f clean"; \
+	done; \
+	tmp=`mktemp -d`; \
+	printf 'INPUT(a)\nOUTPUT(y)\ny = AND(a, b)\nb = OR(y, a)\n' \
+	  > $$tmp/seeded.net; \
+	if $(FST_EXE) lint $$tmp/seeded.net --no-scan --fail-on error \
+	  > /dev/null 2>&1; \
+	then echo "lint-smoke: seeded defect not caught"; rm -rf $$tmp; exit 1; \
+	fi; \
+	$(FST_EXE) lint examples/data/gray3.net -c 1 --json > $$tmp/lint.json; \
+	$(FST_EXE) jsonlint $$tmp/lint.json --expect '"version"' \
+	  --expect '"diagnostics"' --expect '"errors":0' || \
+	  { rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; echo "lint-smoke: OK"
 
 bench-smoke:
 	FST_SCALE=0.02 dune exec -- bench/main.exe micro

@@ -33,7 +33,7 @@ let prepare (entry : Fst_gen.Suite.entry) =
       ~options:{ Tpi.default_options with Tpi.chains = entry.Fst_gen.Suite.chains }
       before
   in
-  (match Scan.verify_shift scanned config with
+  (match Scan.verify_shift_msg scanned config with
    | Ok () -> ()
    | Error e ->
      failwith

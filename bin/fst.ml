@@ -16,8 +16,9 @@ module Table = Fst_report.Table
 
 let read_circuit path =
   try Ok (Netfile.parse_file path) with
-  | Netfile.Parse_error { line; message } ->
-    Error (Printf.sprintf "%s:%d: %s" path line message)
+  | Netfile.Parse_error { file; line; message } ->
+    Error
+      (Printf.sprintf "%s:%d: %s" (Option.value ~default:path file) line message)
   | Circuit.Malformed message | Circuit.Combinational_cycle message ->
     Error (Printf.sprintf "%s: %s" path message)
   | Sys_error e -> Error e
@@ -39,7 +40,18 @@ let insert_chains circuit chains =
   in
   match Scan.verify_shift scanned config with
   | Ok () -> Ok (scanned, config)
-  | Error e -> Error ("scan chain verification failed: " ^ e)
+  | Error errs ->
+    (* Render dynamic shift failures through the lint diagnostic machinery,
+       one compiler-style line each, same as `fst lint` output. *)
+    List.iter
+      (fun e ->
+        prerr_endline
+          (Fst_lint.Diagnostic.to_string
+             (Fst_lint.Diagnostic.of_shift_error scanned e)))
+      errs;
+    Error
+      (Printf.sprintf "scan chain verification failed (%d position(s))"
+         (List.length errs))
 
 let or_die = function
   | Ok v -> v
@@ -123,6 +135,106 @@ let run_opt file out =
      Printf.printf "optimized netlist written to %s\n" path
    | None -> ());
   0
+
+(* --- lint --------------------------------------------------------- *)
+
+module Lint = Fst_lint.Lint
+module Diagnostic = Fst_lint.Diagnostic
+
+let print_lint_report ~json report =
+  if json then (
+    Fst_obs.Json.to_channel stdout (Lint.to_json report);
+    print_newline ())
+  else print_string (Lint.render report)
+
+(* Lint a netlist file: raw-parse first so duplicate definitions and
+   combinational cycles are all reported (elaboration would abort on the
+   first); when the raw netlist is clean, elaborate, optionally insert the
+   scan chains, and run the full rule set with the dynamic shift check
+   cross-checking the static sensitization analysis. *)
+let run_lint file chains no_scan json fail_on waiver_path update_waiver
+    list_rules =
+  if list_rules then begin
+    List.iter
+      (fun (rule, severity, desc) ->
+        Printf.printf "%-18s %-8s %s\n" rule
+          (Diagnostic.severity_to_string severity)
+          desc)
+      Lint.catalogue;
+    0
+  end
+  else begin
+    let path =
+      match file with
+      | Some p -> p
+      | None -> or_die (Error "pass a netlist FILE (or --rules)")
+    in
+    let waivers =
+      match waiver_path with
+      | Some p -> Lint.Waiver.load p
+      | None -> Lint.Waiver.empty
+    in
+    let parse_diag message =
+      Diagnostic.make ~rule:"E-NET-PARSE" ~severity:Diagnostic.Error
+        ~loc:{ Diagnostic.no_loc with Diagnostic.file = Some path }
+        message
+    in
+    let report =
+      match
+        let ic = open_in_bin path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Netfile.parse_raw
+          ~name:Filename.(remove_extension (basename path))
+          ~file:path text
+      with
+      | exception Sys_error e ->
+        { Lint.circuit = path; diagnostics = [ parse_diag e ]; waived = [];
+          errors = 1; warnings = 0 }
+      | exception Netfile.Parse_error { file = _; line; message } ->
+        let d =
+          Diagnostic.make ~rule:"E-NET-PARSE" ~severity:Diagnostic.Error
+            ~loc:{ Diagnostic.no_loc with Diagnostic.file = Some path;
+                   line = Some line }
+            message
+        in
+        { Lint.circuit = path; diagnostics = [ d ]; waived = [];
+          errors = 1; warnings = 0 }
+      | raw ->
+        let pre = Lint.run_raw ~waivers raw in
+        if pre.Lint.errors > 0 then pre
+        else begin
+          match Netfile.elaborate raw with
+          | exception Circuit.Malformed message ->
+            { Lint.circuit = raw.Netfile.raw_name;
+              diagnostics = [ parse_diag message ]; waived = [];
+              errors = 1; warnings = 0 }
+          | circuit ->
+            let lines = raw.Netfile.raw_lines in
+            if no_scan then
+              Lint.run ~lines ~file:path ~waivers circuit
+            else
+              let scanned, config =
+                Tpi.insert
+                  ~options:{ Tpi.default_options with Tpi.chains }
+                  circuit
+              in
+              Lint.run ~lines ~file:path ~config ~dynamic:true ~waivers
+                scanned
+        end
+    in
+    match update_waiver, waiver_path with
+    | true, Some p ->
+      Lint.Waiver.save p (report.Lint.diagnostics @ report.Lint.waived);
+      Printf.printf "waiver file %s updated (%d key(s))\n" p
+        (List.length report.Lint.diagnostics
+         + List.length report.Lint.waived);
+      0
+    | true, None -> or_die (Error "--update-waiver requires --waiver PATH")
+    | false, _ ->
+      print_lint_report ~json report;
+      if Lint.gate ~fail_on report then 0 else 1
+  end
 
 (* --- flow --------------------------------------------------------- *)
 
@@ -250,13 +362,14 @@ let make_sink ~trace ~metrics ~events ~progress =
   end
 
 let run_flow name scale file chains jobs time_budget checkpoint resume trace
-    metrics events progress =
+    metrics events progress preflight =
   let circuit = or_die (load ~name ~scale ~file) in
   let scanned, config = or_die (insert_chains circuit chains) in
   let jobs = if jobs <= 0 then Fst_exec.Pool.default_jobs () else jobs in
   let sink, finish_obs = make_sink ~trace ~metrics ~events ~progress in
   let params =
-    { Flow.default_params with Flow.dist_floor_scale = scale; jobs; sink }
+    { Flow.default_params with
+      Flow.dist_floor_scale = scale; jobs; sink; preflight }
   in
   let budget =
     match time_budget with
@@ -482,13 +595,61 @@ let flow_cmd =
            ~doc:"Print a one-line heartbeat to stderr (phase, faults \
                  done/total, detected, ETA).")
   in
+  let preflight =
+    Arg.(value & flag & info [ "preflight" ]
+           ~doc:"Run the static scan-DFT analyzer before phase 1 and abort \
+                 on any error-severity finding, so a broken configuration \
+                 fails fast instead of consuming the ATPG budget.")
+  in
   Cmd.v
     (Cmd.info "flow"
        ~doc:"Run the complete functional scan chain testing flow")
     Term.(
       const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg $ jobs_arg
       $ time_budget $ checkpoint $ resume $ trace $ metrics $ events
-      $ progress)
+      $ progress $ preflight)
+
+let lint_cmd =
+  let no_scan =
+    Arg.(value & flag & info [ "no-scan" ]
+           ~doc:"Structural and testability rules only; skip TPI insertion \
+                 and the scan-DFT rules.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the report as JSON instead of text.")
+  in
+  let fail_on =
+    let sev =
+      Arg.enum
+        [ ("error", Lint.Fail_error); ("warning", Lint.Fail_warning);
+          ("none", Lint.Fail_never) ]
+    in
+    Arg.(value & opt sev Lint.Fail_error & info [ "fail-on" ] ~docv:"SEV"
+           ~doc:"Exit nonzero when findings of severity $(docv) or worse \
+                 remain after waivers: $(b,error) (default), $(b,warning), \
+                 or $(b,none).")
+  in
+  let waiver =
+    Arg.(value & opt (some string) None & info [ "waiver" ] ~docv:"PATH"
+           ~doc:"Waiver (baseline) file: one diagnostic key per line, '#' \
+                 comments. Matching findings are reported as waived and do \
+                 not gate the exit status.")
+  in
+  let update_waiver =
+    Arg.(value & flag & info [ "update-waiver" ]
+           ~doc:"Rewrite the --waiver file to cover every current finding, \
+                 then exit 0.")
+  in
+  let rules =
+    Arg.(value & flag & info [ "rules" ] ~doc:"List the rule catalogue.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze a netlist and its scan-DFT configuration")
+    Term.(
+      const run_lint $ file_pos $ chains_arg $ no_scan $ json $ fail_on
+      $ waiver $ update_waiver $ rules)
 
 let jsonlint_cmd =
   let files =
@@ -528,11 +689,22 @@ let () =
   let code =
     try
       Cmd.eval' (Cmd.group info
-           [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; flow_cmd; alt_cmd;
-             diag_cmd; jsonlint_cmd ])
+           [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; lint_cmd; flow_cmd;
+             alt_cmd; diag_cmd; jsonlint_cmd ])
     with
-    | Netfile.Parse_error { line; message } ->
-      prerr_endline (Printf.sprintf "fst: line %d: %s" line message);
+    | Flow.Preflight_failed diags ->
+      List.iter (fun d -> prerr_endline (Diagnostic.to_string d)) diags;
+      prerr_endline
+        (Printf.sprintf "fst: preflight failed with %d error(s)"
+           (List.length diags));
+      1
+    | Netfile.Parse_error { file; line; message } ->
+      let where =
+        match file with
+        | Some f -> Printf.sprintf "%s:%d" f line
+        | None -> Printf.sprintf "line %d" line
+      in
+      prerr_endline (Printf.sprintf "fst: %s: %s" where message);
       1
     | Circuit.Malformed message | Circuit.Combinational_cycle message ->
       prerr_endline ("fst: " ^ message);

@@ -37,7 +37,7 @@ let () =
   let scanned, config = Tpi.insert circuit in
   Format.printf "After TPI:         %a@." Circuit.pp_stats scanned;
   Format.printf "%a@." (Scan.pp_config scanned) config;
-  (match Scan.verify_shift scanned config with
+  (match Scan.verify_shift_msg scanned config with
    | Ok () -> print_endline "Scan chain shifts correctly in scan mode."
    | Error e -> failwith e);
 

@@ -27,7 +27,10 @@ type params = {
   seq_fault_seconds : float;
   final_fault_seconds : float;
   sink : Sink.t;
+  preflight : bool;
 }
+
+exception Preflight_failed of Fst_lint.Diagnostic.t list
 
 let default_params =
   {
@@ -46,6 +49,7 @@ let default_params =
     seq_fault_seconds = 0.5;
     final_fault_seconds = 2.0;
     sink = Sink.null;
+    preflight = false;
   }
 
 type step2 = {
@@ -288,7 +292,9 @@ let fresh_ckpt () =
 (* A checkpoint is only valid against the exact circuit, scan configuration
    and parameters that produced it. The sink is excluded: it holds mutexes
    and closures (unmarshalable), and attaching observability must not
-   invalidate a checkpoint taken without it. *)
+   invalidate a checkpoint taken without it. [preflight] is excluded for
+   the same reason: the lint pass is a pure observer, so toggling it must
+   not invalidate a checkpoint either. *)
 let fingerprint scanned config (p : params) =
   let key =
     ( p.jobs,
@@ -967,6 +973,19 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
 let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
     ?(resume = false) ?on_checkpoint scanned config =
   let sink = params.sink in
+  (* Optional lint pre-flight: catch a broken scan configuration (shape,
+     sensitization, parity) before spending the ATPG budget on it. Static
+     rules only — a pure observer of the inputs. *)
+  if params.preflight then begin
+    let report = Fst_lint.Lint.run ~config scanned in
+    if report.Fst_lint.Lint.errors > 0 then
+      raise
+        (Preflight_failed
+           (List.filter
+              (fun d ->
+                d.Fst_lint.Diagnostic.severity = Fst_lint.Diagnostic.Error)
+              report.Fst_lint.Lint.diagnostics))
+  end;
   let faults = Fault.collapse scanned (Fault.universe scanned) in
   let fp = fingerprint scanned config params in
   let ck =

@@ -64,7 +64,18 @@ type params = {
           so unobserved [jobs = 1] runs are bit-identical to the seed.
           The sink is excluded from the checkpoint fingerprint: attaching
           observability never invalidates an existing checkpoint. *)
+  preflight : bool;
+      (** run the {!Fst_lint} static analyzer on the scanned circuit and
+          configuration before phase 1 and raise {!Preflight_failed} on any
+          error-severity finding, so a broken scan configuration fails fast
+          instead of consuming the ATPG budget. A pure observer; excluded
+          from the checkpoint fingerprint. Default [false]. *)
 }
+
+(** Raised by {!run} when [preflight] is on and the static analyzer found
+    error-severity diagnostics (the list, in {!Fst_lint.Diagnostic.compare}
+    order). *)
+exception Preflight_failed of Fst_lint.Diagnostic.t list
 
 val default_params : params
 

@@ -1,0 +1,179 @@
+module D = Diagnostic
+module Json = Fst_obs.Json
+
+module Waiver = struct
+  type t = string list
+
+  let empty = []
+
+  let of_lines lines =
+    List.filter_map
+      (fun l ->
+        let l =
+          match String.index_opt l '#' with
+          | Some i -> String.sub l 0 i
+          | None -> l
+        in
+        let l = String.trim l in
+        if l = "" then None else Some l)
+      lines
+
+  let of_string s = of_lines (String.split_on_char '\n' s)
+
+  let load path =
+    if Sys.file_exists path then
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec go acc =
+            match input_line ic with
+            | l -> go (l :: acc)
+            | exception End_of_file -> List.rev acc
+          in
+          of_lines (go []))
+    else []
+
+  let covers t d = List.mem (D.key d) t
+
+  let render diags =
+    let b = Buffer.create 256 in
+    Buffer.add_string b "# fst lint waiver file: one diagnostic key per line.\n";
+    Buffer.add_string b "# Keys are RULE@net-name[@chain.segment]; '#' starts a comment.\n";
+    List.iter
+      (fun d ->
+        Buffer.add_string b (D.key d);
+        Buffer.add_string b "  # ";
+        Buffer.add_string b d.D.message;
+        Buffer.add_char b '\n')
+      diags;
+    Buffer.contents b
+
+  let save path diags =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (render diags))
+end
+
+type report = {
+  circuit : string;
+  diagnostics : D.t list;
+  waived : D.t list;
+  errors : int;
+  warnings : int;
+}
+
+let count sev diags =
+  List.length (List.filter (fun d -> d.D.severity = sev) diags)
+
+let finish ~circuit ~waivers diags =
+  let diags = List.sort_uniq D.compare diags in
+  let waived, diagnostics =
+    List.partition (Waiver.covers waivers) diags
+  in
+  {
+    circuit;
+    diagnostics;
+    waived;
+    errors = count D.Error diagnostics;
+    warnings = count D.Warning diagnostics;
+  }
+
+let run ?(limits = Rules.default_limits) ?lines ?file ?config ?dynamic
+    ?(waivers = Waiver.empty) c =
+  let ctx = Rules.ctx ?lines ?file c in
+  let diags = ref (Rules.structural ctx) in
+  let add ds = diags := ds @ !diags in
+  (match config with
+   | Some config ->
+     add (Rules.scan ctx ~limits config);
+     (match dynamic with
+      | Some true ->
+        (match Fst_tpi.Scan.verify_shift c config with
+         | Ok () -> ()
+         | Error errs ->
+           add (List.map (D.of_shift_error ?lines ?file c) errs))
+      | Some false | None -> ())
+   | None -> ());
+  add (Rules.testability ctx ~limits);
+  finish ~circuit:c.Fst_netlist.Circuit.name ~waivers !diags
+
+let run_raw ?limits ?(waivers = Waiver.empty) (raw : Fst_netlist.Netfile.raw) =
+  ignore limits;
+  finish ~circuit:raw.Fst_netlist.Netfile.raw_name ~waivers
+    (Rules.raw_structural raw)
+
+type fail_on = Fail_error | Fail_warning | Fail_never
+
+let gate ~fail_on report =
+  match fail_on with
+  | Fail_never -> true
+  | Fail_error -> report.errors = 0
+  | Fail_warning -> report.errors = 0 && report.warnings = 0
+
+let render report =
+  let b = Buffer.create 512 in
+  List.iter
+    (fun d ->
+      Buffer.add_string b (D.to_string d);
+      Buffer.add_char b '\n')
+    report.diagnostics;
+  Buffer.add_string b
+    (Printf.sprintf "%s: %d error(s), %d warning(s)%s\n" report.circuit
+       report.errors report.warnings
+       (if report.waived = [] then ""
+        else Printf.sprintf ", %d waived" (List.length report.waived)));
+  Buffer.contents b
+
+let to_json report =
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("circuit", Json.String report.circuit);
+      ("errors", Json.Int report.errors);
+      ("warnings", Json.Int report.warnings);
+      ("waived", Json.Int (List.length report.waived));
+      ("diagnostics", Json.List (List.map D.to_json report.diagnostics));
+    ]
+
+let catalogue =
+  [
+    ("E-NET-PARSE", D.Error, "netlist file does not parse");
+    ("E-NET-DUP", D.Error, "net defined more than once");
+    ("E-NET-CYCLE", D.Error, "combinational cycle (full loop path reported)");
+    ("W-NET-CONSTX", D.Warning, "net tied to an explicit unknown (CONSTX)");
+    ("W-NET-DEAD", D.Warning, "node drives nothing and is not an output");
+    ("W-NET-UNUSED-PI", D.Warning, "primary input is never read");
+    ( "W-NET-FF-SELFLOOP",
+      D.Warning,
+      "flip-flop feeds its own data pin with no logic in between" );
+    ("E-SCAN-MODE", D.Error, "scan-enable missing, non-input, or not pinned to 1");
+    ("E-SCAN-SI", D.Error, "scan-in not a free primary input");
+    ("E-SCAN-SO", D.Error, "scan-out not the last flip-flop or not observable");
+    ( "E-SCAN-SHAPE",
+      D.Error,
+      "chain bookkeeping broken (ff/segment counts, sources, destinations)" );
+    ("E-SCAN-PATH", D.Error, "segment route is not a connected gate path");
+    ( "E-SCAN-SENS",
+      D.Error,
+      "side input not provably non-controlling under scan-mode constants \
+       (static complement of the dynamic shift check)" );
+    ( "E-SCAN-PARITY",
+      D.Error,
+      "recorded segment inversion disagrees with the re-derived parity" );
+    ("E-SCAN-DUP-FF", D.Error, "flip-flop on more than one chain position");
+    ( "E-SCAN-SHIFT",
+      D.Error,
+      "dynamic shift simulation failed to load a chain position" );
+    ("W-SCAN-NOCHAIN", D.Warning, "flip-flop on no scan chain");
+    ( "W-SCAN-SE-DATA",
+      D.Warning,
+      "scan-enable reaches a side pin through >= 3 logic levels" );
+    ( "W-SCAN-X",
+      D.Warning,
+      "X-source cone reaches a segment's side inputs (category-2 hotspot)" );
+    ("W-SCAN-DEPTH", D.Warning, "segment path delay exceeds the limit");
+    ("W-TEST-CC", D.Warning, "net hard to control (SCOAP threshold)");
+    ("W-TEST-OBS", D.Warning, "net hard to observe (SCOAP threshold)");
+  ]

@@ -1,0 +1,74 @@
+(** Lint driver: run the {!Rules} passes, order and de-duplicate the
+    findings, apply waivers, render text or JSON, and gate an exit status.
+
+    A lint run is a pure observer: it never modifies the circuit or the
+    scan configuration it is given. *)
+
+open Fst_netlist
+open Fst_tpi
+
+(** A waiver (baseline) file: a set of {!Diagnostic.key} strings. Matching
+    diagnostics are moved aside instead of counted, so known findings can
+    be frozen while new ones still gate CI. *)
+module Waiver : sig
+  type t
+
+  val empty : t
+
+  (** One key per line; blank lines and [#] comments ignored. *)
+  val of_string : string -> t
+
+  (** [load path] reads a waiver file; a missing file is the empty set. *)
+  val load : string -> t
+
+  val covers : t -> Diagnostic.t -> bool
+
+  (** [save path diags] writes a waiver file covering [diags], each key
+      annotated with its message as a comment. *)
+  val save : string -> Diagnostic.t list -> unit
+end
+
+type report = {
+  circuit : string;
+  diagnostics : Diagnostic.t list;  (** sorted by {!Diagnostic.compare} *)
+  waived : Diagnostic.t list;  (** findings suppressed by the waiver set *)
+  errors : int;  (** error count among [diagnostics] *)
+  warnings : int;  (** warning count among [diagnostics] *)
+}
+
+(** [run c] lints an elaborated circuit: structural DRC, plus — when
+    [config] is given — the scan-DFT rules, plus the SCOAP testability
+    rules. [dynamic:true] additionally runs {!Fst_tpi.Scan.verify_shift}
+    and renders its failures as [E-SCAN-SHIFT] diagnostics, cross-checking
+    the static sensitization analysis. [lines]/[file] locate findings in
+    the netlist source (see {!Fst_netlist.Netfile.parse_file_loc}). *)
+val run :
+  ?limits:Rules.limits ->
+  ?lines:int array ->
+  ?file:string ->
+  ?config:Scan.config ->
+  ?dynamic:bool ->
+  ?waivers:Waiver.t ->
+  Circuit.t ->
+  report
+
+(** [run_raw raw] lints a pre-elaboration parse: duplicate definitions and
+    combinational cycles, each reported exhaustively where elaboration
+    would abort on the first. *)
+val run_raw :
+  ?limits:Rules.limits -> ?waivers:Waiver.t -> Netfile.raw -> report
+
+type fail_on = Fail_error | Fail_warning | Fail_never
+
+(** [gate ~fail_on report] is [false] when the report should fail CI. *)
+val gate : fail_on:fail_on -> report -> bool
+
+(** [render report] is the text rendering: one compiler-style line per
+    diagnostic plus a summary line. *)
+val render : report -> string
+
+val to_json : report -> Fst_obs.Json.t
+
+(** The rule catalogue: [(rule id, severity, one-line description)],
+    in catalogue order. *)
+val catalogue : (string * Diagnostic.severity * string) list

@@ -1,0 +1,52 @@
+(** The lint rule passes.
+
+    Three families, each a pure function from circuit (plus optional scan
+    configuration / raw parse) to diagnostics:
+
+    - {!structural} / {!raw_structural}: netlist DRC ([E-NET-*],
+      [W-NET-*]);
+    - {!scan}: scan-DFT rules on a {!Fst_tpi.Scan.config} ([E-SCAN-*],
+      [W-SCAN-*]) — including the static complement of
+      {!Fst_tpi.Scan.verify_shift};
+    - {!testability}: SCOAP threshold lint ([W-TEST-*]).
+
+    All passes only read their inputs; diagnostics are returned unsorted
+    (the {!Lint} driver orders and de-duplicates them). *)
+
+open Fst_netlist
+open Fst_tpi
+
+(** Tunable thresholds for the warning-class rules. *)
+type limits = {
+  max_segment_delay : int;
+      (** [W-SCAN-DEPTH]: flag segments whose path delay exceeds this *)
+  delay_model : Timing.model;  (** delay model for [W-SCAN-DEPTH] *)
+  cc_limit : int;
+      (** [W-TEST-CC]: flag gate nets with [max cc0 cc1 >= cc_limit] *)
+  obs_limit : int;  (** [W-TEST-OBS]: flag gate nets with [obs >= obs_limit] *)
+  max_testability_reports : int;
+      (** cap per testability rule; a summary line reports the overflow *)
+}
+
+(** [max_segment_delay = 24] (unit delays), SCOAP limits at
+    {!Fst_testability.Scoap.infinite} (only unreachable nets flagged), 10
+    reports per testability rule. *)
+val default_limits : limits
+
+(** Location context threaded through a lint run: the circuit plus the
+    optional net→source-line table and file name from
+    {!Fst_netlist.Netfile.parse_file_loc}. *)
+type ctx
+
+val ctx : ?lines:int array -> ?file:string -> Circuit.t -> ctx
+
+val structural : ctx -> Diagnostic.t list
+
+(** Rules only expressible before elaboration: every duplicate definition
+    ([E-NET-DUP], citing both lines) and every combinational cycle
+    ([E-NET-CYCLE], with the full loop path). *)
+val raw_structural : Netfile.raw -> Diagnostic.t list
+
+val scan : ctx -> limits:limits -> Scan.config -> Diagnostic.t list
+
+val testability : ctx -> limits:limits -> Diagnostic.t list

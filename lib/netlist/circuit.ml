@@ -54,6 +54,111 @@ let validate ~nodes ~net_names ~outputs =
     nodes;
   Array.iter (check_net "output list") outputs
 
+(* Strongly-connected components of the gate subgraph (iterative Tarjan;
+   sources break cycles, a gate reading itself is a one-node cycle). Each
+   cyclic SCC is reported as one representative cycle: the shortest loop
+   through its smallest net id, in signal-flow order. *)
+let combinational_cycles nodes =
+  let n = Array.length nodes in
+  let is_gate i = match nodes.(i) with Gate _ -> true | _ -> false in
+  let gate_fanins i =
+    match nodes.(i) with
+    | Gate (_, fi) -> fi
+    | Input | Const _ | Dff _ -> [||]
+  in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let frames = Stack.create () in
+  let push_node v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    Stack.push (v, ref 0) frames
+  in
+  for root = 0 to n - 1 do
+    if is_gate root && index.(root) = -1 then begin
+      push_node root;
+      while not (Stack.is_empty frames) do
+        let v, pi = Stack.top frames in
+        let fi = gate_fanins v in
+        if !pi < Array.length fi then begin
+          let w = fi.(!pi) in
+          incr pi;
+          if is_gate w then
+            if index.(w) = -1 then push_node w
+            else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+        end
+        else begin
+          ignore (Stack.pop frames);
+          (match Stack.top_opt frames with
+           | Some (u, _) -> lowlink.(u) <- min lowlink.(u) lowlink.(v)
+           | None -> ());
+          if lowlink.(v) = index.(v) then begin
+            let comp = ref [] in
+            let stop = ref false in
+            while not !stop do
+              match !stack with
+              | w :: rest ->
+                stack := rest;
+                on_stack.(w) <- false;
+                comp := w :: !comp;
+                if w = v then stop := true
+              | [] -> stop := true
+            done;
+            let cyclic =
+              match !comp with
+              | [ w ] -> Array.exists (fun f -> f = w) (gate_fanins w)
+              | _ :: _ :: _ -> true
+              | [] -> false
+            in
+            if cyclic then sccs := !comp :: !sccs
+          end
+        end
+      done
+    end
+  done;
+  (* Representative cycle per SCC: BFS over dependency edges restricted to
+     the component, from its smallest member back to itself. *)
+  let cycle_of comp =
+    let members = Hashtbl.create 16 in
+    List.iter (fun i -> Hashtbl.replace members i ()) comp;
+    let s = List.fold_left min (List.hd comp) comp in
+    let parent = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    Queue.add s queue;
+    let found = ref false in
+    while not (!found || Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Array.iter
+        (fun w ->
+          if not !found && Hashtbl.mem members w then
+            if w = s then begin
+              found := true;
+              Hashtbl.replace parent s v
+            end
+            else if not (Hashtbl.mem parent w) then begin
+              Hashtbl.replace parent w v;
+              Queue.add w queue
+            end)
+        (gate_fanins v)
+    done;
+    (* [parent.(w)] is a consumer of [w], so following parents from [s]
+       walks the cycle in signal-flow order until it closes back at [s]. *)
+    let rec walk acc v =
+      let p = Hashtbl.find parent v in
+      if p = s then List.rev (v :: acc) else walk (v :: acc) p
+    in
+    if !found then walk [] s else comp
+  in
+  List.map cycle_of !sccs
+  |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+
 let compute_fanout nodes =
   let n = Array.length nodes in
   let counts = Array.make n 0 in
@@ -77,7 +182,7 @@ let compute_fanout nodes =
 (* Kahn's algorithm over the combinational subgraph: inputs, constants and
    flip-flop outputs are sources; a Dff node consumes its data net but its
    own output breaks the cycle. *)
-let compute_topo ~name nodes fanout =
+let compute_topo ~name ~net_names nodes fanout =
   let n = Array.length nodes in
   let pending = Array.make n 0 in
   let order = Array.make n (-1) in
@@ -107,7 +212,18 @@ let compute_topo ~name nodes fanout =
         | Input | Const _ | Dff _ -> ())
       fanout.(i)
   done;
-  if !pos <> n then raise (Combinational_cycle name);
+  if !pos <> n then begin
+    let detail =
+      match combinational_cycles nodes with
+      | cycle :: _ ->
+        let path = List.map (fun i -> net_names.(i)) cycle in
+        Printf.sprintf "%s: combinational cycle %s"
+          name
+          (String.concat " -> " (path @ [ List.hd path ]))
+      | [] -> name
+    in
+    raise (Combinational_cycle detail)
+  end;
   order
 
 let compute_levels nodes topo =
@@ -134,7 +250,7 @@ let collect_kind nodes pred =
 let make ~name ~nodes ~net_names ~outputs =
   validate ~nodes ~net_names ~outputs;
   let fanout = compute_fanout nodes in
-  let topo = compute_topo ~name nodes fanout in
+  let topo = compute_topo ~name ~net_names nodes fanout in
   let level = compute_levels nodes topo in
   let inputs = collect_kind nodes (function Input -> true | _ -> false) in
   let dffs = collect_kind nodes (function Dff _ -> true | _ -> false) in

@@ -42,6 +42,16 @@ val make :
   outputs:int array ->
   t
 
+(** [combinational_cycles nodes] enumerates the cyclic strongly-connected
+    components of the gate subgraph of a raw node table (which [make] would
+    reject). One representative cycle is returned per cyclic SCC — the
+    shortest loop through the component's smallest net id — as net ids in
+    signal-flow order (each net drives the next; the last drives the
+    first). Sorted by first net id; [[]] iff the gate subgraph is acyclic.
+    Usable before [make], so a linter can report {e every} cycle instead of
+    aborting on the first. *)
+val combinational_cycles : node array -> int list list
+
 val num_nets : t -> int
 
 (** [gate_count c] counts logic gates (all [Gate] nodes). *)

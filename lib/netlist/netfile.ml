@@ -1,9 +1,19 @@
 open Fst_logic
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
 
-let fail line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+let fail ?file line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { file; line; message })) fmt
+
+type raw = {
+  raw_name : string;
+  raw_file : string option;
+  raw_nodes : Circuit.node array;
+  raw_net_names : string array;
+  raw_outputs : int array;
+  raw_lines : int array;
+  raw_dups : (string * int * int) list;
+}
 
 type statement =
   | St_input of string
@@ -17,7 +27,7 @@ let split_args s =
   |> List.filter (fun a -> a <> "")
 
 (* Accepts "INPUT(g)" / "OUTPUT(g)" / "lhs = OP(a, b)" / "lhs = CONST0". *)
-let parse_line ~line s =
+let parse_line ?file ~line s =
   let s = strip s in
   if s = "" || s.[0] = '#' then None
   else
@@ -35,16 +45,16 @@ let parse_line ~line s =
       | true, arg -> Some (St_output arg)
       | false, _ -> (
         match String.index_opt s '=' with
-        | None -> fail line "expected INPUT(..), OUTPUT(..) or an assignment"
+        | None -> fail ?file line "expected INPUT(..), OUTPUT(..) or an assignment"
         | Some eq ->
           let lhs = strip (String.sub s 0 eq) in
           let rhs = strip (String.sub s (eq + 1) (String.length s - eq - 1)) in
-          if lhs = "" then fail line "empty left-hand side";
+          if lhs = "" then fail ?file line "empty left-hand side";
           (match String.index_opt rhs '(' with
            | None -> Some (St_def (lhs, rhs, []))
            | Some i ->
              if rhs.[String.length rhs - 1] <> ')' then
-               fail line "missing closing parenthesis";
+               fail ?file line "missing closing parenthesis";
              let op = strip (String.sub rhs 0 i) in
              let args =
                split_args (String.sub rhs (i + 1) (String.length rhs - i - 2))
@@ -58,21 +68,28 @@ let const_of_op op =
   | "CONSTX" -> Some V3.X
   | _ -> None
 
-let parse_string ?(name = "netlist") text =
+let parse_raw ?(name = "netlist") ?file text =
   let statements = ref [] in
   String.split_on_char '\n' text
   |> List.iteri (fun i raw ->
-         match parse_line ~line:(i + 1) raw with
+         match parse_line ?file ~line:(i + 1) raw with
          | None -> ()
          | Some st -> statements := (i + 1, st) :: !statements);
   let statements = List.rev !statements in
-  (* First pass: allocate ids for every defined net (inputs and lhs). *)
+  (* First pass: allocate ids for every defined net (inputs and lhs). A
+     redefinition is recorded — with the first definition's line, so both
+     can be reported — and otherwise dropped in favour of the first. *)
   let ids = Hashtbl.create 256 in
   let order = ref [] in
+  let def_lines = ref [] in
+  let dups = ref [] in
   let declare line nm =
-    if Hashtbl.mem ids nm then fail line "net %S defined twice" nm;
-    Hashtbl.add ids nm (Hashtbl.length ids);
-    order := nm :: !order
+    match Hashtbl.find_opt ids nm with
+    | Some (_, first_line) -> dups := (nm, first_line, line) :: !dups
+    | None ->
+      Hashtbl.add ids nm (Hashtbl.length ids, line);
+      order := nm :: !order;
+      def_lines := line :: !def_lines
   in
   List.iter
     (fun (line, st) ->
@@ -81,10 +98,11 @@ let parse_string ?(name = "netlist") text =
       | St_output _ -> ())
     statements;
   let names = Array.of_list (List.rev !order) in
+  let lines = Array.of_list (List.rev !def_lines) in
   let lookup line nm =
     match Hashtbl.find_opt ids nm with
-    | Some id -> id
-    | None -> fail line "undefined net %S" nm
+    | Some (id, _) -> id
+    | None -> fail ?file line "undefined net %S" nm
   in
   let nodes = Array.make (Array.length names) Circuit.Input in
   let outputs = ref [] in
@@ -95,38 +113,71 @@ let parse_string ?(name = "netlist") text =
       | St_output nm -> outputs := lookup line nm :: !outputs
       | St_def (lhs, op, args) ->
         let id = lookup line lhs in
-        let arg_ids () = List.map (lookup line) args in
-        let node =
-          match const_of_op op with
-          | Some v ->
-            if args <> [] then fail line "constant with arguments";
-            Circuit.Const v
-          | None -> (
-            if String.uppercase_ascii op = "DFF" then
-              match arg_ids () with
-              | [ d ] -> Circuit.Dff d
-              | _ -> fail line "DFF takes exactly one argument"
-            else
-              match Gate.of_string op with
-              | None -> fail line "unknown operator %S" op
-              | Some g ->
-                let fi = Array.of_list (arg_ids ()) in
-                if not (Gate.arity_ok g (Array.length fi)) then
-                  fail line "%s cannot take %d arguments" (Gate.to_string g)
-                    (Array.length fi);
-                Circuit.Gate (g, fi))
-        in
-        nodes.(id) <- node)
+        (* A redefinition keeps the first driver: only the statement on the
+           declaring line elaborates (one statement per line). *)
+        if lines.(id) = line then begin
+          let arg_ids () = List.map (lookup line) args in
+          let node =
+            match const_of_op op with
+            | Some v ->
+              if args <> [] then fail ?file line "constant with arguments";
+              Circuit.Const v
+            | None -> (
+              if String.uppercase_ascii op = "DFF" then
+                match arg_ids () with
+                | [ d ] -> Circuit.Dff d
+                | _ -> fail ?file line "DFF takes exactly one argument"
+              else
+                match Gate.of_string op with
+                | None -> fail ?file line "unknown operator %S" op
+                | Some g ->
+                  let fi = Array.of_list (arg_ids ()) in
+                  if not (Gate.arity_ok g (Array.length fi)) then
+                    fail ?file line "%s cannot take %d arguments"
+                      (Gate.to_string g) (Array.length fi);
+                  Circuit.Gate (g, fi))
+          in
+          nodes.(id) <- node
+        end)
     statements;
-  Circuit.make ~name ~nodes ~net_names:names
-    ~outputs:(Array.of_list (List.rev !outputs))
+  {
+    raw_name = name;
+    raw_file = file;
+    raw_nodes = nodes;
+    raw_net_names = names;
+    raw_outputs = Array.of_list (List.rev !outputs);
+    raw_lines = lines;
+    raw_dups = List.rev !dups;
+  }
 
-let parse_file path =
+let elaborate raw =
+  (match raw.raw_dups with
+   | (nm, first, dup) :: _ ->
+     fail ?file:raw.raw_file dup "net %S defined twice (first defined at line %d)"
+       nm first
+   | [] -> ());
+  Circuit.make ~name:raw.raw_name ~nodes:raw.raw_nodes
+    ~net_names:raw.raw_net_names ~outputs:raw.raw_outputs
+
+let parse_string_loc ?name ?file text =
+  let raw = parse_raw ?name ?file text in
+  (elaborate raw, raw.raw_lines)
+
+let parse_string ?name text = fst (parse_string_loc ?name text)
+
+let read_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  parse_string ~name:(Filename.remove_extension (Filename.basename path)) text
+  text
+
+let parse_file_loc path =
+  parse_string_loc
+    ~name:(Filename.remove_extension (Filename.basename path))
+    ~file:path (read_file path)
+
+let parse_file path = fst (parse_file_loc path)
 
 let to_string (c : Circuit.t) =
   let buf = Buffer.create 4096 in

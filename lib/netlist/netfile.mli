@@ -12,10 +12,50 @@
     Definitions may appear in any order; forward references are resolved in
     a second pass. *)
 
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
+(** [file] is set when the text came from [parse_file]/[parse_file_loc] (or
+    an explicit [?file]); duplicate-definition errors cite both lines in
+    [message]. *)
+
+(** The result of the syntactic pass alone: a validated-for-syntax node
+    table that has {e not} been through {!Circuit.make}. A linter can run
+    graph checks (e.g. {!Circuit.combinational_cycles}) on circuits that
+    elaboration would reject, and report every duplicate definition instead
+    of failing on the first. *)
+type raw = {
+  raw_name : string;
+  raw_file : string option;
+  raw_nodes : Circuit.node array;
+  raw_net_names : string array;
+  raw_outputs : int array;
+  raw_lines : int array;
+      (** per net: the 1-based source line of its definition *)
+  raw_dups : (string * int * int) list;
+      (** redefined nets as [(name, first line, duplicate line)], in source
+          order; the first definition wins in [raw_nodes] *)
+}
+
+(** [parse_raw ?name ?file text] runs the syntactic pass only.
+    @raise Parse_error on malformed statements or undefined nets. *)
+val parse_raw : ?name:string -> ?file:string -> string -> raw
+
+(** [elaborate raw] validates and builds the circuit.
+    @raise Parse_error if [raw] recorded duplicate definitions (the message
+    cites both lines).
+    @raise Circuit.Combinational_cycle or {!Circuit.Malformed} as
+    {!Circuit.make} does. *)
+val elaborate : raw -> Circuit.t
 
 val parse_string : ?name:string -> string -> Circuit.t
+
+(** [parse_string_loc ?name ?file text] additionally returns the per-net
+    source-line table ([table.(net)] is the 1-based line of the net's
+    definition), for source-located diagnostics. *)
+val parse_string_loc : ?name:string -> ?file:string -> string -> Circuit.t * int array
+
 val parse_file : string -> Circuit.t
+
+val parse_file_loc : string -> Circuit.t * int array
 
 val to_string : Circuit.t -> string
 val write_file : Circuit.t -> string -> unit

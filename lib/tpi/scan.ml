@@ -79,6 +79,20 @@ let scan_in_stream ch ~values =
   done;
   stream
 
+type shift_error = {
+  se_chain : int;
+  se_position : int;
+  se_net : int;
+  se_expected : V3.t;
+  se_got : V3.t;
+}
+
+let shift_error_message c e =
+  Printf.sprintf "chain %d position %d (%s): expected %c, got %c" e.se_chain
+    e.se_position
+    (Circuit.net_name c e.se_net)
+    (V3.to_char e.se_expected) (V3.to_char e.se_got)
+
 (* A small deterministic bit generator for the self-check pattern. *)
 let check_bit k = (k * 7 / 3) land 1 = 1
 
@@ -117,16 +131,23 @@ let verify_shift c config =
           let got = Sim.value st ff in
           if not (V3.equal got desired.(p)) then
             errors :=
-              Printf.sprintf "chain %d position %d (%s): expected %c, got %c"
-                ch.index p (Circuit.net_name c ff)
-                (V3.to_char desired.(p))
-                (V3.to_char got)
+              {
+                se_chain = ch.index;
+                se_position = p;
+                se_net = ff;
+                se_expected = desired.(p);
+                se_got = got;
+              }
               :: !errors)
         ch.ffs)
     streams;
-  match !errors with
-  | [] -> Ok ()
-  | es -> Error (String.concat "; " (List.rev es))
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let verify_shift_msg c config =
+  match verify_shift c config with
+  | Ok () -> Ok ()
+  | Error es ->
+    Error (String.concat "; " (List.map (shift_error_message c) es))
 
 let pp_config c ppf config =
   Fmt.pf ppf "scan: %d chain(s), %d test point(s), %d mux segment(s), %d constrained PI(s)"

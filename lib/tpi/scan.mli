@@ -62,9 +62,27 @@ val parity : chain -> position:int -> bool
     first. *)
 val scan_in_stream : chain -> values:V3.t array -> V3.t array
 
+(** One shift-check failure: what flip-flop [se_net] of chain [se_chain]
+    (scan position [se_position]) held after the load versus what the
+    scan-in stream was built to put there. Structured so the CLI can render
+    failures through the {!Fst_lint} diagnostic machinery. *)
+type shift_error = {
+  se_chain : int;
+  se_position : int;
+  se_net : int;  (** the flip-flop's output net *)
+  se_expected : V3.t;
+  se_got : V3.t;
+}
+
+val shift_error_message : Circuit.t -> shift_error -> string
+
 (** [verify_shift c config] simulates each chain with a random-looking
-    pattern and checks the shift-register behaviour; returns an error
-    message on failure. *)
-val verify_shift : Circuit.t -> config -> (unit, string) Stdlib.result
+    pattern and checks the shift-register behaviour; returns every position
+    that failed to load. *)
+val verify_shift : Circuit.t -> config -> (unit, shift_error list) Stdlib.result
+
+(** [verify_shift_msg c config] is {!verify_shift} with the failures joined
+    into one message. *)
+val verify_shift_msg : Circuit.t -> config -> (unit, string) Stdlib.result
 
 val pp_config : Circuit.t -> config Fmt.t

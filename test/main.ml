@@ -18,6 +18,7 @@ let () =
       ("seq", Test_seq.suite);
       ("rtpg", Test_rtpg.suite);
       ("tpi", Test_tpi.suite);
+      ("lint", Test_lint.suite);
       ("classify", Test_classify.suite);
       ("sequences", Test_sequences.suite);
       ("group", Test_group.suite);

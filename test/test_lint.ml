@@ -1,0 +1,409 @@
+(* The static analyzer: structural DRC, scan-DFT rules, waivers, and the
+   qcheck seeded-defect properties (inject one known defect, lint must
+   report exactly that rule at that location; clean circuits lint with zero
+   errors; a lint run is a pure observer). *)
+
+open Fst_logic
+open Fst_netlist
+open Fst_tpi
+module D = Fst_lint.Diagnostic
+module L = Fst_lint.Lint
+module R = Fst_lint.Rules
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Diagnostics of [rule] in [r], optionally filtered by location pieces. *)
+let find ?chain ?segment ?net ?line rule (r : L.report) =
+  List.filter
+    (fun d ->
+      d.D.rule = rule
+      && (match chain with None -> true | Some c -> d.D.loc.D.chain = Some c)
+      && (match segment with
+          | None -> true
+          | Some s -> d.D.loc.D.segment = Some s)
+      && (match net with None -> true | Some n -> d.D.loc.D.net = Some n)
+      && match line with None -> true | Some l -> d.D.loc.D.line = Some l)
+    r.L.diagnostics
+
+let has ?chain ?segment ?net ?line rule r =
+  find ?chain ?segment ?net ?line rule r <> []
+
+(* Rebuild a circuit with net [i]'s driver replaced. *)
+let with_node (c : Circuit.t) i node =
+  let nodes = Array.copy c.Circuit.nodes in
+  nodes.(i) <- node;
+  Circuit.make ~name:c.Circuit.name ~nodes
+    ~net_names:(Array.copy c.Circuit.net_names)
+    ~outputs:(Array.copy c.Circuit.outputs)
+
+(* Rebuild a circuit with one appended (non-output) node; returns the new
+   circuit and the injected net id. *)
+let append_node (c : Circuit.t) node name =
+  let inj = Array.length c.Circuit.nodes in
+  let nodes = Array.append c.Circuit.nodes [| node |] in
+  let net_names = Array.append c.Circuit.net_names [| name |] in
+  ( Circuit.make ~name:c.Circuit.name ~nodes ~net_names
+      ~outputs:(Array.copy c.Circuit.outputs),
+    inj )
+
+let scanned_circuit ?(gates = 80) ?(ffs = 8) seed =
+  Tpi.insert ~options:Tpi.default_options
+    (Helpers.small_seq_circuit ~gates ~ffs (Int64.of_int seed))
+
+(* Side-pin injection sites: [(chain, segment, path node, side net)] where
+   the side net is gate-driven, appears on exactly one side pin overall
+   (so the defect maps to one location), and is not itself part of any
+   chain bookkeeping. [need_controlling] restricts to path gates with a
+   controlling value (and/nand/or/nor). *)
+let sens_candidates ?(need_controlling = true) c (config : Scan.config) =
+  let excluded = Hashtbl.create 64 in
+  Hashtbl.replace excluded config.Scan.scan_mode ();
+  Array.iter
+    (fun ch ->
+      Hashtbl.replace excluded ch.Scan.scan_in ();
+      Array.iter (fun f -> Hashtbl.replace excluded f ()) ch.Scan.ffs;
+      Array.iter
+        (fun (seg : Scan.segment) ->
+          Array.iter (fun p -> Hashtbl.replace excluded p ()) seg.Scan.path)
+        ch.Scan.segments)
+    config.Scan.chains;
+  let count = Hashtbl.create 64 in
+  let triples = ref [] in
+  Array.iter
+    (fun ch ->
+      Array.iteri
+        (fun s _ ->
+          List.iter
+            (fun (node, _pin, side) ->
+              Hashtbl.replace count side
+                (1 + (try Hashtbl.find count side with Not_found -> 0));
+              triples := (ch.Scan.index, s, node, side) :: !triples)
+            (Scan.side_pins c config ~chain:ch.Scan.index ~segment:s))
+        ch.Scan.segments)
+    config.Scan.chains;
+  List.filter
+    (fun (_, _, node, side) ->
+      Hashtbl.find count side = 1
+      && (not (Hashtbl.mem excluded side))
+      && (match Circuit.node c side with
+          | Circuit.Gate _ -> true
+          | _ -> false)
+      &&
+      match Circuit.node c node with
+      | Circuit.Gate (g, _) ->
+        (not need_controlling) || Gate.controlling g <> None
+      | _ -> false)
+    (List.rev !triples)
+
+(* --- structural rules ---------------------------------------------------- *)
+
+let clean_net = "INPUT(a)\nINPUT(b)\nOUTPUT(q)\ng = AND(a, b)\nq = DFF(g)\n"
+
+let warn_net =
+  "INPUT(a)\nINPUT(b)\nINPUT(unused)\nOUTPUT(y)\ny = AND(a, b)\n\
+   dead = OR(a, b)\nxsrc = CONSTX\nq = DFF(q)\n"
+
+let test_structural_clean () =
+  let c, lines = Netfile.parse_string_loc clean_net in
+  let r = L.run ~lines c in
+  check_int "errors" 0 r.L.errors;
+  check_int "warnings" 0 r.L.warnings
+
+let test_structural_warnings () =
+  let c, lines = Netfile.parse_string_loc ~file:"warn.net" warn_net in
+  let r = L.run ~lines ~file:"warn.net" c in
+  check_int "errors" 0 r.L.errors;
+  check "unused PI (line 3)" true (has ~line:3 "W-NET-UNUSED-PI" r);
+  check "dead gate (line 6)" true (has ~line:6 "W-NET-DEAD" r);
+  check "constx (line 7)" true (has ~line:7 "W-NET-CONSTX" r);
+  check "ff self-loop (line 8)" true (has ~line:8 "W-NET-FF-SELFLOOP" r);
+  let d = List.hd (find "W-NET-DEAD" r) in
+  check "file in location" true (d.D.loc.D.file = Some "warn.net");
+  check "key shape" true (D.key d = "W-NET-DEAD@dead")
+
+let test_raw_dups_and_cycles () =
+  (* Two duplicate definitions and two independent combinational cycles:
+     elaboration would abort on the first of each; the raw pass reports
+     all of them. *)
+  let text =
+    "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = AND(a, b)\n\
+     l1 = AND(l2, a)\nl2 = OR(l1, b)\n\
+     m1 = NAND(m2, a)\nm2 = NOR(m1, b)\n\
+     y = OR(a, b)\nl1 = XOR(a, b)\n"
+  in
+  let raw = Netfile.parse_raw ~name:"rawlint" text in
+  let r = L.run_raw raw in
+  check_int "duplicates" 2 (List.length (find "E-NET-DUP" r));
+  check_int "cycles" 2 (List.length (find "E-NET-CYCLE" r));
+  let dup = List.hd (find "E-NET-DUP" r) in
+  check "dup cites first line" true
+    (Helpers.contains_substring ~needle:"first defined at line"
+       dup.D.message);
+  let cyc = List.hd (find "E-NET-CYCLE" r) in
+  check "cycle path rendered" true
+    (Helpers.contains_substring ~needle:" -> " cyc.D.message);
+  check "raw errors gate" false (L.gate ~fail_on:L.Fail_error r)
+
+(* --- scan-DFT rules ------------------------------------------------------ *)
+
+let tamper_chain (config : Scan.config) f =
+  let chains = Array.copy config.Scan.chains in
+  chains.(0) <- f chains.(0);
+  { config with Scan.chains }
+
+let test_scan_clean () =
+  let scanned, config = scanned_circuit 7 in
+  let r = L.run ~config ~dynamic:true scanned in
+  check_int "errors" 0 r.L.errors
+
+let test_scan_parity () =
+  let scanned, config = scanned_circuit 7 in
+  let bad =
+    tamper_chain config (fun ch ->
+        let segments = Array.copy ch.Scan.segments in
+        segments.(0) <-
+          { segments.(0) with Scan.invert = not segments.(0).Scan.invert };
+        { ch with Scan.segments = segments })
+  in
+  let r = L.run ~config:bad scanned in
+  check "parity error at chain 0 segment 0" true
+    (has ~chain:0 ~segment:0 "E-SCAN-PARITY" r);
+  (* The same bookkeeping lie makes the dynamic shift check fail, with the
+     structured error locating the same chain. *)
+  match Scan.verify_shift scanned bad with
+  | Ok () -> Alcotest.fail "verify_shift accepted a wrong parity"
+  | Error (e :: _) ->
+    check_int "chain" 0 e.Scan.se_chain;
+    let d = D.of_shift_error scanned e in
+    check "E-SCAN-SHIFT diagnostic" true (d.D.rule = "E-SCAN-SHIFT");
+    check "chain in location" true (d.D.loc.D.chain = Some 0)
+  | Error [] -> Alcotest.fail "empty shift-error list"
+
+let test_scan_mode_constraint () =
+  let scanned, config = scanned_circuit 7 in
+  let bad =
+    { config with
+      Scan.constraints =
+        List.remove_assoc config.Scan.scan_mode config.Scan.constraints }
+  in
+  check "missing scan-enable constraint" true
+    (has "E-SCAN-MODE" (L.run ~config:bad scanned))
+
+let test_scan_shape_and_so () =
+  let scanned, config = scanned_circuit 7 in
+  let truncated =
+    tamper_chain config (fun ch ->
+        { ch with
+          Scan.ffs = Array.sub ch.Scan.ffs 0 (Array.length ch.Scan.ffs - 1)
+        })
+  in
+  check "ff/segment count mismatch" true
+    (has ~chain:0 "E-SCAN-SHAPE" (L.run ~config:truncated scanned));
+  let bad_so =
+    tamper_chain config (fun ch -> { ch with Scan.scan_out = ch.Scan.ffs.(0) })
+  in
+  check "scan-out not last flip-flop" true
+    (has ~chain:0 "E-SCAN-SO" (L.run ~config:bad_so scanned))
+
+let test_scan_dup_ff () =
+  let scanned, config = scanned_circuit 7 in
+  let bad =
+    tamper_chain config (fun ch ->
+        let ffs = Array.copy ch.Scan.ffs in
+        ffs.(1) <- ffs.(0);
+        { ch with Scan.ffs = ffs })
+  in
+  check "duplicated chain flip-flop" true
+    (has "E-SCAN-DUP-FF" (L.run ~config:bad scanned))
+
+let test_scan_nochain () =
+  let scanned, config = scanned_circuit 7 in
+  let c', inj =
+    append_node scanned
+      (Circuit.Dff scanned.Circuit.inputs.(0))
+      "__lint_offchain"
+  in
+  check "off-chain flip-flop" true
+    (has ~net:inj "W-SCAN-NOCHAIN" (L.run ~config c'))
+
+let test_scan_depth () =
+  let scanned, config = scanned_circuit 7 in
+  let has_gate_path =
+    Array.exists
+      (fun ch ->
+        Array.exists
+          (fun (seg : Scan.segment) -> Array.length seg.Scan.path > 1)
+          ch.Scan.segments)
+      config.Scan.chains
+  in
+  check "fixture has a multi-gate segment" true has_gate_path;
+  let limits = { R.default_limits with R.max_segment_delay = 0 } in
+  check "depth warning under a zero budget" true
+    (has "W-SCAN-DEPTH" (L.run ~limits ~config scanned))
+
+(* --- waivers, gating, rendering ------------------------------------------ *)
+
+let test_waivers () =
+  let c, lines = Netfile.parse_string_loc warn_net in
+  let r = L.run ~lines c in
+  check "warnings gate when asked" false (L.gate ~fail_on:L.Fail_warning r);
+  check "warnings pass at error level" true (L.gate ~fail_on:L.Fail_error r);
+  check "never fails" true (L.gate ~fail_on:L.Fail_never r);
+  let keys = List.map D.key r.L.diagnostics in
+  let waivers =
+    L.Waiver.of_string
+      ("# a comment\n\n"
+       ^ String.concat "\n" (List.map (fun k -> k ^ "  # inline") keys))
+  in
+  let r' = L.run ~lines ~waivers c in
+  check_int "all findings waived" 0
+    (r'.L.errors + r'.L.warnings + List.length r'.L.diagnostics);
+  check_int "waived count" (List.length keys) (List.length r'.L.waived);
+  check "waived report passes" true (L.gate ~fail_on:L.Fail_warning r')
+
+let test_json_and_catalogue () =
+  let c, lines = Netfile.parse_string_loc warn_net in
+  let r = L.run ~lines c in
+  let json = Fst_obs.Json.to_string (L.to_json r) in
+  (match Fst_obs.Json.of_string json with
+   | Fst_obs.Json.Obj fields ->
+     check "version field" true (List.mem_assoc "version" fields);
+     check "diagnostics field" true (List.mem_assoc "diagnostics" fields)
+   | _ -> Alcotest.fail "lint JSON is not an object");
+  let known = List.map (fun (rule, _, _) -> rule) L.catalogue in
+  let scanned, config = scanned_circuit 7 in
+  let r2 = L.run ~config ~dynamic:true scanned in
+  List.iter
+    (fun d ->
+      check (Printf.sprintf "rule %s catalogued" d.D.rule) true
+        (List.mem d.D.rule known))
+    (r.L.diagnostics @ r2.L.diagnostics)
+
+(* --- the flow pre-flight ------------------------------------------------- *)
+
+let test_preflight () =
+  let scanned, config = scanned_circuit ~gates:50 ~ffs:4 11 in
+  let params = { Fst_core.Flow.default_params with Fst_core.Flow.preflight = true; jobs = 1 } in
+  let bad =
+    tamper_chain config (fun ch ->
+        let segments = Array.copy ch.Scan.segments in
+        segments.(0) <-
+          { segments.(0) with Scan.invert = not segments.(0).Scan.invert };
+        { ch with Scan.segments = segments })
+  in
+  (match Fst_core.Flow.run ~params scanned bad with
+   | _ -> Alcotest.fail "preflight accepted a broken configuration"
+   | exception Fst_core.Flow.Preflight_failed diags ->
+     check "parity error surfaced" true
+       (List.exists (fun d -> d.D.rule = "E-SCAN-PARITY") diags));
+  let r = Fst_core.Flow.run ~params scanned config in
+  check "clean configuration still runs" true
+    (Fst_core.Flow.total_faults r > 0)
+
+(* --- qcheck seeded-defect properties ------------------------------------- *)
+
+let seed_arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 999)
+
+(* Clean generated circuits with TPI-inserted chains lint with zero errors
+   (the static sensitization analysis agrees with the dynamic shift check
+   TPI already passed); the run is deterministic and a pure observer. *)
+let prop_clean_deterministic_pure =
+  QCheck.Test.make ~count:15 ~name:"clean scanned circuits lint clean"
+    seed_arb (fun seed ->
+      let scanned, config = scanned_circuit seed in
+      let before_net = Netfile.to_string scanned in
+      let before_cfg : Scan.config =
+        Marshal.from_string (Marshal.to_string config []) 0
+      in
+      let r = L.run ~config ~dynamic:true scanned in
+      let r' = L.run ~config ~dynamic:true scanned in
+      r.L.errors = 0
+      && r = r'
+      && Netfile.to_string scanned = before_net
+      && config = before_cfg)
+
+(* Appending one dead gate yields exactly one W-NET-DEAD, located at the
+   injected net. *)
+let prop_dead_gate =
+  QCheck.Test.make ~count:15 ~name:"injected dead gate -> W-NET-DEAD there"
+    seed_arb (fun seed ->
+      let scanned, config = scanned_circuit seed in
+      let c', inj =
+        append_node scanned
+          (Circuit.Gate (Gate.Buf, [| scanned.Circuit.inputs.(0) |]))
+          "__lint_dead"
+      in
+      let r = L.run ~config c' in
+      List.length (find ~net:inj "W-NET-DEAD" r) = 1
+      && r.L.errors = (L.run ~config scanned).L.errors)
+
+(* Forcing one side input to its gate's controlling value yields exactly
+   one E-SCAN-SENS at that (chain, segment, net) — and the dynamic shift
+   check fails on the same circuit, confirming the static rule is the
+   static complement of [verify_shift]. *)
+let prop_side_controlling =
+  QCheck.Test.make ~count:15
+    ~name:"forced controlling side input -> E-SCAN-SENS there" seed_arb
+    (fun seed ->
+      let scanned, config = scanned_circuit seed in
+      match sens_candidates scanned config with
+      | [] -> true (* no injectable site in this circuit: vacuous *)
+      | (chain, segment, node, side) :: _ ->
+        let ctrl =
+          match Circuit.node scanned node with
+          | Circuit.Gate (g, _) -> Option.get (Gate.controlling g)
+          | _ -> assert false
+        in
+        let c' = with_node scanned side (Circuit.Const ctrl) in
+        let r = L.run ~config c' in
+        List.length (find ~chain ~segment ~net:side "E-SCAN-SENS" r) = 1
+        && find ~chain ~segment ~net:side "E-SCAN-SENS"
+             (L.run ~config scanned)
+           = []
+        && (match Scan.verify_shift c' config with
+            | Error _ -> true
+            | Ok () -> false))
+
+(* Driving one side input from an explicit X source yields E-SCAN-SENS at
+   that location, W-NET-CONSTX at the injected net, and a W-SCAN-X
+   category-2-hotspot warning on the segment whose side cone it enters. *)
+let prop_side_constx =
+  QCheck.Test.make ~count:15 ~name:"CONSTX into side cone -> X-path rules"
+    seed_arb (fun seed ->
+      let scanned, config = scanned_circuit seed in
+      match sens_candidates ~need_controlling:false scanned config with
+      | [] -> true
+      | (chain, segment, _node, side) :: _ ->
+        let c' = with_node scanned side (Circuit.Const V3.X) in
+        let r = L.run ~config c' in
+        List.length (find ~chain ~segment ~net:side "E-SCAN-SENS" r) = 1
+        && has ~net:side "W-NET-CONSTX" r
+        && has ~chain ~segment "W-SCAN-X" r)
+
+let suite =
+  [
+    Alcotest.test_case "structural: clean netlist" `Quick
+      test_structural_clean;
+    Alcotest.test_case "structural: located warnings" `Quick
+      test_structural_warnings;
+    Alcotest.test_case "raw: all duplicates and cycles" `Quick
+      test_raw_dups_and_cycles;
+    Alcotest.test_case "scan: clean TPI output" `Quick test_scan_clean;
+    Alcotest.test_case "scan: parity static+dynamic" `Quick test_scan_parity;
+    Alcotest.test_case "scan: scan-enable constraint" `Quick
+      test_scan_mode_constraint;
+    Alcotest.test_case "scan: shape and scan-out" `Quick
+      test_scan_shape_and_so;
+    Alcotest.test_case "scan: duplicated flip-flop" `Quick test_scan_dup_ff;
+    Alcotest.test_case "scan: off-chain flip-flop" `Quick test_scan_nochain;
+    Alcotest.test_case "scan: segment depth" `Quick test_scan_depth;
+    Alcotest.test_case "waivers and gating" `Quick test_waivers;
+    Alcotest.test_case "json and rule catalogue" `Quick
+      test_json_and_catalogue;
+    Alcotest.test_case "flow preflight" `Quick test_preflight;
+    Helpers.qcheck prop_clean_deterministic_pure;
+    Helpers.qcheck prop_dead_gate;
+    Helpers.qcheck prop_side_controlling;
+    Helpers.qcheck prop_side_constx;
+  ]

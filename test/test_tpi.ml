@@ -11,7 +11,7 @@ let test_figure2_insertion () =
   Alcotest.(check int) "one chain" 1 (Array.length config.Scan.chains);
   let ch = config.Scan.chains.(0) in
   Alcotest.(check int) "two flip-flops" 2 (Array.length ch.Scan.ffs);
-  (match Scan.verify_shift scanned config with
+  (match Scan.verify_shift_msg scanned config with
    | Ok () -> ()
    | Error e -> Alcotest.fail e);
   (* The AND gate path ff0 -> g0 -> ff1 is sensitizable by assigning pi0=1,
@@ -26,7 +26,7 @@ let prop_insert_shifts =
     (fun (seed, chains) ->
       let c = Helpers.small_seq_circuit ~gates:150 ~ffs:12 seed in
       let scanned, config = Tpi.insert ~options:(options chains) c in
-      (match Scan.verify_shift scanned config with
+      (match Scan.verify_shift_msg scanned config with
        | Ok () -> ()
        | Error e -> QCheck.Test.fail_reportf "shift broken: %s" e);
       (* Original nets preserved verbatim. *)
@@ -147,7 +147,7 @@ let test_chain_locations_cover () =
 let test_full_scan_baseline () =
   let c = Helpers.small_seq_circuit ~gates:150 ~ffs:10 55L in
   let scanned, config = Tpi.full_scan ~chains:2 c in
-  (match Scan.verify_shift scanned config with
+  (match Scan.verify_shift_msg scanned config with
    | Ok () -> ()
    | Error e -> Alcotest.fail e);
   Alcotest.(check int) "every segment is a mux" 10 config.Scan.mux_segments;
@@ -181,7 +181,7 @@ let prop_orderings_shift =
           let scanned, config =
             Tpi.insert ~options:{ (options 2) with Tpi.ordering } c
           in
-          match Scan.verify_shift scanned config with
+          match Scan.verify_shift_msg scanned config with
           | Ok () -> true
           | Error _ -> false)
         [ Tpi.Greedy_functional; Tpi.Natural; Tpi.Shuffled 99L ])
