@@ -1,7 +1,8 @@
 # Convenience targets for local development and CI.
 
 .PHONY: all build test check static-check lint-smoke bench-smoke \
-  degradation-smoke resume-smoke obs-smoke noop-sink-smoke clean
+  degradation-smoke resume-smoke obs-smoke noop-sink-smoke \
+  engine-matrix deprecation-check clean
 
 all: build
 
@@ -17,7 +18,7 @@ test:
 # example netlist, and exercise the budget-degradation, checkpoint/resume,
 # and observability CLI paths.
 check: static-check build test lint-smoke bench-smoke degradation-smoke \
-  resume-smoke obs-smoke noop-sink-smoke
+  resume-smoke obs-smoke noop-sink-smoke engine-matrix deprecation-check
 
 # Type-check every library and executable (including ones @default would
 # skip); the dev env stanza promotes warnings to errors.
@@ -109,6 +110,46 @@ noop-sink-smoke: build
 	  { echo "noop-sink-smoke: instrumented report differs"; \
 	    rm -rf $$tmp; exit 1; }; \
 	rm -rf $$tmp; echo "noop-sink-smoke: OK"
+
+# Every fault-simulation back-end must print the identical flow report
+# (timing lines filtered) on a real example and on a generated mid-size
+# circuit: the engine selector is a pure performance knob.
+engine-matrix: build
+	@tmp=`mktemp -d`; \
+	$(FST_EXE) gen --gates 400 --ffs 24 -o $$tmp/gen.net > /dev/null; \
+	for f in examples/data/counter4.net $$tmp/gen.net; do \
+	  for e in serial parallel event auto; do \
+	    $(FST_EXE) flow $$f -c 1 -j 1 --engine $$e | grep -v "CPU" \
+	      > $$tmp/`basename $$f`.$$e.txt || \
+	      { echo "engine-matrix: $$f --engine $$e failed"; \
+	        rm -rf $$tmp; exit 1; }; \
+	  done; \
+	  for e in parallel event auto; do \
+	    diff $$tmp/`basename $$f`.serial.txt $$tmp/`basename $$f`.$$e.txt || \
+	      { echo "engine-matrix: $$f: $$e differs from serial"; \
+	        rm -rf $$tmp; exit 1; }; \
+	  done; \
+	  echo "engine-matrix: `basename $$f` identical across engines"; \
+	done; \
+	rm -rf $$tmp; echo "engine-matrix: OK"
+
+# The deprecated params records must not leak back into internal call
+# sites: only their definitions (lib/core) and the alert-suppressed compat
+# test may mention them.
+deprecation-check:
+	@bad=`grep -rln "default_params" bin bench examples lib test \
+	  --include="*.ml" --include="*.mli" \
+	  | grep -v "^lib/core/flow.ml$$" \
+	  | grep -v "^lib/core/flow.mli$$" \
+	  | grep -v "^lib/core/scan_atpg.ml$$" \
+	  | grep -v "^lib/core/scan_atpg.mli$$" \
+	  | grep -v "^lib/core/config.mli$$" \
+	  | grep -v "^test/test_config.ml$$" || true`; \
+	if [ -n "$$bad" ]; then \
+	  echo "deprecation-check: default_params used outside its home:"; \
+	  echo "$$bad"; exit 1; \
+	fi; \
+	echo "deprecation-check: OK"
 
 clean:
 	dune clean

@@ -24,7 +24,26 @@ type prepared = {
 type completed = { prep : prepared; flow : Flow.result }
 
 let scale = Fst_gen.Suite.scale_from_env ()
-let flow_params = { Flow.default_params with Flow.dist_floor_scale = scale }
+let flow_config = Config.(default |> with_dist_floor_scale scale)
+
+(* [--engine NAME] after the subcommand picks the fault-sim engine for the
+   multicore benchmark columns (and is stamped into the BENCH_*.json docs). *)
+let bench_engine =
+  lazy
+    (let rec find i =
+       if i >= Array.length Sys.argv - 1 then None
+       else if Sys.argv.(i) = "--engine" then Some Sys.argv.(i + 1)
+       else find (i + 1)
+     in
+     match find 1 with
+     | None -> `Auto
+     | Some name -> (
+       match Config.engine_of_string name with
+       | Some e -> e
+       | None ->
+         failwith
+           (Printf.sprintf "unknown engine %S (expected one of %s)" name
+              (String.concat "|" Config.engine_names))))
 
 let prepare (entry : Fst_gen.Suite.entry) =
   let before = Fst_gen.Gen.generate entry.Fst_gen.Suite.profile in
@@ -49,7 +68,7 @@ let completed_suite =
        (fun prep ->
          let name = prep.entry.Fst_gen.Suite.profile.Fst_gen.Gen.name in
          Printf.eprintf "[flow] %s...\n%!" name;
-         let flow = Flow.run ~params:flow_params prep.scanned prep.config in
+         let flow = Flow.run ~config:flow_config prep.scanned prep.config in
          { prep; flow })
        (Lazy.force prepared_suite))
 
@@ -369,8 +388,8 @@ let ablate_dist () =
   in
   List.iter
     (fun f ->
-      let params = { flow_params with Flow.dist_floor_scale = f *. scale } in
-      let flow = Flow.run ~params mid.scanned mid.config in
+      let cfg = Config.(flow_config |> with_dist_floor_scale (f *. scale)) in
+      let flow = Flow.run ~config:cfg mid.scanned mid.config in
       Table.row t
         [
           Printf.sprintf "%.2f" f;
@@ -403,13 +422,12 @@ let ablate_trunc () =
   in
   List.iter
     (fun frac ->
-      let params =
-        {
-          flow_params with
-          Flow.truncate_blocks = (if frac >= 1.0 then None else Some frac);
-        }
+      let cfg =
+        Config.(
+          flow_config
+          |> with_truncate_blocks (if frac >= 1.0 then None else Some frac))
       in
-      let flow = Flow.run ~params mid.scanned mid.config in
+      let flow = Flow.run ~config:cfg mid.scanned mid.config in
       Table.row t
         [
           Printf.sprintf "%.2f" frac;
@@ -704,25 +722,33 @@ let fsim_bench () =
         in
         let observe = prep.scanned.Circuit.outputs in
         let module F = Fst_fsim.Fsim in
-        (* Serial is ~62x the work per fault: time it on one group's worth
-           of faults so the column stays affordable at every scale. *)
+        (* Serial is ~62x the work per fault: time it (and the per-fault
+           event engine) on one group's worth of faults so those columns
+           stay affordable at every scale. *)
         let serial_faults =
           Array.sub faults 0 (min (Array.length faults) F.Parallel.max_group)
         in
-        let _, serial_s =
+        let rs, serial_s =
           wall (fun () ->
-              F.Engine.detect_dropping ~backend:`Serial ~jobs:1 prep.scanned
+              F.Engine.detect_dropping ~engine:`Serial ~jobs:1 prep.scanned
                 ~faults:serial_faults ~observe ~stimuli)
         in
+        let re, event_s =
+          wall (fun () ->
+              F.Engine.detect_dropping ~engine:`Event ~jobs:1 prep.scanned
+                ~faults:serial_faults ~observe ~stimuli)
+        in
+        if rs <> re then
+          failwith (name ^ ": event fsim diverged from serial");
         let r1, parallel_s =
           wall (fun () ->
-              F.Engine.detect_dropping ~jobs:1 prep.scanned ~faults ~observe
-                ~stimuli)
+              F.Engine.detect_dropping ~engine:`Parallel ~jobs:1 prep.scanned
+                ~faults ~observe ~stimuli)
         in
         let rn, multicore_s =
           wall (fun () ->
-              F.Engine.detect_dropping ~jobs prep.scanned ~faults ~observe
-                ~stimuli)
+              F.Engine.detect_dropping ~engine:(Lazy.force bench_engine) ~jobs
+                prep.scanned ~faults ~observe ~stimuli)
         in
         if r1 <> rn then
           failwith (name ^ ": multicore fsim diverged from single-core");
@@ -731,53 +757,127 @@ let fsim_bench () =
           Array.length serial_faults,
           cycles,
           serial_s,
+          event_s,
           parallel_s,
           multicore_s ))
       (Lazy.force prepared_suite)
+  in
+  (* The event engine's home turf: the largest circuit with the faults
+     whose static cones are shortest, so nearly every cycle is quiescent
+     for the faulty machine. Serial still walks the whole circuit each
+     cycle; event only touches the cone. *)
+  let low_activity =
+    let prep =
+      List.fold_left
+        (fun best p ->
+          if Circuit.gate_count p.before > Circuit.gate_count best.before then p
+          else best)
+        (List.hd (Lazy.force prepared_suite))
+        (Lazy.force prepared_suite)
+    in
+    let name = prep.entry.Fst_gen.Suite.profile.Fst_gen.Gen.name in
+    Printf.eprintf "[fsim] low-activity workload on %s...\n%!" name;
+    let faults =
+      Fst_fault.Fault.collapse prep.scanned
+        (Fst_fault.Fault.universe prep.scanned)
+    in
+    let sizes = Fst_fault.Fault.cone_sizes prep.scanned faults in
+    let order = Array.init (Array.length faults) (fun i -> i) in
+    Array.sort (fun a b -> Int.compare sizes.(a) sizes.(b)) order;
+    let n = min (Array.length faults) Fst_fsim.Fsim.Parallel.max_group in
+    let short = Array.map (fun i -> faults.(i)) (Array.sub order 0 n) in
+    let max_cone = if n = 0 then 0 else sizes.(order.(n - 1)) in
+    let view =
+      View.scan_mode prep.scanned ~constraints:prep.config.Scan.constraints ()
+    in
+    let rng = Fst_gen.Rng.create 0xBE5CL in
+    let stimuli =
+      Sequences.alternating prep.scanned prep.config ~repeats:2
+      :: List.init 8 (fun _ ->
+             let ff_values, pi_values =
+               List.partition
+                 (fun (net, _) -> Circuit.is_dff prep.scanned net)
+                 (Fst_atpg.Rtpg.uniform rng view)
+             in
+             Sequences.of_comb_test prep.scanned prep.config ~ff_values
+               ~pi_values)
+    in
+    let observe = prep.scanned.Circuit.outputs in
+    let rs, ser =
+      wall (fun () ->
+          Fst_fsim.Fsim.Engine.detect_dropping ~engine:`Serial ~jobs:1
+            prep.scanned ~faults:short ~observe ~stimuli)
+    in
+    let re, ev =
+      wall (fun () ->
+          Fst_fsim.Fsim.Engine.detect_dropping ~engine:`Event ~jobs:1
+            prep.scanned ~faults:short ~observe ~stimuli)
+    in
+    if rs <> re then failwith (name ^ ": event fsim diverged from serial");
+    (name, n, max_cone, ser, ev)
   in
   let t =
     Table.create
       ~title:
         (Printf.sprintf
-           "Fault-simulation engines (jobs=%d; serial timed on one group)"
-           jobs)
+           "Fault-simulation engines (jobs=%d, multicore engine=%s; \
+            serial/event timed on one group)"
+           jobs
+           (Config.engine_to_string (Lazy.force bench_engine)))
       [
         ("name", Table.Left);
         ("#faults", Table.Right);
         ("cycles", Table.Right);
         ("serial", Table.Right);
+        ("event", Table.Right);
         ("parallel", Table.Right);
         ("multicore", Table.Right);
         ("speedup", Table.Right);
       ]
   in
   List.iter
-    (fun (name, nf, _, cycles, ser, par, mc) ->
+    (fun (name, nf, _, cycles, ser, ev, par, mc) ->
       Table.row t
         [
           name;
           Table.cell_int nf;
           Table.cell_int cycles;
           Table.cell_seconds ser;
+          Table.cell_seconds ev;
           Table.cell_seconds par;
           Table.cell_seconds mc;
           Printf.sprintf "%.2fx" (par /. Float.max 1e-9 mc);
         ])
     rows;
   Table.print t;
+  let la_name, la_n, la_cone, la_ser, la_ev = low_activity in
+  Printf.printf
+    "low-activity workload (%s, %d short-cone faults, cone <= %d nets): \
+     serial %.3fs, event %.3fs (%.2fx)\n"
+    la_name la_n la_cone la_ser la_ev
+    (la_ser /. Float.max 1e-9 la_ev);
   let oc = open_out "BENCH_fsim.json" in
-  Printf.fprintf oc "{\n  \"scale\": %.3f,\n  \"jobs\": %d,\n  \"circuits\": [" scale jobs;
+  Printf.fprintf oc
+    "{\n  \"scale\": %.3f,\n  \"jobs\": %d,\n  \"engine\": %S,\n  \"circuits\": ["
+    scale jobs
+    (Config.engine_to_string (Lazy.force bench_engine));
   List.iteri
-    (fun i (name, nf, nser, cycles, ser, par, mc) ->
+    (fun i (name, nf, nser, cycles, ser, ev, par, mc) ->
       Printf.fprintf oc
         "%s\n    { \"name\": %S, \"faults\": %d, \"serial_faults\": %d, \
-         \"cycles\": %d, \"serial_s\": %.6f, \"parallel_s\": %.6f, \
-         \"multicore_s\": %.6f, \"multicore_speedup\": %.3f }"
+         \"cycles\": %d, \"serial_s\": %.6f, \"event_s\": %.6f, \
+         \"parallel_s\": %.6f, \"multicore_s\": %.6f, \
+         \"multicore_speedup\": %.3f }"
         (if i = 0 then "" else ",")
-        name nf nser cycles ser par mc
+        name nf nser cycles ser ev par mc
         (par /. Float.max 1e-9 mc))
     rows;
-  Printf.fprintf oc "\n  ]\n}\n";
+  Printf.fprintf oc
+    "\n  ],\n  \"low_activity\": { \"name\": %S, \"faults\": %d, \
+     \"max_cone\": %d, \"serial_s\": %.6f, \"event_s\": %.6f, \
+     \"event_speedup\": %.3f }\n}\n"
+    la_name la_n la_cone la_ser la_ev
+    (la_ser /. Float.max 1e-9 la_ev);
   close_out oc;
   Printf.printf "wrote BENCH_fsim.json (%d circuits, jobs=%d)\n" (List.length rows) jobs
 
@@ -804,9 +904,13 @@ let flow_bench () =
   let variant ~jobs prep =
     let metrics = M.create () in
     let sink = Fst_obs.Sink.create ~metrics () in
-    let params = { flow_params with Flow.jobs; sink } in
+    let cfg =
+      Config.(
+        flow_config |> with_jobs jobs |> with_sink sink
+        |> with_engine (Lazy.force bench_engine))
+    in
     let t0 = Unix.gettimeofday () in
-    let flow = Flow.run ~params prep.scanned prep.config in
+    let flow = Flow.run ~config:cfg prep.scanned prep.config in
     let wall = Unix.gettimeofday () -. t0 in
     let gauge name = M.Gauge.value (M.gauge metrics name) in
     let count name = M.Counter.value (M.counter metrics name) in
@@ -883,6 +987,7 @@ let flow_bench () =
       [
         ("scale", J.Float scale);
         ("jobs", J.Int jobs);
+        ("engine", J.String (Config.engine_to_string (Lazy.force bench_engine)));
         ( "circuits",
           J.List
             (List.map

@@ -361,24 +361,19 @@ let make_sink ~trace ~metrics ~events ~progress =
     (sink, finish)
   end
 
-let run_flow name scale file chains jobs time_budget checkpoint resume trace
-    metrics events progress preflight =
+let run_flow name scale file chains engine jobs time_budget checkpoint resume
+    trace metrics events progress preflight =
   let circuit = or_die (load ~name ~scale ~file) in
   let scanned, config = or_die (insert_chains circuit chains) in
-  let jobs = if jobs <= 0 then Fst_exec.Pool.default_jobs () else jobs in
   let sink, finish_obs = make_sink ~trace ~metrics ~events ~progress in
-  let params =
-    { Flow.default_params with
-      Flow.dist_floor_scale = scale; jobs; sink; preflight }
-  in
-  let budget =
-    match time_budget with
-    | None -> Fst_exec.Budget.unlimited
-    | Some s -> Fst_exec.Budget.of_seconds s
+  let cfg =
+    or_die
+      (Fst_core.Config.of_cli ~engine ~jobs ~scale ?time_budget ~preflight
+         ~sink ())
   in
   if resume && checkpoint = None then
     or_die (Error "--resume requires --checkpoint PATH");
-  let r = Flow.run ~params ~budget ?checkpoint ~resume scanned config in
+  let r = Flow.run ~config:cfg ?checkpoint ~resume scanned config in
   print_flow_report r;
   finish_obs ();
   0
@@ -555,6 +550,21 @@ let opt_cmd =
     (Cmd.info "opt" ~doc:"Clean up a netlist (fold, bypass, sweep, refanin)")
     Term.(const run_opt $ file $ out_arg)
 
+let engine_arg =
+  let names =
+    List.map (fun s -> (s, s)) Fst_core.Config.engine_names
+  in
+  Arg.(
+    value
+    & opt (enum names) "auto"
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Fault-simulation engine: $(b,serial) (one faulty machine at a \
+           time), $(b,parallel) (62-way bit-parallel), $(b,event) \
+           (event-driven incremental on a shared good trace), or \
+           $(b,auto) (per fault by static fanout-cone size). Every choice \
+           computes identical results.")
+
 let flow_cmd =
   let time_budget =
     Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"S"
@@ -605,9 +615,9 @@ let flow_cmd =
     (Cmd.info "flow"
        ~doc:"Run the complete functional scan chain testing flow")
     Term.(
-      const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg $ jobs_arg
-      $ time_budget $ checkpoint $ resume $ trace $ metrics $ events
-      $ progress $ preflight)
+      const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg
+      $ engine_arg $ jobs_arg $ time_budget $ checkpoint $ resume $ trace
+      $ metrics $ events $ progress $ preflight)
 
 let lint_cmd =
   let no_scan =

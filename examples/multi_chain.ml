@@ -89,7 +89,11 @@ let () =
     dist.Group.large dist.Group.med dist.Group.dist solos shareds clusters;
 
   (* Run the flow end to end. *)
-  let r = Flow.run ~params:{ Flow.default_params with Flow.dist_floor_scale = 0.1 } scanned config in
+  let r =
+    Flow.run
+      ~config:Config.(default |> with_dist_floor_scale 0.1)
+      scanned config
+  in
   Printf.printf
     "\nFlow: step2 detected %d / untestable %d; step3 detected %d / untestable %d; undetected %d\n"
     r.Flow.step2.Flow.detected r.Flow.step2.Flow.untestable

@@ -1,0 +1,155 @@
+module Pool = Fst_exec.Pool
+module Budget = Fst_exec.Budget
+module Sink = Fst_obs.Sink
+module Json = Fst_obs.Json
+
+type engine = Fst_fsim.Fsim.selector
+
+type t = {
+  engine : engine;
+  jobs : int;
+  dist_floor_scale : float;
+  comb_backtrack : int;
+  seq_backtrack : int;
+  final_backtrack : int;
+  frames : int list;
+  final_frames : int list;
+  truncate_blocks : float option;
+  capture_curve : bool;
+  random_blocks : int;
+  random_seed : int64;
+  weighted_random : bool;
+  seq_fault_seconds : float;
+  final_fault_seconds : float;
+  scan_backtrack : int;
+  scan_random_blocks : int;
+  scan_random_seed : int64;
+  time_budget : float option;
+  sink : Sink.t;
+  preflight : bool;
+}
+
+let default =
+  {
+    engine = `Auto;
+    jobs = Pool.default_jobs ();
+    dist_floor_scale = 1.0;
+    comb_backtrack = 200;
+    seq_backtrack = 400;
+    final_backtrack = 2000;
+    frames = [ 1; 2; 4 ];
+    final_frames = [ 1; 2; 4; 8 ];
+    truncate_blocks = None;
+    capture_curve = true;
+    random_blocks = 32;
+    random_seed = 0x5EEDL;
+    weighted_random = false;
+    seq_fault_seconds = 0.5;
+    final_fault_seconds = 2.0;
+    scan_backtrack = 200;
+    scan_random_blocks = 32;
+    scan_random_seed = 0xCAFEL;
+    time_budget = None;
+    sink = Sink.null;
+    preflight = false;
+  }
+
+let with_engine engine t = { t with engine }
+let with_jobs jobs t = { t with jobs = max 1 jobs }
+let with_dist_floor_scale dist_floor_scale t = { t with dist_floor_scale }
+let with_comb_backtrack comb_backtrack t = { t with comb_backtrack }
+let with_seq_backtrack seq_backtrack t = { t with seq_backtrack }
+let with_final_backtrack final_backtrack t = { t with final_backtrack }
+let with_frames frames t = { t with frames }
+let with_final_frames final_frames t = { t with final_frames }
+let with_truncate_blocks truncate_blocks t = { t with truncate_blocks }
+let with_capture_curve capture_curve t = { t with capture_curve }
+let with_random_blocks random_blocks t = { t with random_blocks }
+let with_random_seed random_seed t = { t with random_seed }
+let with_weighted_random weighted_random t = { t with weighted_random }
+let with_seq_fault_seconds seq_fault_seconds t = { t with seq_fault_seconds }
+
+let with_final_fault_seconds final_fault_seconds t =
+  { t with final_fault_seconds }
+
+let with_scan_backtrack scan_backtrack t = { t with scan_backtrack }
+
+let with_scan_random_blocks scan_random_blocks t =
+  { t with scan_random_blocks }
+
+let with_scan_random_seed scan_random_seed t = { t with scan_random_seed }
+let with_time_budget time_budget t = { t with time_budget }
+let with_sink sink t = { t with sink }
+let with_preflight preflight t = { t with preflight }
+
+let engine_to_string : engine -> string = function
+  | `Serial -> "serial"
+  | `Parallel -> "parallel"
+  | `Event -> "event"
+  | `Auto -> "auto"
+
+let engine_of_string = function
+  | "serial" -> Some `Serial
+  | "parallel" -> Some `Parallel
+  | "event" -> Some `Event
+  | "auto" -> Some `Auto
+  | _ -> None
+
+let engine_names = [ "serial"; "parallel"; "event"; "auto" ]
+
+let budget t =
+  match t.time_budget with
+  | None -> Budget.unlimited
+  | Some s -> Budget.of_seconds s
+
+let of_cli ?(engine = "auto") ?(jobs = 0) ?(scale = 1.0) ?time_budget
+    ?(preflight = false) ?(sink = Sink.null) () =
+  match engine_of_string engine with
+  | None ->
+    Error
+      (Printf.sprintf "unknown engine %S (expected one of: %s)" engine
+         (String.concat ", " engine_names))
+  | Some e ->
+    let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+    Ok
+      {
+        default with
+        engine = e;
+        jobs;
+        dist_floor_scale = scale;
+        time_budget;
+        preflight;
+        sink;
+      }
+
+let to_json t =
+  Json.Obj
+    [
+      ("engine", Json.String (engine_to_string t.engine));
+      ("jobs", Json.Int t.jobs);
+      ("dist_floor_scale", Json.Float t.dist_floor_scale);
+      ("comb_backtrack", Json.Int t.comb_backtrack);
+      ("seq_backtrack", Json.Int t.seq_backtrack);
+      ("final_backtrack", Json.Int t.final_backtrack);
+      ("frames", Json.List (List.map (fun f -> Json.Int f) t.frames));
+      ( "final_frames",
+        Json.List (List.map (fun f -> Json.Int f) t.final_frames) );
+      ( "truncate_blocks",
+        match t.truncate_blocks with
+        | None -> Json.Null
+        | Some f -> Json.Float f );
+      ("capture_curve", Json.Bool t.capture_curve);
+      ("random_blocks", Json.Int t.random_blocks);
+      ("random_seed", Json.String (Printf.sprintf "0x%Lx" t.random_seed));
+      ("weighted_random", Json.Bool t.weighted_random);
+      ("seq_fault_seconds", Json.Float t.seq_fault_seconds);
+      ("final_fault_seconds", Json.Float t.final_fault_seconds);
+      ("scan_backtrack", Json.Int t.scan_backtrack);
+      ("scan_random_blocks", Json.Int t.scan_random_blocks);
+      ( "scan_random_seed",
+        Json.String (Printf.sprintf "0x%Lx" t.scan_random_seed) );
+      ( "time_budget",
+        match t.time_budget with None -> Json.Null | Some s -> Json.Float s
+      );
+      ("preflight", Json.Bool t.preflight);
+    ]

@@ -1,0 +1,116 @@
+(** One configuration record for the whole flow.
+
+    [Config.t] collapses what used to be separate knobs — [Flow.params],
+    [Scan_atpg.params], the fault-sim engine choice, the wall-clock budget
+    and the observability sink — into a single value built from {!default}
+    with functional [with_*] setters:
+
+    {[
+      let cfg =
+        Config.(
+          default |> with_jobs 8 |> with_engine `Event
+          |> with_time_budget (Some 120.0))
+      in
+      Flow.run ~config:cfg scanned scan_config
+    ]}
+
+    Everything in the record except [sink], [preflight] and [time_budget]
+    is {e semantic}: it changes what the flow computes, and is part of the
+    checkpoint fingerprint ({!Flow.run}). The engine selector is also
+    non-semantic — every engine returns bit-identical results
+    ({!Fst_fsim.Fsim.selector}) — so checkpoints stay valid across engine
+    changes. *)
+
+(** The fault-simulation engine selector ({!Fst_fsim.Fsim.selector}):
+    [`Serial], [`Parallel], [`Event], or [`Auto] (per-fault choice by
+    static cone size). *)
+type engine = Fst_fsim.Fsim.selector
+
+type t = {
+  engine : engine;  (** fault-sim back-end selector (default [`Auto]) *)
+  jobs : int;  (** worker domains for fsim/ATPG pools *)
+  dist_floor_scale : float;
+      (** scales the paper's [LARGE_DIST]/[MED_DIST]/[DIST] floors *)
+  comb_backtrack : int;  (** PODEM backtrack limit, step-2 comb model *)
+  seq_backtrack : int;  (** backtrack limit, step-3 grouped seq ATPG *)
+  final_backtrack : int;  (** backtrack limit, step-3 final retries *)
+  frames : int list;  (** time-frame ladder, step-3 groups *)
+  final_frames : int list;  (** time-frame ladder, step-3 finals *)
+  truncate_blocks : float option;
+      (** keep only this fraction of step-2 scan blocks *)
+  capture_curve : bool;  (** record the fault-coverage curve *)
+  random_blocks : int;  (** random scan blocks appended in step 2 *)
+  random_seed : int64;  (** seed for those blocks *)
+  weighted_random : bool;  (** bias random blocks by SCOAP *)
+  seq_fault_seconds : float;  (** per-fault deadline, step-3 groups *)
+  final_fault_seconds : float;  (** per-fault deadline, step-3 finals *)
+  scan_backtrack : int;  (** PODEM backtrack limit, {!Scan_atpg} *)
+  scan_random_blocks : int;  (** random capture blocks, {!Scan_atpg} *)
+  scan_random_seed : int64;  (** seed for those blocks *)
+  time_budget : float option;
+      (** whole-flow wall-clock budget in seconds ([None] = unlimited) *)
+  sink : Fst_obs.Sink.t;  (** observability sink (default null) *)
+  preflight : bool;  (** lint gate before phase 1 *)
+}
+
+(** The defaults every knob documents; identical to the historical
+    [Flow.default_params] / [Scan_atpg.default_params] values, with
+    [engine = `Auto]. *)
+val default : t
+
+val with_engine : engine -> t -> t
+
+(** Clamped to at least 1. *)
+val with_jobs : int -> t -> t
+
+val with_dist_floor_scale : float -> t -> t
+val with_comb_backtrack : int -> t -> t
+val with_seq_backtrack : int -> t -> t
+val with_final_backtrack : int -> t -> t
+val with_frames : int list -> t -> t
+val with_final_frames : int list -> t -> t
+val with_truncate_blocks : float option -> t -> t
+val with_capture_curve : bool -> t -> t
+val with_random_blocks : int -> t -> t
+val with_random_seed : int64 -> t -> t
+val with_weighted_random : bool -> t -> t
+val with_seq_fault_seconds : float -> t -> t
+val with_final_fault_seconds : float -> t -> t
+val with_scan_backtrack : int -> t -> t
+val with_scan_random_blocks : int -> t -> t
+val with_scan_random_seed : int64 -> t -> t
+val with_time_budget : float option -> t -> t
+val with_sink : Fst_obs.Sink.t -> t -> t
+val with_preflight : bool -> t -> t
+
+(** CLI spellings of the engine selector: ["serial"], ["parallel"],
+    ["event"], ["auto"]. *)
+val engine_to_string : engine -> string
+
+val engine_of_string : string -> engine option
+val engine_names : string list
+
+(** [budget t] is the {!Fst_exec.Budget.t} for [t.time_budget]
+    ({!Fst_exec.Budget.unlimited} when [None]). The clock starts when this
+    is called. *)
+val budget : t -> Fst_exec.Budget.t
+
+(** [of_cli ()] builds a configuration from the command-line surface:
+    engine by name, [jobs <= 0] meaning "all cores", the distance-floor
+    [scale], optional time budget, preflight flag and sink. [Error] on an
+    unknown engine name. *)
+val of_cli :
+  ?engine:string ->
+  ?jobs:int ->
+  ?scale:float ->
+  ?time_budget:float ->
+  ?preflight:bool ->
+  ?sink:Fst_obs.Sink.t ->
+  unit ->
+  (t, string) result
+
+(** Every semantic field (plus [engine], [jobs], [time_budget] and
+    [preflight]) as JSON — echoed into flow event logs so a result is
+    attributable to its configuration. The [sink] itself is not
+    serializable and is omitted. *)
+val to_json : t -> Fst_obs.Json.t

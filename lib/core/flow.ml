@@ -52,6 +52,49 @@ let default_params =
     preflight = false;
   }
 
+(* The legacy params record and the unified [Config.t] describe the same
+   flow knobs; [run] accepts either and converts immediately. *)
+let params_of_config (c : Config.t) =
+  {
+    jobs = c.Config.jobs;
+    dist_floor_scale = c.Config.dist_floor_scale;
+    comb_backtrack = c.Config.comb_backtrack;
+    seq_backtrack = c.Config.seq_backtrack;
+    final_backtrack = c.Config.final_backtrack;
+    frames = c.Config.frames;
+    final_frames = c.Config.final_frames;
+    truncate_blocks = c.Config.truncate_blocks;
+    capture_curve = c.Config.capture_curve;
+    random_blocks = c.Config.random_blocks;
+    random_seed = c.Config.random_seed;
+    weighted_random = c.Config.weighted_random;
+    seq_fault_seconds = c.Config.seq_fault_seconds;
+    final_fault_seconds = c.Config.final_fault_seconds;
+    sink = c.Config.sink;
+    preflight = c.Config.preflight;
+  }
+
+let config_of_params (p : params) =
+  {
+    Config.default with
+    Config.jobs = p.jobs;
+    dist_floor_scale = p.dist_floor_scale;
+    comb_backtrack = p.comb_backtrack;
+    seq_backtrack = p.seq_backtrack;
+    final_backtrack = p.final_backtrack;
+    frames = p.frames;
+    final_frames = p.final_frames;
+    truncate_blocks = p.truncate_blocks;
+    capture_curve = p.capture_curve;
+    random_blocks = p.random_blocks;
+    random_seed = p.random_seed;
+    weighted_random = p.weighted_random;
+    seq_fault_seconds = p.seq_fault_seconds;
+    final_fault_seconds = p.final_fault_seconds;
+    sink = p.sink;
+    preflight = p.preflight;
+  }
+
 type step2 = {
   detected : int;
   untestable : int;
@@ -440,7 +483,8 @@ let plan_step2 ~params ~budget ~acct ~aborted_flag view scoap scanned config
     rng_state = Fst_gen.Rng.state rng;
   }
 
-let fsim_step2 ~params ~budget ~acct scanned ~hard_faults ~(plan : plan) =
+let fsim_step2 ~params ~engine ~budget ~acct scanned ~hard_faults
+    ~(plan : plan) =
   let sink = params.sink in
   let dl = Budget.deadline budget Budget.Step2_fsim in
   let t1 = Clock.now () in
@@ -465,6 +509,10 @@ let fsim_step2 ~params ~budget ~acct scanned ~hard_faults ~(plan : plan) =
      far. *)
   let blocks_arr = Array.of_list plan.blocks in
   let nb = Array.length blocks_arr in
+  (* Undetected faults are kept as a prefix of [pending], compacted in
+     place after each block — no per-block rescans of the whole list. *)
+  let pending = Array.init ns (fun k -> k) in
+  let n_pending = ref ns in
   let b = ref 0 and stopped = ref false in
   while !b < nb && not !stopped do
     if Clock.expired dl then begin
@@ -472,18 +520,13 @@ let fsim_step2 ~params ~budget ~acct scanned ~hard_faults ~(plan : plan) =
       acct.s2f_late <- true
     end
     else begin
-      let pending =
-        Array.of_list
-          (List.filter
-             (fun k -> outcome.(k) = None)
-             (List.init ns (fun k -> k)))
-      in
-      if Array.length pending = 0 then stopped := true
+      if !n_pending = 0 then stopped := true
       else begin
-        let faults = Array.map (fun k -> sim_faults.(k)) pending in
+        let alive = Array.sub pending 0 !n_pending in
+        let faults = Array.map (fun k -> sim_faults.(k)) alive in
         let res =
-          Fsim.Engine.detect_all ~obs:sink ~jobs:params.jobs scanned ~faults
-            ~observe:scanned.Circuit.outputs blocks_arr.(!b)
+          Fsim.Engine.detect_all ~obs:sink ~engine ~jobs:params.jobs scanned
+            ~faults ~observe:scanned.Circuit.outputs blocks_arr.(!b)
         in
         Array.iteri
           (fun j k ->
@@ -492,7 +535,16 @@ let fsim_step2 ~params ~budget ~acct scanned ~hard_faults ~(plan : plan) =
               outcome.(k) <- Some (!b, t);
               incr n_hit
             | None -> ())
-          pending;
+          alive;
+        let kept = ref 0 in
+        for j = 0 to !n_pending - 1 do
+          let k = pending.(j) in
+          if outcome.(k) = None then begin
+            pending.(!kept) <- k;
+            incr kept
+          end
+        done;
+        n_pending := !kept;
         incr b;
         if sink.Sink.enabled then begin
           Metrics.Counter.incr
@@ -589,7 +641,7 @@ type step3_state = {
 
 (* Fault-simulates a realized sequence against every still-alive remaining
    fault and retires the detections; returns the detected indices. *)
-let retire_detections ~sink ~jobs st scanned ~remaining_faults ~stim =
+let retire_detections ~sink ~engine ~jobs st scanned ~remaining_faults ~stim =
   let alive_ids =
     Hashtbl.fold (fun i () acc -> i :: acc) st.alive [] |> List.sort Int.compare
   in
@@ -597,7 +649,7 @@ let retire_detections ~sink ~jobs st scanned ~remaining_faults ~stim =
     Array.of_list (List.map (fun i -> remaining_faults.(i)) alive_ids)
   in
   let outcome =
-    Fsim.Engine.detect_all ~obs:sink ~jobs scanned ~faults:faults_arr
+    Fsim.Engine.detect_all ~obs:sink ~engine ~jobs scanned ~faults:faults_arr
       ~observe:scanned.Circuit.outputs stim
   in
   let hits = ref [] in
@@ -633,8 +685,9 @@ let plan_sequence ~sink scanned config ~remaining_faults ~bounds ~positions
   | Seq.Seq_test test, stats ->
     (Some (Sequences.of_seq_test scanned config test), stats)
 
-let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
-    scanned config ~classify ~hard_index ~remaining ~view ~scoap =
+let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~progress
+    ~save_progress scanned config ~classify ~hard_index ~remaining ~view
+    ~scoap =
   let sink = params.sink in
   let dl3 = Budget.deadline budget Budget.Step3 in
   let t0 = Clock.now () in
@@ -765,7 +818,7 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
                   | Some stim, stats ->
                     add_seq_stats acct stats;
                     ignore
-                      (retire_detections ~sink ~jobs:1 st scanned
+                      (retire_detections ~sink ~engine ~jobs:1 st scanned
                          ~remaining_faults ~stim)
                 end)
               targets);
@@ -859,7 +912,7 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
                     | Some stim ->
                       if Hashtbl.mem st.alive i then
                         ignore
-                          (retire_detections ~sink ~jobs st scanned
+                          (retire_detections ~sink ~engine ~jobs st scanned
                              ~remaining_faults ~stim)
                     | None ->
                       if atpg_aborted then begin
@@ -901,7 +954,7 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
     | Some stim, stats ->
       add_seq_stats acct stats;
       ignore
-        (retire_detections ~sink ~jobs:params.jobs st scanned
+        (retire_detections ~sink ~engine ~jobs:params.jobs st scanned
            ~remaining_faults ~stim)
   in
   List.iter
@@ -937,7 +990,7 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
               Sequences.of_comb_test scanned config ~ff_values ~pi_values
             in
             ignore
-              (retire_detections ~sink ~jobs:params.jobs st scanned
+              (retire_detections ~sink ~engine ~jobs:params.jobs st scanned
                  ~remaining_faults ~stim);
             if Hashtbl.mem st.alive i then attack_final i footprints.(i)
           | Podem.Aborted, stats ->
@@ -970,9 +1023,24 @@ let run_step3 ~params ~budget ~acct ~aborted_flag ~progress ~save_progress
 
 (* --- orchestration ------------------------------------------------------ *)
 
-let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
+let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
     ?(resume = false) ?on_checkpoint scanned config =
+  (* [?params] (legacy) wins over [?config] so old call sites keep their
+     exact behavior; either way both views of the configuration exist. *)
+  let cfg =
+    match params, cfg with
+    | Some p, _ -> config_of_params p
+    | None, Some c -> c
+    | None, None -> Config.default
+  in
+  let params = match params with Some p -> p | None -> params_of_config cfg in
+  let engine = cfg.Config.engine in
+  let budget =
+    match budget with Some b -> b | None -> Config.budget cfg
+  in
   let sink = params.sink in
+  if sink.Sink.enabled then
+    Sink.event sink ~kind:"config" [ ("config", Config.to_json cfg) ];
   (* Optional lint pre-flight: catch a broken scan configuration (shape,
      sensitization, parity) before spending the ATPG budget on it. Static
      rules only — a pure observer of the inputs. *)
@@ -1054,8 +1122,8 @@ let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
     | None ->
       phase_obs sink "step2-fsim" (fun () ->
           let step2, remaining =
-            fsim_step2 ~params ~budget ~acct:ck.acct scanned ~hard_faults
-              ~plan
+            fsim_step2 ~params ~engine ~budget ~acct:ck.acct scanned
+              ~hard_faults ~plan
           in
           ck.c_s2 <- Some { s2_step2 = step2; s2_remaining = remaining };
           save "step2-fsim";
@@ -1075,7 +1143,7 @@ let run ?(params = default_params) ?(budget = Budget.unlimited) ?checkpoint
     | None ->
       phase_obs sink "step3" (fun () ->
           let step3, undetected_idx, aborted_idx, untestable3_idx =
-            run_step3 ~params ~budget ~acct:ck.acct
+            run_step3 ~params ~engine ~budget ~acct:ck.acct
               ~aborted_flag:ck.aborted_flag ~progress:ck.c_s3
               ~save_progress:(fun p ->
                 ck.c_s3 <- Some p;

@@ -78,6 +78,9 @@ type params = {
 exception Preflight_failed of Fst_lint.Diagnostic.t list
 
 val default_params : params
+[@@deprecated
+  "Build an Fst_core.Config.t with Config.default and the with_* setters, \
+   and pass it as Flow.run ~config."]
 
 type step2 = {
   detected : int;
@@ -161,10 +164,18 @@ type result = {
   atpg : atpg_stats;
 }
 
-(** [run ?params ?budget ?checkpoint ?resume ?on_checkpoint scanned config]
+(** [run ?config ?budget ?checkpoint ?resume ?on_checkpoint scanned config]
     executes the flow on an already-scanned circuit.
 
-    [budget] (default {!Fst_exec.Budget.unlimited}) bounds the whole run in
+    [config] is the unified {!Config.t} (default {!Config.default}): every
+    flow knob, the fault-simulation engine selector, the wall-clock budget
+    and the observability sink in one value. The legacy [params] record is
+    still accepted and wins over [config] when both are given, so old call
+    sites keep their exact behavior for one release; with a live sink the
+    effective configuration is echoed as a ["config"] event.
+
+    [budget] (default: [config.time_budget], else
+    {!Fst_exec.Budget.unlimited}) bounds the whole run in
     monotonic wall-clock time; when a phase overruns its cumulative share,
     the remaining work of that phase is cancelled cooperatively and
     accounted in {!type-aborts}.
@@ -179,6 +190,7 @@ type result = {
     "step2-fsim", "step3-wave", "finished") after each save. *)
 val run :
   ?params:params ->
+  ?config:Config.t ->
   ?budget:Fst_exec.Budget.t ->
   ?checkpoint:string ->
   ?resume:bool ->

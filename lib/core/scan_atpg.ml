@@ -40,8 +40,29 @@ type result = {
 let functional_view (scanned : Circuit.t) (config : Scan.config) =
   View.scan_mode scanned ~constraints:[ (config.Scan.scan_mode, V3.Zero) ] ()
 
-let run ?(params = default_params) ?(deadline = Clock.never) scanned config
-    ~already_detected =
+(* Legacy [params] and the unified [Config.t] describe the same knobs
+   (Config's [scan_*] fields); [run] accepts either. *)
+let params_of_config (c : Config.t) =
+  {
+    backtrack = c.Config.scan_backtrack;
+    random_blocks = c.Config.scan_random_blocks;
+    random_seed = c.Config.scan_random_seed;
+    jobs = c.Config.jobs;
+    sink = c.Config.sink;
+  }
+
+let run ?params ?(config : Config.t option) ?(deadline = Clock.never) scanned
+    scan_config ~already_detected =
+  let engine =
+    match config with Some c -> c.Config.engine | None -> `Auto
+  in
+  let params =
+    match params, config with
+    | Some p, _ -> p
+    | None, Some c -> params_of_config c
+    | None, None -> params_of_config Config.default
+  in
+  let config = scan_config in
   let sink = params.sink in
   Sink.span sink ~name:"scan-atpg" ~cat:"phase" @@ fun () ->
   let t0 = Clock.now () in
@@ -97,7 +118,7 @@ let run ?(params = default_params) ?(deadline = Clock.never) scanned config
     List.rev !blocks @ List.init params.random_blocks (fun _ -> random_block ())
   in
   let outcome =
-    Fsim.Engine.detect_dropping ~obs:sink ~jobs:params.jobs scanned
+    Fsim.Engine.detect_dropping ~obs:sink ~engine ~jobs:params.jobs scanned
       ~faults:targets ~observe:scanned.Circuit.outputs ~stimuli:blocks
   in
   let detected = ref 0 and untestable = ref 0 and aborted = ref 0 in

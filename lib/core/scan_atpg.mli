@@ -28,6 +28,9 @@ type params = {
 }
 
 val default_params : params
+[@@deprecated
+  "Build an Fst_core.Config.t (scan_backtrack/scan_random_blocks/\
+   scan_random_seed fields) and pass it as Scan_atpg.run ~config."]
 
 type result = {
   targeted : int;  (** faults attacked in this phase *)
@@ -41,15 +44,20 @@ type result = {
   seconds : float;  (** wall-clock time ({!Fst_exec.Clock}) *)
 }
 
-(** [run ?params ?deadline scanned config ~already_detected] tests the
-    functional logic through the scan chain. [already_detected] lists
-    faults credited to the chain-testing phase (dropped from the target
-    list and counted as covered in {!coverage}). A tripped [deadline]
-    (default {!Fst_exec.Clock.never}) skips the remaining ATPG attempts;
-    the skipped faults still ride through fault simulation and any left
-    undetected are reported as [aborted]. *)
+(** [run ?config ?deadline scanned config ~already_detected] tests the
+    functional logic through the scan chain. [config] is the unified
+    {!Config.t} (default {!Config.default}); this phase reads its
+    [scan_backtrack] / [scan_random_blocks] / [scan_random_seed] knobs plus
+    [engine], [jobs] and [sink]. The legacy [params] record is still
+    accepted and wins over [config] when both are given. [already_detected]
+    lists faults credited to the chain-testing phase (dropped from the
+    target list and counted as covered in {!coverage}). A tripped
+    [deadline] (default {!Fst_exec.Clock.never}) skips the remaining ATPG
+    attempts; the skipped faults still ride through fault simulation and
+    any left undetected are reported as [aborted]. *)
 val run :
   ?params:params ->
+  ?config:Config.t ->
   ?deadline:Fst_exec.Clock.deadline ->
   Circuit.t ->
   Scan.config ->

@@ -355,34 +355,298 @@ module Parallel = struct
   let detect_dropping c ~faults ~observe ~stimuli =
     let nf = Array.length faults in
     let result = Array.make nf None in
+    (* The surviving fault set is kept as a prefix of [pending], compacted
+       in place after each block — no per-block rescans of the whole list. *)
+    let pending = Array.init nf (fun i -> i) in
+    let n_pending = ref nf in
     List.iteri
       (fun block stim ->
-        let pending =
-          Array.of_list
-            (List.filter
-               (fun i -> result.(i) = None)
-               (List.init nf (fun i -> i)))
-        in
-        let n_pending = Array.length pending in
-        let pos = ref 0 in
-        while !pos < n_pending do
-          let w = min max_group (n_pending - !pos) in
-          let chunk_ids = Array.sub pending !pos w in
-          let chunk = Array.map (fun i -> faults.(i)) chunk_ids in
-          run_group c chunk ~observe stim (fun k t ->
-              let i = chunk_ids.(k) in
-              if result.(i) = None then result.(i) <- Some (block, t));
-          pos := !pos + w
-        done)
+        if !n_pending > 0 then begin
+          let np = !n_pending in
+          let pos = ref 0 in
+          while !pos < np do
+            let w = min max_group (np - !pos) in
+            let chunk_ids = Array.sub pending !pos w in
+            let chunk = Array.map (fun i -> faults.(i)) chunk_ids in
+            run_group c chunk ~observe stim (fun k t ->
+                let i = chunk_ids.(k) in
+                if result.(i) = None then result.(i) <- Some (block, t));
+            pos := !pos + w
+          done;
+          let kept = ref 0 in
+          for k = 0 to np - 1 do
+            let i = pending.(k) in
+            if result.(i) = None then begin
+              pending.(!kept) <- i;
+              incr kept
+            end
+          done;
+          n_pending := !kept
+        end)
       stimuli;
     result
 end
 
-type backend = [ `Serial | `Bit_parallel ]
+module Event = struct
+  (* Single-fault event-driven incremental simulation.
+
+     The fault-free machine is simulated once per stimulus block and its
+     post-[eval_comb] net values recorded per cycle (the good trace); every
+     fault is then simulated as a sparse divergence overlay on those rows.
+     Per cycle, events are seeded only where the fault can first act — the
+     stem (when the good value differs from the stuck value), the branch
+     consumer node (whose overridden pin must be re-read), and flip-flops
+     still carrying divergent state — and propagated through gates in
+     ascending combinational level, so each gate is evaluated at most once
+     per cycle and only inside the fault's active region. A cycle in which
+     nothing diverges costs O(seeds); a fault whose state divergence dies
+     out reconverges with the good machine and pays nothing until the stem
+     value differs again.
+
+     Detection and dropping semantics are exactly [Serial]'s: the observed
+     value of a net is its computed value (branch overrides apply to pin
+     reads only), and detection needs complementary binary values. *)
+
+  (* Scratch state sized once per circuit and scrubbed after each fault;
+     [bad] is meaningful only where [div] is set. *)
+  type ctx = {
+    div : bool array; (* net currently diverges from the good trace *)
+    bad : V3.t array; (* its faulty value when [div] *)
+    queued : bool array; (* gate already scheduled this cycle *)
+    pending : int list array; (* scheduled gates, by combinational level *)
+    ff_queued : bool array; (* flip-flop already a latch candidate *)
+  }
+
+  let create_ctx (c : Circuit.t) =
+    let n = Circuit.num_nets c in
+    {
+      div = Array.make n false;
+      bad = Array.make n V3.X;
+      queued = Array.make n false;
+      pending = Array.make (Circuit.depth c + 1) [];
+      ff_queued = Array.make n false;
+    }
+
+  (* The good machine's net values after every cycle's [eval_comb]; row [t]
+     is the reference the overlay diverges from at cycle [t]. *)
+  let good_trace (c : Circuit.t) (stim : stimulus) =
+    let m = Serial.machine c None in
+    let rows = Array.make (Array.length stim) [||] in
+    Serial.Drive_one.run c m stim ~observe:(fun t ->
+        rows.(t) <- Array.copy m.Serial.v);
+    rows
+
+  type stats = { mutable events : int; mutable active : int;
+                 mutable reconv : int }
+
+  (* Runs one fault over the good trace [rows]; returns its first detection
+     cycle and accumulates event/activity counts into [st]. *)
+  let detect_rows ctx (c : Circuit.t) ~fault ~observe rows st =
+    let stem_net, stem_val, branch_node, branch_pin, branch_val =
+      match (fault : Fault.t) with
+      | { Fault.site = Fault.Stem n; stuck } ->
+        (n, V3.of_bool stuck, -1, -1, V3.X)
+      | { Fault.site = Fault.Branch { node; pin }; stuck } ->
+        (-1, V3.X, node, pin, V3.of_bool stuck)
+    in
+    let { div; bad; queued; pending; ff_queued } = ctx in
+    let nodes = c.Circuit.nodes in
+    let level = c.Circuit.level in
+    let n_cycles = Array.length rows in
+    let row = ref [||] in
+    (* The faulty value of net [o] (no pin override). *)
+    let raw o =
+      if o = stem_net then stem_val
+      else if div.(o) then bad.(o)
+      else !row.(o)
+    in
+    let fanin_val node pin net =
+      if node = branch_node && pin = branch_pin then branch_val else raw net
+    in
+    let touched = ref [] in (* combinational nets marked [div] this cycle *)
+    let div_ffs = ref [] in (* flip-flops divergent entering this cycle *)
+    let ff_cand = ref [] in (* flip-flops whose data may diverge *)
+    let max_lev = ref 0 in
+    let schedule i =
+      match nodes.(i) with
+      | Circuit.Gate _ ->
+        if (not queued.(i)) && i <> stem_net then begin
+          queued.(i) <- true;
+          let l = level.(i) in
+          pending.(l) <- i :: pending.(l);
+          if l > !max_lev then max_lev := l
+        end
+      | Circuit.Dff _ ->
+        if not ff_queued.(i) then begin
+          ff_queued.(i) <- true;
+          ff_cand := i :: !ff_cand
+        end
+      | Circuit.Input | Circuit.Const _ -> ()
+    in
+    let announce net = Array.iter schedule c.Circuit.fanout.(net) in
+    let result = ref None in
+    let t = ref 0 in
+    while !result = None && !t < n_cycles do
+      row := rows.(!t);
+      let stem_live =
+        stem_net >= 0 && not (V3.equal stem_val !row.(stem_net))
+      in
+      List.iter announce !div_ffs;
+      if stem_live then announce stem_net;
+      if branch_node >= 0 then schedule branch_node;
+      (* Settle: levels strictly ascend (every gate fanin is lower-level),
+         so one pass evaluates each scheduled gate exactly once. *)
+      let lev = ref 1 in
+      while !lev <= !max_lev do
+        let rec drain = function
+          | [] -> ()
+          | i :: rest ->
+            queued.(i) <- false;
+            (match nodes.(i) with
+             | Circuit.Gate (g, fi) ->
+               st.events <- st.events + 1;
+               let vals = Array.mapi (fun pin f -> fanin_val i pin f) fi in
+               let nv = Gate.eval g vals in
+               if not (V3.equal nv !row.(i)) then begin
+                 bad.(i) <- nv;
+                 if not div.(i) then begin
+                   div.(i) <- true;
+                   touched := i :: !touched
+                 end;
+                 announce i
+               end
+             | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> ());
+            drain rest
+        in
+        let l = pending.(!lev) in
+        pending.(!lev) <- [];
+        drain l;
+        incr lev
+      done;
+      max_lev := 0;
+      (* Observation: only a divergent net can complement-detect. *)
+      if stem_live || !touched <> [] || !div_ffs <> [] then begin
+        st.active <- st.active + 1;
+        let no = Array.length observe in
+        let k = ref 0 in
+        while !result = None && !k < no do
+          let o = observe.(!k) in
+          if complement_detect ~good:!row.(o) ~faulty:(raw o) then
+            result := Some !t;
+          incr k
+        done
+      end;
+      if !result = None then begin
+        (* Clock: recompute flip-flop divergence for the next cycle. The
+           candidates are every currently divergent flip-flop, every
+           flip-flop whose data net was announced during settle, and the
+           branch-faulted flip-flop (its data pin is permanently
+           overridden). A clamped stem flip-flop carries no state. *)
+        List.iter
+          (fun ff ->
+            if not ff_queued.(ff) then begin
+              ff_queued.(ff) <- true;
+              ff_cand := ff :: !ff_cand
+            end)
+          !div_ffs;
+        (if branch_node >= 0 then
+           match nodes.(branch_node) with
+           | Circuit.Dff _ ->
+             if not ff_queued.(branch_node) then begin
+               ff_queued.(branch_node) <- true;
+               ff_cand := branch_node :: !ff_cand
+             end
+           | Circuit.Input | Circuit.Const _ | Circuit.Gate _ -> ());
+        let next = ref [] in
+        List.iter
+          (fun ff ->
+            ff_queued.(ff) <- false;
+            if ff <> stem_net then
+              match nodes.(ff) with
+              | Circuit.Dff data ->
+                let bv = fanin_val ff 0 data in
+                if V3.equal bv !row.(data) then div.(ff) <- false
+                else begin
+                  div.(ff) <- true;
+                  bad.(ff) <- bv;
+                  next := ff :: !next
+                end
+              | Circuit.Input | Circuit.Const _ | Circuit.Gate _ -> ())
+          !ff_cand;
+        ff_cand := [];
+        (if (stem_live || !touched <> [] || !div_ffs <> []) && !next = []
+         then st.reconv <- st.reconv + 1);
+        div_ffs := !next;
+        List.iter (fun i -> div.(i) <- false) !touched;
+        touched := [];
+        incr t
+      end
+    done;
+    (* Scrub scratch state for the next fault (pending/queued are already
+       clean: settle always completes before observation). *)
+    List.iter (fun i -> div.(i) <- false) !touched;
+    List.iter (fun ff -> div.(ff) <- false) !div_ffs;
+    List.iter (fun ff -> ff_queued.(ff) <- false) !ff_cand;
+    !result
+
+  (* [on_fault] reports per-(fault, block) event and cycle-activity counts
+     — the hook {!Engine} feeds into the [fsim.event.*] histograms. *)
+  let detect_all_stats ?on_fault c ~faults ~observe stim =
+    let ctx = create_ctx c in
+    let rows = good_trace c stim in
+    Array.map
+      (fun fault ->
+        let st = { events = 0; active = 0; reconv = 0 } in
+        let r = detect_rows ctx c ~fault ~observe rows st in
+        (match on_fault with
+         | Some f -> f ~events:st.events ~active:st.active ~reconv:st.reconv
+         | None -> ());
+        r)
+      faults
+
+  let detect_dropping_stats ?on_fault c ~faults ~observe ~stimuli =
+    let nf = Array.length faults in
+    let result = Array.make nf None in
+    let ctx = create_ctx c in
+    let pending = Array.init nf (fun i -> i) in
+    let n_pending = ref nf in
+    List.iteri
+      (fun block stim ->
+        if !n_pending > 0 then begin
+          let rows = good_trace c stim in
+          let kept = ref 0 in
+          for k = 0 to !n_pending - 1 do
+            let i = pending.(k) in
+            let st = { events = 0; active = 0; reconv = 0 } in
+            (match detect_rows ctx c ~fault:faults.(i) ~observe rows st with
+             | Some t -> result.(i) <- Some (block, t)
+             | None ->
+               pending.(!kept) <- i;
+               incr kept);
+            match on_fault with
+            | Some f ->
+              f ~events:st.events ~active:st.active ~reconv:st.reconv
+            | None -> ()
+          done;
+          n_pending := !kept
+        end)
+      stimuli;
+    result
+
+  let detect_all c ~faults ~observe stim =
+    detect_all_stats ?on_fault:None c ~faults ~observe stim
+
+  let detect_dropping c ~faults ~observe ~stimuli =
+    detect_dropping_stats ?on_fault:None c ~faults ~observe ~stimuli
+end
+
+type backend = [ `Serial | `Parallel | `Event ]
+type selector = [ backend | `Auto ]
 
 let engine : backend -> (module ENGINE) = function
   | `Serial -> (module Serial)
-  | `Bit_parallel -> (module Parallel)
+  | `Parallel -> (module Parallel)
+  | `Event -> (module Event)
 
 module Engine = struct
   module Pool = Fst_exec.Pool
@@ -390,14 +654,14 @@ module Engine = struct
   module Metrics = Fst_obs.Metrics
 
   (* Shard size per pool task: whole 62-wide groups for the bit-parallel
-     back-end (so sharding never splits a group), single faults grouped for
-     the serial one; about two shards per domain keeps the queue balanced
-     without shrinking groups. *)
+     back-end (so sharding never splits a group), single faults grouped
+     for the per-fault back-ends; about two shards per domain keeps the
+     queue balanced without shrinking groups. *)
   let shard_size ~backend ~jobs nf =
     let target = max 1 (jobs * 2) in
     match backend with
-    | `Serial -> max 1 ((nf + target - 1) / target)
-    | `Bit_parallel ->
+    | `Serial | `Event -> max 1 ((nf + target - 1) / target)
+    | `Parallel ->
       let groups = (nf + Parallel.max_group - 1) / Parallel.max_group in
       Parallel.max_group * max 1 ((groups + target - 1) / target)
 
@@ -410,7 +674,7 @@ module Engine = struct
 
   (* One branch when the sink is off; handle resolution and the clock
      read only happen on live sinks. The inner simulation loops in
-     [Serial]/[Parallel] are never touched. *)
+     [Serial]/[Parallel]/[Event] are never touched. *)
   let observe_call (obs : Sink.t) name ~faults f =
     if not obs.Sink.enabled then f ()
     else begin
@@ -427,29 +691,139 @@ module Engine = struct
       r
     end
 
-  let detect_all ?(obs = Sink.null) ?(backend = `Bit_parallel) ?(jobs = 1) c
-      ~faults ~observe stim =
-    let module E = (val engine backend) in
+  (* Per-(fault, block) event counts and reconvergence rates (reconverged /
+     active cycles), observed only on live sinks. The histograms are
+     domain-safe, so the hook may run inside pool tasks. *)
+  let event_stats (obs : Sink.t) =
+    if not obs.Sink.enabled then None
+    else begin
+      let m = obs.Sink.metrics in
+      let h_events = Metrics.histogram m "fsim.event.events" in
+      let h_reconv = Metrics.histogram m "fsim.event.reconv_rate" in
+      Some
+        (fun ~events ~active ~reconv ->
+          Metrics.Histogram.observe h_events (float_of_int events);
+          if active > 0 then
+            Metrics.Histogram.observe h_reconv
+              (float_of_int reconv /. float_of_int active))
+    end
+
+  (* [`Auto]: a fault whose static cone is at most this many nets is
+     cheaper event-driven than amortized over a 62-wide bit-parallel
+     group (whose per-fault sweep cost is ~num_nets/62 gate evaluations
+     per cycle, against cone-bounded events). *)
+  let auto_cone_cap (c : Circuit.t) = max 8 (Circuit.num_nets c / 16)
+
+  (* Splits fault indices into (event-sized, parallel-sized) by capped
+     cone size; order inside each part preserves the input order. *)
+  let auto_split c faults =
+    let cap = auto_cone_cap c in
+    let sizes = Fault.cone_sizes ~cap c faults in
+    let small = ref [] and large = ref [] in
+    Array.iteri
+      (fun i s -> if s <= cap then small := i :: !small
+        else large := i :: !large)
+      sizes;
+    ( Array.of_list (List.rev !small),
+      Array.of_list (List.rev !large) )
+
+  let run_detect_all ~obs ~backend ~jobs c ~faults ~observe stim =
+    let direct () =
+      match backend with
+      | `Event ->
+        Event.detect_all_stats ?on_fault:(event_stats obs) c ~faults
+          ~observe stim
+      | (`Serial | `Parallel) as b ->
+        let module E = (val engine b) in
+        E.detect_all c ~faults ~observe stim
+    in
+    if jobs = 1 || Array.length faults = 0 then direct ()
+    else
+      let task =
+        match backend with
+        | `Event ->
+          let on_fault = event_stats obs in
+          fun fs -> Event.detect_all_stats ?on_fault c ~faults:fs
+              ~observe stim
+        | (`Serial | `Parallel) as b ->
+          let module E = (val engine b) in
+          fun fs -> E.detect_all c ~faults:fs ~observe stim
+      in
+      Pool.map_array ~obs ~label:"fsim" ~jobs ~chunk:1 task
+        (shards ~backend ~jobs faults)
+      |> Array.to_list |> Array.concat
+
+  let run_detect_dropping ~obs ~backend ~jobs c ~faults ~observe ~stimuli =
+    let direct () =
+      match backend with
+      | `Event ->
+        Event.detect_dropping_stats ?on_fault:(event_stats obs) c ~faults
+          ~observe ~stimuli
+      | (`Serial | `Parallel) as b ->
+        let module E = (val engine b) in
+        E.detect_dropping c ~faults ~observe ~stimuli
+    in
+    if jobs = 1 || Array.length faults = 0 then direct ()
+    else
+      let task =
+        match backend with
+        | `Event ->
+          let on_fault = event_stats obs in
+          fun fs -> Event.detect_dropping_stats ?on_fault c ~faults:fs
+              ~observe ~stimuli
+        | (`Serial | `Parallel) as b ->
+          let module E = (val engine b) in
+          fun fs -> E.detect_dropping c ~faults:fs ~observe ~stimuli
+      in
+      Pool.map_array ~obs ~label:"fsim" ~jobs ~chunk:1 task
+        (shards ~backend ~jobs faults)
+      |> Array.to_list |> Array.concat
+
+  (* Runs [`Auto]'s two partitions through [run] and merges the results
+     back into input order. *)
+  let run_auto run c faults =
+    let small, large = auto_split c faults in
+    if Array.length large = 0 then run `Event faults
+    else if Array.length small = 0 then run `Parallel faults
+    else begin
+      let rs = run `Event (Array.map (fun i -> faults.(i)) small) in
+      let rl = run `Parallel (Array.map (fun i -> faults.(i)) large) in
+      let out = Array.make (Array.length faults) rs.(0) in
+      Array.iteri (fun k i -> out.(i) <- rs.(k)) small;
+      Array.iteri (fun k i -> out.(i) <- rl.(k)) large;
+      out
+    end
+
+  let detect_all ?(obs = Sink.null) ?(engine = `Auto) ?(jobs = 1) c ~faults
+      ~observe stim =
     let jobs = max 1 jobs in
     observe_call obs "detect_all" ~faults (fun () ->
-        if jobs = 1 || Array.length faults = 0 then
-          E.detect_all c ~faults ~observe stim
+        if Array.length faults = 0 then [||]
         else
-          Pool.map_array ~obs ~label:"fsim" ~jobs ~chunk:1
-            (fun fs -> E.detect_all c ~faults:fs ~observe stim)
-            (shards ~backend ~jobs faults)
-          |> Array.to_list |> Array.concat)
+          match (engine : selector) with
+          | #backend as backend ->
+            run_detect_all ~obs ~backend ~jobs c ~faults ~observe stim
+          | `Auto ->
+            run_auto
+              (fun backend fs ->
+                run_detect_all ~obs ~backend ~jobs c ~faults:fs ~observe
+                  stim)
+              c faults)
 
-  let detect_dropping ?(obs = Sink.null) ?(backend = `Bit_parallel)
-      ?(jobs = 1) c ~faults ~observe ~stimuli =
-    let module E = (val engine backend) in
+  let detect_dropping ?(obs = Sink.null) ?(engine = `Auto) ?(jobs = 1) c
+      ~faults ~observe ~stimuli =
     let jobs = max 1 jobs in
     observe_call obs "detect_dropping" ~faults (fun () ->
-        if jobs = 1 || Array.length faults = 0 then
-          E.detect_dropping c ~faults ~observe ~stimuli
+        if Array.length faults = 0 then [||]
         else
-          Pool.map_array ~obs ~label:"fsim" ~jobs ~chunk:1
-            (fun fs -> E.detect_dropping c ~faults:fs ~observe ~stimuli)
-            (shards ~backend ~jobs faults)
-          |> Array.to_list |> Array.concat)
+          match (engine : selector) with
+          | #backend as backend ->
+            run_detect_dropping ~obs ~backend ~jobs c ~faults ~observe
+              ~stimuli
+          | `Auto ->
+            run_auto
+              (fun backend fs ->
+                run_detect_dropping ~obs ~backend ~jobs c ~faults:fs
+                  ~observe ~stimuli)
+              c faults)
 end

@@ -7,10 +7,13 @@
     complementary binary value in the faulty machine. A potential detection
     (faulty value [X]) does not count, as in the paper.
 
-    Two interchangeable back-ends implement the common {!ENGINE} interface:
-    {!Serial} (one faulty machine at a time, the reference) and {!Parallel}
-    (62 faulty machines per pass, bit-parallel). {!Engine} selects a
-    back-end per workload and shards the fault list across a domain pool
+    Three interchangeable back-ends implement the common {!ENGINE}
+    interface: {!Serial} (one faulty machine at a time, the reference),
+    {!Parallel} (62 faulty machines per pass, bit-parallel) and {!Event}
+    (one fault at a time as a sparse divergence overlay on a shared
+    fault-free trace, event-driven). {!Engine} dispatches on a first-class
+    {!selector} — including [`Auto], which picks a back-end per fault by
+    static cone size — and shards the fault list across a domain pool
     ({!Fst_exec.Pool}) when [jobs > 1]. *)
 
 open Fst_logic
@@ -72,29 +75,75 @@ module Parallel : sig
   include ENGINE
 end
 
-type backend = [ `Serial | `Bit_parallel ]
+(** Event-driven incremental simulation: the fault-free machine runs once
+    per stimulus block and every fault is replayed as a sparse divergence
+    overlay on that shared trace. Events are seeded only at the fault site
+    (and at flip-flops still holding divergent state) and propagate through
+    gates in ascending combinational level, so work per cycle is bounded by
+    the fault's active region inside its static fanout cone
+    ({!Fst_fault.Fault.cone}) — a quiescent or reconverged cycle is O(1).
+    Detection and dropping semantics are bit-identical to {!Serial}. *)
+module Event : sig
+  include ENGINE
+
+  (** Like {!val:detect_all} / {!val:detect_dropping}, additionally calling
+      [on_fault] once per simulated (fault, block) with the number of gate
+      evaluations ([events]), cycles with any divergence ([active]) and
+      active cycles whose state divergence died out ([reconv]). *)
+
+  val detect_all_stats :
+    ?on_fault:(events:int -> active:int -> reconv:int -> unit) ->
+    Circuit.t ->
+    faults:Fault.t array ->
+    observe:int array ->
+    stimulus ->
+    int option array
+
+  val detect_dropping_stats :
+    ?on_fault:(events:int -> active:int -> reconv:int -> unit) ->
+    Circuit.t ->
+    faults:Fault.t array ->
+    observe:int array ->
+    stimuli:stimulus list ->
+    (int * int) option array
+end
+
+(** A concrete back-end. [`Parallel] was called [`Bit_parallel] before the
+    engine selector became first-class. *)
+type backend = [ `Serial | `Parallel | `Event ]
+
+(** What callers select: a concrete back-end, or [`Auto] — per fault,
+    [`Event] when the fault's static cone is small (at most
+    [max 8 (num_nets / 16)] nets, where a cone-bounded replay beats the
+    amortized [num_nets / 62] sweep cost of a bit-parallel group) and
+    [`Parallel] otherwise. Every choice returns identical results; the
+    selector only moves wall-clock time. *)
+type selector = [ backend | `Auto ]
 
 (** [engine b] is the back-end as a first-class {!ENGINE}. *)
 val engine : backend -> (module ENGINE)
 
-(** Back-end selection plus multicore dispatch. With [jobs = 1] (the
-    default) these call the chosen back-end directly and behave exactly
-    like it; with [jobs > 1] the fault list is sharded into back-end-sized
-    chunks (whole 62-wide groups for [`Bit_parallel]) that run on a domain
+(** Engine selection plus multicore dispatch. With [jobs = 1] (the
+    default) these call the chosen back-end(s) directly and behave exactly
+    like them; with [jobs > 1] the fault list is sharded into back-end-sized
+    chunks (whole 62-wide groups for [`Parallel]) that run on a domain
     pool, and the per-shard results are merged back in input order — the
-    result is identical for every [jobs] value because faulty machines
-    never interact. *)
+    result is identical for every [jobs] value and every {!selector}
+    because faulty machines never interact. *)
 module Engine : sig
   (** With a live [obs] sink each call counts
       [fsim.<entry>.calls] / [.faults], fills a [.call_s] duration
       histogram, emits a trace span, and threads the sink into the pool
-      (per-domain busy accounting). With the default
-      {!Fst_obs.Sink.null} the instrumentation is a single branch per
-      call — the inner simulation loops are never touched. *)
+      (per-domain busy accounting); the event back-end additionally fills
+      [fsim.event.events] (gate evaluations per fault-block) and
+      [fsim.event.reconv_rate] (reconverged / active cycles) histograms.
+      With the default {!Fst_obs.Sink.null} the instrumentation is a
+      single branch per call — the inner simulation loops are never
+      touched. *)
 
   val detect_all :
     ?obs:Fst_obs.Sink.t ->
-    ?backend:backend ->
+    ?engine:selector ->
     ?jobs:int ->
     Circuit.t ->
     faults:Fault.t array ->
@@ -104,7 +153,7 @@ module Engine : sig
 
   val detect_dropping :
     ?obs:Fst_obs.Sink.t ->
-    ?backend:backend ->
+    ?engine:selector ->
     ?jobs:int ->
     Circuit.t ->
     faults:Fault.t array ->

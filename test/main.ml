@@ -22,6 +22,7 @@ let () =
       ("classify", Test_classify.suite);
       ("sequences", Test_sequences.suite);
       ("group", Test_group.suite);
+      ("config", Test_config.suite);
       ("flow", Test_flow.suite);
       ("scan_atpg", Test_scan_atpg.suite);
       ("gen", Test_gen.suite);

@@ -1,0 +1,150 @@
+open Fst_core
+
+(* The unified Config surface: defaults, setters, the engine selector's
+   CLI spellings, the CLI constructor and the JSON echo. *)
+
+let test_defaults_match_legacy () =
+  (* Config.default must describe the same flow the historical
+     [Flow.default_params] did, with [`Auto] engine selection on top. *)
+  let c = Config.default in
+  Alcotest.(check string) "engine" "auto" (Config.engine_to_string c.Config.engine);
+  Alcotest.(check int) "comb_backtrack" 200 c.Config.comb_backtrack;
+  Alcotest.(check int) "seq_backtrack" 400 c.Config.seq_backtrack;
+  Alcotest.(check int) "final_backtrack" 2000 c.Config.final_backtrack;
+  Alcotest.(check (list int)) "frames" [ 1; 2; 4 ] c.Config.frames;
+  Alcotest.(check (list int)) "final_frames" [ 1; 2; 4; 8 ] c.Config.final_frames;
+  Alcotest.(check int) "random_blocks" 32 c.Config.random_blocks;
+  Alcotest.(check int) "scan_backtrack" 200 c.Config.scan_backtrack;
+  Alcotest.(check bool) "no budget" true (c.Config.time_budget = None);
+  Alcotest.(check bool) "no preflight" false c.Config.preflight
+
+let test_setters () =
+  let c =
+    Config.(
+      default |> with_engine `Event |> with_jobs 3
+      |> with_comb_backtrack 7 |> with_time_budget (Some 1.5)
+      |> with_preflight true)
+  in
+  Alcotest.(check string) "engine" "event" (Config.engine_to_string c.Config.engine);
+  Alcotest.(check int) "jobs" 3 c.Config.jobs;
+  Alcotest.(check int) "comb_backtrack" 7 c.Config.comb_backtrack;
+  Alcotest.(check bool) "budget" true (c.Config.time_budget = Some 1.5);
+  Alcotest.(check bool) "preflight" true c.Config.preflight;
+  (* Setters are functional: default is untouched. *)
+  Alcotest.(check int) "default comb" 200 Config.default.Config.comb_backtrack;
+  (* jobs clamps to at least one domain. *)
+  Alcotest.(check int) "jobs clamp" 1 (Config.with_jobs 0 c).Config.jobs
+
+let test_engine_names_round_trip () =
+  List.iter
+    (fun name ->
+      match Config.engine_of_string name with
+      | Some e -> Alcotest.(check string) name name (Config.engine_to_string e)
+      | None -> Alcotest.failf "engine name %s did not parse" name)
+    Config.engine_names;
+  Alcotest.(check bool) "unknown rejected" true
+    (Config.engine_of_string "warp" = None)
+
+let test_of_cli () =
+  (match Config.of_cli ~engine:"event" ~jobs:2 ~scale:0.5 ~preflight:true () with
+   | Ok c ->
+     Alcotest.(check string) "engine" "event"
+       (Config.engine_to_string c.Config.engine);
+     Alcotest.(check int) "jobs" 2 c.Config.jobs;
+     Alcotest.(check bool) "scale" true (c.Config.dist_floor_scale = 0.5);
+     Alcotest.(check bool) "preflight" true c.Config.preflight
+   | Error e -> Alcotest.failf "of_cli rejected valid input: %s" e);
+  (* jobs <= 0 means all cores. *)
+  (match Config.of_cli ~jobs:0 () with
+   | Ok c -> Alcotest.(check bool) "jobs defaulted" true (c.Config.jobs >= 1)
+   | Error e -> Alcotest.failf "of_cli rejected valid input: %s" e);
+  match Config.of_cli ~engine:"warp" () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown engine accepted"
+
+let test_to_json () =
+  let j =
+    Config.to_json
+      Config.(default |> with_engine `Serial |> with_time_budget (Some 2.0))
+  in
+  let s = Fst_obs.Json.to_string j in
+  (* Round-trips through the strict parser and carries the key fields. *)
+  ignore (Fst_obs.Json.of_string s);
+  let member k =
+    match Fst_obs.Json.member k j with
+    | Some v -> v
+    | None -> Alcotest.failf "missing config key %s" k
+  in
+  Alcotest.(check bool) "engine" true
+    (member "engine" = Fst_obs.Json.String "serial");
+  Alcotest.(check bool) "budget" true
+    (member "time_budget" = Fst_obs.Json.Float 2.0);
+  Alcotest.(check bool) "frames present" true (member "frames" <> Fst_obs.Json.Null)
+
+(* The deprecated record constructors must keep compiling (shielded from
+   the dev -warn-error wall here only) and behave exactly like the Config
+   path: the whole one-release compatibility contract. *)
+let test_legacy_params_still_work () =
+  let scanned, config =
+    let c = Helpers.small_seq_circuit ~gates:80 ~ffs:6 23L in
+    Fst_tpi.Tpi.insert
+      ~options:
+        { Fst_tpi.Tpi.default_options with Fst_tpi.Tpi.chains = 1;
+          justify_depth = 4 }
+      c
+  in
+  let legacy =
+    (let open Flow in
+     { (default_params [@alert "-deprecated"]) with
+       comb_backtrack = 100; seq_backtrack = 200; final_backtrack = 500;
+       frames = [ 1; 2 ]; final_frames = [ 1; 2 ]; jobs = 1 })
+  in
+  let via_params = Flow.run ~params:legacy scanned config in
+  let via_config =
+    Flow.run
+      ~config:
+        Config.(
+          default |> with_comb_backtrack 100 |> with_seq_backtrack 200
+          |> with_final_backtrack 500 |> with_frames [ 1; 2 ]
+          |> with_final_frames [ 1; 2 ] |> with_jobs 1)
+      scanned config
+  in
+  Alcotest.(check int) "step2 detected" via_config.Flow.step2.Flow.detected
+    via_params.Flow.step2.Flow.detected;
+  Alcotest.(check int) "step3 detected" via_config.Flow.step3.Flow.detected
+    via_params.Flow.step3.Flow.detected;
+  Alcotest.(check bool) "undetected identical" true
+    (via_params.Flow.undetected = via_config.Flow.undetected);
+  (* Same contract for the scan-ATPG phase. *)
+  let already_detected = Flow.chain_detected_faults via_params in
+  let scan_legacy =
+    (let open Scan_atpg in
+     { (default_params [@alert "-deprecated"]) with
+       backtrack = 50; random_blocks = 4; jobs = 1 })
+  in
+  let r_params = Scan_atpg.run ~params:scan_legacy scanned config ~already_detected in
+  let r_config =
+    Scan_atpg.run
+      ~config:
+        Config.(
+          default |> with_scan_backtrack 50 |> with_scan_random_blocks 4
+          |> with_jobs 1)
+      scanned config ~already_detected
+  in
+  Alcotest.(check int) "scan detected" r_config.Scan_atpg.detected
+    r_params.Scan_atpg.detected;
+  Alcotest.(check int) "scan untestable" r_config.Scan_atpg.untestable
+    r_params.Scan_atpg.untestable
+
+let suite =
+  [
+    Alcotest.test_case "defaults match the legacy params" `Quick
+      test_defaults_match_legacy;
+    Alcotest.test_case "functional setters" `Quick test_setters;
+    Alcotest.test_case "engine names round-trip" `Quick
+      test_engine_names_round_trip;
+    Alcotest.test_case "of_cli" `Quick test_of_cli;
+    Alcotest.test_case "to_json round-trips" `Quick test_to_json;
+    Alcotest.test_case "legacy params wrappers behave like Config" `Slow
+      test_legacy_params_still_work;
+  ]

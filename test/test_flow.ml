@@ -7,23 +7,19 @@ let scan_small ?(gates = 150) ?(ffs = 10) ?(chains = 2) seed =
   let c = Helpers.small_seq_circuit ~gates ~ffs seed in
   Tpi.insert ~options:{ Tpi.default_options with Tpi.chains; justify_depth = 4 } c
 
-let quick_params =
-  {
-    Flow.default_params with
-    Flow.comb_backtrack = 100;
-    seq_backtrack = 200;
-    final_backtrack = 500;
-    frames = [ 1; 2 ];
-    final_frames = [ 1; 2; 4 ];
-  }
+let quick_config =
+  Config.(
+    default |> with_comb_backtrack 100 |> with_seq_backtrack 200
+    |> with_final_backtrack 500 |> with_frames [ 1; 2 ]
+    |> with_final_frames [ 1; 2; 4 ])
 
 (* Multicore dispatch: step 2 is bit-identical for any [jobs]; step 3's
    wave scheduling may only move credit between buckets, never lose
    faults. *)
 let test_flow_jobs () =
   let scanned, config = scan_small 11L in
-  let r1 = Flow.run ~params:{ quick_params with Flow.jobs = 1 } scanned config in
-  let r3 = Flow.run ~params:{ quick_params with Flow.jobs = 3 } scanned config in
+  let r1 = Flow.run ~config:Config.(quick_config |> with_jobs 1) scanned config in
+  let r3 = Flow.run ~config:Config.(quick_config |> with_jobs 3) scanned config in
   Alcotest.(check int) "step2 detected" r1.Flow.step2.Flow.detected
     r3.Flow.step2.Flow.detected;
   Alcotest.(check int) "step2 untestable" r1.Flow.step2.Flow.untestable
@@ -40,7 +36,7 @@ let test_flow_jobs () =
 
 let test_flow_bookkeeping () =
   let scanned, config = scan_small 7L in
-  let r = Flow.run ~params:quick_params scanned config in
+  let r = Flow.run ~config:quick_config scanned config in
   let hard = Array.length r.Flow.classify.Classify.hard in
   (* Step-2 buckets partition the hard faults. *)
   Alcotest.(check int) "step2 partition" hard
@@ -64,7 +60,7 @@ let prop_flow_coverage =
     (Q.map Int64.of_int (Q.int_bound 100000))
     (fun seed ->
       let scanned, config = scan_small ~gates:200 ~ffs:12 seed in
-      let r = Flow.run ~params:quick_params scanned config in
+      let r = Flow.run ~config:quick_config scanned config in
       let hard = Array.length r.Flow.classify.Classify.hard in
       (* Allow a small residue: aborts are possible with the tight budgets
          used here, and a handful of scan-enable-network faults are only
@@ -77,7 +73,7 @@ let prop_flow_coverage =
    happen early. *)
 let test_curve_monotone () =
   let scanned, config = scan_small ~gates:250 ~ffs:14 9L in
-  let r = Flow.run ~params:quick_params scanned config in
+  let r = Flow.run ~config:quick_config scanned config in
   let curve = r.Flow.step2.Flow.curve in
   Alcotest.(check bool) "curve captured" true (Array.length curve > 0);
   let mono = ref true in
@@ -92,10 +88,10 @@ let test_curve_monotone () =
 
 let test_truncation_reduces_vectors () =
   let scanned, config = scan_small ~gates:250 ~ffs:14 9L in
-  let full = Flow.run ~params:quick_params scanned config in
+  let full = Flow.run ~config:quick_config scanned config in
   let truncated =
     Flow.run
-      ~params:{ quick_params with Flow.truncate_blocks = Some 0.5 }
+      ~config:Config.(quick_config |> with_truncate_blocks (Some 0.5))
       scanned config
   in
   Alcotest.(check bool) "fewer vectors" true
@@ -110,7 +106,7 @@ let prop_untestable_resists_random =
     (Q.map Int64.of_int (Q.int_bound 100000))
     (fun seed ->
       let scanned, config = scan_small ~gates:150 ~ffs:8 seed in
-      let r = Flow.run ~params:quick_params scanned config in
+      let r = Flow.run ~config:quick_config scanned config in
       Alcotest.(check int)
         "untestable counts match list"
         (r.Flow.step2.Flow.untestable + r.Flow.step3.Flow.untestable)
@@ -151,7 +147,7 @@ let prop_untestable_resists_random =
 let test_zero_budget_accounting () =
   let scanned, config = scan_small 7L in
   let r =
-    Flow.run ~params:quick_params
+    Flow.run ~config:quick_config
       ~budget:(Fst_exec.Budget.of_seconds 0.0)
       scanned config
   in
@@ -172,7 +168,7 @@ let test_zero_budget_accounting () =
 (* An unlimited budget must report no aborts at all in the accounting. *)
 let test_unlimited_budget_clean_accounting () =
   let scanned, config = scan_small 7L in
-  let r = Flow.run ~params:quick_params scanned config in
+  let r = Flow.run ~config:quick_config scanned config in
   Alcotest.(check bool) "no phase exhausted" false
     (Flow.budget_exhausted r.Flow.aborts);
   Alcotest.(check int) "no aborted faults" 0
@@ -201,17 +197,19 @@ let test_kill_and_resume_round_trip () =
   let scanned, config = scan_small 7L in
   (* Cripple step 2 so that survivors reach the step-3 waves (otherwise
      there is no "step3-wave" checkpoint to interrupt). *)
-  let params =
-    { quick_params with Flow.jobs = 1; comb_backtrack = 1; random_blocks = 2 }
+  let config_q =
+    Config.(
+      quick_config |> with_jobs 1 |> with_comb_backtrack 1
+      |> with_random_blocks 2)
   in
-  let reference = Flow.run ~params scanned config in
+  let reference = Flow.run ~config:config_q scanned config in
   List.iter
     (fun stage ->
       let path = Filename.temp_file "fst-ckpt" ".bin" in
       let killed = ref false in
       (try
          ignore
-           (Flow.run ~params ~checkpoint:path
+           (Flow.run ~config:config_q ~checkpoint:path
               ~on_checkpoint:(fun s ->
                 if s = stage && not !killed then begin
                   killed := true;
@@ -221,7 +219,8 @@ let test_kill_and_resume_round_trip () =
        with Killed -> ());
       Alcotest.(check bool) (stage ^ " reached") true !killed;
       let resumed =
-        Flow.run ~params ~checkpoint:path ~resume:true scanned config
+        Flow.run ~config:config_q ~checkpoint:path ~resume:true scanned
+          config
       in
       Sys.remove path;
       Alcotest.(check bool)
@@ -247,12 +246,13 @@ let test_kill_and_resume_round_trip () =
 let test_checkpoint_fingerprint_mismatch () =
   let scanned_a, config_a = scan_small 7L in
   let scanned_b, config_b = scan_small 11L in
-  let params = { quick_params with Flow.jobs = 1 } in
+  let config_q = Config.(quick_config |> with_jobs 1) in
   let path = Filename.temp_file "fst-ckpt" ".bin" in
-  ignore (Flow.run ~params ~checkpoint:path scanned_a config_a);
-  let fresh = Flow.run ~params scanned_b config_b in
+  ignore (Flow.run ~config:config_q ~checkpoint:path scanned_a config_a);
+  let fresh = Flow.run ~config:config_q scanned_b config_b in
   let resumed =
-    Flow.run ~params ~checkpoint:path ~resume:true scanned_b config_b
+    Flow.run ~config:config_q ~checkpoint:path ~resume:true scanned_b
+      config_b
   in
   Sys.remove path;
   Alcotest.(check bool) "mismatched checkpoint ignored" true

@@ -122,22 +122,62 @@ let random_workload seed =
   in
   (c, chosen, List.init 3 (fun _ -> block ()))
 
-(* The serial and bit-parallel back-ends implement the same ENGINE
-   semantics: identical per-fault results on both engine operations. *)
+(* Every back-end implements the same ENGINE semantics: identical
+   per-fault detection cycles and drop blocks/cycles on both engine
+   operations. [Event] must be bit-identical to [Serial], including where
+   (block, cycle) each fault drops. *)
 let prop_engines_agree =
-  Q.Test.make ~name:"serial and bit-parallel engines agree" ~count:15
+  Q.Test.make ~name:"serial, bit-parallel and event engines agree" ~count:15
     (Q.map Int64.of_int (Q.int_bound 100000))
     (fun seed ->
       let c, chosen, stimuli = random_workload seed in
       let observe = c.Circuit.outputs in
       let stim = List.hd stimuli in
-      Fsim.Serial.detect_all c ~faults:chosen ~observe stim
-      = Fsim.Parallel.detect_all c ~faults:chosen ~observe stim
-      && Fsim.Serial.detect_dropping c ~faults:chosen ~observe ~stimuli
-         = Fsim.Parallel.detect_dropping c ~faults:chosen ~observe ~stimuli)
+      let ser_all = Fsim.Serial.detect_all c ~faults:chosen ~observe stim in
+      let ser_drop =
+        Fsim.Serial.detect_dropping c ~faults:chosen ~observe ~stimuli
+      in
+      ser_all = Fsim.Parallel.detect_all c ~faults:chosen ~observe stim
+      && ser_all = Fsim.Event.detect_all c ~faults:chosen ~observe stim
+      && ser_drop
+         = Fsim.Parallel.detect_dropping c ~faults:chosen ~observe ~stimuli
+      && ser_drop
+         = Fsim.Event.detect_dropping c ~faults:chosen ~observe ~stimuli)
 
-(* Multicore dispatch is invisible: any [jobs] value gives the single-core
-   result, for both back-ends and both engine operations. *)
+(* Cone soundness: under any fault, a net outside the fault's static
+   fanout cone never diverges from the fault-free machine — the envelope
+   the event-driven back-end relies on to skip work. *)
+let prop_cone_soundness =
+  Q.Test.make ~name:"nets outside the static cone never diverge" ~count:15
+    (Q.map Int64.of_int (Q.int_bound 100000))
+    (fun seed ->
+      let c, chosen, stimuli = random_workload seed in
+      let all_nets = Array.init (Circuit.num_nets c) (fun i -> i) in
+      let stim = List.hd stimuli in
+      let good = Fsim.Serial.trace c ~fault:None ~observe:all_nets stim in
+      Array.for_all
+        (fun fault ->
+          let cone = Fault.cone c fault in
+          let in_cone = Array.make (Circuit.num_nets c) false in
+          Array.iter (fun n -> in_cone.(n) <- true) cone;
+          let bad =
+            Fsim.Serial.trace c ~fault:(Some fault) ~observe:all_nets stim
+          in
+          let ok = ref true in
+          Array.iteri
+            (fun t row ->
+              Array.iteri
+                (fun n v ->
+                  if (not in_cone.(n)) && not (V3.equal v bad.(t).(n)) then
+                    ok := false)
+                row)
+            good;
+          !ok)
+        chosen)
+
+(* Multicore dispatch and engine selection are invisible: any [jobs]
+   value gives the single-core result, for every selector (including
+   [`Auto]'s per-fault split) and both engine operations. *)
 let prop_jobs_invariant =
   Q.Test.make ~name:"engine jobs>1 agrees with jobs=1" ~count:15
     (Q.pair
@@ -148,16 +188,16 @@ let prop_jobs_invariant =
       let observe = c.Circuit.outputs in
       let stim = List.hd stimuli in
       List.for_all
-        (fun backend ->
-          Fsim.Engine.detect_all ~backend ~jobs:1 c ~faults:chosen ~observe
+        (fun engine ->
+          Fsim.Engine.detect_all ~engine ~jobs:1 c ~faults:chosen ~observe
             stim
-          = Fsim.Engine.detect_all ~backend ~jobs c ~faults:chosen ~observe
+          = Fsim.Engine.detect_all ~engine ~jobs c ~faults:chosen ~observe
               stim
-          && Fsim.Engine.detect_dropping ~backend ~jobs:1 c ~faults:chosen
+          && Fsim.Engine.detect_dropping ~engine ~jobs:1 c ~faults:chosen
                ~observe ~stimuli
-             = Fsim.Engine.detect_dropping ~backend ~jobs c ~faults:chosen
+             = Fsim.Engine.detect_dropping ~engine ~jobs c ~faults:chosen
                  ~observe ~stimuli)
-        [ `Serial; `Bit_parallel ])
+        [ `Serial; `Parallel; `Event; `Auto ])
 
 let test_detect_dropping_blocks () =
   let c, si, en, ff0, _g, _ff1 = small_chain () in
@@ -188,6 +228,7 @@ let suite =
     Alcotest.test_case "branch fault locality" `Quick test_branch_fault_detection;
     Helpers.qcheck prop_serial_parallel_agree;
     Helpers.qcheck prop_engines_agree;
+    Helpers.qcheck prop_cone_soundness;
     Helpers.qcheck prop_jobs_invariant;
     Alcotest.test_case "dropping across blocks" `Quick test_detect_dropping_blocks;
   ]

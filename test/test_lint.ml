@@ -284,7 +284,9 @@ let test_json_and_catalogue () =
 
 let test_preflight () =
   let scanned, config = scanned_circuit ~gates:50 ~ffs:4 11 in
-  let params = { Fst_core.Flow.default_params with Fst_core.Flow.preflight = true; jobs = 1 } in
+  let cfg =
+    Fst_core.Config.(default |> with_preflight true |> with_jobs 1)
+  in
   let bad =
     tamper_chain config (fun ch ->
         let segments = Array.copy ch.Scan.segments in
@@ -292,12 +294,12 @@ let test_preflight () =
           { segments.(0) with Scan.invert = not segments.(0).Scan.invert };
         { ch with Scan.segments = segments })
   in
-  (match Fst_core.Flow.run ~params scanned bad with
+  (match Fst_core.Flow.run ~config:cfg scanned bad with
    | _ -> Alcotest.fail "preflight accepted a broken configuration"
    | exception Fst_core.Flow.Preflight_failed diags ->
      check "parity error surfaced" true
        (List.exists (fun d -> d.D.rule = "E-SCAN-PARITY") diags));
-  let r = Fst_core.Flow.run ~params scanned config in
+  let r = Fst_core.Flow.run ~config:cfg scanned config in
   check "clean configuration still runs" true
     (Fst_core.Flow.total_faults r > 0)
 

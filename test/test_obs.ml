@@ -257,15 +257,11 @@ let scan_small ?(gates = 150) ?(ffs = 10) ?(chains = 2) seed =
     ~options:{ Tpi.default_options with Tpi.chains; justify_depth = 4 }
     c
 
-let quick_params =
-  {
-    Flow.default_params with
-    Flow.comb_backtrack = 100;
-    seq_backtrack = 200;
-    final_backtrack = 500;
-    frames = [ 1; 2 ];
-    final_frames = [ 1; 2; 4 ];
-  }
+let quick_config =
+  Config.(
+    default |> with_comb_backtrack 100 |> with_seq_backtrack 200
+    |> with_final_backtrack 500 |> with_frames [ 1; 2 ]
+    |> with_final_frames [ 1; 2; 4 ])
 
 (* A live sink observes the run without changing it: every result bucket,
    the undetected fault list, and the ATPG totals match the null-sink run
@@ -273,7 +269,7 @@ let quick_params =
 let test_live_sink_is_pure_observer () =
   let scanned, config = scan_small 11L in
   let quiet =
-    Flow.run ~params:{ quick_params with Flow.jobs = 1 } scanned config
+    Flow.run ~config:Config.(quick_config |> with_jobs 1) scanned config
   in
   let metrics = M.create () in
   let trace = Trace.create () in
@@ -283,7 +279,9 @@ let test_live_sink_is_pure_observer () =
       ~atpg_span_s:0.0 ()
   in
   let loud =
-    Flow.run ~params:{ quick_params with Flow.jobs = 1; sink } scanned config
+    Flow.run
+      ~config:Config.(quick_config |> with_jobs 1 |> with_sink sink)
+      scanned config
   in
   Alcotest.(check int) "step2 detected" quiet.Flow.step2.Flow.detected
     loud.Flow.step2.Flow.detected;

@@ -52,7 +52,10 @@ let prop_two_phase_coverage =
     (Q.map Int64.of_int (Q.int_bound 100000))
     (fun seed ->
       let scanned, config = scan_small ~gates:120 ~ffs:8 seed in
-      let flow = Flow.run ~params:{ Flow.default_params with Flow.frames = [ 1; 2 ] } scanned config in
+      let flow =
+        Flow.run ~config:Config.(default |> with_frames [ 1; 2 ]) scanned
+          config
+      in
       let already_detected = Flow.chain_detected_faults flow in
       let r = Scan_atpg.run scanned config ~already_detected in
       let total = Flow.total_faults flow in
