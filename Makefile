@@ -1,7 +1,7 @@
 # Convenience targets for local development and CI.
 
 .PHONY: all build test check static-check lint-smoke bench-smoke \
-  degradation-smoke resume-smoke obs-smoke noop-sink-smoke \
+  perf-smoke degradation-smoke resume-smoke obs-smoke noop-sink-smoke \
   engine-matrix deprecation-check clean
 
 all: build
@@ -17,8 +17,9 @@ test:
 # benchmark at a tiny scale so bench/ rot is caught early, lint every
 # example netlist, and exercise the budget-degradation, checkpoint/resume,
 # and observability CLI paths.
-check: static-check build test lint-smoke bench-smoke degradation-smoke \
-  resume-smoke obs-smoke noop-sink-smoke engine-matrix deprecation-check
+check: static-check build test lint-smoke bench-smoke perf-smoke \
+  degradation-smoke resume-smoke obs-smoke noop-sink-smoke engine-matrix \
+  deprecation-check
 
 # Type-check every library and executable (including ones @default would
 # skip); the dev env stanza promotes warnings to errors.
@@ -49,6 +50,14 @@ lint-smoke: build
 
 bench-smoke:
 	FST_SCALE=0.02 dune exec -- bench/main.exe micro
+
+# Scaled-down fault-sim perf gate: re-measures the engine columns and
+# fails if bit-parallel is ever slower than serial on the same faults
+# (the committed BENCH_fsim.json is generated at a larger scale, so the
+# >20% regression comparison only arms when scales match — here the
+# structural invariants still hold and bench/ rot is caught).
+perf-smoke:
+	FST_SCALE=0.02 dune exec -- bench/main.exe fsim --check
 
 FST_EXE := ./_build/default/bin/fst.exe
 SMOKE_FLOW := flow -n s1423 --scale 0.25 -j 1

@@ -669,20 +669,65 @@ let ablate_rtpg () =
     "\nRandom vectors alone (the paper's partial-scan option) reach most but not\nall hard faults; deterministic ATPG closes the gap."
 
 (* ------------------------------------------------------------------ *)
-(* Fault-simulation engine comparison: serial vs bit-parallel vs       *)
-(* multicore bit-parallel, per circuit, recorded as BENCH_fsim.json so *)
-(* the perf trajectory is tracked across PRs.                          *)
+(* ------------------------------------------------------------------ *)
+(* Fault-simulation engine comparison, recorded as BENCH_fsim.json so  *)
+(* the perf trajectory is tracked across PRs. serial/event/parallel    *)
+(* are timed on the SAME one-group fault subset at jobs=1 — so         *)
+(* parallel_s <= serial_s is an apples-to-apples invariant — while the *)
+(* Auto engine runs the full collapsed fault set at jobs=1 and jobs=N. *)
+(* [fsim --check] re-measures and fails on a >20% serial/event         *)
+(* regression against the committed file or any parallel_s > serial_s. *)
 (* ------------------------------------------------------------------ *)
 
-let fsim_bench () =
-  let jobs =
-    match Sys.getenv_opt "FST_JOBS" with
-    | Some s -> (
-        match int_of_string_opt s with
-        | Some n -> max 1 n
-        | None -> failwith (Printf.sprintf "FST_JOBS=%S is not an integer" s))
-    | None -> Fst_exec.Pool.default_jobs ()
+let fsim_jobs () =
+  match Sys.getenv_opt "FST_JOBS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n -> max 1 n
+      | None -> failwith (Printf.sprintf "FST_JOBS=%S is not an integer" s))
+  | None -> Fst_exec.Pool.default_jobs ()
+
+type fsim_row = {
+  fr_name : string;
+  fr_faults : int;
+  fr_serial_faults : int;
+  fr_cycles : int;
+  fr_serial_s : float;
+  fr_event_s : float;
+  fr_parallel_s : float;
+  fr_auto1_s : float; (* negative when the Auto columns were skipped *)
+  fr_autoj_s : float;
+}
+
+(* Serial wall extrapolated from its one-group subset to the full fault
+   set, over the jobs=N Auto wall on that full set. *)
+let fsim_speedup r =
+  if r.fr_autoj_s <= 0.0 then 0.0
+  else
+    r.fr_serial_s
+    *. float_of_int r.fr_faults
+    /. float_of_int (max 1 r.fr_serial_faults)
+    /. r.fr_autoj_s
+
+(* A step-2-shaped workload: the alternating chain test plus random
+   scan-mode blocks, simulated with cross-block dropping. *)
+let fsim_workload prep =
+  let view =
+    View.scan_mode prep.scanned ~constraints:prep.config.Scan.constraints ()
   in
+  let rng = Fst_gen.Rng.create 0xBE5CL in
+  let random_block () =
+    let ff_values, pi_values =
+      List.partition
+        (fun (net, _) -> Circuit.is_dff prep.scanned net)
+        (Fst_atpg.Rtpg.uniform rng view)
+    in
+    Sequences.of_comb_test prep.scanned prep.config ~ff_values ~pi_values
+  in
+  Sequences.alternating prep.scanned prep.config ~repeats:2
+  :: List.init 8 (fun _ -> random_block ())
+
+let fsim_measure ~jobs ~with_auto =
   let wall f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -697,69 +742,56 @@ let fsim_bench () =
           Fst_fault.Fault.collapse prep.scanned
             (Fst_fault.Fault.universe prep.scanned)
         in
-        let view =
-          View.scan_mode prep.scanned
-            ~constraints:prep.config.Scan.constraints ()
-        in
-        (* A step-2-shaped workload: the alternating chain test plus random
-           scan-mode blocks, simulated with cross-block dropping. *)
-        let rng = Fst_gen.Rng.create 0xBE5CL in
-        let random_block () =
-          let ff_values, pi_values =
-            List.partition
-              (fun (net, _) -> Circuit.is_dff prep.scanned net)
-              (Fst_atpg.Rtpg.uniform rng view)
-          in
-          Sequences.of_comb_test prep.scanned prep.config ~ff_values
-            ~pi_values
-        in
-        let stimuli =
-          Sequences.alternating prep.scanned prep.config ~repeats:2
-          :: List.init 8 (fun _ -> random_block ())
-        in
+        let stimuli = fsim_workload prep in
         let cycles =
           List.fold_left (fun a s -> a + Array.length s) 0 stimuli
         in
         let observe = prep.scanned.Circuit.outputs in
         let module F = Fst_fsim.Fsim in
-        (* Serial is ~62x the work per fault: time it (and the per-fault
-           event engine) on one group's worth of faults so those columns
-           stay affordable at every scale. *)
+        (* Serial is ~62x the work per fault: time the single-machine
+           engine columns on one group's worth of faults so they stay
+           affordable at every scale and comparable across engines. *)
         let serial_faults =
           Array.sub faults 0 (min (Array.length faults) F.Parallel.max_group)
         in
-        let rs, serial_s =
+        let one engine =
           wall (fun () ->
-              F.Engine.detect_dropping ~engine:`Serial ~jobs:1 prep.scanned
+              F.Engine.detect_dropping ~engine ~jobs:1 prep.scanned
                 ~faults:serial_faults ~observe ~stimuli)
         in
-        let re, event_s =
-          wall (fun () ->
-              F.Engine.detect_dropping ~engine:`Event ~jobs:1 prep.scanned
-                ~faults:serial_faults ~observe ~stimuli)
+        let rs, serial_s = one `Serial in
+        let re, event_s = one `Event in
+        if rs <> re then failwith (name ^ ": event fsim diverged from serial");
+        let rp, parallel_s = one `Parallel in
+        if rs <> rp then
+          failwith (name ^ ": parallel fsim diverged from serial");
+        let auto1_s, autoj_s =
+          if not with_auto then (-1.0, -1.0)
+          else begin
+            let full j =
+              wall (fun () ->
+                  F.Engine.detect_dropping
+                    ~engine:(Lazy.force bench_engine) ~jobs:j prep.scanned
+                    ~faults ~observe ~stimuli)
+            in
+            let r1, auto1_s = full 1 in
+            let rn, autoj_s = full jobs in
+            if r1 <> rn then
+              failwith (name ^ ": multicore fsim diverged from single-core");
+            (auto1_s, autoj_s)
+          end
         in
-        if rs <> re then
-          failwith (name ^ ": event fsim diverged from serial");
-        let r1, parallel_s =
-          wall (fun () ->
-              F.Engine.detect_dropping ~engine:`Parallel ~jobs:1 prep.scanned
-                ~faults ~observe ~stimuli)
-        in
-        let rn, multicore_s =
-          wall (fun () ->
-              F.Engine.detect_dropping ~engine:(Lazy.force bench_engine) ~jobs
-                prep.scanned ~faults ~observe ~stimuli)
-        in
-        if r1 <> rn then
-          failwith (name ^ ": multicore fsim diverged from single-core");
-        ( name,
-          Array.length faults,
-          Array.length serial_faults,
-          cycles,
-          serial_s,
-          event_s,
-          parallel_s,
-          multicore_s ))
+        {
+          fr_name = name;
+          fr_faults = Array.length faults;
+          fr_serial_faults = Array.length serial_faults;
+          fr_cycles = cycles;
+          fr_serial_s = serial_s;
+          fr_event_s = event_s;
+          fr_parallel_s = parallel_s;
+          fr_auto1_s = auto1_s;
+          fr_autoj_s = autoj_s;
+        })
       (Lazy.force prepared_suite)
   in
   (* The event engine's home turf: the largest circuit with the faults
@@ -787,21 +819,7 @@ let fsim_bench () =
     let n = min (Array.length faults) Fst_fsim.Fsim.Parallel.max_group in
     let short = Array.map (fun i -> faults.(i)) (Array.sub order 0 n) in
     let max_cone = if n = 0 then 0 else sizes.(order.(n - 1)) in
-    let view =
-      View.scan_mode prep.scanned ~constraints:prep.config.Scan.constraints ()
-    in
-    let rng = Fst_gen.Rng.create 0xBE5CL in
-    let stimuli =
-      Sequences.alternating prep.scanned prep.config ~repeats:2
-      :: List.init 8 (fun _ ->
-             let ff_values, pi_values =
-               List.partition
-                 (fun (net, _) -> Circuit.is_dff prep.scanned net)
-                 (Fst_atpg.Rtpg.uniform rng view)
-             in
-             Sequences.of_comb_test prep.scanned prep.config ~ff_values
-               ~pi_values)
-    in
+    let stimuli = fsim_workload prep in
     let observe = prep.scanned.Circuit.outputs in
     let rs, ser =
       wall (fun () ->
@@ -816,13 +834,17 @@ let fsim_bench () =
     if rs <> re then failwith (name ^ ": event fsim diverged from serial");
     (name, n, max_cone, ser, ev)
   in
+  (rows, low_activity)
+
+let fsim_bench () =
+  let jobs = fsim_jobs () in
+  let rows, low_activity = fsim_measure ~jobs ~with_auto:true in
   let t =
     Table.create
       ~title:
         (Printf.sprintf
-           "Fault-simulation engines (jobs=%d, multicore engine=%s; \
-            serial/event timed on one group)"
-           jobs
+           "Fault-simulation engines (engine=%s; serial/event/parallel on \
+            one 62-fault group at jobs=1, auto on the full set)"
            (Config.engine_to_string (Lazy.force bench_engine)))
       [
         ("name", Table.Left);
@@ -831,22 +853,24 @@ let fsim_bench () =
         ("serial", Table.Right);
         ("event", Table.Right);
         ("parallel", Table.Right);
-        ("multicore", Table.Right);
+        ("auto j=1", Table.Right);
+        (Printf.sprintf "auto j=%d" jobs, Table.Right);
         ("speedup", Table.Right);
       ]
   in
   List.iter
-    (fun (name, nf, _, cycles, ser, ev, par, mc) ->
+    (fun r ->
       Table.row t
         [
-          name;
-          Table.cell_int nf;
-          Table.cell_int cycles;
-          Table.cell_seconds ser;
-          Table.cell_seconds ev;
-          Table.cell_seconds par;
-          Table.cell_seconds mc;
-          Printf.sprintf "%.2fx" (par /. Float.max 1e-9 mc);
+          r.fr_name;
+          Table.cell_int r.fr_faults;
+          Table.cell_int r.fr_cycles;
+          Table.cell_seconds r.fr_serial_s;
+          Table.cell_seconds r.fr_event_s;
+          Table.cell_seconds r.fr_parallel_s;
+          Table.cell_seconds r.fr_auto1_s;
+          Table.cell_seconds r.fr_autoj_s;
+          Printf.sprintf "%.2fx" (fsim_speedup r);
         ])
     rows;
   Table.print t;
@@ -862,15 +886,16 @@ let fsim_bench () =
     scale jobs
     (Config.engine_to_string (Lazy.force bench_engine));
   List.iteri
-    (fun i (name, nf, nser, cycles, ser, ev, par, mc) ->
+    (fun i r ->
       Printf.fprintf oc
         "%s\n    { \"name\": %S, \"faults\": %d, \"serial_faults\": %d, \
          \"cycles\": %d, \"serial_s\": %.6f, \"event_s\": %.6f, \
-         \"parallel_s\": %.6f, \"multicore_s\": %.6f, \
-         \"multicore_speedup\": %.3f }"
+         \"parallel_s\": %.6f, \"auto1_s\": %.6f, \"auto_jobs_s\": %.6f, \
+         \"auto_speedup\": %.3f }"
         (if i = 0 then "" else ",")
-        name nf nser cycles ser ev par mc
-        (par /. Float.max 1e-9 mc))
+        r.fr_name r.fr_faults r.fr_serial_faults r.fr_cycles r.fr_serial_s
+        r.fr_event_s r.fr_parallel_s r.fr_auto1_s r.fr_autoj_s
+        (fsim_speedup r))
     rows;
   Printf.fprintf oc
     "\n  ],\n  \"low_activity\": { \"name\": %S, \"faults\": %d, \
@@ -879,7 +904,93 @@ let fsim_bench () =
     la_name la_n la_cone la_ser la_ev
     (la_ser /. Float.max 1e-9 la_ev);
   close_out oc;
-  Printf.printf "wrote BENCH_fsim.json (%d circuits, jobs=%d)\n" (List.length rows) jobs
+  Printf.printf "wrote BENCH_fsim.json (%d circuits, jobs=%d)\n"
+    (List.length rows) jobs
+
+(* [fsim --check]: re-measure the per-engine columns (the full-set Auto
+   columns are skipped — the gate is about engine regressions, not
+   wall-clock on the whole fault set) and fail when bit-parallel is
+   slower than serial on the same faults, or when serial/event regressed
+   more than 20% against the committed BENCH_fsim.json. The numeric
+   comparison only applies when the committed scale and jobs match this
+   run's; the parallel-never-slower invariant is checked always, on both
+   the fresh and the committed numbers. *)
+let fsim_check () =
+  let jobs = fsim_jobs () in
+  let rows, _ = fsim_measure ~jobs ~with_auto:false in
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  List.iter
+    (fun r ->
+      if r.fr_parallel_s > r.fr_serial_s then
+        err "%s: parallel %.6fs > serial %.6fs on the same %d faults"
+          r.fr_name r.fr_parallel_s r.fr_serial_s r.fr_serial_faults)
+    rows;
+  let module J = Fst_obs.Json in
+  let fnum = function
+    | Some (J.Float f) -> f
+    | Some (J.Int i) -> float_of_int i
+    | _ -> Float.nan
+  in
+  (match
+     let ic = open_in "BENCH_fsim.json" in
+     let s = really_input_string ic (in_channel_length ic) in
+     close_in ic;
+     J.of_string s
+   with
+   | exception Sys_error e -> err "committed BENCH_fsim.json unreadable: %s" e
+   | exception J.Parse_error e ->
+     err "committed BENCH_fsim.json malformed: %s" e
+   | doc ->
+     let circuits =
+       match J.member "circuits" doc with Some (J.List l) -> l | _ -> []
+     in
+     if circuits = [] then err "committed BENCH_fsim.json has no circuits";
+     List.iter
+       (fun c ->
+         let name =
+           match J.member "name" c with Some (J.String s) -> s | _ -> "?"
+         in
+         let ser = fnum (J.member "serial_s" c)
+         and par = fnum (J.member "parallel_s" c) in
+         if par > ser then
+           err "committed %s: parallel_s %.6f > serial_s %.6f" name par ser)
+       circuits;
+     let cscale = fnum (J.member "scale" doc) in
+     let cjobs = int_of_float (fnum (J.member "jobs" doc)) in
+     if Float.abs (cscale -. scale) < 1e-6 && cjobs = jobs then
+       List.iter
+         (fun r ->
+           match
+             List.find_opt
+               (fun c -> J.member "name" c = Some (J.String r.fr_name))
+               circuits
+           with
+           | None ->
+             err "%s: missing from committed BENCH_fsim.json" r.fr_name
+           | Some c ->
+             let check what fresh committed =
+               if Float.is_nan committed then
+                 err "%s: committed %s_s missing" r.fr_name what
+               else if fresh > 1.2 *. committed then
+                 err "%s: %s regressed %.6fs -> %.6fs (>20%%)" r.fr_name what
+                   committed fresh
+             in
+             check "serial" r.fr_serial_s (fnum (J.member "serial_s" c));
+             check "event" r.fr_event_s (fnum (J.member "event_s" c)))
+         rows
+     else
+       Printf.printf
+         "note: committed scale=%.3f jobs=%d vs run scale=%.3f jobs=%d — \
+          invariants only, no numeric comparison\n"
+         cscale cjobs scale jobs);
+  match List.rev !errors with
+  | [] ->
+    Printf.printf "fsim --check OK (%d circuits, scale=%.3f)\n"
+      (List.length rows) scale
+  | es ->
+    List.iter (fun e -> Printf.eprintf "fsim --check FAIL: %s\n" e) es;
+    exit 1
 
 (* ------------------------------------------------------------------ *)
 (* Whole-flow benchmark: per-phase wall clock and key counters per      *)
@@ -1119,7 +1230,9 @@ let micro () =
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|fsim|flow|micro|all]"
+    "usage: main.exe \
+     [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|fsim|flow|micro|all] \
+     [--engine NAME] [fsim --check]"
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1137,7 +1250,9 @@ let () =
   | "ablate-compact" -> ablate_compact ()
   | "ablate-rtpg" -> ablate_rtpg ()
   | "coverage" -> coverage_table ()
-  | "fsim" -> fsim_bench ()
+  | "fsim" ->
+    if Array.exists (fun a -> a = "--check") Sys.argv then fsim_check ()
+    else fsim_bench ()
   | "flow" -> flow_bench ()
   | "micro" -> micro ()
   | "all" ->

@@ -13,6 +13,11 @@ type 'a outcome = Done of 'a | Cancelled
 module Sink = Fst_obs.Sink
 module Metrics = Fst_obs.Metrics
 
+(* Below this much estimated work (caller-scaled cost units; the fault
+   simulator passes gate-evaluations), spawning domains costs more than
+   the parallelism returns: fall back to in-caller execution. *)
+let min_work = 200_000
+
 (* Per-worker accounting, folded into the shared registry once when the
    worker retires: cumulative busy / wall seconds per domain slot plus a
    derived busy fraction gauge. Only touched when the sink is live. *)
@@ -27,21 +32,27 @@ let retire_worker (obs : Sink.t) k ~busy ~wall =
     (Metrics.gauge m (Printf.sprintf "pool.domain%d.busy_frac" k))
     (if wt > 0.0 then bt /. wt else 0.0)
 
-(* Claims [chunk] consecutive task indices at a time from a shared atomic
-   cursor. Each slot of [results] is written by exactly one domain;
-   [Domain.join] publishes those writes to the caller. [stop] is polled
-   before every chunk claim (and between tasks on the sequential path), so
-   a tripped deadline or a cancelled token drains the queue instead of
-   running it to completion; tasks already claimed run to the end of their
-   chunk. *)
-let run_tasks ~obs ~label ~jobs ~chunk ~stop n (run_one : int -> unit) =
+(* Work-stealing task loop. The index space is split into one contiguous
+   range per worker, each with its own atomic claim cursor: a worker
+   claims [chunk] indices at a time from its own cursor (uncontended in
+   the common case), and when its range runs dry it scans the other
+   workers' cursors and steals chunks from whichever still has work. A
+   cursor may overshoot its range end under concurrent steals; the claim
+   is simply empty then, so overshoot is harmless. Each slot of [results]
+   is written by exactly one domain; [Domain.join] publishes those writes
+   to the caller. [stop] is polled before every claim (own or stolen, and
+   between tasks on the sequential path), so a tripped deadline or a
+   cancelled token drains the queue instead of running it to completion;
+   tasks already claimed run to the end of their chunk. *)
+let run_tasks ~obs ~label ~jobs ~chunk ~stop n
+    (run_one : wid:int -> int -> unit) =
   if n > 0 then begin
     let live = obs.Sink.enabled in
     if jobs <= 1 then begin
       let t0 = if live then Clock.now () else 0.0 in
       let i = ref 0 in
       while !i < n && not (stop ()) do
-        run_one !i;
+        run_one ~wid:0 !i;
         incr i
       done;
       if live then begin
@@ -50,10 +61,17 @@ let run_tasks ~obs ~label ~jobs ~chunk ~stop n (run_one : int -> unit) =
       end
     end
     else begin
-      let next = Atomic.make 0 in
+      let w = jobs in
+      let range_lo = Array.init (w + 1) (fun k -> k * n / w) in
+      let cursor = Array.init w (fun k -> Atomic.make range_lo.(k)) in
       let chunks_c =
         if live then
           Some (Metrics.counter obs.Sink.metrics ("pool." ^ label ^ ".chunks"))
+        else None
+      in
+      let steals_c =
+        if live then
+          Some (Metrics.counter obs.Sink.metrics ("pool." ^ label ^ ".steals"))
         else None
       in
       let chunk_h =
@@ -65,48 +83,69 @@ let run_tasks ~obs ~label ~jobs ~chunk ~stop n (run_one : int -> unit) =
       let worker k =
         let wall0 = if live then Clock.now () else 0.0 in
         let busy = ref 0.0 in
+        (* Claims one chunk from [victim]'s range; [None] when dry. *)
+        let try_claim victim =
+          let hi = range_lo.(victim + 1) in
+          if Atomic.get cursor.(victim) >= hi then None
+          else
+            let lo = Atomic.fetch_and_add cursor.(victim) chunk in
+            if lo < hi then Some (lo, min (lo + chunk) hi - 1) else None
+        in
+        let run_chunk lo hi =
+          let t0 = if live then Clock.now () else 0.0 in
+          let sp =
+            match obs.Sink.trace with
+            | Some tr when live ->
+              Some
+                ( tr,
+                  Fst_obs.Trace.begin_span tr
+                    ~name:(Printf.sprintf "%s[%d..%d]" label lo hi)
+                    ~cat:"pool" )
+            | _ -> None
+          in
+          for i = lo to hi do
+            run_one ~wid:k i
+          done;
+          (match sp with
+           | Some (tr, sp) -> ignore (Fst_obs.Trace.end_span tr sp)
+           | None -> ());
+          if live then begin
+            let dt = Clock.now () -. t0 in
+            busy := !busy +. dt;
+            (match chunks_c with
+             | Some c -> Metrics.Counter.incr c
+             | None -> ());
+            match chunk_h with
+            | Some h -> Metrics.Histogram.observe h dt
+            | None -> ()
+          end
+        in
         let rec loop () =
           if not (stop ()) then begin
-            let lo = Atomic.fetch_and_add next chunk in
-            if lo < n then begin
-              let hi = min (lo + chunk) n - 1 in
-              let t0 = if live then Clock.now () else 0.0 in
-              let sp =
-                match obs.Sink.trace with
-                | Some tr when live ->
-                  Some
-                    ( tr,
-                      Fst_obs.Trace.begin_span tr
-                        ~name:(Printf.sprintf "%s[%d..%d]" label lo hi)
-                        ~cat:"pool" )
-                | _ -> None
-              in
-              for i = lo to hi do
-                run_one i
-              done;
-              (match sp with
-               | Some (tr, sp) -> ignore (Fst_obs.Trace.end_span tr sp)
+            let claimed = ref false in
+            let v = ref 0 in
+            while (not !claimed) && !v < w do
+              let victim = (k + !v) mod w in
+              (match try_claim victim with
+               | Some (lo, hi) ->
+                 claimed := true;
+                 if victim <> k then begin
+                   match steals_c with
+                   | Some c -> Metrics.Counter.incr c
+                   | None -> ()
+                 end;
+                 run_chunk lo hi
                | None -> ());
-              if live then begin
-                let dt = Clock.now () -. t0 in
-                busy := !busy +. dt;
-                (match chunks_c with
-                 | Some c -> Metrics.Counter.incr c
-                 | None -> ());
-                match chunk_h with
-                | Some h -> Metrics.Histogram.observe h dt
-                | None -> ()
-              end;
-              loop ()
-            end
+              incr v
+            done;
+            if !claimed then loop ()
           end
         in
         loop ();
         if live then retire_worker obs k ~busy:!busy ~wall:(Clock.now () -. wall0)
       in
       let helpers =
-        Array.init (min jobs n - 1) (fun i ->
-            Domain.spawn (fun () -> worker (i + 1)))
+        Array.init (w - 1) (fun i -> Domain.spawn (fun () -> worker (i + 1)))
       in
       worker 0;
       Array.iter Domain.join helpers
@@ -123,6 +162,14 @@ let chunk_of ?chunk ~jobs n =
        chunks per domain is enough to amortize the atomic claim. *)
     if jobs <= 1 then n else max 1 (n / (jobs * 4))
 
+(* The effective worker count: never more than tasks, never more than
+   hardware cores (extra domains only add minor-GC barrier thrash), and
+   in-caller when the estimated total work is below the chunking
+   overhead. *)
+let effective_jobs ?work ~jobs n =
+  let jobs = max 1 (min jobs (min n (default_jobs ()))) in
+  match work with Some u when u < min_work -> 1 | Some _ | None -> jobs
+
 let reraise_first n (slots : ('b, exn * Printexc.raw_backtrace) result option array) =
   for i = 0 to n - 1 do
     match slots.(i) with
@@ -130,16 +177,35 @@ let reraise_first n (slots : ('b, exn * Printexc.raw_backtrace) result option ar
     | Some (Ok _) | None -> ()
   done
 
-let map_array ?(obs = Sink.null) ?(label = "map") ?chunk ~jobs f xs =
+let map_array_init ?(obs = Sink.null) ?(label = "map") ?chunk ?work ~jobs
+    ~init f xs =
   let n = Array.length xs in
-  let jobs = max 1 (min jobs n) in
-  if jobs = 1 && not obs.Sink.enabled then Array.map f xs
+  let jobs = effective_jobs ?work ~jobs n in
+  if jobs = 1 && not obs.Sink.enabled then begin
+    if n = 0 then [||]
+    else begin
+      let ctx = init () in
+      Array.map (f ctx) xs
+    end
+  end
   else begin
     let slots = Array.make n None in
-    let run_one i =
+    (* One context per domain slot, created on the worker that uses it
+       (so domain-local scratch is allocated on the owning domain's
+       heap); each slot is only ever touched by its own worker. *)
+    let contexts = Array.make jobs None in
+    let run_one ~wid i =
+      let ctx =
+        match contexts.(wid) with
+        | Some c -> c
+        | None ->
+          let c = init () in
+          contexts.(wid) <- Some c;
+          c
+      in
       slots.(i) <-
         Some
-          (match f xs.(i) with
+          (match f ctx xs.(i) with
            | y -> Ok y
            | exception e -> Error (e, Printexc.get_raw_backtrace ()))
     in
@@ -153,20 +219,26 @@ let map_array ?(obs = Sink.null) ?(label = "map") ?chunk ~jobs f xs =
       slots
   end
 
-let mapi_array ?obs ?label ?chunk ~jobs f xs =
+let map_array ?obs ?label ?chunk ?work ~jobs f xs =
+  map_array_init ?obs ?label ?chunk ?work ~jobs
+    ~init:(fun () -> ())
+    (fun () x -> f x)
+    xs
+
+let mapi_array ?obs ?label ?chunk ?work ~jobs f xs =
   let indexed = Array.mapi (fun i x -> (i, x)) xs in
-  map_array ?obs ?label ?chunk ~jobs (fun (i, x) -> f i x) indexed
+  map_array ?obs ?label ?chunk ?work ~jobs (fun (i, x) -> f i x) indexed
 
-let map_list ?obs ?label ?chunk ~jobs f xs =
-  Array.to_list (map_array ?obs ?label ?chunk ~jobs f (Array.of_list xs))
+let map_list ?obs ?label ?chunk ?work ~jobs f xs =
+  Array.to_list (map_array ?obs ?label ?chunk ?work ~jobs f (Array.of_list xs))
 
-let map_cancellable ?(obs = Sink.null) ?(label = "map") ?chunk ?token:tok
-    ?(deadline = Clock.never) ~jobs f xs =
+let map_cancellable ?(obs = Sink.null) ?(label = "map") ?chunk ?work
+    ?token:tok ?(deadline = Clock.never) ~jobs f xs =
   let n = Array.length xs in
-  let jobs = max 1 (min jobs n) in
+  let jobs = effective_jobs ?work ~jobs n in
   let tok = match tok with Some t -> t | None -> token () in
   let slots = Array.make n None in
-  let run_one i =
+  let run_one ~wid:_ i =
     slots.(i) <-
       Some
         (match f xs.(i) with

@@ -1,20 +1,36 @@
-(** A stdlib-only domain pool (OCaml 5 [Domain], no domainslib).
+(** A stdlib-only work-stealing domain pool (OCaml 5 [Domain], no
+    domainslib).
 
-    Work items are claimed in chunks from a shared atomic cursor and run on
-    up to [jobs] domains (the calling domain participates, so [jobs = 2]
-    spawns one helper). Results are merged back in input order regardless of
-    completion order, so output is deterministic for any [jobs] value. If
-    any task raises, the exception of the lowest-index failing task is
-    re-raised (with its backtrace) on the calling domain.
+    The task index space is split into one contiguous range per worker,
+    each with a private atomic claim cursor: workers claim chunks from
+    their own range (uncontended) and steal chunks from other workers'
+    ranges once theirs runs dry, so a domain that finishes early keeps
+    the others' backlog moving instead of idling. Results are merged back
+    in input order regardless of completion order, so output is
+    deterministic for any [jobs] value. If any task raises, the exception
+    of the lowest-index failing task is re-raised (with its backtrace) on
+    the calling domain.
 
     [jobs <= 1] runs everything sequentially on the calling domain — no
-    domains are spawned and behavior is exactly that of [Array.map]. Tasks
-    must not share mutable state unless they synchronize themselves; the
-    intended use is read-only shared inputs (e.g. an immutable circuit) with
-    task-private machine state. *)
+    domains are spawned and behavior is exactly that of [Array.map]. The
+    same in-caller fallback triggers when the caller's total estimated
+    [work] is below {!min_work}: spawning domains for a few milliseconds
+    of simulation costs more than it returns. [jobs] above
+    {!default_jobs} (the hardware core count) is clamped down to it:
+    OCaml 5 domains beyond the core count do no extra work and only
+    multiply the stop-the-world minor-GC barrier cost, so [jobs:8] on a
+    single-core machine runs in-caller rather than 5x slower. Tasks must not share
+    mutable state unless they synchronize themselves; the intended use is
+    read-only shared inputs (e.g. an immutable circuit) with task-private
+    machine state. *)
 
 (** [default_jobs ()] is [Domain.recommended_domain_count ()]. *)
 val default_jobs : unit -> int
+
+(** Minimum estimated total [work] (caller-scaled cost units — the fault
+    simulator passes gate-evaluations) below which every map runs
+    in-caller regardless of [jobs]. *)
+val min_work : int
 
 (** {1 Cooperative cancellation}
 
@@ -41,21 +57,41 @@ type 'a outcome = Done of 'a | Cancelled
     With a live sink the pool records, per domain slot [k], cumulative
     [pool.domain<k>.busy_s] / [wall_s] float counters and a derived
     [pool.domain<k>.busy_frac] gauge; per region it counts
-    [pool.<label>.chunks] and fills a [pool.<label>.chunk_s] duration
+    [pool.<label>.chunks] and [pool.<label>.steals] (chunks claimed from
+    another worker's range) and fills a [pool.<label>.chunk_s] duration
     histogram; and when the sink carries a trace buffer, each claimed
     chunk becomes a span on its worker's tid. With the null sink the
     only cost is one branch per chunk claim. *)
 
 (** [map_array ~jobs f xs] is [Array.map f xs], computed on up to [jobs]
     domains. [chunk] overrides the work-queue claim granularity (default:
-    about four chunks per domain). If any task raises, every claimed task
+    about four chunks per domain); [work] is the caller's estimate of the
+    total cost (see {!min_work}). If any task raises, every claimed task
     still runs to completion and the lowest-index failure is re-raised. *)
 val map_array :
   ?obs:Fst_obs.Sink.t ->
   ?label:string ->
   ?chunk:int ->
+  ?work:int ->
   jobs:int ->
   ('a -> 'b) ->
+  'a array ->
+  'b array
+
+(** [map_array_init ~jobs ~init f xs] is {!map_array} with a per-domain
+    context: [init ()] runs at most once on each participating domain
+    (lazily, on first claim) and its result is passed to every task that
+    domain runs. Use it to reuse expensive domain-local scratch — e.g. a
+    fault simulator's good-trace buffers — across the tasks of one
+    domain without sharing mutable state between domains. *)
+val map_array_init :
+  ?obs:Fst_obs.Sink.t ->
+  ?label:string ->
+  ?chunk:int ->
+  ?work:int ->
+  jobs:int ->
+  init:(unit -> 'c) ->
+  ('c -> 'a -> 'b) ->
   'a array ->
   'b array
 
@@ -64,6 +100,7 @@ val mapi_array :
   ?obs:Fst_obs.Sink.t ->
   ?label:string ->
   ?chunk:int ->
+  ?work:int ->
   jobs:int ->
   (int -> 'a -> 'b) ->
   'a array ->
@@ -74,6 +111,7 @@ val map_list :
   ?obs:Fst_obs.Sink.t ->
   ?label:string ->
   ?chunk:int ->
+  ?work:int ->
   jobs:int ->
   ('a -> 'b) ->
   'a list ->
@@ -91,6 +129,7 @@ val map_cancellable :
   ?obs:Fst_obs.Sink.t ->
   ?label:string ->
   ?chunk:int ->
+  ?work:int ->
   ?token:token ->
   ?deadline:Clock.deadline ->
   jobs:int ->

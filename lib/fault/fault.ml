@@ -187,6 +187,8 @@ let collapse c faults = fst (collapse_classes c faults)
 let cone_seed f =
   match f.site with Stem n -> n | Branch { node; _ } -> node
 
+let seed = cone_seed
+
 let cone (c : Circuit.t) f =
   let seen = Array.make (Circuit.num_nets c) false in
   let seed = cone_seed f in

@@ -46,6 +46,12 @@ val collapse : Circuit.t -> t array -> t array
     its representative's index in the returned representative array. *)
 val collapse_classes : Circuit.t -> t array -> t array * int array
 
+(** [seed f] is the net id at which the fault's influence enters the
+    circuit: the stem net, or the faulted consumer node for a branch
+    fault. The compiled simulation kernels map it through their net→slot
+    permutation to clip evaluation to the fault's cone. *)
+val seed : t -> int
+
 (** [cone c f] is the static fanout cone of [f]: every net reachable through
     [Circuit.fanout] (crossing flip-flops) from the fault's seed — the stem
     net, or the faulted consumer node for a branch fault — seed included,

@@ -67,12 +67,32 @@ module Serial : sig
   include ENGINE
 end
 
-(** 62 faulty machines per pass, three-valued (two bit-planes per net). *)
+(** Cone-clipped bit-parallel simulation: up to 62 faulty machines per
+    pass, three-valued (two bit-planes per net). A group only maintains
+    planes for the slots inside its members' union fanout cone (faults
+    are grouped in cone-seed order to maximize overlap); everything
+    outside the cone is read off the shared fault-free trace, broadcast
+    to all lanes. *)
 module Parallel : sig
   (** Machines per bit-parallel pass. *)
   val max_group : int
 
   include ENGINE
+
+  (** Pattern-parallel variant of [detect_dropping]: the {e lanes} are
+      stimulus blocks instead of faults — the fault-free machine is
+      packed once over up to {!max_group} blocks and each fault replays
+      its cone against all blocks simultaneously, returning the
+      lowest-index detecting block and its first cycle, exactly like the
+      serial block scan. Wins when there are few faults and many blocks
+      (the tail of a drop-simulation run); [detect_dropping] switches to
+      it automatically in that regime. *)
+  val detect_dropping_packed :
+    Circuit.t ->
+    faults:Fault.t array ->
+    observe:int array ->
+    stimuli:stimulus list ->
+    (int * int) option array
 end
 
 (** Event-driven incremental simulation: the fault-free machine runs once
@@ -112,11 +132,11 @@ end
     engine selector became first-class. *)
 type backend = [ `Serial | `Parallel | `Event ]
 
-(** What callers select: a concrete back-end, or [`Auto] — per fault,
-    [`Event] when the fault's static cone is small (at most
-    [max 8 (num_nets / 16)] nets, where a cone-bounded replay beats the
-    amortized [num_nets / 62] sweep cost of a bit-parallel group) and
-    [`Parallel] otherwise. Every choice returns identical results; the
+(** What callers select: a concrete back-end, or [`Auto] — faults are
+    partitioned by static cone size ([`Event] for small cones,
+    [`Parallel] for large), and each partition falls back to [`Serial]
+    if its modeled cost would exceed the serial cost of the same faults
+    (see {!Engine.plan}). Every choice returns identical results; the
     selector only moves wall-clock time. *)
 type selector = [ backend | `Auto ]
 
@@ -140,6 +160,27 @@ module Engine : sig
       With the default {!Fst_obs.Sink.null} the instrumentation is a
       single branch per call — the inner simulation loops are never
       touched. *)
+
+  (** One [`Auto] scheduling decision: run the faults at [indices] (into
+      the caller's fault array) on [backend], at a modeled cost of
+      [units] scalar gate evaluations. *)
+  type decision = {
+    backend : backend;
+    indices : int array;
+    units : int;
+  }
+
+  (** [plan c ~faults ~cycles] is the [`Auto] cost model made
+      inspectable: the decision list partitions the fault indices, and
+      every decision's modeled [units] is guaranteed not to exceed the
+      modeled serial cost of the same faults — a partition whose
+      preferred back-end models worse than serial is demoted to
+      [`Serial]. [cycles] is the total stimulus length the workload will
+      simulate. The [units] also feed {!Fst_exec.Pool}'s minimum-work
+      threshold, so tiny workloads run in-caller instead of spawning
+      domains. *)
+  val plan :
+    Circuit.t -> faults:Fault.t array -> cycles:int -> decision list
 
   val detect_all :
     ?obs:Fst_obs.Sink.t ->

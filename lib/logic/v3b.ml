@@ -1,0 +1,56 @@
+(* Branch-free three-valued logic on 2-bit integer codes.
+
+   A code is a "possible binary values" bit set: bit 0 means the signal can
+   be 0, bit 1 means it can be 1. [Zero] = 0b01, [One] = 0b10, [X] = 0b11
+   (either). 0b00 is unused and never produced by the operations below.
+   Under this encoding every gate function is a couple of word-level
+   and/or/shift operations — no matching, no branches — which is what the
+   compiled simulation kernels in [Fst_sim.Compiled] execute per gate. *)
+
+type code = int
+
+let zero = 0b01
+let one = 0b10
+let x = 0b11
+
+let of_v3 = function V3.Zero -> zero | V3.One -> one | V3.X -> x
+
+let to_v3 = function
+  | 0b01 -> V3.Zero
+  | 0b10 -> V3.One
+  | 0b11 -> V3.X
+  | c -> invalid_arg (Printf.sprintf "V3b.to_v3: bad code %d" c)
+
+let of_char c = of_v3 (V3.of_char c)
+let to_char c = V3.to_char (to_v3 c)
+let is_code c = c >= 1 && c <= 3
+
+(* AND: the result can be 0 if either side can be 0; it can be 1 only if
+   both sides can be 1. *)
+let band a b = ((a lor b) land 1) lor (a land b land 2)
+
+(* OR: dual of AND. *)
+let bor a b = (a land b land 1) lor ((a lor b) land 2)
+
+(* NOT: swap the two possibility bits. *)
+let bnot a = ((a land 1) lsl 1) lor ((a lsr 1) land 1)
+
+(* XOR: the result can be 0 when the sides can agree, 1 when they can
+   differ. *)
+let bxor a b =
+  let agree = a land b in
+  let r0 = (agree lor (agree lsr 1)) land 1 in
+  let r1 = ((a land (b lsr 1)) lor ((a lsr 1) land b)) land 1 in
+  r0 lor (r1 lsl 1)
+
+(* Complementary binary detection: the observed pair (good, faulty) is a
+   detection exactly when one side is [Zero] and the other [One]. Among the
+   codes {1, 2, 3}, [g lxor f = 0b11] holds only for (1, 2) and (2, 1), so
+   the xor alone decides. *)
+let detects ~good ~faulty = good lxor faulty = 0b11
+
+(* The per-gate identity elements for the fold in the compiled kernel:
+   AND over the empty set is [One], OR and XOR are [Zero]. *)
+let and_unit = one
+let or_unit = zero
+let xor_unit = zero

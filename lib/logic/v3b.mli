@@ -1,0 +1,46 @@
+(** Branch-free three-valued logic on 2-bit integer codes.
+
+    The compiled simulation kernels ({!Fst_sim.Compiled}) store one net
+    value per byte using this encoding instead of the boxed-free-but-
+    branchy {!V3.t} variant: bit 0 of a code means "can be 0", bit 1 means
+    "can be 1", so [Zero] = [0b01], [One] = [0b10] and [X] = [0b11]. Every
+    gate function is then a handful of word operations with no branches,
+    and a value vector is a [Bytes.t] (one byte per net — 8x less memory
+    traffic than a pointer-sized array). *)
+
+type code = int
+
+val zero : code
+val one : code
+val x : code
+
+val of_v3 : V3.t -> code
+val to_v3 : code -> V3.t
+
+(** Raises [Invalid_argument] on a character outside [01xX]. *)
+val of_char : char -> code
+
+val to_char : code -> char
+
+(** [is_code c] is true for the three valid codes [1..3]. *)
+val is_code : code -> bool
+
+(** Branch-free connectives; each agrees with the corresponding {!V3}
+    operation through {!of_v3}/{!to_v3} (checked exhaustively in
+    [test/test_logic.ml]). *)
+
+val band : code -> code -> code
+val bor : code -> code -> code
+val bnot : code -> code
+val bxor : code -> code -> code
+
+(** [detects ~good ~faulty] is complementary binary detection: true exactly
+    when one code is [zero] and the other [one]. *)
+val detects : good:code -> faulty:code -> bool
+
+(** Fold identities for variadic gates: AND of nothing is [one], OR / XOR
+    of nothing is [zero]. *)
+
+val and_unit : code
+val or_unit : code
+val xor_unit : code

@@ -78,6 +78,143 @@ let prop_matches_sequential =
       let f x = (x * 31) lxor 5 in
       Pool.map_array ~jobs:(jobs + 1) f xs = Array.map f xs)
 
+(* --- work stealing, min-work fallback, per-domain contexts ------------- *)
+
+(* Tests that need two domains to actually run concurrently are skipped
+   on single-core machines, where the pool (correctly) clamps the worker
+   count to one and the cross-domain rendezvous below would spin
+   forever. *)
+let multicore = Pool.default_jobs () >= 2
+
+(* Worker 0's first task blocks until its range's second task has run —
+   which only a thief (worker 1, done with its own range) can reach,
+   since worker 0 is stuck. Progress therefore proves stealing works;
+   the [pool.steal.steals] counter proves it was counted. *)
+let test_steal_unblocks_stuck_owner () =
+  if not multicore then ()
+  else begin
+  let metrics = Fst_obs.Metrics.create () in
+  let obs = Fst_obs.Sink.create ~metrics () in
+  let flag = Atomic.make false in
+  let got =
+    Pool.map_array ~obs ~label:"steal" ~jobs:2 ~chunk:1
+      (fun x ->
+        if x = 0 then
+          while not (Atomic.get flag) do
+            Domain.cpu_relax ()
+          done
+        else if x = 1 then Atomic.set flag true;
+        x * 7)
+      (squares 4)
+  in
+  Alcotest.(check (array int))
+    "results in input order"
+    (Array.map (fun x -> x * 7) (squares 4))
+    got;
+  let steals =
+    Fst_obs.Metrics.Counter.value
+      (Fst_obs.Metrics.counter metrics "pool.steal.steals")
+  in
+  Alcotest.(check bool) "at least one steal counted" true (steals >= 1)
+  end
+
+(* A workload whose estimated [work] is under the threshold runs on the
+   calling domain no matter what [jobs] says. *)
+let test_min_work_runs_in_caller () =
+  let self = Domain.self () in
+  let ran_here = ref true in
+  let got =
+    Pool.map_array ~jobs:8 ~work:(Pool.min_work - 1)
+      (fun x ->
+        if Domain.self () <> self then ran_here := false;
+        x + 1)
+      (squares 32)
+  in
+  Alcotest.(check (array int))
+    "results" (Array.map (fun x -> x + 1) (squares 32)) got;
+  Alcotest.(check bool) "all tasks ran on the caller" true !ran_here;
+  (* At or above the threshold the pool spawns (when the machine has
+     cores to spawn onto). Every task waits until two distinct domains
+     have participated (with a deadline escape), so a second domain is
+     guaranteed to have claimed work — a fast caller cannot race through
+     the whole queue alone. *)
+  if multicore then begin
+    let two_seen = Atomic.make false in
+    let first = Atomic.make None in
+    let deadline = Clock.after 10.0 in
+    ignore
+      (Pool.map_array ~jobs:4 ~chunk:1 ~work:Pool.min_work
+         (fun x ->
+           let me = Domain.self () in
+           (match Atomic.get first with
+            | None -> ignore (Atomic.compare_and_set first None (Some me))
+            | Some d -> if d <> me then Atomic.set two_seen true);
+           while not (Atomic.get two_seen || Clock.expired deadline) do
+             Domain.cpu_relax ()
+           done;
+           x)
+         (squares 64));
+    Alcotest.(check bool) "above threshold spawns domains" true
+      (Atomic.get two_seen)
+  end
+
+(* [jobs] beyond the hardware core count is clamped: no matter how large
+   the request, at most [default_jobs ()] distinct domains ever
+   participate (oversubscribed domains only thrash the minor-GC
+   barrier). *)
+let test_jobs_clamped_to_cores () =
+  let seen = Atomic.make [] in
+  let rec note me =
+    let ds = Atomic.get seen in
+    if (not (List.mem me ds)) && not (Atomic.compare_and_set seen ds (me :: ds))
+    then note me
+  in
+  let got =
+    Pool.map_array ~jobs:64 ~chunk:1
+      (fun x ->
+        note (Domain.self ());
+        x + 3)
+      (squares 128)
+  in
+  Alcotest.(check (array int))
+    "results" (Array.map (fun x -> x + 3) (squares 128)) got;
+  let distinct = List.length (Atomic.get seen) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d distinct domains <= %d cores" distinct
+       (Pool.default_jobs ()))
+    true
+    (distinct >= 1 && distinct <= Pool.default_jobs ())
+
+(* [init] runs at most once per participating domain, and every task sees
+   its own domain's context. *)
+let test_map_array_init_context_per_domain () =
+  let next = Atomic.make 0 in
+  let jobs = 3 in
+  let got =
+    Pool.map_array_init ~jobs
+      ~init:(fun () -> (Domain.self (), Atomic.fetch_and_add next 1))
+      (fun (dom, _id) x ->
+        Alcotest.(check bool) "context belongs to this domain" true
+          (Domain.self () = dom);
+        x * 2)
+      (squares 100)
+  in
+  Alcotest.(check (array int))
+    "results" (Array.map (fun x -> x * 2) (squares 100)) got;
+  let inits = Atomic.get next in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 <= %d inits <= jobs" inits)
+    true
+    (inits >= 1 && inits <= jobs);
+  (* Sequential path: exactly one context, created lazily. *)
+  let count = ref 0 in
+  ignore
+    (Pool.map_array_init ~jobs:1
+       ~init:(fun () -> incr count)
+       (fun () x -> x)
+       (squares 5));
+  Alcotest.(check int) "jobs=1 creates one context" 1 !count
+
 (* --- cooperative cancellation ------------------------------------------ *)
 
 let test_cancellable_no_stop () =
@@ -142,17 +279,22 @@ let test_blocking_tasks_respect_deadline () =
       0 got
   in
   (* Only the tasks claimed before the deadline ran (at most one per
-     domain, since each blocks until expiry); indices are claimed in order,
-     so the finished slots form a prefix and the drained tail stayed
-     cancelled. *)
+     domain, since each blocks until expiry). Each worker owns a
+     contiguous range of the index space and claims its own range first,
+     so the finished slots can only be the heads of the two worker
+     ranges; everything else drained [Cancelled]. *)
   Alcotest.(check bool) "some but not all tasks ran" true
     (done_count >= 1 && done_count <= 2);
   Array.iteri
     (fun i o ->
-      let expect =
-        if i < done_count then Pool.Done i else Pool.Cancelled
-      in
-      Alcotest.(check bool) (Printf.sprintf "slot %d" i) true (o = expect))
+      match o with
+      | Pool.Done v ->
+        Alcotest.(check int) (Printf.sprintf "slot %d value" i) i v;
+        Alcotest.(check bool)
+          (Printf.sprintf "slot %d is a range head" i)
+          true
+          (i = 0 || i = 3)
+      | Pool.Cancelled -> ())
     got
 
 (* A raising task cancels the shared token (draining the queue) and its
@@ -233,6 +375,14 @@ let suite =
     Alcotest.test_case "order independent of task duration" `Quick
       test_order_independent_of_duration;
     Helpers.qcheck prop_matches_sequential;
+    Alcotest.test_case "stealing unblocks a stuck owner" `Quick
+      test_steal_unblocks_stuck_owner;
+    Alcotest.test_case "min-work fallback runs in caller" `Quick
+      test_min_work_runs_in_caller;
+    Alcotest.test_case "jobs clamped to core count" `Quick
+      test_jobs_clamped_to_cores;
+    Alcotest.test_case "map_array_init context per domain" `Quick
+      test_map_array_init_context_per_domain;
     Alcotest.test_case "cancellable without stop = map" `Quick
       test_cancellable_no_stop;
     Alcotest.test_case "cancel gives exact sequential prefix" `Quick

@@ -113,6 +113,44 @@ let test_dval_calculus () =
     "and(d, x) undetermined" true
     (Dval.has_x (Dval.eval Gate.And [| Dval.d; Dval.x |]))
 
+(* The packed 2-bit calculus agrees with V3 on every operand pair, and
+   [detects] is exactly complementary-binary disagreement. *)
+let test_v3b_agrees_with_v3 () =
+  let codes = List.map V3b.of_v3 Helpers.all_v3 in
+  List.iter
+    (fun a ->
+      Helpers.check_v3 "v3 roundtrip" (V3b.to_v3 (V3b.of_v3 a)) a;
+      let ca = V3b.of_v3 a in
+      Helpers.check_v3 "bnot" (V3.bnot a) (V3b.to_v3 (V3b.bnot ca));
+      Alcotest.(check bool) "is_code" true (V3b.is_code ca);
+      Alcotest.(check char) "to_char" (V3.to_char a) (V3b.to_char ca);
+      List.iter
+        (fun b ->
+          let cb = V3b.of_v3 b in
+          Helpers.check_v3 "band" (V3.band a b) (V3b.to_v3 (V3b.band ca cb));
+          Helpers.check_v3 "bor" (V3.bor a b) (V3b.to_v3 (V3b.bor ca cb));
+          Helpers.check_v3 "bxor" (V3.bxor a b) (V3b.to_v3 (V3b.bxor ca cb));
+          let complementary =
+            match a, b with
+            | V3.One, V3.Zero | V3.Zero, V3.One -> true
+            | _, _ -> false
+          in
+          Alcotest.(check bool) "detects" complementary
+            (V3b.detects ~good:ca ~faulty:cb))
+        Helpers.all_v3;
+      (* Fold units leave the other operand unchanged. *)
+      Helpers.check_v3 "and unit" a (V3b.to_v3 (V3b.band ca V3b.and_unit));
+      Helpers.check_v3 "or unit" a (V3b.to_v3 (V3b.bor ca V3b.or_unit));
+      Helpers.check_v3 "xor unit" a (V3b.to_v3 (V3b.bxor ca V3b.xor_unit)))
+    Helpers.all_v3;
+  (* The three codes are distinct and char-roundtrip. *)
+  Alcotest.(check int) "three codes" 3
+    (List.length (List.sort_uniq Int.compare codes));
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "char roundtrip" c (V3b.of_char (V3b.to_char c)))
+    codes
+
 let test_gate_string_roundtrip () =
   List.iter
     (fun g ->
@@ -135,5 +173,6 @@ let suite =
     Alcotest.test_case "controlling values" `Quick test_controlling_values;
     Alcotest.test_case "inversion parity" `Quick test_inverting_matches_eval;
     Alcotest.test_case "d calculus" `Quick test_dval_calculus;
+    Alcotest.test_case "v3b packed calculus" `Quick test_v3b_agrees_with_v3;
     Alcotest.test_case "gate name roundtrip" `Quick test_gate_string_roundtrip;
   ]

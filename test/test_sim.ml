@@ -147,6 +147,86 @@ let prop_event_sim_equivalent =
       done;
       !ok)
 
+(* A random stimulus of [cycles] cycles over the primary inputs. *)
+let random_stim rng (c : Circuit.t) cycles =
+  Array.init cycles (fun _ ->
+      Array.to_list c.Circuit.inputs
+      |> List.map (fun pi ->
+             ( pi,
+               match Fst_gen.Rng.int rng 4 with
+               | 0 -> V3.X
+               | 1 -> V3.Zero
+               | _ -> V3.One )))
+
+(* The interpreted machine's trace for cross-checking: per cycle, the
+   post-settle value of every net. *)
+let interpreted_trace (c : Circuit.t) stim =
+  let st = Sim.create c in
+  let rows = ref [] in
+  Array.iter
+    (fun assigns ->
+      List.iter (fun (pi, v) -> Sim.set_input c st pi v) assigns;
+      Sim.eval_comb c st;
+      rows := Array.copy (Sim.values st) :: !rows;
+      Sim.clock c st)
+    stim;
+  Array.of_list (List.rev !rows)
+
+(* The compiled levelized kernel is bit-identical to the interpreted
+   [Sim] machine: same value on every net of every cycle. *)
+let prop_compiled_equals_interpreted =
+  Q.Test.make ~name:"compiled kernel matches interpreted machine" ~count:40
+    (Q.map Int64.of_int (Q.int_bound 1000000))
+    (fun seed ->
+      let c = Helpers.small_seq_circuit ~gates:100 ~ffs:8 seed in
+      let rng = Fst_gen.Rng.create (Int64.add seed 11L) in
+      let stim = random_stim rng c 10 in
+      let want = interpreted_trace c stim in
+      let cc = Compiled.of_circuit c in
+      let rows = Compiled.trace cc (Compiled.compile_stim cc stim) in
+      let ok = ref true in
+      Array.iteri
+        (fun t row ->
+          for net = 0 to Circuit.num_nets c - 1 do
+            let got = V3b.to_v3 (Compiled.get rows.(t) cc.Compiled.perm.(net)) in
+            if not (V3.equal got row.(net)) then ok := false
+          done)
+        want;
+      !ok)
+
+(* The pattern-packed plane trace agrees lane by lane with the scalar
+   compiled trace of each stimulus block. *)
+let prop_packed_trace_matches_scalar =
+  Q.Test.make ~name:"packed plane trace matches per-block scalar trace"
+    ~count:25
+    (Q.map Int64.of_int (Q.int_bound 1000000))
+    (fun seed ->
+      let c = Helpers.small_seq_circuit ~gates:80 ~ffs:6 seed in
+      let rng = Fst_gen.Rng.create (Int64.add seed 23L) in
+      let blocks =
+        Array.init 5 (fun b -> random_stim rng c (4 + (b mod 3) * 3))
+      in
+      let cc = Compiled.of_circuit c in
+      let packed = Compiled.Planes.trace_packed cc blocks in
+      let ok = ref true in
+      Array.iteri
+        (fun b stim ->
+          let rows = Compiled.trace cc (Compiled.compile_stim cc stim) in
+          let bit = 1 lsl b in
+          Array.iteri
+            (fun t row ->
+              for s = 0 to cc.Compiled.n_slots - 1 do
+                let o = packed.Compiled.Planes.rows1.(t).(s) land bit <> 0 in
+                let z = packed.Compiled.Planes.rows0.(t).(s) land bit <> 0 in
+                let code =
+                  if o then V3b.one else if z then V3b.zero else V3b.x
+                in
+                if code <> Compiled.get row s then ok := false
+              done)
+            rows)
+        blocks;
+      !ok)
+
 let test_event_sim_activity () =
   (* A stable circuit processes no events once settled. *)
   let c, si, _ = shift3 () in
@@ -162,6 +242,8 @@ let suite =
   [
     Alcotest.test_case "shift register" `Quick test_shift_register;
     Helpers.qcheck prop_event_sim_equivalent;
+    Helpers.qcheck prop_compiled_equals_interpreted;
+    Helpers.qcheck prop_packed_trace_matches_scalar;
     Alcotest.test_case "event-driven activity" `Quick test_event_sim_activity;
     Alcotest.test_case "comb eval" `Quick test_comb_eval;
     Alcotest.test_case "const nets" `Quick test_const_nets;
