@@ -2,7 +2,7 @@
 
 .PHONY: all build test check static-check lint-smoke bench-smoke \
   perf-smoke degradation-smoke resume-smoke obs-smoke noop-sink-smoke \
-  engine-matrix deprecation-check clean
+  engine-matrix chaos-smoke deprecation-check clean
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # and observability CLI paths.
 check: static-check build test lint-smoke bench-smoke perf-smoke \
   degradation-smoke resume-smoke obs-smoke noop-sink-smoke engine-matrix \
-  deprecation-check
+  chaos-smoke deprecation-check
 
 # Type-check every library and executable (including ones @default would
 # skip); the dev env stanza promotes warnings to errors.
@@ -141,6 +141,30 @@ engine-matrix: build
 	  echo "engine-matrix: `basename $$f` identical across engines"; \
 	done; \
 	rm -rf $$tmp; echo "engine-matrix: OK"
+
+# Seeded chaos injection under --keep-going must still produce a full
+# report whose buckets partition the hard faults (the flow self-checks
+# and prints `chaos: invariant ok`), on a real example and a generated
+# circuit, and the structured event log must stay machine-valid.
+chaos-smoke: build
+	@tmp=`mktemp -d`; \
+	$(FST_EXE) gen --gates 300 --ffs 16 -o $$tmp/gen.net > /dev/null; \
+	for f in examples/data/counter4.net $$tmp/gen.net; do \
+	  for seed in 3 7; do \
+	    out=`$(FST_EXE) flow $$f -c 1 -j 1 --keep-going \
+	      --chaos $$seed --chaos-p 0.08 \
+	      --events $$tmp/events.jsonl 2> /dev/null` || \
+	      { echo "chaos-smoke: $$f seed=$$seed exited non-zero"; \
+	        rm -rf $$tmp; exit 1; }; \
+	    echo "$$out" | grep -q "chaos: invariant ok" || \
+	      { echo "chaos-smoke: $$f seed=$$seed invariant violated"; \
+	        rm -rf $$tmp; exit 1; }; \
+	    $(FST_EXE) jsonlint $$tmp/events.jsonl --expect phase_start \
+	      --expect phase_end || { rm -rf $$tmp; exit 1; }; \
+	  done; \
+	  echo "chaos-smoke: `basename $$f` OK"; \
+	done; \
+	rm -rf $$tmp; echo "chaos-smoke: OK"
 
 # The deprecated params records must not leak back into internal call
 # sites: only their definitions (lib/core) and the alert-suppressed compat

@@ -300,24 +300,35 @@ let print_flow_report r =
      Table.row t
        [ "cancelled groups"; Table.cell_int (Flow.cancelled_groups r.Flow.aborts) ]
    end);
+  (if r.Flow.aborts.Flow.failed_faults > 0 then begin
+     Table.rule t;
+     Table.row t
+       [ "failed (quarantined)"; Table.cell_int r.Flow.aborts.Flow.failed_faults ]
+   end);
   Table.print t;
   (* One greppable line per phase for scripts and the degradation smoke. *)
   List.iter
     (fun p ->
       if p.Flow.budget_exhausted || p.Flow.atpg_aborts > 0
-         || p.Flow.cancelled_groups > 0 then
+         || p.Flow.cancelled_groups > 0 || p.Flow.failed > 0 then
         Printf.printf
           "aborts: phase=%s budget_exhausted=%b atpg_aborts=%d \
-           cancelled_groups=%d\n"
+           cancelled_groups=%d failed=%d\n"
           p.Flow.phase p.Flow.budget_exhausted p.Flow.atpg_aborts
-          p.Flow.cancelled_groups)
+          p.Flow.cancelled_groups p.Flow.failed)
     r.Flow.aborts.Flow.phases;
   if r.Flow.aborts.Flow.aborted_faults > 0 then
     Printf.printf "aborts: aborted_faults=%d\n" r.Flow.aborts.Flow.aborted_faults;
+  if r.Flow.aborts.Flow.failed_faults > 0 then
+    Printf.printf "aborts: failed_faults=%d\n" r.Flow.aborts.Flow.failed_faults;
   List.iter
     (fun f ->
       Printf.printf "undetected: %s\n" (Fst_fault.Fault.to_string r.Flow.scanned f))
-    r.Flow.undetected
+    r.Flow.undetected;
+  List.iter
+    (fun f ->
+      Printf.printf "failed: %s\n" (Fst_fault.Fault.to_string r.Flow.scanned f))
+    r.Flow.failed
 
 (* Builds the observability sink requested on the command line, plus the
    action that writes the collected data out once the flow is done. With
@@ -361,20 +372,70 @@ let make_sink ~trace ~metrics ~events ~progress =
     (sink, finish)
   end
 
-let run_flow name scale file chains engine jobs time_budget checkpoint resume
-    trace metrics events progress preflight =
+(* One line on stderr saying exactly where a --resume run's state came
+   from — primary checkpoint, the .prev last-good rotation, or (with the
+   precise reason) nowhere. *)
+let print_resume = function
+  | `Loaded Fst_core.Checkpoint.Primary ->
+    Printf.eprintf "resume: loaded checkpoint\n%!"
+  | `Loaded Fst_core.Checkpoint.Recovered ->
+    Printf.eprintf "resume: primary checkpoint unusable, recovered from \
+                    .prev\n%!"
+  | `Failed err ->
+    Printf.eprintf "resume: starting fresh (%s)\n%!"
+      (Fst_core.Checkpoint.error_to_string err)
+
+let run_flow name scale file chains engine jobs time_budget keep_going
+    fail_fast chaos chaos_p checkpoint resume trace metrics events progress
+    preflight =
   let circuit = or_die (load ~name ~scale ~file) in
   let scanned, config = or_die (insert_chains circuit chains) in
   let sink, finish_obs = make_sink ~trace ~metrics ~events ~progress in
+  let on_error =
+    match keep_going, fail_fast with
+    | true, true -> or_die (Error "--keep-going and --fail-fast conflict")
+    | true, false -> Some `Keep_going
+    | false, true -> Some `Fail_fast
+    | false, false -> None
+  in
   let cfg =
     or_die
-      (Fst_core.Config.of_cli ~engine ~jobs ~scale ?time_budget ~preflight
-         ~sink ())
+      (Fst_core.Config.of_cli ~engine ~jobs ~scale ?time_budget ?on_error
+         ~preflight ~sink ())
   in
   if resume && checkpoint = None then
     or_die (Error "--resume requires --checkpoint PATH");
-  let r = Flow.run ~config:cfg ?checkpoint ~resume scanned config in
+  (match chaos with
+   | Some seed ->
+     let plan = Fst_exec.Chaos.plan_of_seed ~p:chaos_p seed in
+     Fst_exec.Chaos.install plan;
+     Printf.eprintf "chaos: seed=%d p=%g injections=%d\n%!" seed chaos_p
+       (List.length plan)
+   | None -> ());
+  let r =
+    Flow.run ~config:cfg ?checkpoint ~resume ~on_resume:print_resume scanned
+      config
+  in
+  Fst_exec.Chaos.clear ();
   print_flow_report r;
+  (* Under chaos the run's one obligation is the partition invariant:
+     every hard fault is accounted for exactly once. *)
+  if chaos <> None then begin
+    let hard = Array.length r.Flow.classify.Fst_core.Classify.hard in
+    let accounted =
+      r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected
+      + List.length r.Flow.untestable_faults
+      + List.length r.Flow.undetected
+      + List.length r.Flow.aborted + List.length r.Flow.failed
+    in
+    if accounted = hard then Printf.printf "chaos: invariant ok\n"
+    else
+      or_die
+        (Error
+           (Printf.sprintf
+              "chaos: invariant violated (%d accounted of %d hard faults)"
+              accounted hard))
+  end;
   finish_obs ();
   0
 
@@ -572,10 +633,36 @@ let flow_cmd =
                  phase overruns its share the remaining work is cancelled \
                  cooperatively and reported in the abort accounting.")
   in
+  let keep_going =
+    Arg.(value & flag & info [ "keep-going" ]
+           ~doc:"Contain failures instead of dying on the first exception: \
+                 transient errors are retried, poison tasks are \
+                 quarantined into a $(b,failed) bucket, and the flow \
+                 always produces a report. The default for budgeted runs \
+                 (--time-budget).")
+  in
+  let fail_fast =
+    Arg.(value & flag & info [ "fail-fast" ]
+           ~doc:"Propagate the first failure immediately (the default for \
+                 unbudgeted runs). Conflicts with --keep-going.")
+  in
+  let chaos =
+    Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED"
+           ~doc:"Arm the deterministic chaos harness with the plan derived \
+                 from $(docv): seeded exception/delay/cancel injections at \
+                 pool-task, engine and checkpoint boundaries. Same seed, \
+                 same injections. Robustness testing only.")
+  in
+  let chaos_p =
+    Arg.(value & opt float 0.02 & info [ "chaos-p" ] ~docv:"P"
+           ~doc:"Per-site injection probability for --chaos (default \
+                 0.02).")
+  in
   let checkpoint =
     Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH"
            ~doc:"Persist flow progress to $(docv) after every phase and \
-                 every step-3 wave (atomic rewrite).")
+                 every step-3 wave (atomic rewrite, with the previous good \
+                 file kept as $(docv).prev).")
   in
   let resume =
     Arg.(value & flag & info [ "resume" ]
@@ -616,8 +703,9 @@ let flow_cmd =
        ~doc:"Run the complete functional scan chain testing flow")
     Term.(
       const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg
-      $ engine_arg $ jobs_arg $ time_budget $ checkpoint $ resume $ trace
-      $ metrics $ events $ progress $ preflight)
+      $ engine_arg $ jobs_arg $ time_budget $ keep_going $ fail_fast $ chaos
+      $ chaos_p $ checkpoint $ resume $ trace $ metrics $ events $ progress
+      $ preflight)
 
 let lint_cmd =
   let no_scan =

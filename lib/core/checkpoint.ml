@@ -1,28 +1,104 @@
+module Chaos = Fst_exec.Chaos
+
 let magic = "FST-CHECKPOINT"
+let prev_path path = path ^ ".prev"
+
+type error =
+  | Missing
+  | Corrupt of string
+  | Fingerprint_mismatch
+  | Version_mismatch of { expected : int; found : int }
+
+type source = Primary | Recovered
+
+let error_to_string = function
+  | Missing -> "missing"
+  | Corrupt why -> Printf.sprintf "corrupt (%s)" why
+  | Fingerprint_mismatch ->
+    "fingerprint mismatch (written for different inputs)"
+  | Version_mismatch { expected; found } ->
+    Printf.sprintf "version mismatch (expected %d, found %d)" expected found
 
 let save ~path ~fingerprint ~version payload =
+  (* The payload is marshalled to a string first so its checksum can go
+     in the header: load verifies the bytes before unmarshalling, which
+     turns a truncated or bit-flipped file into a clean [Corrupt]
+     instead of a Marshal segfault hazard. *)
+  let body = Marshal.to_string payload [] in
+  let sum = Digest.to_hex (Digest.string body) in
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
     (fun () ->
-      Printf.fprintf oc "%s %d %s\n" magic version fingerprint;
-      Marshal.to_channel oc payload []);
+      Printf.fprintf oc "%s %d %s %s\n" magic version fingerprint sum;
+      output_string oc body);
+  (* Rotate the last good checkpoint to [.prev] before publishing the
+     new one: if the new file is later found corrupt (torn write, disk
+     fault, injected failure), load falls back to [.prev]. Both renames
+     are atomic; a crash between them leaves no primary but a good
+     [.prev], which load also recovers from. *)
+  if Sys.file_exists path then Sys.rename path (prev_path path);
   Sys.rename tmp path
 
-let load ~path ~fingerprint ~version =
+(* Reads and fully validates one file. The [Ckpt_load] chaos hook sits
+   inside the read, so an injected failure exercises the same recovery
+   path as a real I/O error. *)
+let read_one ~path ~fingerprint ~version =
   match open_in_bin path with
-  | exception Sys_error _ -> None
+  | exception Sys_error _ -> Error Missing
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in_noerr ic)
       (fun () ->
-        match input_line ic with
-        | exception End_of_file -> None
+        match
+          (match Chaos.point Chaos.Ckpt_load with `Ok | `Cancel -> ());
+          input_line ic
+        with
+        | exception End_of_file -> Error (Corrupt "empty file")
+        | exception Chaos.Injected why -> Error (Corrupt ("injected: " ^ why))
         | header ->
-          if header = Printf.sprintf "%s %d %s" magic version fingerprint
-          then
-            match Marshal.from_channel ic with
-            | payload -> Some payload
-            | exception (End_of_file | Failure _) -> None
-          else None)
+          (match String.split_on_char ' ' header with
+           | [ m; v; fp; sum ] when m = magic ->
+             (match int_of_string_opt v with
+              | None -> Error (Corrupt "unparseable version")
+              | Some found when found <> version ->
+                Error (Version_mismatch { expected = version; found })
+              | Some _ ->
+                if fp <> fingerprint then Error Fingerprint_mismatch
+                else begin
+                  let len = in_channel_length ic - pos_in ic in
+                  match really_input_string ic len with
+                  | exception End_of_file ->
+                    Error (Corrupt "truncated payload")
+                  | body ->
+                    if Digest.to_hex (Digest.string body) <> sum then
+                      Error (Corrupt "checksum mismatch")
+                    else
+                      (match Marshal.from_string body 0 with
+                       | payload -> Ok payload
+                       | exception (Failure _ | Invalid_argument _) ->
+                         Error (Corrupt "unmarshalling failed"))
+                end)
+           | [ m; v; _fp ] when m = magic ->
+             (* Pre-checksum header layout (format versions <= 2). *)
+             Error
+               (Version_mismatch
+                  {
+                    expected = version;
+                    found = Option.value (int_of_string_opt v) ~default:(-1);
+                  })
+           | _ -> Error (Corrupt "bad header")))
+
+let load ~path ~fingerprint ~version =
+  match read_one ~path ~fingerprint ~version with
+  | Ok payload -> Ok (payload, Primary)
+  | Error primary_err ->
+    (* Whatever is wrong with the primary, a [.prev] that passes the
+       full validation (magic, version, fingerprint, checksum) is safe
+       to resume from — it is simply one checkpoint older. When both
+       fail, report the primary's error: that is the file the user
+       asked about. *)
+    (match read_one ~path:(prev_path path) ~fingerprint ~version with
+     | Ok payload -> Ok (payload, Recovered)
+     | Error _ -> Error primary_err)

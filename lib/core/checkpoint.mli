@@ -1,24 +1,64 @@
-(** Versioned on-disk checkpoints for long-running flows.
+(** Versioned, checksummed on-disk checkpoints for long-running flows,
+    with last-good rotation and recovery.
 
-    A checkpoint file is a small self-describing header (magic string,
-    format version, and a caller-supplied fingerprint of the inputs)
-    followed by a marshalled payload. Writes go through a temporary file
-    and an atomic rename, so a crash mid-write can never corrupt an
-    existing checkpoint — the previous one simply survives.
+    A checkpoint file is a small self-describing header — magic string,
+    format version, a caller-supplied fingerprint of the inputs, and an
+    MD5 checksum of the payload bytes — followed by the marshalled
+    payload. Writes go through a temporary file and an atomic rename, so
+    a crash mid-write can never corrupt an existing checkpoint; on every
+    save the previous good file is first rotated to [<path>.prev], so
+    even a checkpoint that is damaged {e after} being written (torn
+    write on a dying disk, stray truncation) leaves one older good file
+    behind. {!load} verifies the checksum before unmarshalling and falls
+    back to [.prev] whenever the primary fails validation for any
+    reason.
 
     The fingerprint ties a checkpoint to the exact circuit, scan
-    configuration and parameters that produced it: {!load} refuses (by
-    returning [None]) a file whose fingerprint differs, so a resumed run
-    can never silently mix state from a different workload. The payload
-    type is the caller's responsibility — always load with the same type
-    (and the same binary) that saved; the version field is bumped whenever
-    the flow's payload layout changes. *)
+    configuration and parameters that produced it: {!load} refuses a
+    file whose fingerprint differs, so a resumed run can never silently
+    mix state from a different workload. The payload type is the
+    caller's responsibility — always load with the same type (and the
+    same binary) that saved; the version field is bumped whenever the
+    flow's payload layout changes.
+
+    Reads run a {!Fst_exec.Chaos.Ckpt_load} hook, so injected read
+    failures exercise the same recovery path as real I/O errors. *)
+
+(** Why a checkpoint file could not be used, in decreasing order of
+    "something is actually wrong": [Corrupt] (unreadable header,
+    checksum mismatch, truncated payload — the recovery trigger),
+    [Version_mismatch] (written by an older flow layout, including the
+    pre-checksum format), [Fingerprint_mismatch] (a valid file for
+    different inputs), [Missing] (no file at all). *)
+type error =
+  | Missing
+  | Corrupt of string
+  | Fingerprint_mismatch
+  | Version_mismatch of { expected : int; found : int }
+
+(** Where a successful load came from: the checkpoint itself, or the
+    [.prev] last-good rotation after the primary failed validation. *)
+type source = Primary | Recovered
+
+(** One-line human-readable rendering for CLI diagnostics. *)
+val error_to_string : error -> string
+
+(** [prev_path path] is the last-good rotation sibling, [path ^ ".prev"]. *)
+val prev_path : string -> string
 
 (** [save ~path ~fingerprint ~version payload] atomically (re)writes the
-    checkpoint at [path]. *)
+    checkpoint at [path], rotating any existing file to
+    [prev_path path] first. *)
 val save : path:string -> fingerprint:string -> version:int -> 'a -> unit
 
-(** [load ~path ~fingerprint ~version] is the payload stored at [path],
-    or [None] when the file is missing, unreadable, truncated, of a
-    different format version, or was written for different inputs. *)
-val load : path:string -> fingerprint:string -> version:int -> 'a option
+(** [load ~path ~fingerprint ~version] is the validated payload stored
+    at [path] — or, when that file is missing or fails any validation,
+    the payload recovered from [prev_path path] ([Recovered]). [Error]
+    reports the {e primary} file's failure and distinguishes missing
+    from corrupt from fingerprint/version mismatch so callers can say
+    which one happened. *)
+val load :
+  path:string ->
+  fingerprint:string ->
+  version:int ->
+  ('a * source, error) result

@@ -4,6 +4,7 @@ module Sink = Fst_obs.Sink
 module Json = Fst_obs.Json
 
 type engine = Fst_fsim.Fsim.selector
+type on_error = [ `Fail_fast | `Keep_going ]
 
 type t = {
   engine : engine;
@@ -25,6 +26,7 @@ type t = {
   scan_random_blocks : int;
   scan_random_seed : int64;
   time_budget : float option;
+  on_error : on_error;
   sink : Sink.t;
   preflight : bool;
 }
@@ -50,6 +52,7 @@ let default =
     scan_random_blocks = 32;
     scan_random_seed = 0xCAFEL;
     time_budget = None;
+    on_error = `Fail_fast;
     sink = Sink.null;
     preflight = false;
   }
@@ -79,6 +82,7 @@ let with_scan_random_blocks scan_random_blocks t =
 
 let with_scan_random_seed scan_random_seed t = { t with scan_random_seed }
 let with_time_budget time_budget t = { t with time_budget }
+let with_on_error on_error t = { t with on_error }
 let with_sink sink t = { t with sink }
 let with_preflight preflight t = { t with preflight }
 
@@ -97,13 +101,17 @@ let engine_of_string = function
 
 let engine_names = [ "serial"; "parallel"; "event"; "auto" ]
 
+let on_error_to_string : on_error -> string = function
+  | `Fail_fast -> "fail-fast"
+  | `Keep_going -> "keep-going"
+
 let budget t =
   match t.time_budget with
   | None -> Budget.unlimited
   | Some s -> Budget.of_seconds s
 
 let of_cli ?(engine = "auto") ?(jobs = 0) ?(scale = 1.0) ?time_budget
-    ?(preflight = false) ?(sink = Sink.null) () =
+    ?on_error ?(preflight = false) ?(sink = Sink.null) () =
   match engine_of_string engine with
   | None ->
     Error
@@ -111,6 +119,15 @@ let of_cli ?(engine = "auto") ?(jobs = 0) ?(scale = 1.0) ?time_budget
          (String.concat ", " engine_names))
   | Some e ->
     let jobs = if jobs <= 0 then Pool.default_jobs () else jobs in
+    (* Budgeted runs default to keep-going: a run that is already
+       prepared to ship partial coverage under a deadline should not
+       throw the partial result away over one poison fault group. An
+       explicit flag always wins. *)
+    let on_error =
+      match on_error with
+      | Some p -> p
+      | None -> if time_budget <> None then `Keep_going else `Fail_fast
+    in
     Ok
       {
         default with
@@ -118,6 +135,7 @@ let of_cli ?(engine = "auto") ?(jobs = 0) ?(scale = 1.0) ?time_budget
         jobs;
         dist_floor_scale = scale;
         time_budget;
+        on_error;
         preflight;
         sink;
       }
@@ -151,5 +169,6 @@ let to_json t =
       ( "time_budget",
         match t.time_budget with None -> Json.Null | Some s -> Json.Float s
       );
+      ("on_error", Json.String (on_error_to_string t.on_error));
       ("preflight", Json.Bool t.preflight);
     ]

@@ -26,6 +26,16 @@
     static cone size). *)
 type engine = Fst_fsim.Fsim.selector
 
+(** Failure policy for fault groups and engine calls during a flow:
+    [`Fail_fast] (the default) re-raises the first failure after the
+    queue drains — exactly the historical contract; [`Keep_going]
+    quarantines failed work into the {e failed} bucket of the abort
+    accounting and completes everything else, so a poison fault group
+    costs its own coverage and nothing more. Like [engine], this is a
+    policy knob, not a semantic one: it is excluded from the checkpoint
+    fingerprint. *)
+type on_error = [ `Fail_fast | `Keep_going ]
+
 type t = {
   engine : engine;  (** fault-sim back-end selector (default [`Auto]) *)
   jobs : int;  (** worker domains for fsim/ATPG pools *)
@@ -49,6 +59,7 @@ type t = {
   scan_random_seed : int64;  (** seed for those blocks *)
   time_budget : float option;
       (** whole-flow wall-clock budget in seconds ([None] = unlimited) *)
+  on_error : on_error;  (** failure policy (default [`Fail_fast]) *)
   sink : Fst_obs.Sink.t;  (** observability sink (default null) *)
   preflight : bool;  (** lint gate before phase 1 *)
 }
@@ -80,6 +91,7 @@ val with_scan_backtrack : int -> t -> t
 val with_scan_random_blocks : int -> t -> t
 val with_scan_random_seed : int64 -> t -> t
 val with_time_budget : float option -> t -> t
+val with_on_error : on_error -> t -> t
 val with_sink : Fst_obs.Sink.t -> t -> t
 val with_preflight : bool -> t -> t
 
@@ -90,6 +102,9 @@ val engine_to_string : engine -> string
 val engine_of_string : string -> engine option
 val engine_names : string list
 
+(** ["fail-fast"] / ["keep-going"] — the CLI spellings. *)
+val on_error_to_string : on_error -> string
+
 (** [budget t] is the {!Fst_exec.Budget.t} for [t.time_budget]
     ({!Fst_exec.Budget.unlimited} when [None]). The clock starts when this
     is called. *)
@@ -97,13 +112,17 @@ val budget : t -> Fst_exec.Budget.t
 
 (** [of_cli ()] builds a configuration from the command-line surface:
     engine by name, [jobs <= 0] meaning "all cores", the distance-floor
-    [scale], optional time budget, preflight flag and sink. [Error] on an
-    unknown engine name. *)
+    [scale], optional time budget, failure policy, preflight flag and
+    sink. When [on_error] is not given it defaults to [`Keep_going] for
+    budgeted runs (a deadline-bound run should ship its partial
+    coverage, not die on one poison group) and [`Fail_fast] otherwise.
+    [Error] on an unknown engine name. *)
 val of_cli :
   ?engine:string ->
   ?jobs:int ->
   ?scale:float ->
   ?time_budget:float ->
+  ?on_error:on_error ->
   ?preflight:bool ->
   ?sink:Fst_obs.Sink.t ->
   unit ->

@@ -6,6 +6,8 @@ open Fst_tpi
 module Pool = Fst_exec.Pool
 module Clock = Fst_exec.Clock
 module Budget = Fst_exec.Budget
+module Retry = Fst_exec.Retry
+module Chaos = Fst_exec.Chaos
 module Sink = Fst_obs.Sink
 module Metrics = Fst_obs.Metrics
 module Trace = Fst_obs.Trace
@@ -26,6 +28,7 @@ type params = {
   weighted_random : bool;
   seq_fault_seconds : float;
   final_fault_seconds : float;
+  on_error : Config.on_error;
   sink : Sink.t;
   preflight : bool;
 }
@@ -48,6 +51,7 @@ let default_params =
     weighted_random = false;
     seq_fault_seconds = 0.5;
     final_fault_seconds = 2.0;
+    on_error = `Fail_fast;
     sink = Sink.null;
     preflight = false;
   }
@@ -70,6 +74,7 @@ let params_of_config (c : Config.t) =
     weighted_random = c.Config.weighted_random;
     seq_fault_seconds = c.Config.seq_fault_seconds;
     final_fault_seconds = c.Config.final_fault_seconds;
+    on_error = c.Config.on_error;
     sink = c.Config.sink;
     preflight = c.Config.preflight;
   }
@@ -91,6 +96,7 @@ let config_of_params (p : params) =
     weighted_random = p.weighted_random;
     seq_fault_seconds = p.seq_fault_seconds;
     final_fault_seconds = p.final_fault_seconds;
+    on_error = p.on_error;
     sink = p.sink;
     preflight = p.preflight;
   }
@@ -119,15 +125,22 @@ type phase_aborts = {
   budget_exhausted : bool;
   atpg_aborts : int;
   cancelled_groups : int;
+  failed : int;
 }
 
-type aborts = { phases : phase_aborts list; aborted_faults : int }
+type aborts = {
+  phases : phase_aborts list;
+  aborted_faults : int;
+  failed_faults : int;
+}
 
 let budget_exhausted a = List.exists (fun p -> p.budget_exhausted) a.phases
 let atpg_aborts a = List.fold_left (fun n p -> n + p.atpg_aborts) 0 a.phases
 
 let cancelled_groups a =
   List.fold_left (fun n p -> n + p.cancelled_groups) 0 a.phases
+
+let failed_tasks a = List.fold_left (fun n p -> n + p.failed) 0 a.phases
 
 type atpg_stats = {
   podem_runs : int;
@@ -151,6 +164,7 @@ type result = {
   undetected : Fault.t list;
   untestable_faults : Fault.t list;
   aborted : Fault.t list;
+  failed : Fault.t list;
   aborts : aborts;
   atpg : atpg_stats;
 }
@@ -165,6 +179,7 @@ let chain_detected_faults r =
   let open_set = Hashtbl.create 64 in
   List.iter (fun f -> Hashtbl.replace open_set f ()) r.undetected;
   List.iter (fun f -> Hashtbl.replace open_set f ()) r.aborted;
+  List.iter (fun f -> Hashtbl.replace open_set f ()) r.failed;
   List.iter (fun f -> Hashtbl.replace open_set f ()) r.untestable_faults;
   let easy =
     Array.to_list r.classify.Classify.easy
@@ -192,13 +207,18 @@ type acct = {
   mutable cl_late : bool;
   mutable s2a_late : bool;
   mutable s2a_aborts : int;
+  mutable s2a_failed : int;
   mutable s2f_late : bool;
+  mutable s2f_failed : int;
   mutable s3_late : bool;
   mutable s3_aborts : int;
   mutable s3_cancelled : int;
+  mutable s3_failed : int;
+  mutable s3_failed_groups : int;
   mutable fin_late : bool;
   mutable fin_aborts : int;
   mutable fin_cancelled : int;
+  mutable fin_failed : int;
   (* Aggregate ATPG engine statistics (satellite: they used to be computed
      and thrown away). PODEM/Seq stats from pool domains are committed
      here on the main domain in deterministic wave order, and the record
@@ -218,13 +238,18 @@ let fresh_acct () =
     cl_late = false;
     s2a_late = false;
     s2a_aborts = 0;
+    s2a_failed = 0;
     s2f_late = false;
+    s2f_failed = 0;
     s3_late = false;
     s3_aborts = 0;
     s3_cancelled = 0;
+    s3_failed = 0;
+    s3_failed_groups = 0;
     fin_late = false;
     fin_aborts = 0;
     fin_cancelled = 0;
+    fin_failed = 0;
     p_runs = 0;
     p_backtracks = 0;
     p_decisions = 0;
@@ -257,31 +282,37 @@ let atpg_stats_of acct =
     seq_backtracks = acct.s_backtracks;
   }
 
-let aborts_of acct ~aborted_faults =
+let aborts_of acct ~aborted_faults ~failed_faults =
   {
     phases =
       [
         { phase = "classify"; budget_exhausted = acct.cl_late;
-          atpg_aborts = 0; cancelled_groups = 0 };
+          atpg_aborts = 0; cancelled_groups = 0; failed = 0 };
         { phase = "step2-atpg"; budget_exhausted = acct.s2a_late;
-          atpg_aborts = acct.s2a_aborts; cancelled_groups = 0 };
+          atpg_aborts = acct.s2a_aborts; cancelled_groups = 0;
+          failed = acct.s2a_failed };
         { phase = "step2-fsim"; budget_exhausted = acct.s2f_late;
-          atpg_aborts = 0; cancelled_groups = 0 };
+          atpg_aborts = 0; cancelled_groups = 0;
+          failed = acct.s2f_failed };
         { phase = "step3"; budget_exhausted = acct.s3_late;
           atpg_aborts = acct.s3_aborts;
-          cancelled_groups = acct.s3_cancelled };
+          cancelled_groups = acct.s3_cancelled;
+          failed = acct.s3_failed };
         { phase = "finals"; budget_exhausted = acct.fin_late;
           atpg_aborts = acct.fin_aborts;
-          cancelled_groups = acct.fin_cancelled };
+          cancelled_groups = acct.fin_cancelled;
+          failed = acct.fin_failed };
       ];
     aborted_faults;
+    failed_faults;
   }
 
 (* --- checkpoint state --------------------------------------------------- *)
 
 (* Bump whenever the marshalled layout below (or anything it embeds)
-   changes; [Checkpoint.load] rejects other versions. *)
-let ckpt_version = 2
+   changes; [Checkpoint.load] rejects other versions.
+   v3: failed_flag + chaos counters + acct failed fields. *)
+let ckpt_version = 3
 
 type plan = {
   blocks : Fsim.stimulus list;
@@ -318,6 +349,12 @@ type ckpt = {
   mutable c_s3 : s3_progress option;
   mutable c_fin : finish option;
   mutable aborted_flag : bool array;  (* per hard fault: denied an attempt *)
+  mutable failed_flag : bool array;  (* per hard fault: quarantined *)
+  (* Chaos hit counters at save time: restoring them on resume makes a
+     killed-and-resumed run replay the rest of an injection plan from
+     the same sequence numbers as the uninterrupted run ([Chaos]).
+     Empty when the harness is disarmed. *)
+  mutable c_chaos : int array;
   acct : acct;
 }
 
@@ -329,6 +366,8 @@ let fresh_ckpt () =
     c_s3 = None;
     c_fin = None;
     aborted_flag = [||];
+    failed_flag = [||];
+    c_chaos = [||];
     acct = fresh_acct ();
   }
 
@@ -400,9 +439,10 @@ let phase_obs (sink : Sink.t) name f =
 
 (* --- Step 2: combinational ATPG + sequential fault simulation ---------- *)
 
-let plan_step2 ~params ~budget ~acct ~aborted_flag view scoap scanned config
-    ~hard_faults =
+let plan_step2 ~params ~budget ~acct ~aborted_flag ~failed_flag view scoap
+    scanned config ~hard_faults =
   let sink = params.sink in
+  let keep_going = params.on_error = `Keep_going in
   let dl = Budget.deadline budget Budget.Step2_atpg in
   let t0 = Clock.now () in
   let n = Array.length hard_faults in
@@ -410,37 +450,52 @@ let plan_step2 ~params ~budget ~acct ~aborted_flag view scoap scanned config
   let n_tests = ref 0 in
   let i = ref 0 in
   while !i < n && not (Clock.expired dl) do
-    (match
-       timed_atpg sink
-         (Printf.sprintf "podem[%d]" !i)
-         (fun () ->
-           Podem.run ~backtrack_limit:params.comb_backtrack
-             ~should_abort:(fun () -> Clock.expired dl)
-             ~scoap view ~faults:[ hard_faults.(!i) ])
-     with
-     | Podem.Test assignment, stats ->
-       add_podem_stats acct stats;
-       incr n_tests;
-       let ff_values, pi_values = split_assignment scanned assignment in
-       blocks :=
-         Sequences.of_comb_test scanned config ~ff_values ~pi_values
-         :: !blocks
-     | Podem.Untestable, stats ->
-       add_podem_stats acct stats;
-       untestable := !i :: !untestable
-     | Podem.Aborted, stats ->
-       add_podem_stats acct stats;
-       acct.s2a_aborts <- acct.s2a_aborts + 1;
-       (* A deadline-tripped abort (as opposed to a backtrack-limit one)
-          means the fault was denied its full attempt. *)
-       if Clock.expired dl then begin
-         acct.p_ab_deadline <- acct.p_ab_deadline + 1;
-         aborted_flag.(!i) <- true
-       end
-       else acct.p_ab_limit <- acct.p_ab_limit + 1);
+    (* Per-fault isolation under [`Keep_going]: a raising ATPG attempt
+       quarantines this fault (failed bucket, excluded from step 3) and
+       the loop moves on; under [`Fail_fast] the exception propagates as
+       it always did. *)
+    (try
+       match
+         timed_atpg sink
+           (Printf.sprintf "podem[%d]" !i)
+           (fun () ->
+             Podem.run ~backtrack_limit:params.comb_backtrack
+               ~should_abort:(fun () -> Clock.expired dl)
+               ~scoap view ~faults:[ hard_faults.(!i) ])
+       with
+       | Podem.Test assignment, stats ->
+         add_podem_stats acct stats;
+         incr n_tests;
+         let ff_values, pi_values = split_assignment scanned assignment in
+         blocks :=
+           Sequences.of_comb_test scanned config ~ff_values ~pi_values
+           :: !blocks
+       | Podem.Untestable, stats ->
+         add_podem_stats acct stats;
+         untestable := !i :: !untestable
+       | Podem.Aborted, stats ->
+         add_podem_stats acct stats;
+         acct.s2a_aborts <- acct.s2a_aborts + 1;
+         (* A deadline-tripped abort (as opposed to a backtrack-limit one)
+            means the fault was denied its full attempt. *)
+         if Clock.expired dl then begin
+           acct.p_ab_deadline <- acct.p_ab_deadline + 1;
+           aborted_flag.(!i) <- true
+         end
+         else acct.p_ab_limit <- acct.p_ab_limit + 1
+     with e when keep_going ->
+       failed_flag.(!i) <- true;
+       acct.s2a_failed <- acct.s2a_failed + 1;
+       Sink.event sink ~kind:"fault_failed"
+         [
+           ("phase", Json.String "step2-atpg");
+           ("index", Json.Int !i);
+           ("error", Json.String (Printexc.to_string e));
+         ]);
     if sink.Sink.enabled then
       Sink.tick sink ~phase:"step2-atpg" ~done_:(!i + 1) ~total:n
-        ~detected:!n_tests ~budget_left:(Clock.remaining dl);
+        ~detected:!n_tests ~failed:acct.s2a_failed
+        ~budget_left:(Clock.remaining dl) ();
     incr i
   done;
   let attempted = !i in
@@ -483,9 +538,10 @@ let plan_step2 ~params ~budget ~acct ~aborted_flag view scoap scanned config
     rng_state = Fst_gen.Rng.state rng;
   }
 
-let fsim_step2 ~params ~engine ~budget ~acct scanned ~hard_faults
-    ~(plan : plan) =
+let fsim_step2 ~params ~engine ~budget ~acct ~failed_flag scanned
+    ~hard_faults ~(plan : plan) =
   let sink = params.sink in
+  let keep_going = params.on_error = `Keep_going in
   let dl = Budget.deadline budget Budget.Step2_fsim in
   let t1 = Clock.now () in
   let n_hit = ref 0 in
@@ -524,34 +580,62 @@ let fsim_step2 ~params ~engine ~budget ~acct scanned ~hard_faults
       else begin
         let alive = Array.sub pending 0 !n_pending in
         let faults = Array.map (fun k -> sim_faults.(k)) alive in
-        let res =
+        let simulate_block () =
           Fsim.Engine.detect_all ~obs:sink ~engine ~jobs:params.jobs scanned
             ~faults ~observe:scanned.Circuit.outputs blocks_arr.(!b)
         in
-        Array.iteri
-          (fun j k ->
-            match res.(j) with
-            | Some t ->
-              outcome.(k) <- Some (!b, t);
-              incr n_hit
-            | None -> ())
-          alive;
-        let kept = ref 0 in
-        for j = 0 to !n_pending - 1 do
-          let k = pending.(j) in
-          if outcome.(k) = None then begin
-            pending.(!kept) <- k;
-            incr kept
+        match
+          if keep_going then Retry.run simulate_block
+          else Stdlib.Ok (simulate_block ())
+        with
+        | Stdlib.Error (e, _bt) ->
+          (* Cohort containment: cross-block fault dropping means a lost
+             block could have changed every still-pending fault's
+             downstream outcome, so a permanently failing engine call
+             quarantines the whole pending cohort and ends the phase —
+             detections already made stay trustworthy. *)
+          for j = 0 to !n_pending - 1 do
+            failed_flag.(simulate.(pending.(j))) <- true
+          done;
+          acct.s2f_failed <- acct.s2f_failed + !n_pending;
+          n_pending := 0;
+          stopped := true;
+          Sink.event sink ~kind:"cohort_failed"
+            [
+              ("phase", Json.String "step2-fsim");
+              ("faults", Json.Int acct.s2f_failed);
+              ("error", Json.String (Printexc.to_string e));
+            ]
+        | Stdlib.Ok res ->
+          Array.iteri
+            (fun j k ->
+              match res.(j) with
+              | Some t ->
+                outcome.(k) <- Some (!b, t);
+                (* A detection supersedes an earlier step-2 quarantine:
+                   the fault is provably covered. *)
+                failed_flag.(simulate.(k)) <- false;
+                incr n_hit
+              | None -> ())
+            alive;
+          let kept = ref 0 in
+          for j = 0 to !n_pending - 1 do
+            let k = pending.(j) in
+            if outcome.(k) = None then begin
+              pending.(!kept) <- k;
+              incr kept
+            end
+          done;
+          n_pending := !kept;
+          incr b;
+          if sink.Sink.enabled then begin
+            Metrics.Counter.incr
+              (Metrics.counter sink.Sink.metrics "flow.step2.blocks");
+            Sink.tick sink ~phase:"step2-fsim" ~done_:!b ~total:nb
+              ~detected:!n_hit
+              ~failed:(acct.s2a_failed + acct.s2f_failed)
+              ~budget_left:(Clock.remaining dl) ()
           end
-        done;
-        n_pending := !kept;
-        incr b;
-        if sink.Sink.enabled then begin
-          Metrics.Counter.incr
-            (Metrics.counter sink.Sink.metrics "flow.step2.blocks");
-          Sink.tick sink ~phase:"step2-fsim" ~done_:!b ~total:nb
-            ~detected:!n_hit ~budget_left:(Clock.remaining dl)
-        end
       end
     end
   done;
@@ -584,9 +668,16 @@ let fsim_step2 ~params ~engine ~budget ~acct scanned ~hard_faults
   in
   let n_untestable = List.length plan.untestable2 in
   let remaining = ref [] in
+  (* Quarantined faults are excluded from step 3: a fault whose ATPG
+     crashed, or that sat in a failed simulation cohort, stays in the
+     failed bucket rather than getting further (possibly poisoned)
+     attention. *)
   for i = n - 1 downto 0 do
-    if (not detected.(i)) && not (Hashtbl.mem untestable_set i) then
-      remaining := i :: !remaining
+    if
+      (not detected.(i))
+      && (not (Hashtbl.mem untestable_set i))
+      && not failed_flag.(i)
+    then remaining := i :: !remaining
   done;
   ( {
       detected = n_detected;
@@ -685,10 +776,11 @@ let plan_sequence ~sink scanned config ~remaining_faults ~bounds ~positions
   | Seq.Seq_test test, stats ->
     (Some (Sequences.of_seq_test scanned config test), stats)
 
-let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~progress
-    ~save_progress scanned config ~classify ~hard_index ~remaining ~view
-    ~scoap =
+let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
+    ~progress ~save_progress scanned config ~classify ~hard_index ~remaining
+    ~view ~scoap =
   let sink = params.sink in
+  let keep_going = params.on_error = `Keep_going in
   let dl3 = Budget.deadline budget Budget.Step3 in
   let t0 = Clock.now () in
   let remaining_arr = Array.of_list remaining in
@@ -749,7 +841,63 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~progress
     | Group.Cluster { members; _ } -> members
   in
   let flag_idx i = aborted_flag.(remaining_arr.(i)) <- true in
+  let fail_idx i = failed_flag.(remaining_arr.(i)) <- true in
   let token = Pool.token () in
+  (* Set when an engine call inside a commit (retirement fault-sim)
+     permanently fails under [`Keep_going]. *)
+  let engine_poisoned = ref false in
+  (* Retirement with the failure policy applied: under [`Fail_fast] the
+     engine call propagates exceptions exactly as before; under
+     [`Keep_going] it is retried, and a permanent failure poisons the
+     surrounding cohort instead of raising. *)
+  let retire ~jobs stim =
+    if not keep_going then
+      ignore
+        (retire_detections ~sink ~engine ~jobs st scanned ~remaining_faults
+           ~stim)
+    else
+      match
+        Retry.run (fun () ->
+            retire_detections ~sink ~engine ~jobs st scanned
+              ~remaining_faults ~stim)
+      with
+      | Stdlib.Ok _ -> ()
+      | Stdlib.Error (e, _bt) ->
+        engine_poisoned := true;
+        Sink.event sink ~kind:"engine_failed"
+          [
+            ("phase", Json.String "step3");
+            ("error", Json.String (Printexc.to_string e));
+          ]
+  in
+  (* Cohort containment: once a group's planning task or a retirement
+     engine call permanently fails, every still-alive fault's downstream
+     outcome is suspect (the missing stimuli would have retired an
+     unknowable subset of them), so the whole remaining cohort moves to
+     the failed bucket. Retries make this a last resort, and the
+     already-committed detections stay trustworthy. *)
+  let cohort_fail phase =
+    let alive_ids =
+      Hashtbl.fold (fun i () acc -> i :: acc) st.alive []
+      |> List.sort Int.compare
+    in
+    let count = List.length alive_ids in
+    List.iter
+      (fun i ->
+        fail_idx i;
+        Hashtbl.remove st.alive i)
+      alive_ids;
+    (match phase with
+     | `Step3 -> acct.s3_failed <- acct.s3_failed + count
+     | `Finals -> acct.fin_failed <- acct.fin_failed + count);
+    Sink.event sink ~kind:"cohort_failed"
+      [
+        ( "phase",
+          Json.String (match phase with `Step3 -> "step3" | `Finals -> "finals")
+        );
+        ("faults", Json.Int count);
+      ]
+  in
   let checkpoint_wave () =
     save_progress
       {
@@ -781,10 +929,13 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~progress
   in
   while !cursor < n_groups do
     if Clock.expired dl3 || Pool.cancelled token then drain_cancelled ()
-    else if params.jobs <= 1 then begin
-      (* One core: the original fully-dropped order — every realized
-         sequence retires faults before the next target is even attacked.
-         One group per wave, checkpointed after commit. *)
+    else if params.jobs <= 1 && not keep_going then begin
+      (* One core, fail-fast: the original fully-dropped order — every
+         realized sequence retires faults before the next target is even
+         attacked. One group per wave, checkpointed after commit.
+         [`Keep_going] always takes the wave path below (even on one
+         core) so that failed groups are isolated per task; the planned
+         stimuli are identical, only intra-group dropping is coarser. *)
       let group = groups.(!cursor) in
       let group_no = !cursor in
       incr cursor;
@@ -825,7 +976,7 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~progress
         checkpoint_wave ();
         if sink.Sink.enabled then
           Sink.tick sink ~phase:"step3" ~done_:!cursor ~total:n_groups
-            ~detected:st.detected3 ~budget_left:(Clock.remaining dl3)
+            ~detected:st.detected3 ~budget_left:(Clock.remaining dl3) ()
       end
     end
     else begin
@@ -849,83 +1000,114 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~progress
       done;
       let wave_arr = Array.of_list (List.rev !wave) in
       let snapshot = Hashtbl.copy st.alive in
+      let plan_group (bounds, targets) =
+        List.map
+          (fun fp ->
+            let i = fp.Group.index in
+            if not (Hashtbl.mem snapshot i) then (i, None, false, None)
+            else begin
+              let dlf =
+                Budget.fault_deadline budget Budget.Step3
+                  params.seq_fault_seconds
+              in
+              match
+                plan_sequence ~sink scanned config ~remaining_faults
+                  ~bounds ~positions ~frames:params.frames
+                  ~backtrack:params.seq_backtrack
+                  ~should_abort:(fun () ->
+                    Clock.expired dlf || Pool.cancelled token)
+                  i
+              with
+              | None, stats -> (i, None, true, Some stats)
+              | Some stim, stats -> (i, Some stim, false, Some stats)
+            end)
+          targets
+      in
+      (* The group's model was never built: its alive members were
+         denied their attempt. *)
+      let commit_cancelled w =
+        let _, targets = wave_arr.(w) in
+        let alive_targets =
+          List.filter
+            (fun fp -> Hashtbl.mem st.alive fp.Group.index)
+            targets
+        in
+        acct.s3_late <- true;
+        if alive_targets <> [] then begin
+          acct.s3_cancelled <- acct.s3_cancelled + 1;
+          List.iter (fun fp -> flag_idx fp.Group.index) alive_targets
+        end
+      in
+      let commit_done results =
+        st.group_circuits <- st.group_circuits + 1;
+        List.iter
+          (fun (i, stim_opt, atpg_aborted, stats_opt) ->
+            (match stats_opt with
+             | Some stats -> add_seq_stats acct stats
+             | None -> ());
+            match stim_opt with
+            | Some stim -> if Hashtbl.mem st.alive i then retire ~jobs stim
+            | None ->
+              if atpg_aborted then begin
+                acct.s3_aborts <- acct.s3_aborts + 1;
+                if Clock.expired dl3 && Hashtbl.mem st.alive i then
+                  flag_idx i
+              end)
+          results
+      in
+      let wave_poisoned = ref false in
+      (* Results — including the ATPG statistics gathered on the pool
+         domains — are committed on the main domain, in wave order, so
+         the totals in [acct] are deterministic for a fixed [jobs]. *)
       Sink.span sink
         ~name:(Printf.sprintf "step3.wave@%d" wave_no)
         ~cat:"step3"
         (fun () ->
-          let plans =
-            Pool.map_cancellable ~obs:sink ~label:"step3" ~jobs ~chunk:1
-              ~token ~deadline:dl3
-              (fun (bounds, targets) ->
-                List.map
-                  (fun fp ->
-                    let i = fp.Group.index in
-                    if not (Hashtbl.mem snapshot i) then (i, None, false, None)
-                    else begin
-                      let dlf =
-                        Budget.fault_deadline budget Budget.Step3
-                          params.seq_fault_seconds
-                      in
-                      match
-                        plan_sequence ~sink scanned config ~remaining_faults
-                          ~bounds ~positions ~frames:params.frames
-                          ~backtrack:params.seq_backtrack
-                          ~should_abort:(fun () ->
-                            Clock.expired dlf || Pool.cancelled token)
-                          i
-                      with
-                      | None, stats -> (i, None, true, Some stats)
-                      | Some stim, stats -> (i, Some stim, false, Some stats)
-                    end)
-                  targets)
-              wave_arr
-          in
-          (* Results — including the ATPG statistics gathered on the pool
-             domains — are committed here on the main domain, in wave
-             order, so the totals in [acct] are deterministic for a fixed
-             [jobs]. *)
-          Array.iteri
-            (fun w outcome ->
-              match outcome with
-              | Pool.Cancelled ->
-                (* The group's model was never built: its alive members were
-                   denied their attempt. *)
-                let _, targets = wave_arr.(w) in
-                let alive_targets =
-                  List.filter
-                    (fun fp -> Hashtbl.mem st.alive fp.Group.index)
-                    targets
-                in
-                acct.s3_late <- true;
-                if alive_targets <> [] then begin
-                  acct.s3_cancelled <- acct.s3_cancelled + 1;
-                  List.iter (fun fp -> flag_idx fp.Group.index) alive_targets
-                end
-              | Pool.Done results ->
-                st.group_circuits <- st.group_circuits + 1;
-                List.iter
-                  (fun (i, stim_opt, atpg_aborted, stats_opt) ->
-                    (match stats_opt with
-                     | Some stats -> add_seq_stats acct stats
-                     | None -> ());
-                    match stim_opt with
-                    | Some stim ->
-                      if Hashtbl.mem st.alive i then
-                        ignore
-                          (retire_detections ~sink ~engine ~jobs st scanned
-                             ~remaining_faults ~stim)
-                    | None ->
-                      if atpg_aborted then begin
-                        acct.s3_aborts <- acct.s3_aborts + 1;
-                        if Clock.expired dl3 && Hashtbl.mem st.alive i then
-                          flag_idx i
-                      end)
-                  results)
-            plans);
+          if not keep_going then
+            let plans =
+              Pool.map_cancellable ~obs:sink ~label:"step3" ~jobs ~chunk:1
+                ~token ~deadline:dl3 plan_group wave_arr
+            in
+            Array.iteri
+              (fun w outcome ->
+                match outcome with
+                | Pool.Cancelled -> commit_cancelled w
+                | Pool.Done results -> commit_done results)
+              plans
+          else
+            let plans =
+              Pool.map_cancellable_isolated ~obs:sink ~label:"step3" ~jobs
+                ~chunk:1 ~token ~deadline:dl3 plan_group wave_arr
+            in
+            Array.iteri
+              (fun w outcome ->
+                match outcome with
+                | Pool.Task.Cancelled ->
+                  (* With budget left, cancellation can only come from an
+                     injected [Cancel]: that is a failure, not an abort. *)
+                  if Clock.expired dl3 then commit_cancelled w
+                  else wave_poisoned := true
+                | Pool.Task.Failed (e, _bt) ->
+                  acct.s3_failed_groups <- acct.s3_failed_groups + 1;
+                  wave_poisoned := true;
+                  Sink.event sink ~kind:"group_failed"
+                    [
+                      ("phase", Json.String "step3");
+                      ("wave", Json.Int wave_no);
+                      ("error", Json.String (Printexc.to_string e));
+                    ]
+                | Pool.Task.Ok results -> commit_done results)
+              plans);
+      if !wave_poisoned || !engine_poisoned then begin
+        cohort_fail `Step3;
+        cursor := n_groups
+      end;
       checkpoint_wave ();
       if sink.Sink.enabled then
         Sink.tick sink ~phase:"step3" ~done_:!cursor ~total:n_groups
-          ~detected:st.detected3 ~budget_left:(Clock.remaining dl3)
+          ~detected:st.detected3 ~failed:acct.s3_failed
+          ~quarantined:acct.s3_failed_groups
+          ~budget_left:(Clock.remaining dl3) ()
     end
   done;
   (* Final faults: prove undetectable through the relaxed combinational
@@ -953,54 +1135,64 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~progress
       if Clock.expired dl_fin then flag_idx i
     | Some stim, stats ->
       add_seq_stats acct stats;
-      ignore
-        (retire_detections ~sink ~engine ~jobs:params.jobs st scanned
-           ~remaining_faults ~stim)
+      retire ~jobs:params.jobs stim
   in
   List.iter
     (fun i ->
       if Hashtbl.mem st.alive i then begin
-        if Clock.expired dl_fin then begin
-          acct.fin_late <- true;
-          acct.fin_cancelled <- acct.fin_cancelled + 1;
-          flag_idx i
-        end
-        else begin
-          let fault = remaining_faults.(i) in
-          match
-            timed_atpg sink
-              (Printf.sprintf "podem.final[%d]" i)
-              (fun () ->
-                Podem.run ~backtrack_limit:params.final_backtrack
-                  ~should_abort:(fun () -> Clock.expired dl_fin)
-                  ~scoap view ~faults:[ fault ])
-          with
-          | Podem.Untestable, stats ->
-            add_podem_stats acct stats;
-            Hashtbl.remove st.alive i;
-            st.untestable3 <- st.untestable3 + 1;
-            untestable_idx3 := i :: !untestable_idx3
-          | Podem.Test assignment, stats ->
-            add_podem_stats acct stats;
-            (* The larger budget found a combinational test that step 2
-               missed; realize and confirm it sequentially before falling
-               back to the restricted sequential model. *)
-            let ff_values, pi_values = split_assignment scanned assignment in
-            let stim =
-              Sequences.of_comb_test scanned config ~ff_values ~pi_values
-            in
-            ignore
-              (retire_detections ~sink ~engine ~jobs:params.jobs st scanned
-                 ~remaining_faults ~stim);
-            if Hashtbl.mem st.alive i then attack_final i footprints.(i)
-          | Podem.Aborted, stats ->
-            add_podem_stats acct stats;
-            if Clock.expired dl_fin then
-              acct.p_ab_deadline <- acct.p_ab_deadline + 1
-            else acct.p_ab_limit <- acct.p_ab_limit + 1;
-            acct.fin_aborts <- acct.fin_aborts + 1;
-            attack_final i footprints.(i)
-        end
+        (try
+           if Clock.expired dl_fin then begin
+             acct.fin_late <- true;
+             acct.fin_cancelled <- acct.fin_cancelled + 1;
+             flag_idx i
+           end
+           else begin
+             let fault = remaining_faults.(i) in
+             match
+               timed_atpg sink
+                 (Printf.sprintf "podem.final[%d]" i)
+                 (fun () ->
+                   Podem.run ~backtrack_limit:params.final_backtrack
+                     ~should_abort:(fun () -> Clock.expired dl_fin)
+                     ~scoap view ~faults:[ fault ])
+             with
+             | Podem.Untestable, stats ->
+               add_podem_stats acct stats;
+               Hashtbl.remove st.alive i;
+               st.untestable3 <- st.untestable3 + 1;
+               untestable_idx3 := i :: !untestable_idx3
+             | Podem.Test assignment, stats ->
+               add_podem_stats acct stats;
+               (* The larger budget found a combinational test that step 2
+                  missed; realize and confirm it sequentially before falling
+                  back to the restricted sequential model. *)
+               let ff_values, pi_values =
+                 split_assignment scanned assignment
+               in
+               let stim =
+                 Sequences.of_comb_test scanned config ~ff_values ~pi_values
+               in
+               retire ~jobs:params.jobs stim;
+               if Hashtbl.mem st.alive i && not !engine_poisoned then
+                 attack_final i footprints.(i)
+             | Podem.Aborted, stats ->
+               add_podem_stats acct stats;
+               if Clock.expired dl_fin then
+                 acct.p_ab_deadline <- acct.p_ab_deadline + 1
+               else acct.p_ab_limit <- acct.p_ab_limit + 1;
+               acct.fin_aborts <- acct.fin_aborts + 1;
+               attack_final i footprints.(i)
+           end
+         with e when keep_going ->
+           Sink.event sink ~kind:"fault_failed"
+             [
+               ("phase", Json.String "finals");
+               ("fault", Json.Int i);
+               ("error", Json.String (Printexc.to_string e));
+             ];
+           cohort_fail `Finals);
+        if keep_going && !engine_poisoned && Hashtbl.length st.alive > 0 then
+          cohort_fail `Finals
       end)
     finals;
   let alive_idx =
@@ -1024,7 +1216,7 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~progress
 (* --- orchestration ------------------------------------------------------ *)
 
 let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
-    ?(resume = false) ?on_checkpoint scanned config =
+    ?(resume = false) ?on_checkpoint ?on_resume scanned config =
   (* [?params] (legacy) wins over [?config] so old call sites keep their
      exact behavior; either way both views of the configuration exist. *)
   let cfg =
@@ -1054,25 +1246,78 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
                 d.Fst_lint.Diagnostic.severity = Fst_lint.Diagnostic.Error)
               report.Fst_lint.Lint.diagnostics))
   end;
+  let keep_going = params.on_error = `Keep_going in
   let faults = Fault.collapse scanned (Fault.universe scanned) in
   let fp = fingerprint scanned config params in
+  let notify_resume outcome =
+    match on_resume with Some f -> f outcome | None -> ()
+  in
   let ck =
     let loaded =
       if resume then
         match checkpoint with
-        | Some path ->
-          Checkpoint.load ~path ~fingerprint:fp ~version:ckpt_version
+        | Some path -> (
+          match
+            Checkpoint.load ~path ~fingerprint:fp ~version:ckpt_version
+          with
+          | Stdlib.Ok (ck, src) ->
+            notify_resume (`Loaded src);
+            Sink.event sink ~kind:"resume"
+              [
+                ("path", Json.String path);
+                ( "source",
+                  Json.String
+                    (match src with
+                     | Checkpoint.Primary -> "primary"
+                     | Checkpoint.Recovered -> "recovered") );
+              ];
+            Some ck
+          | Stdlib.Error err ->
+            notify_resume (`Failed err);
+            Sink.event sink ~kind:"resume"
+              [
+                ("path", Json.String path);
+                ("error", Json.String (Checkpoint.error_to_string err));
+              ];
+            None)
         | None -> None
       else None
     in
     match loaded with Some ck -> ck | None -> fresh_ckpt ()
   in
+  (* A resumed chaos run replays the plan from the persisted sequence
+     numbers, so the interrupted and uninterrupted runs see the same
+     injections. The [Ckpt_save] hook in [save] below ticks {e before}
+     the snapshot is taken, keeping save-site numbering aligned across
+     the kill/resume boundary. *)
+  if Chaos.active () && ck.c_chaos <> [||] then Chaos.restore ck.c_chaos;
   let save stage =
     (match checkpoint with
      | Some path ->
-       Checkpoint.save ~path ~fingerprint:fp ~version:ckpt_version ck;
-       Sink.event sink ~kind:"checkpoint"
-         [ ("stage", Json.String stage); ("path", Json.String path) ]
+       let write () =
+         (match Chaos.point Chaos.Ckpt_save with `Ok | `Cancel -> ());
+         ck.c_chaos <- (if Chaos.active () then Chaos.snapshot () else [||]);
+         Checkpoint.save ~path ~fingerprint:fp ~version:ckpt_version ck
+       in
+       let res =
+         if keep_going then Retry.run write else Stdlib.Ok (write ())
+       in
+       (match res with
+        | Stdlib.Ok () ->
+          Sink.event sink ~kind:"checkpoint"
+            [ ("stage", Json.String stage); ("path", Json.String path) ]
+        | Stdlib.Error (e, bt) ->
+          (* Keep-going: a checkpoint that cannot be written is skipped —
+             the run still completes, it just resumes from an older
+             wave. *)
+          if keep_going then
+            Sink.event sink ~kind:"checkpoint_failed"
+              [
+                ("stage", Json.String stage);
+                ("path", Json.String path);
+                ("error", Json.String (Printexc.to_string e));
+              ]
+          else Printexc.raise_with_backtrace e bt)
      | None -> ());
     match on_checkpoint with Some f -> f stage | None -> ()
   in
@@ -1091,6 +1336,7 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
             ck.acct.cl_late <- true;
           ck.c_classify <- Some (c, s);
           ck.aborted_flag <- Array.make (Array.length c.Classify.hard) false;
+          ck.failed_flag <- Array.make (Array.length c.Classify.hard) false;
           save "classify";
           (c, s))
   in
@@ -1108,8 +1354,8 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
       phase_obs sink "step2-atpg" (fun () ->
           let p =
             plan_step2 ~params ~budget ~acct:ck.acct
-              ~aborted_flag:ck.aborted_flag view scoap scanned config
-              ~hard_faults
+              ~aborted_flag:ck.aborted_flag ~failed_flag:ck.failed_flag view
+              scoap scanned config ~hard_faults
           in
           ck.c_plan <- Some p;
           save "step2-atpg";
@@ -1122,8 +1368,8 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
     | None ->
       phase_obs sink "step2-fsim" (fun () ->
           let step2, remaining =
-            fsim_step2 ~params ~engine ~budget ~acct:ck.acct scanned
-              ~hard_faults ~plan
+            fsim_step2 ~params ~engine ~budget ~acct:ck.acct
+              ~failed_flag:ck.failed_flag scanned ~hard_faults ~plan
           in
           ck.c_s2 <- Some { s2_step2 = step2; s2_remaining = remaining };
           save "step2-fsim";
@@ -1144,7 +1390,8 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
       phase_obs sink "step3" (fun () ->
           let step3, undetected_idx, aborted_idx, untestable3_idx =
             run_step3 ~params ~engine ~budget ~acct:ck.acct
-              ~aborted_flag:ck.aborted_flag ~progress:ck.c_s3
+              ~aborted_flag:ck.aborted_flag ~failed_flag:ck.failed_flag
+              ~progress:ck.c_s3
               ~save_progress:(fun p ->
                 ck.c_s3 <- Some p;
                 save "step3-wave")
@@ -1156,12 +1403,27 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
           save "finished";
           (step3, undetected_idx, aborted_idx, untestable3_idx))
   in
-  let aborts = aborts_of ck.acct ~aborted_faults:(List.length aborted_idx) in
+  (* Every hard fault the containment machinery quarantined, across all
+     phases: [failed_flag] is indexed by position in the hard set. *)
+  let failed_faults =
+    let acc = ref [] in
+    Array.iteri
+      (fun i f -> if ck.failed_flag.(i) then acc := f :: !acc)
+      hard_faults;
+    List.rev !acc
+  in
+  let aborts =
+    aborts_of ck.acct
+      ~aborted_faults:(List.length aborted_idx)
+      ~failed_faults:(List.length failed_faults)
+  in
   if sink.Sink.enabled then begin
     (* The machine-readable counterpart of the report's [aborts:] lines. *)
     List.iter
       (fun p ->
-        if p.budget_exhausted || p.atpg_aborts > 0 || p.cancelled_groups > 0
+        if
+          p.budget_exhausted || p.atpg_aborts > 0 || p.cancelled_groups > 0
+          || p.failed > 0
         then
           Sink.event sink ~kind:"aborts"
             [
@@ -1169,6 +1431,7 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
               ("budget_exhausted", Json.Bool p.budget_exhausted);
               ("atpg_aborts", Json.Int p.atpg_aborts);
               ("cancelled_groups", Json.Int p.cancelled_groups);
+              ("failed", Json.Int p.failed);
             ])
       aborts.phases;
     let m = sink.Sink.metrics in
@@ -1180,7 +1443,9 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
     set_c "atpg.podem.aborted_limit" ck.acct.p_ab_limit;
     set_c "atpg.podem.aborted_deadline" ck.acct.p_ab_deadline;
     set_c "atpg.seq.runs" ck.acct.s_runs;
-    set_c "atpg.seq.backtracks" ck.acct.s_backtracks
+    set_c "atpg.seq.backtracks" ck.acct.s_backtracks;
+    set_c "flow.failed_groups" ck.acct.s3_failed_groups;
+    set_c "flow.failed_faults" (List.length failed_faults)
   end;
   {
     scanned;
@@ -1194,6 +1459,7 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
     untestable_faults =
       untestable2 @ List.map (fun i -> remaining_faults.(i)) untestable3_idx;
     aborted = List.map (fun i -> remaining_faults.(i)) aborted_idx;
+    failed = failed_faults;
     aborts;
     atpg = atpg_stats_of ck.acct;
   }

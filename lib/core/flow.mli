@@ -57,6 +57,13 @@ type params = {
   final_fault_seconds : float;
       (** budget per fault for the final individual targeting (the paper's
           "additional time") *)
+  on_error : Config.on_error;
+      (** failure policy ({!Config.on_error}). [`Fail_fast] (the default
+          here) propagates the first exception exactly as the seed did;
+          [`Keep_going] contains failures — retrying transient ones,
+          quarantining the rest into the [failed] bucket — so a budgeted
+          run always produces a report. Excluded from the checkpoint
+          fingerprint. *)
   sink : Fst_obs.Sink.t;
       (** observability sink threaded through every layer (phases, pool,
           fault simulation, individual ATPG calls). The default
@@ -113,6 +120,10 @@ type phase_aborts = {
   cancelled_groups : int;
       (** step-3 groups (or final-targeting faults) whose attempt was
           denied outright by the tripped deadline *)
+  failed : int;
+      (** hard faults quarantined during this phase under [`Keep_going]:
+          their attempt raised (directly, or through a cohort-failed
+          group or engine call) rather than being denied by the budget *)
 }
 
 type aborts = {
@@ -120,13 +131,18 @@ type aborts = {
   aborted_faults : int;
       (** hard faults left alive at the end of the flow whose attempt was
           denied by the budget — reported separately from [undetected] so
-          that detected + untestable + undetected + aborted always equals
-          the number of hard faults *)
+          that detected + untestable + undetected + aborted + failed
+          always equals the number of hard faults *)
+  failed_faults : int;
+      (** hard faults in the [failed] bucket (0 under [`Fail_fast]) *)
 }
 
 val budget_exhausted : aborts -> bool
 val atpg_aborts : aborts -> int
 val cancelled_groups : aborts -> int
+
+val failed_tasks : aborts -> int
+(** Sum of the per-phase [failed] counts. *)
 
 (** Aggregate ATPG engine statistics over the whole flow (previously
     computed by {!Fst_atpg.Podem}/{!Fst_atpg.Seq} and discarded).
@@ -160,6 +176,12 @@ type result = {
           relaxed-model proofs of step 3) *)
   aborted : Fault.t list;
       (** survivors whose attempt was denied by the wall-clock budget *)
+  failed : Fault.t list;
+      (** faults quarantined by the [`Keep_going] containment machinery:
+          the flow could not complete their attempt because something
+          raised, and the partition invariant counts them separately from
+          [undetected] (which received a full, clean attempt). Always []
+          under [`Fail_fast]. *)
   aborts : aborts;
   atpg : atpg_stats;
 }
@@ -187,7 +209,14 @@ type result = {
     ignored — and continues from the last completed stage; a resumed
     [jobs = 1] run produces results identical to an uninterrupted one.
     [on_checkpoint] is called with a stage label ("classify", "step2-atpg",
-    "step2-fsim", "step3-wave", "finished") after each save. *)
+    "step2-fsim", "step3-wave", "finished") after each save.
+
+    [on_resume] is called once when [resume = true] and a checkpoint path
+    was given: [`Loaded src] says which file the state came from
+    ({!Checkpoint.Primary} or the [.prev] last-good rotation), [`Failed
+    err] says exactly why no state could be loaded
+    ({!Checkpoint.error}: missing, corrupt, fingerprint or version
+    mismatch) before the flow starts fresh. *)
 val run :
   ?params:params ->
   ?config:Config.t ->
@@ -195,6 +224,8 @@ val run :
   ?checkpoint:string ->
   ?resume:bool ->
   ?on_checkpoint:(string -> unit) ->
+  ?on_resume:
+    ([ `Loaded of Checkpoint.source | `Failed of Checkpoint.error ] -> unit) ->
   Circuit.t ->
   Scan.config ->
   result

@@ -5,13 +5,16 @@ open Fst_fsim
 open Fst_atpg
 open Fst_tpi
 module Clock = Fst_exec.Clock
+module Retry = Fst_exec.Retry
 module Sink = Fst_obs.Sink
+module Json = Fst_obs.Json
 
 type params = {
   backtrack : int;
   random_blocks : int;
   random_seed : int64;
   jobs : int;
+  on_error : Config.on_error;
   sink : Sink.t;
 }
 
@@ -21,6 +24,7 @@ let default_params =
     random_blocks = 32;
     random_seed = 0xCAFEL;
     jobs = Fst_exec.Pool.default_jobs ();
+    on_error = `Fail_fast;
     sink = Sink.null;
   }
 
@@ -30,6 +34,7 @@ type result = {
   untestable : int;
   undetected : int;
   aborted : int;
+  failed : int;
   vectors : int;
   seconds : float;
 }
@@ -48,6 +53,7 @@ let params_of_config (c : Config.t) =
     random_blocks = c.Config.scan_random_blocks;
     random_seed = c.Config.scan_random_seed;
     jobs = c.Config.jobs;
+    on_error = c.Config.on_error;
     sink = c.Config.sink;
   }
 
@@ -77,29 +83,47 @@ let run ?params ?(config : Config.t option) ?(deadline = Clock.never) scanned
   let n = Array.length targets in
   let view = functional_view scanned config in
   let scoap = Fst_testability.Scoap.compute view in
+  let keep_going = params.on_error = `Keep_going in
   let blocks = ref [] in
   let proven = Array.make n false in
   let denied = Array.make n false in
+  let failed = Array.make n false in
+  let n_failed = ref 0 in
   let i = ref 0 in
   while !i < n && not (Clock.expired deadline) do
-    (match
-       Podem.run ~backtrack_limit:params.backtrack
-         ~should_abort:(fun () -> Clock.expired deadline)
-         ~scoap view ~faults:[ targets.(!i) ]
-     with
-     | Podem.Test assignment, _ ->
-       let ff_values, pi_values =
-         List.partition (fun (net, _) -> Circuit.is_dff scanned net) assignment
-       in
-       blocks :=
-         Sequences.of_capture_test scanned config ~ff_values ~pi_values
-         :: !blocks
-     | Podem.Untestable, _ -> proven.(!i) <- true
-     | Podem.Aborted, _ -> if Clock.expired deadline then denied.(!i) <- true);
+    (try
+       match
+         Podem.run ~backtrack_limit:params.backtrack
+           ~should_abort:(fun () -> Clock.expired deadline)
+           ~scoap view ~faults:[ targets.(!i) ]
+       with
+       | Podem.Test assignment, _ ->
+         let ff_values, pi_values =
+           List.partition
+             (fun (net, _) -> Circuit.is_dff scanned net)
+             assignment
+         in
+         blocks :=
+           Sequences.of_capture_test scanned config ~ff_values ~pi_values
+           :: !blocks
+       | Podem.Untestable, _ -> proven.(!i) <- true
+       | Podem.Aborted, _ -> if Clock.expired deadline then denied.(!i) <- true
+     with e when keep_going ->
+       (* Isolated: the fault keeps its chance at detection through the
+          other sequences; only a still-undetected fault lands in the
+          failed bucket. *)
+       failed.(!i) <- true;
+       incr n_failed;
+       Sink.event sink ~kind:"fault_failed"
+         [
+           ("phase", Json.String "scan-atpg");
+           ("fault", Json.Int !i);
+           ("error", Json.String (Printexc.to_string e));
+         ]);
     if sink.Sink.enabled then
       Sink.tick sink ~phase:"scan-atpg" ~done_:(!i + 1) ~total:n
-        ~detected:(List.length !blocks)
-        ~budget_left:(Clock.remaining deadline);
+        ~detected:(List.length !blocks) ~failed:!n_failed
+        ~budget_left:(Clock.remaining deadline) ();
     incr i
   done;
   for k = !i to n - 1 do
@@ -117,11 +141,32 @@ let run ?params ?(config : Config.t option) ?(deadline = Clock.never) scanned
   let blocks =
     List.rev !blocks @ List.init params.random_blocks (fun _ -> random_block ())
   in
+  let engine_failed = ref false in
   let outcome =
-    Fsim.Engine.detect_dropping ~obs:sink ~engine ~jobs:params.jobs scanned
-      ~faults:targets ~observe:scanned.Circuit.outputs ~stimuli:blocks
+    let simulate () =
+      Fsim.Engine.detect_dropping ~obs:sink ~engine ~jobs:params.jobs scanned
+        ~faults:targets ~observe:scanned.Circuit.outputs ~stimuli:blocks
+    in
+    if not keep_going then simulate ()
+    else
+      match Retry.run simulate with
+      | Stdlib.Ok o -> o
+      | Stdlib.Error (e, _bt) ->
+        (* The simulator is the sole witness of detection, so its permanent
+           failure makes every unproven fault's outcome unknowable: the
+           whole cohort moves to the failed bucket. *)
+        engine_failed := true;
+        Sink.event sink ~kind:"engine_failed"
+          [
+            ("phase", Json.String "scan-atpg");
+            ("error", Json.String (Printexc.to_string e));
+          ];
+        Array.make n None
   in
-  let detected = ref 0 and untestable = ref 0 and aborted = ref 0 in
+  let detected = ref 0
+  and untestable = ref 0
+  and aborted = ref 0
+  and n_failed = ref 0 in
   Array.iteri
     (fun i o ->
       (* A capture-model-untestable fault can still fall to the load or
@@ -132,14 +177,16 @@ let run ?params ?(config : Config.t option) ?(deadline = Clock.never) scanned
       | Some _ -> incr detected
       | None ->
         if proven.(i) then incr untestable
+        else if failed.(i) || !engine_failed then incr n_failed
         else if denied.(i) then incr aborted)
     outcome;
   {
     targeted = n;
     detected = !detected;
     untestable = !untestable;
-    undetected = n - !detected - !untestable - !aborted;
+    undetected = n - !detected - !untestable - !aborted - !n_failed;
     aborted = !aborted;
+    failed = !n_failed;
     vectors = List.length blocks;
     seconds = Clock.now () -. t0;
   }

@@ -22,6 +22,12 @@ type params = {
   random_blocks : int;  (** random capture tests appended to the set *)
   random_seed : int64;
   jobs : int;  (** domains for the fault-simulation pass ({!Fst_exec.Pool}) *)
+  on_error : Config.on_error;
+      (** failure policy: [`Fail_fast] (default) propagates exceptions;
+          [`Keep_going] isolates per-fault ATPG failures (the fault lands
+          in [failed] unless another sequence detects it) and retries the
+          fault-simulation pass, quarantining every unproven fault when it
+          permanently fails *)
   sink : Fst_obs.Sink.t;
       (** observability sink (default {!Fst_obs.Sink.null}): a phase span,
           a progress heartbeat during ATPG, and fault-simulation metrics *)
@@ -40,6 +46,10 @@ type result = {
   aborted : int;
       (** faults whose ATPG attempt was denied by [deadline] and that no
           other sequence detected *)
+  failed : int;
+      (** faults quarantined under [`Keep_going] (0 under [`Fail_fast]);
+          [targeted = detected + untestable + undetected + aborted +
+          failed] *)
   vectors : int;
   seconds : float;  (** wall-clock time ({!Fst_exec.Clock}) *)
 }

@@ -232,6 +232,14 @@ let mapi_array ?obs ?label ?chunk ?work ~jobs f xs =
 let map_list ?obs ?label ?chunk ?work ~jobs f xs =
   Array.to_list (map_array ?obs ?label ?chunk ?work ~jobs f (Array.of_list xs))
 
+exception Task_failed of int * exn
+
+let () =
+  Printexc.register_printer (function
+    | Task_failed (i, e) ->
+      Some (Printf.sprintf "Task_failed(%d, %s)" i (Printexc.to_string e))
+    | _ -> None)
+
 let map_cancellable ?(obs = Sink.null) ?(label = "map") ?chunk ?work
     ?token:tok ?(deadline = Clock.never) ~jobs f xs =
   let n = Array.length xs in
@@ -252,10 +260,104 @@ let map_cancellable ?(obs = Sink.null) ?(label = "map") ?chunk ?work
   in
   let stop () = cancelled tok || Clock.expired deadline in
   run_tasks ~obs ~label ~jobs ~chunk:(chunk_of ?chunk ~jobs n) ~stop n run_one;
-  reraise_first n slots;
+  (* Wrapped in [Task_failed] so callers learn which input failed
+     without string-matching backtraces; the original backtrace is
+     preserved on the re-raise. *)
+  for i = 0 to n - 1 do
+    match slots.(i) with
+    | Some (Error (e, bt)) ->
+      Printexc.raise_with_backtrace (Task_failed (i, e)) bt
+    | Some (Ok _) | None -> ()
+  done;
   Array.map
     (function
       | Some (Ok y) -> Done y
       | None -> Cancelled
       | Some (Error _) -> assert false)
     slots
+
+(* --- fault-isolated maps ------------------------------------------------ *)
+
+(* Namespaced so [Ok]/[Cancelled] never shadow stdlib [Ok] or
+   [outcome]'s [Cancelled] at use sites. *)
+module Task = struct
+  type 'a outcome =
+    | Ok of 'a
+    | Failed of exn * Printexc.raw_backtrace
+    | Cancelled
+end
+
+let map_cancellable_isolated ?(obs = Sink.null) ?(label = "map") ?chunk
+    ?work ?retry ?token:tok ?(deadline = Clock.never) ~jobs f xs =
+  let n = Array.length xs in
+  let jobs = effective_jobs ?work ~jobs n in
+  let tok = match tok with Some t -> t | None -> token () in
+  let policy = match retry with Some p -> p | None -> Retry.default in
+  let live = obs.Sink.enabled in
+  let retries_c =
+    if live then
+      Some (Metrics.counter obs.Sink.metrics ("pool." ^ label ^ ".retries"))
+    else None
+  in
+  let quarantined_c =
+    if live then
+      Some
+        (Metrics.counter obs.Sink.metrics ("pool." ^ label ^ ".quarantined"))
+    else None
+  in
+  let slots = Array.make n None in
+  let run_one ~wid:_ i =
+    (* The chaos hook sits inside the retried thunk, so a one-shot
+       injection is absorbed by the retry and only a plan that keeps
+       firing produces a permanent failure. [Cancel] trips the shared
+       token: the rest of the queue drains, already-claimed tasks (this
+       one included) run to completion. *)
+    let result, attempts =
+      Retry.run_count ~policy (fun () ->
+          (match Chaos.point Chaos.Pool_task with
+           | `Cancel -> cancel tok
+           | `Ok -> ());
+          f xs.(i))
+    in
+    let retries = attempts - 1 in
+    if retries > 0 then begin
+      match retries_c with
+      | Some c -> Metrics.Counter.add c retries
+      | None -> ()
+    end;
+    (match result with
+     | Result.Ok y ->
+       slots.(i) <- Some (Task.Ok y);
+       (* Rate-limited retry reporting: one summarizing event per task
+          that needed retries, never one per attempt. *)
+       if retries > 0 && live then
+         Sink.event obs ~kind:"pool.task_retried"
+           [
+             ("label", Fst_obs.Json.String label);
+             ("index", Fst_obs.Json.Int i);
+             ("attempts", Fst_obs.Json.Int attempts);
+             ("outcome", Fst_obs.Json.String "ok");
+           ]
+     | Result.Error (e, bt) ->
+       (* Quarantine: the failure is recorded in the task's own slot and
+          the queue keeps going — a poison task never drains its
+          siblings. *)
+       slots.(i) <- Some (Task.Failed (e, bt));
+       (match quarantined_c with
+        | Some c -> Metrics.Counter.incr c
+        | None -> ());
+       if live then
+         Sink.event obs ~kind:"pool.task_quarantined"
+           [
+             ("label", Fst_obs.Json.String label);
+             ("index", Fst_obs.Json.Int i);
+             ("attempts", Fst_obs.Json.Int attempts);
+             ("error", Fst_obs.Json.String (Printexc.to_string e));
+           ])
+  in
+  let stop () = cancelled tok || Clock.expired deadline in
+  run_tasks ~obs ~label ~jobs ~chunk:(chunk_of ?chunk ~jobs n) ~stop n run_one;
+  Array.map (function Some o -> o | None -> Task.Cancelled) slots
+
+let map_isolated ?obs ?label ?chunk ?work ?retry ~jobs f xs =
+  map_cancellable_isolated ?obs ?label ?chunk ?work ?retry ~jobs f xs

@@ -117,14 +117,22 @@ val map_list :
   'a list ->
   'b list
 
+(** Raised by {!map_cancellable} in place of a task's own exception: the
+    [int] is the input index of the lowest-index failing task, so callers
+    can attribute the failure without string-matching backtraces. The
+    original exception is the payload and its backtrace is preserved on
+    the re-raise. *)
+exception Task_failed of int * exn
+
 (** [map_cancellable ~jobs f xs] is {!map_array} with cooperative
     cancellation: the queue stops being claimed once [token] is cancelled
     or [deadline] expires, and every unclaimed slot comes back
     [Cancelled], in input order. A raising task cancels the token (so the
     rest of the queue drains) and the lowest-index recorded failure is
-    re-raised after the join. With [jobs <= 1] the stop condition is
-    checked between consecutive tasks, so the [Done] prefix is exactly the
-    tasks that ran — fully deterministic. *)
+    re-raised after the join, wrapped in {!Task_failed} with its input
+    index. With [jobs <= 1] the stop condition is checked between
+    consecutive tasks, so the [Done] prefix is exactly the tasks that ran
+    — fully deterministic. *)
 val map_cancellable :
   ?obs:Fst_obs.Sink.t ->
   ?label:string ->
@@ -136,3 +144,70 @@ val map_cancellable :
   ('a -> 'b) ->
   'a array ->
   'b outcome array
+
+(** {1 Fault-isolated maps}
+
+    The isolated variants never let one task's failure touch its
+    siblings: instead of the fail-fast drain-and-re-raise contract, each
+    task gets its own {!task_outcome} slot. Failures classified
+    transient by the {!Retry} policy are retried in place (bounded,
+    deterministic backoff through the policy's injectable sleep);
+    failures that survive the attempt budget are {e quarantined} — the
+    exception and backtrace land in the task's own [Failed] slot and the
+    queue keeps going. Results merge in input order, so [jobs <= 1] with
+    no failures is bit-identical to {!map_array}.
+
+    With a live sink, each region additionally counts
+    [pool.<label>.retries] (total extra attempts) and
+    [pool.<label>.quarantined] (tasks that exhausted the budget), and
+    emits one summarizing event per retried or quarantined task
+    ([pool.task_retried] / [pool.task_quarantined]) — never one per
+    attempt, so retry storms cannot flood the event log.
+
+    Each task body also runs a {!Chaos.point}[ Pool_task] hook (inside
+    the retried thunk, so one-shot injections are absorbed by the
+    retry); a [Cancel] action trips the map's own token. *)
+
+(** Per-task outcome of an isolated map, in input order: the task's
+    result, its final failure after retries (quarantined), or
+    [Cancelled] because the queue was drained before it was claimed.
+    Namespaced in a submodule so the constructors never shadow stdlib
+    [Ok] or {!outcome}'s [Cancelled]. *)
+module Task : sig
+  type 'a outcome =
+    | Ok of 'a
+    | Failed of exn * Printexc.raw_backtrace
+    | Cancelled
+end
+
+(** [map_isolated ~jobs f xs] maps with per-task fault isolation and no
+    external cancellation: slots are only [Cancelled] if a chaos [Cancel]
+    injection trips the internal token. [retry] defaults to
+    {!Retry.default}. *)
+val map_isolated :
+  ?obs:Fst_obs.Sink.t ->
+  ?label:string ->
+  ?chunk:int ->
+  ?work:int ->
+  ?retry:Retry.policy ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b Task.outcome array
+
+(** [map_cancellable_isolated] is {!map_isolated} with the cooperative
+    cancellation of {!map_cancellable}: unclaimed slots come back
+    [Cancelled] once [token] trips or [deadline] expires, but a failing
+    task is quarantined in its own slot instead of draining the queue. *)
+val map_cancellable_isolated :
+  ?obs:Fst_obs.Sink.t ->
+  ?label:string ->
+  ?chunk:int ->
+  ?work:int ->
+  ?retry:Retry.policy ->
+  ?token:token ->
+  ?deadline:Clock.deadline ->
+  jobs:int ->
+  ('a -> 'b) ->
+  'a array ->
+  'b Task.outcome array

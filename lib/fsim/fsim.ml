@@ -1299,8 +1299,17 @@ module Engine = struct
         ds;
       out
 
+  (* Chaos hook at every engine entry: a [Raise] injection here exercises
+     the callers' retry/containment paths; [Cancel] has no local meaning
+     (detection has no token) and is ignored per the {!Fst_exec.Chaos}
+     contract. A single atomic load when disarmed. *)
+  let chaos_entry () =
+    match Fst_exec.Chaos.point Fst_exec.Chaos.Engine with
+    | `Ok | `Cancel -> ()
+
   let detect_all ?(obs = Sink.null) ?(engine = `Auto) ?(jobs = 1) c ~faults
       ~observe stim =
+    chaos_entry ();
     let jobs = max 1 jobs in
     observe_call obs "detect_all" ~faults (fun () ->
         if Array.length faults = 0 then [||]
@@ -1319,6 +1328,7 @@ module Engine = struct
 
   let detect_dropping ?(obs = Sink.null) ?(engine = `Auto) ?(jobs = 1) c
       ~faults ~observe ~stimuli =
+    chaos_entry ();
     let jobs = max 1 jobs in
     observe_call obs "detect_dropping" ~faults (fun () ->
         if Array.length faults = 0 then [||]

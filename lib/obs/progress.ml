@@ -9,7 +9,8 @@ type t = {
 let create ?(interval = 1.0) () =
   { interval; lock = Mutex.create (); last = 0.0; phase_start = 0.0; phase = "" }
 
-let tick t ~phase ~done_ ~total ~detected ~budget_left =
+let tick t ?(failed = 0) ?(quarantined = 0) ~phase ~done_ ~total ~detected
+    ~budget_left () =
   let now = Unix.gettimeofday () in
   Mutex.lock t.lock;
   if t.phase <> phase then begin
@@ -38,6 +39,13 @@ let tick t ~phase ~done_ ~total ~detected ~budget_left =
       if Float.is_finite eta && eta >= 0.0 then Printf.sprintf " | eta %.1fs" eta
       else ""
     in
-    Printf.eprintf "[flow] %s %d/%d done, %d detected, %d%%%s\n%!" phase done_
-      total detected pct eta_txt
+    (* Failure counts only appear once something actually failed, so the
+       happy-path heartbeat stays exactly as it always was. *)
+    let fail_txt =
+      if failed > 0 || quarantined > 0 then
+        Printf.sprintf ", %d failed/%d quarantined" failed quarantined
+      else ""
+    in
+    Printf.eprintf "[flow] %s %d/%d done, %d detected%s, %d%%%s\n%!" phase
+      done_ total detected fail_txt pct eta_txt
   end

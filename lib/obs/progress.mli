@@ -14,12 +14,17 @@ val create : ?interval:float -> unit -> t
 
 val tick :
   t ->
+  ?failed:int ->
+  ?quarantined:int ->
   phase:string ->
   done_:int ->
   total:int ->
   detected:int ->
   budget_left:float ->
+  unit ->
   unit
 (** [budget_left] is the seconds remaining in the phase's budget
     ([infinity] when unbudgeted); the ETA printed is the smaller of the
-    rate-extrapolated finish and the budget left. *)
+    rate-extrapolated finish and the budget left. [failed] /
+    [quarantined] (both default 0) are appended to the line only when
+    nonzero, so a clean run's heartbeat is unchanged. *)

@@ -33,8 +33,10 @@ let event t ~kind fields =
   | Some ev when t.enabled -> Events.emit ev ~kind fields
   | _ -> ()
 
-let tick t ~phase ~done_ ~total ~detected ~budget_left =
+let tick t ?failed ?quarantined ~phase ~done_ ~total ~detected ~budget_left
+    () =
   match t.progress with
   | Some p when t.enabled ->
-    Progress.tick p ~phase ~done_ ~total ~detected ~budget_left
+    Progress.tick p ?failed ?quarantined ~phase ~done_ ~total ~detected
+      ~budget_left ()
   | _ -> ()

@@ -47,10 +47,15 @@ val event : t -> kind:string -> (string * Json.t) list -> unit
 
 val tick :
   t ->
+  ?failed:int ->
+  ?quarantined:int ->
   phase:string ->
   done_:int ->
   total:int ->
   detected:int ->
   budget_left:float ->
+  unit ->
   unit
-(** Heartbeat when progress is attached. *)
+(** Heartbeat when progress is attached. [failed] / [quarantined]
+    surface failure-containment counts on the line when nonzero
+    ({!Progress.tick}). *)

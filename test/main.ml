@@ -8,6 +8,8 @@ let () =
       ("timing", Test_timing.suite);
       ("sim", Test_sim.suite);
       ("exec", Test_exec.suite);
+      ("chaos", Test_chaos.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("obs", Test_obs.suite);
       ("vcd", Test_vcd.suite);
       ("fault", Test_fault.suite);

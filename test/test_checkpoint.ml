@@ -1,0 +1,148 @@
+(* Checkpoint hardening: checksummed headers, .prev last-good rotation,
+   and recovery classification (missing / corrupt / fingerprint mismatch /
+   version mismatch). *)
+
+module Ck = Fst_core.Checkpoint
+
+let with_tmp f =
+  let path = Filename.temp_file "fst-ckpt" ".bin" in
+  (* temp_file creates an empty file; start from a clean slate so the
+     first save does not rotate that empty stub into [.prev]. *)
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove path with Sys_error _ -> ());
+      try Sys.remove (Ck.prev_path path) with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let check_load name path ~fingerprint ~version expect =
+  let got : (string * Ck.source, Ck.error) result =
+    Ck.load ~path ~fingerprint ~version
+  in
+  Alcotest.(check bool) name true (got = expect)
+
+let test_roundtrip () =
+  with_tmp (fun path ->
+      Ck.save ~path ~fingerprint:"fp" ~version:3 "payload-1";
+      check_load "primary roundtrip" path ~fingerprint:"fp" ~version:3
+        (Ok ("payload-1", Ck.Primary));
+      Alcotest.(check bool) "no .prev after first save" false
+        (Sys.file_exists (Ck.prev_path path)))
+
+let test_rotation () =
+  with_tmp (fun path ->
+      Ck.save ~path ~fingerprint:"fp" ~version:3 "one";
+      Ck.save ~path ~fingerprint:"fp" ~version:3 "two";
+      check_load "latest wins" path ~fingerprint:"fp" ~version:3
+        (Ok ("two", Ck.Primary));
+      Alcotest.(check bool) ".prev exists" true
+        (Sys.file_exists (Ck.prev_path path));
+      (* The rotation keeps the previous good payload verbatim. *)
+      check_load ".prev holds the previous payload" (Ck.prev_path path)
+        ~fingerprint:"fp" ~version:3
+        (Ok ("one", Ck.Primary)))
+
+let test_truncated_recovers () =
+  with_tmp (fun path ->
+      Ck.save ~path ~fingerprint:"fp" ~version:3 "one";
+      Ck.save ~path ~fingerprint:"fp" ~version:3 "two";
+      let bytes = read_file path in
+      write_file path (String.sub bytes 0 (String.length bytes - 5));
+      check_load "truncated primary falls back to .prev" path
+        ~fingerprint:"fp" ~version:3
+        (Ok ("one", Ck.Recovered)))
+
+let test_bitflip_recovers () =
+  with_tmp (fun path ->
+      Ck.save ~path ~fingerprint:"fp" ~version:3 "one";
+      Ck.save ~path ~fingerprint:"fp" ~version:3 "two";
+      let bytes = Bytes.of_string (read_file path) in
+      let k = Bytes.length bytes - 3 in
+      Bytes.set bytes k (Char.chr (Char.code (Bytes.get bytes k) lxor 0xff));
+      write_file path (Bytes.to_string bytes);
+      check_load "checksum mismatch falls back to .prev" path
+        ~fingerprint:"fp" ~version:3
+        (Ok ("one", Ck.Recovered)))
+
+let test_stale_fingerprint_recovers () =
+  with_tmp (fun path ->
+      Ck.save ~path ~fingerprint:"good" ~version:3 "one";
+      Ck.save ~path ~fingerprint:"good" ~version:3 "two";
+      (* Rewrite only the header's fingerprint field: the payload and its
+         checksum stay valid, so this is precisely the stale-fingerprint
+         case rather than generic corruption. *)
+      let bytes = read_file path in
+      let nl = String.index bytes '\n' in
+      let header = String.sub bytes 0 nl in
+      let rest = String.sub bytes nl (String.length bytes - nl) in
+      let header' =
+        match String.split_on_char ' ' header with
+        | [ m; v; _fp; sum ] -> String.concat " " [ m; v; "stale"; sum ]
+        | _ -> Alcotest.fail "unexpected header layout"
+      in
+      write_file path (header' ^ rest);
+      check_load "stale fingerprint falls back to .prev" path
+        ~fingerprint:"good" ~version:3
+        (Ok ("one", Ck.Recovered)))
+
+let test_error_classification () =
+  with_tmp (fun path ->
+      check_load "missing" path ~fingerprint:"fp" ~version:3
+        (Error Ck.Missing);
+      Ck.save ~path ~fingerprint:"other" ~version:3 "one";
+      check_load "fingerprint mismatch with no good .prev" path
+        ~fingerprint:"fp" ~version:3
+        (Error Ck.Fingerprint_mismatch);
+      Ck.save ~path ~fingerprint:"fp" ~version:2 "one";
+      (try Sys.remove (Ck.prev_path path) with Sys_error _ -> ());
+      check_load "version mismatch" path ~fingerprint:"fp" ~version:3
+        (Error (Ck.Version_mismatch { expected = 3; found = 2 }));
+      (* Pre-checksum header layout (three fields) classifies as a version
+         mismatch, not corruption. *)
+      write_file path "FST-CHECKPOINT 2 fp\ngarbage";
+      check_load "legacy three-field header" path ~fingerprint:"fp"
+        ~version:3
+        (Error (Ck.Version_mismatch { expected = 3; found = 2 }));
+      write_file path "";
+      (match Ck.load ~path ~fingerprint:"fp" ~version:3 with
+       | (Error (Ck.Corrupt _) : (string * Ck.source, Ck.error) result) -> ()
+       | _ -> Alcotest.fail "empty file should be Corrupt");
+      write_file path "not a checkpoint at all";
+      match Ck.load ~path ~fingerprint:"fp" ~version:3 with
+      | (Error (Ck.Corrupt _) : (string * Ck.source, Ck.error) result) -> ()
+      | _ -> Alcotest.fail "bad header should be Corrupt")
+
+let test_error_to_string () =
+  Alcotest.(check string) "missing" "missing" (Ck.error_to_string Ck.Missing);
+  Alcotest.(check bool) "corrupt mentions reason" true
+    (Ck.error_to_string (Ck.Corrupt "checksum mismatch")
+     |> String.split_on_char '('
+     |> List.length > 1);
+  Alcotest.(check bool) "version mentions both numbers" true
+    (let s = Ck.error_to_string (Ck.Version_mismatch { expected = 3; found = 1 }) in
+     String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "save/load roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case ".prev rotation" `Quick test_rotation;
+    Alcotest.test_case "truncated primary recovers" `Quick
+      test_truncated_recovers;
+    Alcotest.test_case "bit-flipped primary recovers" `Quick
+      test_bitflip_recovers;
+    Alcotest.test_case "stale fingerprint recovers" `Quick
+      test_stale_fingerprint_recovers;
+    Alcotest.test_case "error classification" `Quick test_error_classification;
+    Alcotest.test_case "error_to_string" `Quick test_error_to_string;
+  ]

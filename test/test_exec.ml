@@ -298,7 +298,8 @@ let test_blocking_tasks_respect_deadline () =
     got
 
 (* A raising task cancels the shared token (draining the queue) and its
-   exception is re-raised after the join. *)
+   exception is re-raised after the join, wrapped in [Task_failed] with
+   the failing task's input index. *)
 let test_failing_task_cancels_token () =
   List.iter
     (fun jobs ->
@@ -308,8 +309,10 @@ let test_failing_task_cancels_token () =
            (fun x -> if x = 7 then raise (Boom x) else x)
            (squares 40)
        with
-       | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
-       | exception Boom v -> Alcotest.(check int) "failure index" 7 v);
+       | _ -> Alcotest.failf "jobs=%d: expected Task_failed" jobs
+       | exception Pool.Task_failed (i, Boom v) ->
+         Alcotest.(check int) "failure index" 7 i;
+         Alcotest.(check int) "failure payload" 7 v);
       Alcotest.(check bool)
         (Printf.sprintf "token tripped jobs=%d" jobs)
         true (Pool.cancelled tok))
@@ -361,7 +364,159 @@ let prop_raise_drains_queue =
           (squares n)
       with
       | _ -> false
-      | exception Boom v -> v = boom_at)
+      | exception Pool.Task_failed (i, Boom v) -> i = boom_at && v = boom_at)
+
+(* --- fault-isolated maps ------------------------------------------------ *)
+
+module Retry = Fst_exec.Retry
+
+(* Test policy: identical semantics, no real backoff sleeping. *)
+let fast_retry = { Retry.default with Retry.sleep = (fun _ -> ()) }
+
+let test_isolated_all_ok () =
+  List.iter
+    (fun jobs ->
+      let got = Pool.map_isolated ~jobs (fun x -> x * x) (squares 20) in
+      Array.iteri
+        (fun i o ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d slot %d" jobs i)
+            true
+            (o = Pool.Task.Ok (i * i)))
+        got)
+    [ 1; 4 ]
+
+(* The whole point of isolation: a poison task lands in its own slot as
+   [Failed] and its siblings still complete. *)
+let test_isolated_poison_quarantined () =
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.map_isolated ~jobs ~retry:Retry.no_retry
+          (fun x -> if x mod 7 = 3 then raise (Boom x) else x)
+          (squares 20)
+      in
+      Array.iteri
+        (fun i o ->
+          match o with
+          | Pool.Task.Ok v ->
+            Alcotest.(check int) (Printf.sprintf "slot %d value" i) i v;
+            Alcotest.(check bool)
+              (Printf.sprintf "slot %d should have failed" i)
+              false (i mod 7 = 3)
+          | Pool.Task.Failed (Boom v, _) ->
+            Alcotest.(check int) (Printf.sprintf "slot %d payload" i) i v;
+            Alcotest.(check bool)
+              (Printf.sprintf "slot %d should have succeeded" i)
+              true (i mod 7 = 3)
+          | _ -> Alcotest.failf "slot %d unexpected outcome" i)
+        got)
+    [ 1; 4 ]
+
+(* A transient failure is retried within the bounded attempt budget and
+   the task still comes back [Ok]; clean tasks run exactly once. *)
+let test_isolated_retry_transient () =
+  let tries = Array.make 10 0 in
+  let policy =
+    { fast_retry with Retry.attempts = 3; transient = (fun _ -> true) }
+  in
+  let got =
+    Pool.map_isolated ~jobs:1 ~retry:policy
+      (fun x ->
+        tries.(x) <- tries.(x) + 1;
+        if x = 4 && tries.(x) < 3 then raise (Boom x) else x)
+      (squares 10)
+  in
+  Array.iteri
+    (fun i o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d ok" i)
+        true
+        (o = Pool.Task.Ok i))
+    got;
+  Alcotest.(check int) "flaky task used its attempts" 3 tries.(4);
+  Alcotest.(check int) "clean task ran once" 1 tries.(0)
+
+let test_isolated_retry_exhausted () =
+  let tries = ref 0 in
+  let policy =
+    { fast_retry with Retry.attempts = 2; transient = (fun _ -> true) }
+  in
+  let got =
+    Pool.map_isolated ~jobs:1 ~retry:policy
+      (fun x ->
+        if x = 2 then begin
+          incr tries;
+          raise (Boom x)
+        end
+        else x)
+      (squares 5)
+  in
+  Alcotest.(check int) "attempts bounded" 2 !tries;
+  Array.iteri
+    (fun i o ->
+      if i = 2 then
+        match o with
+        | Pool.Task.Failed (Boom 2, _) -> ()
+        | _ -> Alcotest.fail "poison slot should be Failed (Boom 2)"
+      else
+        Alcotest.(check bool)
+          (Printf.sprintf "slot %d ok" i)
+          true
+          (o = Pool.Task.Ok i))
+    got
+
+let test_isolated_expired_deadline_cancels () =
+  List.iter
+    (fun jobs ->
+      let got =
+        Pool.map_cancellable_isolated ~jobs ~deadline:(Clock.after (-1.0))
+          (fun x -> x)
+          (squares 12)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "all cancelled jobs=%d" jobs)
+        true
+        (Array.for_all (fun o -> o = Pool.Task.Cancelled) got))
+    [ 1; 4 ]
+
+(* Outcomes are merged in input order regardless of jobs, and for a pure
+   function the isolated map agrees with the plain one. *)
+let prop_isolated_matches_map =
+  Q.Test.make ~name:"isolated map matches plain map for pure tasks"
+    ~count:100
+    Q.(pair (int_bound 7) (int_bound 80))
+    (fun (jobs, n) ->
+      let jobs = jobs + 1 in
+      let xs = squares n in
+      let expect = Array.map (fun x -> (x * 31) lxor 5) xs in
+      let got = Pool.map_isolated ~jobs (fun x -> (x * 31) lxor 5) xs in
+      Array.length got = n
+      && Array.for_all2 (fun o e -> o = Pool.Task.Ok e) got expect)
+
+(* Fault injection over random poison sets: every poison index is
+   [Failed] with its own exception, everything else is [Ok] — no
+   cross-contamination at any [jobs]. *)
+let prop_isolated_poison_set =
+  Q.Test.make ~name:"isolated map quarantines exactly the poison set"
+    ~count:100
+    Q.(triple (int_bound 7) (int_bound 40) (int_bound 1000))
+    (fun (jobs, n, mask) ->
+      let jobs = jobs + 1 and n = n + 1 in
+      let poison i = (mask lsr (i mod 10)) land 1 = 1 in
+      let got =
+        Pool.map_isolated ~jobs ~retry:Retry.no_retry
+          (fun x -> if poison x then raise (Boom x) else x)
+          (squares n)
+      in
+      Array.length got = n
+      && Array.for_all
+           (fun o ->
+             match o with
+             | Pool.Task.Ok v -> not (poison v)
+             | Pool.Task.Failed (Boom v, _) -> poison v
+             | _ -> false)
+           got)
 
 let suite =
   [
@@ -395,4 +550,15 @@ let suite =
       test_failing_task_cancels_token;
     Helpers.qcheck prop_cancel_partial_results_ordered;
     Helpers.qcheck prop_raise_drains_queue;
+    Alcotest.test_case "isolated map all ok" `Quick test_isolated_all_ok;
+    Alcotest.test_case "isolated map quarantines poison" `Quick
+      test_isolated_poison_quarantined;
+    Alcotest.test_case "isolated map retries transients" `Quick
+      test_isolated_retry_transient;
+    Alcotest.test_case "isolated map bounds retry attempts" `Quick
+      test_isolated_retry_exhausted;
+    Alcotest.test_case "isolated map honors deadline" `Quick
+      test_isolated_expired_deadline_cancels;
+    Helpers.qcheck prop_isolated_matches_map;
+    Helpers.qcheck prop_isolated_poison_set;
   ]

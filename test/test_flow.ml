@@ -258,6 +258,255 @@ let test_checkpoint_fingerprint_mismatch () =
   Alcotest.(check bool) "mismatched checkpoint ignored" true
     (counts resumed = counts fresh)
 
+(* --- keep-going containment and the chaos harness ----------------------- *)
+
+module Chaos = Fst_exec.Chaos
+
+let keep_going_config = Config.(quick_config |> with_jobs 1 |> with_on_error `Keep_going)
+
+(* Buckets over the whole flow, as name sets. *)
+let bucket_names r =
+  let scanned = r.Flow.scanned in
+  let detected =
+    let excluded = Hashtbl.create 64 in
+    List.iter
+      (fun f -> Hashtbl.replace excluded (Fst_fault.Fault.to_string scanned f) ())
+      (r.Flow.undetected @ r.Flow.untestable_faults @ r.Flow.aborted
+     @ r.Flow.failed);
+    Array.to_list r.Flow.classify.Classify.hard
+    |> List.map (fun i ->
+           Fst_fault.Fault.to_string scanned
+             r.Flow.classify.Classify.infos.(i).Classify.fault)
+    |> List.filter (fun nm -> not (Hashtbl.mem excluded nm))
+  in
+  ( detected,
+    fault_names scanned r.Flow.failed,
+    fault_names scanned r.Flow.aborted )
+
+let partition_holds r =
+  Array.length r.Flow.classify.Classify.hard
+  = r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected
+    + List.length r.Flow.untestable_faults
+    + List.length r.Flow.undetected
+    + List.length r.Flow.aborted + List.length r.Flow.failed
+
+(* With chaos off, [`Keep_going] at jobs=1 is bit-identical to the
+   fail-fast seed path: the wave-structured step 3 commits exactly the
+   same stimuli, it only isolates differently on failure. *)
+let test_keep_going_chaos_off_identical () =
+  let scanned, config = scan_small 7L in
+  let ff = Flow.run ~config:Config.(quick_config |> with_jobs 1) scanned config in
+  let kg = Flow.run ~config:keep_going_config scanned config in
+  Alcotest.(check bool) "counts identical" true (counts kg = counts ff);
+  Alcotest.(check (list string)) "undetected identical"
+    (fault_names scanned ff.Flow.undetected)
+    (fault_names scanned kg.Flow.undetected);
+  Alcotest.(check (list string)) "untestable identical"
+    (fault_names scanned ff.Flow.untestable_faults)
+    (fault_names scanned kg.Flow.untestable_faults);
+  Alcotest.(check (list string)) "no failed bucket" []
+    (fault_names scanned kg.Flow.failed);
+  Alcotest.(check int) "accounting agrees" 0 kg.Flow.aborts.Flow.failed_faults
+
+(* QCheck generator for chaos plans, with free shrinking to a minimal
+   failing injection set via the list shrinker. *)
+let plan_arb =
+  let open Q.Gen in
+  let inj =
+    oneofl [ Chaos.Pool_task; Chaos.Engine; Chaos.Ckpt_save; Chaos.Ckpt_load ]
+    >>= fun site ->
+    int_bound 40 >>= fun at ->
+    frequency
+      [
+        (6, return Chaos.Raise);
+        (2, return (Chaos.Delay 0.001));
+        (2, return Chaos.Cancel);
+      ]
+    >>= fun action -> return { Chaos.site; at; action }
+  in
+  Q.make
+    ~print:(fun p -> "[" ^ Chaos.pp_plan p ^ "]")
+    ~shrink:Q.Shrink.list
+    (Q.Gen.list_size (Q.Gen.int_bound 10) inj)
+
+let chaos_reference =
+  lazy
+    (let scanned, config = scan_small 7L in
+     (scanned, config, Flow.run ~config:keep_going_config scanned config))
+
+(* The headline robustness properties: under any injection plan with
+   [`Keep_going], (a) every hard fault is accounted for exactly once,
+   and (b) the injected run agrees with the clean run wherever it did
+   not fail — its detections are a subset of the clean ones, and every
+   clean detection it misses is explained by the failed/aborted
+   buckets. *)
+let prop_chaos_invariant_and_agreement =
+  Q.Test.make ~name:"chaos keep-going: partition invariant and agreement"
+    ~count:25 plan_arb
+    (fun plan ->
+      let scanned, config, clean = Lazy.force chaos_reference in
+      let r =
+        Chaos.install plan;
+        Fun.protect ~finally:Chaos.clear (fun () ->
+            Flow.run ~config:keep_going_config scanned config)
+      in
+      let detected, failed, aborted = bucket_names r in
+      let clean_detected, _, _ = bucket_names clean in
+      partition_holds r
+      && List.for_all (fun nm -> List.mem nm clean_detected) detected
+      && List.for_all
+           (fun nm ->
+             List.mem nm detected || List.mem nm failed
+             || List.mem nm aborted)
+           clean_detected)
+
+(* Kill-and-resume with a corrupted checkpoint: whatever damage hits the
+   primary file (truncation, bit flips, a stale fingerprint), the .prev
+   last-good rotation brings the resumed jobs=1 run back bit-identical
+   to the uninterrupted one. *)
+let test_corrupt_checkpoint_resume () =
+  let scanned, config = scan_small 7L in
+  let config_q =
+    Config.(
+      quick_config |> with_jobs 1 |> with_comb_backtrack 1
+      |> with_random_blocks 2)
+  in
+  let reference = Flow.run ~config:config_q scanned config in
+  let corrupt_truncate path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic (n / 2) in
+    close_in ic;
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  let corrupt_flip path =
+    let ic = open_in_bin path in
+    let s = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+    close_in ic;
+    let k = Bytes.length s - 2 in
+    Bytes.set s k (Char.chr (Char.code (Bytes.get s k) lxor 0x55));
+    let oc = open_out_bin path in
+    output_string oc (Bytes.to_string s);
+    close_out oc
+  in
+  let corrupt_fingerprint path =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let nl = String.index s '\n' in
+    let header = String.sub s 0 nl in
+    let rest = String.sub s nl (String.length s - nl) in
+    let header' =
+      match String.split_on_char ' ' header with
+      | [ m; v; _fp; sum ] -> String.concat " " [ m; v; "stale"; sum ]
+      | _ -> Alcotest.fail "unexpected checkpoint header"
+    in
+    let oc = open_out_bin path in
+    output_string oc (header' ^ rest);
+    close_out oc
+  in
+  List.iter
+    (fun (what, corrupt) ->
+      let path = Filename.temp_file "fst-ckpt" ".bin" in
+      let killed = ref false in
+      (try
+         ignore
+           (Flow.run ~config:config_q ~checkpoint:path
+              ~on_checkpoint:(fun s ->
+                if s = "step3-wave" && not !killed then begin
+                  killed := true;
+                  raise Killed
+                end)
+              scanned config)
+       with Killed -> ());
+      Alcotest.(check bool) (what ^ ": killed mid-step3") true !killed;
+      Alcotest.(check bool)
+        (what ^ ": .prev rotation exists")
+        true
+        (Sys.file_exists (Checkpoint.prev_path path));
+      corrupt path;
+      let recovered = ref false in
+      let resumed =
+        Flow.run ~config:config_q ~checkpoint:path ~resume:true
+          ~on_resume:(fun o -> recovered := o = `Loaded Checkpoint.Recovered)
+          scanned config
+      in
+      (try Sys.remove path with Sys_error _ -> ());
+      (try Sys.remove (Checkpoint.prev_path path) with Sys_error _ -> ());
+      Alcotest.(check bool) (what ^ ": recovered from .prev") true !recovered;
+      Alcotest.(check bool)
+        (what ^ ": counts identical")
+        true
+        (counts resumed = counts reference);
+      Alcotest.(check (list string))
+        (what ^ ": undetected identical")
+        (fault_names scanned reference.Flow.undetected)
+        (fault_names scanned resumed.Flow.undetected))
+    [
+      ("truncate", corrupt_truncate);
+      ("bit-flip", corrupt_flip);
+      ("stale-fingerprint", corrupt_fingerprint);
+    ]
+
+(* Chaos + kill + corrupt + resume: the persisted injection counters make
+   the interrupted-and-resumed chaos run replay the exact injection
+   sequence, so it stays bit-identical to the uninterrupted injected
+   run. *)
+let test_chaos_kill_and_resume_deterministic () =
+  let scanned, config = scan_small 7L in
+  let config_q =
+    Config.(
+      keep_going_config |> with_comb_backtrack 1 |> with_random_blocks 2)
+  in
+  let plan = Chaos.plan_of_seed ~p:0.01 ~span:300 1234 in
+  let run_with_chaos f =
+    Chaos.install plan;
+    Fun.protect ~finally:Chaos.clear f
+  in
+  let reference = run_with_chaos (fun () -> Flow.run ~config:config_q scanned config) in
+  let path = Filename.temp_file "fst-ckpt" ".bin" in
+  let killed = ref false in
+  (try
+     run_with_chaos (fun () ->
+         ignore
+           (Flow.run ~config:config_q ~checkpoint:path
+              ~on_checkpoint:(fun s ->
+                if s = "step3-wave" && not !killed then begin
+                  killed := true;
+                  raise Killed
+                end)
+              scanned config))
+   with Killed -> ());
+  Alcotest.(check bool) "killed mid-step3" true !killed;
+  (* Damage the primary on top of the kill: recovery restores the .prev
+     snapshot's injection counters and the replayed segment consumes the
+     same sequence numbers the first attempt did. *)
+  (let ic = open_in_bin path in
+   let n = in_channel_length ic in
+   let s = really_input_string ic (max 1 (n / 2)) in
+   close_in ic;
+   let oc = open_out_bin path in
+   output_string oc s;
+   close_out oc);
+  let resumed =
+    run_with_chaos (fun () ->
+        Flow.run ~config:config_q ~checkpoint:path ~resume:true scanned
+          config)
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  (try Sys.remove (Checkpoint.prev_path path) with Sys_error _ -> ());
+  Alcotest.(check bool) "partition holds" true (partition_holds resumed);
+  Alcotest.(check bool) "counts identical" true
+    (counts resumed = counts reference);
+  Alcotest.(check (list string)) "failed bucket identical"
+    (fault_names scanned reference.Flow.failed)
+    (fault_names scanned resumed.Flow.failed);
+  Alcotest.(check (list string)) "undetected identical"
+    (fault_names scanned reference.Flow.undetected)
+    (fault_names scanned resumed.Flow.undetected)
+
 let suite =
   [
     Alcotest.test_case "flow bookkeeping" `Quick test_flow_bookkeeping;
@@ -274,4 +523,11 @@ let suite =
       test_kill_and_resume_round_trip;
     Alcotest.test_case "checkpoint fingerprint mismatch ignored" `Quick
       test_checkpoint_fingerprint_mismatch;
+    Alcotest.test_case "keep-going without chaos is bit-identical" `Quick
+      test_keep_going_chaos_off_identical;
+    Helpers.qcheck prop_chaos_invariant_and_agreement;
+    Alcotest.test_case "corrupt-checkpoint resume recovers via .prev" `Quick
+      test_corrupt_checkpoint_resume;
+    Alcotest.test_case "chaos kill/corrupt/resume is deterministic" `Quick
+      test_chaos_kill_and_resume_deterministic;
   ]
