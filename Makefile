@@ -2,7 +2,7 @@
 
 .PHONY: all build test check static-check lint-smoke bench-smoke \
   perf-smoke degradation-smoke resume-smoke obs-smoke noop-sink-smoke \
-  engine-matrix chaos-smoke deprecation-check clean
+  engine-matrix chaos-smoke analyze-smoke deprecation-check clean
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # and observability CLI paths.
 check: static-check build test lint-smoke bench-smoke perf-smoke \
   degradation-smoke resume-smoke obs-smoke noop-sink-smoke engine-matrix \
-  chaos-smoke deprecation-check
+  chaos-smoke analyze-smoke deprecation-check
 
 # Type-check every library and executable (including ones @default would
 # skip); the dev env stanza promotes warnings to errors.
@@ -165,6 +165,44 @@ chaos-smoke: build
 	  echo "chaos-smoke: `basename $$f` OK"; \
 	done; \
 	rm -rf $$tmp; echo "chaos-smoke: OK"
+
+# The run-artifact round trip: `fst flow --obs-dir` must emit a
+# machine-valid artifact set (run.json schema + OpenMetrics exposition
+# checked by jsonlint), `fst analyze` must render the report and pass
+# the regression gate against an identical baseline, and a baseline
+# doctored to make the current run look slower must fail it.
+analyze-smoke: build
+	@tmp=`mktemp -d`; \
+	$(FST_EXE) gen --gates 400 --ffs 24 -o $$tmp/gen.net > /dev/null; \
+	for f in examples/data/counter4.net $$tmp/gen.net; do \
+	  rm -rf $$tmp/obs $$tmp/base; \
+	  $(FST_EXE) flow $$f -c 1 -j 2 --obs-dir $$tmp/obs \
+	    > /dev/null 2> /dev/null || \
+	    { echo "analyze-smoke: flow --obs-dir failed on $$f"; \
+	      rm -rf $$tmp; exit 1; }; \
+	  $(FST_EXE) jsonlint $$tmp/obs/run.json --expect fst-run/1 \
+	    --expect '"phases"' --expect '"timeline"' || \
+	    { rm -rf $$tmp; exit 1; }; \
+	  $(FST_EXE) jsonlint $$tmp/obs/metrics.prom --expect '# EOF' \
+	    --expect atpg_podem_runs_total || { rm -rf $$tmp; exit 1; }; \
+	  $(FST_EXE) jsonlint $$tmp/obs/events.jsonl --expect phase_start || \
+	    { rm -rf $$tmp; exit 1; }; \
+	  $(FST_EXE) analyze $$tmp/obs > /dev/null || \
+	    { echo "analyze-smoke: report failed on $$f"; rm -rf $$tmp; exit 1; }; \
+	  cp -r $$tmp/obs $$tmp/base; \
+	  $(FST_EXE) analyze $$tmp/obs --baseline $$tmp/base > /dev/null || \
+	    { echo "analyze-smoke: self-diff reported a regression on $$f"; \
+	      rm -rf $$tmp; exit 1; }; \
+	  sed -E 's/"wall_s":[0-9.eE+-]+/"wall_s":1e-9/' \
+	    $$tmp/base/run.json > $$tmp/base/run.json.tmp && \
+	    mv $$tmp/base/run.json.tmp $$tmp/base/run.json; \
+	  if $(FST_EXE) analyze $$tmp/obs --baseline $$tmp/base > /dev/null; \
+	  then echo "analyze-smoke: doctored baseline not caught on $$f"; \
+	    rm -rf $$tmp; exit 1; \
+	  fi; \
+	  echo "analyze-smoke: `basename $$f` OK"; \
+	done; \
+	rm -rf $$tmp; echo "analyze-smoke: OK"
 
 # The deprecated params records must not leak back into internal call
 # sites: only their definitions (lib/core) and the alert-suppressed compat

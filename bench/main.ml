@@ -969,15 +969,45 @@ let fsim_check () =
            | None ->
              err "%s: missing from committed BENCH_fsim.json" r.fr_name
            | Some c ->
-             let check what fresh committed =
-               if Float.is_nan committed then
-                 err "%s: committed %s_s missing" r.fr_name what
-               else if fresh > 1.2 *. committed then
-                 err "%s: %s regressed %.6fs -> %.6fs (>20%%)" r.fr_name what
-                   committed fresh
-             in
-             check "serial" r.fr_serial_s (fnum (J.member "serial_s" c));
-             check "event" r.fr_event_s (fnum (J.member "event_s" c)))
+             (* The >20% comparison goes through Analyze.diff — the same
+                relative-threshold verdict machinery `fst analyze
+                --baseline` gates on — instead of an ad-hoc check. The
+                committed and fresh times become the phases of two
+                synthetic runs; 100µs floor keeps degenerate sub-µs
+                circuits from producing noise verdicts. *)
+             let module A = Fst_obs.Analyze in
+             let committed_ser = fnum (J.member "serial_s" c)
+             and committed_ev = fnum (J.member "event_s" c) in
+             if Float.is_nan committed_ser then
+               err "%s: committed serial_s missing" r.fr_name;
+             if Float.is_nan committed_ev then
+               err "%s: committed event_s missing" r.fr_name;
+             if not (Float.is_nan committed_ser || Float.is_nan committed_ev)
+             then begin
+               let mk ser ev =
+                 {
+                   A.wall_s = 0.0;
+                   phases = [ ("serial", ser); ("event", ev) ];
+                   counters = [];
+                   gauges = [];
+                   histograms = [];
+                   domains = [];
+                   segs = [];
+                   config = J.Null;
+                 }
+               in
+               let entries =
+                 A.diff ~threshold:0.20 ~min_s:1e-4
+                   (mk committed_ser committed_ev)
+                   (mk r.fr_serial_s r.fr_event_s)
+               in
+               List.iter
+                 (fun (e : A.diff_entry) ->
+                   err "%s: %s regressed %.6fs -> %.6fs (%+.0f%% > 20%%)"
+                     r.fr_name e.A.d_key e.A.d_base e.A.d_cur
+                     (e.A.d_delta_frac *. 100.0))
+                 (A.regressions entries)
+             end)
          rows
      else
        Printf.printf
@@ -1026,32 +1056,42 @@ let flow_bench () =
     let gauge name = M.Gauge.value (M.gauge metrics name) in
     let count name = M.Counter.value (M.counter metrics name) in
     let a = flow.Flow.atpg in
+    (* busy_frac is reported per *effective* domain slot. Requesting
+       jobs=8 on a single-core machine runs every dispatch in-caller
+       (Pool.effective_jobs clamps to the hardware core count), so
+       domain slots 1..7 never exist; enumerating the requested count
+       auto-created their gauges at 0.0 and produced the misleading
+       [1,0,...,0] shape this replaces. *)
+    let jobs_effective = Fst_exec.Pool.effective_jobs ~jobs max_int in
     let json =
       J.Obj
         [
           ("jobs", J.Int jobs);
+          ("jobs_effective", J.Int jobs_effective);
           ("wall_s", J.Float wall);
           ( "phases",
             J.Obj
               (List.map
                  (fun p -> (p, J.Float (gauge ("flow." ^ p ^ ".wall_s"))))
                  phases) );
+          (* Canonical registry names, so Analyze.diff lines these up
+             against run.json counters without a rename table. *)
           ( "counters",
             J.Obj
               [
-                ("podem_runs", J.Int a.Flow.podem_runs);
-                ("podem_backtracks", J.Int a.Flow.podem_backtracks);
-                ("podem_decisions", J.Int a.Flow.podem_decisions);
-                ("podem_implications", J.Int a.Flow.podem_implications);
-                ("seq_runs", J.Int a.Flow.seq_runs);
-                ("seq_backtracks", J.Int a.Flow.seq_backtracks);
-                ("fsim_calls", J.Int (count "fsim.detect_all.calls"));
-                ("fsim_faults", J.Int (count "fsim.detect_all.faults"));
-                ("step2_blocks", J.Int (count "flow.step2.blocks"));
+                ("atpg.podem.runs", J.Int a.Flow.podem_runs);
+                ("atpg.podem.backtracks", J.Int a.Flow.podem_backtracks);
+                ("atpg.podem.decisions", J.Int a.Flow.podem_decisions);
+                ("atpg.podem.implications", J.Int a.Flow.podem_implications);
+                ("atpg.seq.runs", J.Int a.Flow.seq_runs);
+                ("atpg.seq.backtracks", J.Int a.Flow.seq_backtracks);
+                ("fsim.detect_all.calls", J.Int (count "fsim.detect_all.calls"));
+                ("fsim.detect_all.faults", J.Int (count "fsim.detect_all.faults"));
+                ("flow.step2.blocks", J.Int (count "flow.step2.blocks"));
               ] );
           ( "busy_frac",
             J.List
-              (List.init jobs (fun k ->
+              (List.init jobs_effective (fun k ->
                    J.Float
                      (gauge (Printf.sprintf "pool.domain%d.busy_frac" k)))) );
           ( "detected",

@@ -372,6 +372,34 @@ let make_sink ~trace ~metrics ~events ~progress =
     (sink, finish)
   end
 
+(* The flow's fault accounting as JSON, appended to run.json so the
+   analyzer can attribute aborts/failures per phase cohort. *)
+let flow_accounting r =
+  let module J = Fst_obs.Json in
+  let a = r.Flow.aborts in
+  J.Obj
+    [
+      ( "detected",
+        J.Int (r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected) );
+      ("undetected", J.Int (List.length r.Flow.undetected));
+      ("untestable", J.Int (List.length r.Flow.untestable_faults));
+      ("aborted_faults", J.Int a.Flow.aborted_faults);
+      ("failed_faults", J.Int a.Flow.failed_faults);
+      ( "phases",
+        J.List
+          (List.map
+             (fun p ->
+               J.Obj
+                 [
+                   ("phase", J.String p.Flow.phase);
+                   ("budget_exhausted", J.Bool p.Flow.budget_exhausted);
+                   ("atpg_aborts", J.Int p.Flow.atpg_aborts);
+                   ("cancelled_groups", J.Int p.Flow.cancelled_groups);
+                   ("failed", J.Int p.Flow.failed);
+                 ])
+             a.Flow.phases) );
+    ]
+
 (* One line on stderr saying exactly where a --resume run's state came
    from — primary checkpoint, the .prev last-good rotation, or (with the
    precise reason) nowhere. *)
@@ -387,10 +415,27 @@ let print_resume = function
 
 let run_flow name scale file chains engine jobs time_budget keep_going
     fail_fast chaos chaos_p checkpoint resume trace metrics events progress
-    preflight =
+    preflight obs_dir =
   let circuit = or_die (load ~name ~scale ~file) in
   let scanned, config = or_die (insert_chains circuit chains) in
-  let sink, finish_obs = make_sink ~trace ~metrics ~events ~progress in
+  let artifacts =
+    match obs_dir with
+    | Some dir ->
+      if trace <> None || metrics <> None || events <> None then
+        or_die
+          (Error
+             "--obs-dir already writes trace.json/metrics.prom/events.jsonl; \
+              drop --trace/--metrics/--events");
+      Some (Fst_obs.Artifacts.create ~dir)
+    | None -> None
+  in
+  let sink, finish_obs =
+    match artifacts with
+    | Some a ->
+      let pr = if progress then Some (Fst_obs.Progress.create ()) else None in
+      (Fst_obs.Artifacts.sink ?progress:pr a, fun () -> ())
+    | None -> make_sink ~trace ~metrics ~events ~progress
+  in
   let on_error =
     match keep_going, fail_fast with
     | true, true -> or_die (Error "--keep-going and --fail-fast conflict")
@@ -436,14 +481,37 @@ let run_flow name scale file chains engine jobs time_budget keep_going
               "chaos: invariant violated (%d accounted of %d hard faults)"
               accounted hard))
   end;
-  finish_obs ();
+  (match artifacts, obs_dir with
+   | Some a, Some dir ->
+     let module J = Fst_obs.Json in
+     let config_json =
+       let head =
+         [
+           ("circuit", J.String scanned.Circuit.name);
+           ( "jobs_effective",
+             J.Int
+               (Fst_exec.Pool.effective_jobs ~jobs:cfg.Fst_core.Config.jobs
+                  max_int) );
+         ]
+       in
+       match Fst_core.Config.to_json cfg with
+       | J.Obj kvs -> J.Obj (head @ kvs)
+       | j -> j
+     in
+     Fst_obs.Artifacts.write ~config:config_json
+       ~extra:[ ("flow", flow_accounting r) ]
+       a;
+     Printf.eprintf "obs: artifacts written to %s\n%!" dir
+   | _ -> finish_obs ());
   0
 
 (* --- jsonlint ----------------------------------------------------- *)
 
 (* Validation helper for the make-check smokes: parse each file as JSON
-   (or, for .jsonl files, as one JSON object per line) and optionally
-   require substrings, e.g. metric names that must be present. *)
+   (or, for .jsonl files, as one JSON object per line), validate the
+   run-artifact formats structurally (.prom via the OpenMetrics checker,
+   run.json via its schema check), and optionally require substrings,
+   e.g. metric names that must be present. *)
 let run_jsonlint files expects =
   let read_all path =
     let ic = open_in_bin path in
@@ -458,14 +526,24 @@ let run_jsonlint files expects =
     | Error e -> Error e
     | Ok text ->
       let parse () =
-        if Filename.check_suffix path ".jsonl" then
+        if Filename.check_suffix path ".prom" then
+          match Fst_obs.Openmetrics.validate text with
+          | Ok () -> ()
+          | Error m -> failwith m
+        else if Filename.check_suffix path ".jsonl" then
           String.split_on_char '\n' text
           |> List.iteri (fun i line ->
                  if String.trim line <> "" then
                    try ignore (Fst_obs.Json.of_string line)
                    with Fst_obs.Json.Parse_error m ->
                      failwith (Printf.sprintf "line %d: %s" (i + 1) m))
-        else ignore (Fst_obs.Json.of_string text)
+        else begin
+          let j = Fst_obs.Json.of_string text in
+          if Filename.basename path = "run.json" then
+            match Fst_obs.Artifacts.validate_run j with
+            | Ok () -> ()
+            | Error m -> failwith m
+        end
       in
       (match parse () with
        | () ->
@@ -503,6 +581,71 @@ let run_jsonlint files expects =
       files
   in
   if failures = [] then 0 else 1
+
+(* --- analyze ------------------------------------------------------ *)
+
+module Analyze = Fst_obs.Analyze
+
+(* A baseline argument can be an artifact directory, a run.json file, or
+   a BENCH_flow.json (whose circuit is picked to match the current run's
+   config, multicore variant preferred, overridable with --circuit). *)
+let load_baseline path ~circuit ~(cur : Analyze.run) =
+  if Sys.file_exists path && Sys.is_directory path then
+    Result.map fst (Analyze.load_dir path)
+  else
+    match Analyze.load_run path with
+    | Ok r -> Ok r
+    | Error run_err -> (
+      match Analyze.load_bench path with
+      | Error _ -> Error run_err
+      | Ok runs -> (
+        let name =
+          match circuit with
+          | Some c -> Some c
+          | None -> (
+            match Fst_obs.Json.member "circuit" cur.Analyze.config with
+            | Some (Fst_obs.Json.String c) -> Some c
+            | _ -> None)
+        in
+        match name with
+        | None ->
+          Error
+            (path
+             ^ ": bench baseline needs --circuit NAME (current run.json \
+                names no circuit)")
+        | Some c -> (
+          match
+            ( List.assoc_opt (c ^ "/multicore") runs,
+              List.assoc_opt (c ^ "/serial") runs )
+          with
+          | Some r, _ | None, Some r -> Ok r
+          | None, None ->
+            Error
+              (Printf.sprintf "%s: no circuit %S in bench baseline (have: %s)"
+                 path c
+                 (String.concat ", " (List.map fst runs))))))
+
+let run_analyze dir baseline circuit json_out threshold top =
+  let cur, spans = or_die (Analyze.load_dir dir) in
+  match baseline with
+  | None ->
+    if json_out then (
+      Fst_obs.Json.to_channel stdout (Analyze.diff_to_json []);
+      print_newline ())
+    else print_string (Analyze.render_report ~k:top cur spans);
+    0
+  | Some b ->
+    let base = or_die (load_baseline b ~circuit ~cur) in
+    let entries = Analyze.diff ~threshold:(threshold /. 100.0) base cur in
+    if json_out then (
+      Fst_obs.Json.to_channel stdout (Analyze.diff_to_json entries);
+      print_newline ())
+    else begin
+      print_string (Analyze.render_report ~k:top cur spans);
+      Printf.printf "\ndiff vs %s (threshold %g%%):\n" b threshold;
+      print_string (Analyze.render_diff entries)
+    end;
+    if Analyze.regressions entries = [] then 0 else 1
 
 (* --- alt ---------------------------------------------------------- *)
 
@@ -698,6 +841,14 @@ let flow_cmd =
                  on any error-severity finding, so a broken configuration \
                  fails fast instead of consuming the ATPG budget.")
   in
+  let obs_dir =
+    Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR"
+           ~doc:"Write the full run-artifact set to $(docv): trace.json \
+                 (Perfetto), events.jsonl, metrics.prom (OpenMetrics), and \
+                 run.json (per-phase wall, histogram quantiles, per-domain \
+                 timelines, abort accounting) for $(b,fst analyze). \
+                 Subsumes --trace/--metrics/--events.")
+  in
   Cmd.v
     (Cmd.info "flow"
        ~doc:"Run the complete functional scan chain testing flow")
@@ -705,7 +856,7 @@ let flow_cmd =
       const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg
       $ engine_arg $ jobs_arg $ time_budget $ keep_going $ fail_fast $ chaos
       $ chaos_p $ checkpoint $ resume $ trace $ metrics $ events $ progress
-      $ preflight)
+      $ preflight $ obs_dir)
 
 let lint_cmd =
   let no_scan =
@@ -763,6 +914,44 @@ let jsonlint_cmd =
        ~doc:"Validate JSON/JSONL files written by --trace/--metrics/--events")
     Term.(const run_jsonlint $ files $ expects)
 
+let analyze_cmd =
+  let dir =
+    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
+           ~doc:"Artifact directory written by $(b,fst flow --obs-dir).")
+  in
+  let baseline =
+    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"PATH"
+           ~doc:"Compare against $(docv): another --obs-dir directory, a \
+                 run.json file, or a BENCH_flow.json (picks the circuit \
+                 matching the current run; see --circuit). Exits 1 when \
+                 any gated metric regresses past the threshold.")
+  in
+  let circuit =
+    Arg.(value & opt (some string) None & info [ "circuit" ] ~docv:"NAME"
+           ~doc:"Circuit to select from a BENCH_flow.json baseline \
+                 (default: the current run's circuit).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the diff as JSON instead of the human report.")
+  in
+  let threshold =
+    Arg.(value & opt float 20.0 & info [ "fail-on-regression" ] ~docv:"PCT"
+           ~doc:"Relative regression threshold in percent (default 20): a \
+                 gated time metric more than $(docv)%% slower than the \
+                 baseline is a regression and fails the exit status.")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
+           ~doc:"Rows in the hotspot and critical-path tables (default 10).")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Analyze a run-artifact directory: critical path, per-domain \
+             utilization, hotspots, and baseline regression gating")
+    Term.(
+      const run_analyze $ dir $ baseline $ circuit $ json $ threshold $ top)
+
 let diag_cmd =
   let position =
     Arg.(value & opt int (-1) & info [ "position" ] ~docv:"P"
@@ -788,7 +977,7 @@ let () =
     try
       Cmd.eval' (Cmd.group info
            [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; lint_cmd; flow_cmd;
-             alt_cmd; diag_cmd; jsonlint_cmd ])
+             alt_cmd; diag_cmd; jsonlint_cmd; analyze_cmd ])
     with
     | Flow.Preflight_failed diags ->
       List.iter (fun d -> prerr_endline (Diagnostic.to_string d)) diags;

@@ -12,6 +12,7 @@ type 'a outcome = Done of 'a | Cancelled
 
 module Sink = Fst_obs.Sink
 module Metrics = Fst_obs.Metrics
+module Timeline = Fst_obs.Timeline
 
 (* Below this much estimated work (caller-scaled cost units; the fault
    simulator passes gate-evaluations), spawning domains costs more than
@@ -56,7 +57,11 @@ let run_tasks ~obs ~label ~jobs ~chunk ~stop n
         incr i
       done;
       if live then begin
-        let dt = Clock.now () -. t0 in
+        let t1 = Clock.now () in
+        let dt = t1 -. t0 in
+        (match obs.Sink.timeline with
+         | Some tl -> Timeline.record tl ~wid:0 ~label ~t0 ~t1 ~stolen:false
+         | None -> ());
         retire_worker obs 0 ~busy:dt ~wall:dt
       end
     end
@@ -91,7 +96,7 @@ let run_tasks ~obs ~label ~jobs ~chunk ~stop n
             let lo = Atomic.fetch_and_add cursor.(victim) chunk in
             if lo < hi then Some (lo, min (lo + chunk) hi - 1) else None
         in
-        let run_chunk lo hi =
+        let run_chunk ~stolen lo hi =
           let t0 = if live then Clock.now () else 0.0 in
           let sp =
             match obs.Sink.trace with
@@ -110,8 +115,12 @@ let run_tasks ~obs ~label ~jobs ~chunk ~stop n
            | Some (tr, sp) -> ignore (Fst_obs.Trace.end_span tr sp)
            | None -> ());
           if live then begin
-            let dt = Clock.now () -. t0 in
+            let t1 = Clock.now () in
+            let dt = t1 -. t0 in
             busy := !busy +. dt;
+            (match obs.Sink.timeline with
+             | Some tl -> Timeline.record tl ~wid:k ~label ~t0 ~t1 ~stolen
+             | None -> ());
             (match chunks_c with
              | Some c -> Metrics.Counter.incr c
              | None -> ());
@@ -129,12 +138,13 @@ let run_tasks ~obs ~label ~jobs ~chunk ~stop n
               (match try_claim victim with
                | Some (lo, hi) ->
                  claimed := true;
-                 if victim <> k then begin
+                 let stolen = victim <> k in
+                 if stolen then begin
                    match steals_c with
                    | Some c -> Metrics.Counter.incr c
                    | None -> ()
                  end;
-                 run_chunk lo hi
+                 run_chunk ~stolen lo hi
                | None -> ());
               incr v
             done;

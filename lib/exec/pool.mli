@@ -32,6 +32,15 @@ val default_jobs : unit -> int
     in-caller regardless of [jobs]. *)
 val min_work : int
 
+(** [effective_jobs ?work ~jobs n] is the worker count a map with [n]
+    tasks actually uses after the pool's clamps: never more than [n],
+    never more than {!default_jobs} (hardware cores), [1] when the
+    estimated [work] is below {!min_work}. Exposed so benchmarks and
+    reports can record requested vs effective parallelism — on a
+    single-core machine [jobs:8] runs with one worker, and domain slots
+    [1..7] never exist (the [busy_frac [1,0,...,0]] shape). *)
+val effective_jobs : ?work:int -> jobs:int -> int -> int
+
 (** {1 Cooperative cancellation}
 
     A {!token} is a shared stop flag. Workers poll it before every chunk
@@ -60,8 +69,12 @@ type 'a outcome = Done of 'a | Cancelled
     [pool.<label>.chunks] and [pool.<label>.steals] (chunks claimed from
     another worker's range) and fills a [pool.<label>.chunk_s] duration
     histogram; and when the sink carries a trace buffer, each claimed
-    chunk becomes a span on its worker's tid. With the null sink the
-    only cost is one branch per chunk claim. *)
+    chunk becomes a span on its worker's tid. When the sink carries a
+    {!Fst_obs.Timeline}, every executed chunk is additionally recorded
+    as a [{wid; label; t0; t1; stolen}] segment (the jobs ≤ 1 path
+    records one segment for the whole run), which is what feeds
+    per-domain utilization and idle-gap analysis in [run.json]. With
+    the null sink the only cost is one branch per chunk claim. *)
 
 (** [map_array ~jobs f xs] is [Array.map f xs], computed on up to [jobs]
     domains. [chunk] overrides the work-queue claim granularity (default:

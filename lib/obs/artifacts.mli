@@ -1,0 +1,44 @@
+(** Run-artifact directory: the [--obs-dir] convention.
+
+    One handle owns every observability channel of one run and writes a
+    coherent artifact set on {!write}:
+
+    - [trace.json] — Chrome trace_event JSON (Perfetto-loadable)
+    - [events.jsonl] — structured event log, flushed per line
+    - [metrics.prom] — OpenMetrics text exposition ({!Openmetrics})
+    - [run.json] — the summary {!Analyze} consumes: schema tag, total
+      wall, caller-supplied config blob, per-phase wall seconds (from
+      the flow's [flow.<phase>.wall_s] gauges), counter/gauge/fcounter
+      snapshots, histograms with p50/p90/p99 log-bucket quantiles, and
+      per-domain busy/steal attribution from the pool {!Timeline}.
+
+    The sink handed out by {!sink} is an ordinary {!Sink.t}; the flow
+    result is bit-identical with or without it (pure-observer contract,
+    pinned by a qcheck property). *)
+
+val schema_version : string
+(** ["fst-run/1"], stored under the ["schema"] key. *)
+
+type t
+
+val create : dir:string -> t
+(** Creates [dir] (and parents) and opens [events.jsonl]. *)
+
+val sink : ?progress:Progress.t -> ?atpg_span_s:float -> t -> Sink.t
+(** A live sink wired to this handle's metrics/trace/events/timeline. *)
+
+val run_json : ?config:Json.t -> ?extra:(string * Json.t) list -> t -> Json.t
+(** The [run.json] document as of now; [extra] appends caller fields
+    (e.g. the flow's abort/failed/quarantine accounting). *)
+
+val write : ?config:Json.t -> ?extra:(string * Json.t) list -> t -> unit
+(** Write all four artifacts and close the event channel. Call once,
+    after the run. *)
+
+val quantile_of_buckets : (float * int) list -> int -> float -> float
+(** Quantile estimate over [(upper_bound, count)] buckets with total
+    count [n] — same estimator as {!Metrics.Histogram.quantile}. *)
+
+val validate_run : Json.t -> (unit, string) result
+(** Structural check used by [fst jsonlint]: object, schema tag matches
+    {!schema_version}, all top-level keys present. *)

@@ -44,6 +44,10 @@ module Histogram = struct
     count : int Atomic.t;
     minb : float Atomic.t;
     maxb : float Atomic.t;
+    sumb : float Atomic.t;
+        (* CAS-looped float sum, like Fcounter: not bit-deterministic
+           under contention — exposed for OpenMetrics _sum, never for
+           anything a test compares bit-for-bit. *)
   }
 
   let create () =
@@ -52,6 +56,7 @@ module Histogram = struct
       count = Atomic.make 0;
       minb = Atomic.make infinity;
       maxb = Atomic.make neg_infinity;
+      sumb = Atomic.make 0.0;
     }
 
   let bucket_of v =
@@ -69,9 +74,17 @@ module Histogram = struct
     in
     go ()
 
+  let cas_add cell v =
+    let rec go () =
+      let old = Atomic.get cell in
+      if not (Atomic.compare_and_set cell old (old +. v)) then go ()
+    in
+    go ()
+
   let observe h v =
     Atomic.incr h.buckets.(bucket_of v);
     Atomic.incr h.count;
+    cas_add h.sumb v;
     cas_extreme h.minb (fun a b -> a < b) v;
     cas_extreme h.maxb (fun a b -> a > b) v
 
@@ -83,10 +96,12 @@ module Histogram = struct
       src.buckets;
     let n = Atomic.get src.count in
     if n > 0 then ignore (Atomic.fetch_and_add dst.count n);
+    cas_add dst.sumb (Atomic.get src.sumb);
     cas_extreme dst.minb (fun a b -> a < b) (Atomic.get src.minb);
     cas_extreme dst.maxb (fun a b -> a > b) (Atomic.get src.maxb)
 
   let count h = Atomic.get h.count
+  let sum h = Atomic.get h.sumb
 
   let buckets h =
     let out = ref [] in
@@ -98,6 +113,32 @@ module Histogram = struct
 
   let min_value h = Atomic.get h.minb
   let max_value h = Atomic.get h.maxb
+
+  (* Quantile estimate from the log-scale buckets: the upper bound of
+     the bucket where the cumulative count first reaches [ceil (q * n)].
+     Since bucket [i] covers (2^(i+lo-1), 2^(i+lo)], the estimate is
+     within one power-of-two bucket above the exact sample quantile
+     (the qcheck property in test_analyze.ml pins this down). *)
+  let quantile h q =
+    let n = Atomic.get h.count in
+    if n = 0 then Float.nan
+    else begin
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+        if r < 1 then 1 else if r > n then n else r
+      in
+      let acc = ref 0 and found = ref Float.nan in
+      (try
+         for i = 0 to nbuckets - 1 do
+           acc := !acc + Atomic.get h.buckets.(i);
+           if !acc >= rank then begin
+             found := Float.ldexp 1.0 (i + lo);
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      !found
+    end
 end
 
 type metric =
@@ -148,6 +189,43 @@ let histogram t name =
 let sorted_items t =
   let items = with_lock t (fun () -> t.items) in
   List.sort (fun (a, _) (b, _) -> String.compare a b) items
+
+(* A typed point-in-time view of the registry, name-sorted: the one
+   structure the exporters (JSON, OpenMetrics, run.json) all consume. *)
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+type snapshot_value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Fcounter_v of float
+  | Histogram_v of hist_snapshot
+
+let snapshot t =
+  List.map
+    (fun (n, m) ->
+      let v =
+        match m with
+        | C c -> Counter_v (Counter.value c)
+        | G g -> Gauge_v (Gauge.value g)
+        | F f -> Fcounter_v (Fcounter.value f)
+        | H h ->
+            Histogram_v
+              {
+                h_count = Histogram.count h;
+                h_sum = Histogram.sum h;
+                h_min = Histogram.min_value h;
+                h_max = Histogram.max_value h;
+                h_buckets = Histogram.buckets h;
+              }
+      in
+      (n, v))
+    (sorted_items t)
 
 let json_float f = if Float.is_finite f then Json.Float f else Json.Null
 

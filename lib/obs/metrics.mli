@@ -51,8 +51,10 @@ end
 val fcounter : t -> string -> Fcounter.f
 
 (** {1 Log-scale histograms} — power-of-two buckets over non-negative
-    values. Bucket counts, total count, and min/max only (no float sum),
-    so merging is exact and order-independent. *)
+    values. Bucket counts, total count, and min/max merge exactly and
+    order-independently; the float [sum] (kept for OpenMetrics [_sum])
+    is CAS-accumulated like {!Fcounter} and is {e not} bit-deterministic
+    under contention — never compare it bit-for-bit. *)
 
 module Histogram : sig
   type h
@@ -67,6 +69,9 @@ module Histogram : sig
 
   val count : h -> int
 
+  val sum : h -> float
+  (** Sum of observed values ([0.0] when empty); see the caveat above. *)
+
   val buckets : h -> (float * int) list
   (** [(upper_bound, count)] for each non-empty bucket, ascending. *)
 
@@ -75,11 +80,37 @@ module Histogram : sig
 
   val max_value : h -> float
   (** [neg_infinity] when empty. *)
+
+  val quantile : h -> float -> float
+  (** [quantile h q] (with [q] in [0..1]) estimates the [q]-quantile as
+      the upper bound of the bucket where the cumulative count reaches
+      [ceil (q * count)]. The estimate sits within one power-of-two
+      bucket above the exact sample quantile: [exact < estimate <= 2 *
+      exact] for positive samples. [nan] when empty. *)
 end
 
 val histogram : t -> string -> Histogram.h
 
 (** {1 Snapshots} *)
+
+type hist_snapshot = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;  (** [(upper_bound, count)], ascending *)
+}
+
+type snapshot_value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Fcounter_v of float
+  | Histogram_v of hist_snapshot
+
+val snapshot : t -> (string * snapshot_value) list
+(** A typed point-in-time view of every registered metric, name-sorted —
+    the single structure the exporters (JSON, OpenMetrics text
+    exposition, run.json) consume. *)
 
 val to_json : t -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "fcounters": {...},

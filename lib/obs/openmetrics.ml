@@ -1,0 +1,164 @@
+(* OpenMetrics text exposition of a Metrics registry, plus a validator
+   the jsonlint CLI uses on .prom artifacts. Buckets are exposed
+   cumulatively with an explicit +Inf bucket per the format. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let fmt_bound ub =
+  if ub = infinity then "+Inf" else fmt_float ub
+
+let expose metrics =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      match v with
+      | Metrics.Counter_v c ->
+          line "# TYPE %s counter\n" n;
+          line "%s_total %d\n" n c
+      | Metrics.Gauge_v g ->
+          line "# TYPE %s gauge\n" n;
+          line "%s %s\n" n (fmt_float g)
+      | Metrics.Fcounter_v f ->
+          line "# TYPE %s counter\n" n;
+          line "%s_total %s\n" n (fmt_float f)
+      | Metrics.Histogram_v h ->
+          line "# TYPE %s histogram\n" n;
+          let cum = ref 0 in
+          List.iter
+            (fun (ub, c) ->
+              cum := !cum + c;
+              line "%s_bucket{le=\"%s\"} %d\n" n (fmt_bound ub) !cum)
+            h.Metrics.h_buckets;
+          line "%s_bucket{le=\"+Inf\"} %d\n" n h.Metrics.h_count;
+          line "%s_count %d\n" n h.Metrics.h_count;
+          line "%s_sum %s\n" n (fmt_float h.Metrics.h_sum))
+    (Metrics.snapshot metrics);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ---- validation ---------------------------------------------------- *)
+
+let is_name_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all is_name_char s
+
+let parse_sample line =
+  (* "name value" or "name{labels} value"; returns (name, labels, value). *)
+  let name_end =
+    let n = String.length line in
+    let i = ref 0 in
+    while !i < n && is_name_char line.[!i] do
+      incr i
+    done;
+    !i
+  in
+  if name_end = 0 then Error "sample line does not start with a metric name"
+  else
+    let name = String.sub line 0 name_end in
+    let rest = String.sub line name_end (String.length line - name_end) in
+    let labels, rest =
+      if rest <> "" && rest.[0] = '{' then
+        match String.index_opt rest '}' with
+        | None -> (None, rest)
+        | Some j ->
+            ( Some (String.sub rest 1 (j - 1)),
+              String.sub rest (j + 1) (String.length rest - j - 1) )
+      else (None, rest)
+    in
+    let rest = String.trim rest in
+    match float_of_string_opt rest with
+    | Some v -> Ok (name, labels, v)
+    | None -> Error (Printf.sprintf "unparsable sample value %S" rest)
+
+let le_of_labels labels =
+  (* Extract le="..." from a label set, if present. *)
+  match labels with
+  | None -> None
+  | Some ls ->
+      let parts = String.split_on_char ',' ls in
+      List.find_map
+        (fun p ->
+          match String.index_opt p '=' with
+          | Some i when String.sub p 0 i = "le" ->
+              let v = String.sub p (i + 1) (String.length p - i - 1) in
+              let v =
+                if String.length v >= 2 && v.[0] = '"' then
+                  String.sub v 1 (String.length v - 2)
+                else v
+              in
+              if v = "+Inf" then Some infinity else float_of_string_opt v
+          | _ -> None)
+        parts
+
+let validate text =
+  let lines = String.split_on_char '\n' text in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  (* last cumulative bucket count per histogram, for monotonicity *)
+  let buckets : (string, float) Hashtbl.t = Hashtbl.create 16 in
+  let saw_eof = ref false in
+  let rec go lineno = function
+    | [] -> if !saw_eof then Ok () else Error "missing # EOF terminator"
+    | "" :: rest -> go (lineno + 1) rest
+    | line :: rest ->
+        if !saw_eof then err "line %d: content after # EOF" lineno
+        else if line = "# EOF" then begin
+          saw_eof := true;
+          go (lineno + 1) rest
+        end
+        else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+          match String.split_on_char ' ' line with
+          | [ "#"; "TYPE"; name; kind ] ->
+              if not (valid_name name) then
+                err "line %d: invalid metric name %S" lineno name
+              else if
+                not (List.mem kind [ "counter"; "gauge"; "histogram"; "summary" ])
+              then err "line %d: unknown metric type %S" lineno kind
+              else go (lineno + 1) rest
+          | _ -> err "line %d: malformed # TYPE line" lineno
+        end
+        else if String.length line >= 1 && line.[0] = '#' then
+          (* other comment lines (HELP, UNIT) pass through *)
+          go (lineno + 1) rest
+        else begin
+          match parse_sample line with
+          | Error e -> err "line %d: %s" lineno e
+          | Ok (name, labels, v) -> (
+              match le_of_labels labels with
+              | None -> go (lineno + 1) rest
+              | Some _le -> (
+                  let base =
+                    if Filename.check_suffix name "_bucket" then
+                      Filename.chop_suffix name "_bucket"
+                    else name
+                  in
+                  match Hashtbl.find_opt buckets base with
+                  | Some prev_cum when v < prev_cum ->
+                      err
+                        "line %d: histogram %s bucket counts not monotone \
+                         (%g < %g)"
+                        lineno base v prev_cum
+                  | _ ->
+                      Hashtbl.replace buckets base v;
+                      go (lineno + 1) rest))
+        end
+  in
+  go 1 lines

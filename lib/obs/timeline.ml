@@ -1,0 +1,79 @@
+type seg = {
+  wid : int;
+  label : string;
+  t0 : float;
+  t1 : float;
+  stolen : bool;
+}
+
+type t = {
+  epoch : float;
+  lock : Mutex.t;
+  mutable segs : seg list; (* reverse chronological by append order *)
+  mutable n : int;
+}
+
+let create () =
+  { epoch = Unix.gettimeofday (); lock = Mutex.create (); segs = []; n = 0 }
+
+let epoch t = t.epoch
+
+let record t ~wid ~label ~t0 ~t1 ~stolen =
+  let seg = { wid; label; t0 = t0 -. t.epoch; t1 = t1 -. t.epoch; stolen } in
+  Mutex.lock t.lock;
+  t.segs <- seg :: t.segs;
+  t.n <- t.n + 1;
+  Mutex.unlock t.lock
+
+let count t =
+  Mutex.lock t.lock;
+  let n = t.n in
+  Mutex.unlock t.lock;
+  n
+
+let segments t =
+  Mutex.lock t.lock;
+  let segs = t.segs in
+  Mutex.unlock t.lock;
+  (* Sort by start time (ties by worker id) so consumers see one
+     chronological sequence regardless of recording interleaving. *)
+  List.sort
+    (fun a b ->
+      match Float.compare a.t0 b.t0 with 0 -> Int.compare a.wid b.wid | c -> c)
+    segs
+
+let to_json t =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("wid", Json.Int s.wid);
+             ("label", Json.String s.label);
+             ("t0", Json.Float s.t0);
+             ("t1", Json.Float s.t1);
+             ("stolen", Json.Bool s.stolen);
+           ])
+       (segments t))
+
+let seg_of_json j =
+  let str k = match Json.member k j with Some (Json.String s) -> Some s | _ -> None in
+  let num k =
+    match Json.member k j with
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | _ -> None
+  in
+  let int k = match Json.member k j with Some (Json.Int i) -> Some i | _ -> None in
+  let bool k =
+    match Json.member k j with Some (Json.Bool b) -> Some b | _ -> None
+  in
+  match (int "wid", str "label", num "t0", num "t1") with
+  | Some wid, Some label, Some t0, Some t1 ->
+      Some
+        { wid; label; t0; t1; stolen = Option.value ~default:false (bool "stolen") }
+  | _ -> None
+
+let of_json = function
+  | Json.List l -> List.filter_map seg_of_json l
+  | _ -> []

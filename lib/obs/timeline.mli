@@ -1,0 +1,37 @@
+(** Per-worker busy-segment recorder for {!Fst_exec.Pool} attribution.
+
+    Each chunk a pool worker executes is recorded as one segment
+    [{wid; label; t0; t1; stolen}] with times relative to the timeline's
+    creation epoch. Recording takes a mutex per chunk — chunks are
+    hundreds of microseconds and up, so the cost is noise — and only
+    happens when a sink carries a timeline, keeping obs-off runs
+    untouched. *)
+
+type seg = {
+  wid : int;  (** pool worker slot (0 = caller) *)
+  label : string;  (** pool task label, e.g. ["fsim"] *)
+  t0 : float;  (** seconds since epoch start *)
+  t1 : float;
+  stolen : bool;  (** chunk claimed from another worker's range *)
+}
+
+type t
+
+val create : unit -> t
+(** Epoch = time of creation. *)
+
+val epoch : t -> float
+(** Absolute [Unix.gettimeofday] of the epoch. *)
+
+val record :
+  t -> wid:int -> label:string -> t0:float -> t1:float -> stolen:bool -> unit
+(** [t0]/[t1] are absolute [Unix.gettimeofday] stamps; stored relative
+    to the epoch. Thread-safe. *)
+
+val count : t -> int
+val segments : t -> seg list
+(** Chronological by start time (ties broken by worker id). *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> seg list
+(** Lenient: skips malformed entries, [[]] on a non-list. *)

@@ -11,6 +11,7 @@ let () =
       ("chaos", Test_chaos.suite);
       ("checkpoint", Test_checkpoint.suite);
       ("obs", Test_obs.suite);
+      ("analyze", Test_analyze.suite);
       ("vcd", Test_vcd.suite);
       ("fault", Test_fault.suite);
       ("fsim", Test_fsim.suite);
