@@ -2,7 +2,7 @@
 
 .PHONY: all build test check static-check lint-smoke bench-smoke \
   perf-smoke degradation-smoke resume-smoke obs-smoke noop-sink-smoke \
-  engine-matrix chaos-smoke analyze-smoke deprecation-check clean
+  engine-matrix chaos-smoke analyze-smoke sca-smoke clean
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # and observability CLI paths.
 check: static-check build test lint-smoke bench-smoke perf-smoke \
   degradation-smoke resume-smoke obs-smoke noop-sink-smoke engine-matrix \
-  chaos-smoke analyze-smoke deprecation-check
+  chaos-smoke analyze-smoke sca-smoke
 
 # Type-check every library and executable (including ones @default would
 # skip); the dev env stanza promotes warnings to errors.
@@ -204,23 +204,30 @@ analyze-smoke: build
 	done; \
 	rm -rf $$tmp; echo "analyze-smoke: OK"
 
-# The deprecated params records must not leak back into internal call
-# sites: only their definitions (lib/core) and the alert-suppressed compat
-# test may mention them.
-deprecation-check:
-	@bad=`grep -rln "default_params" bin bench examples lib test \
-	  --include="*.ml" --include="*.mli" \
-	  | grep -v "^lib/core/flow.ml$$" \
-	  | grep -v "^lib/core/flow.mli$$" \
-	  | grep -v "^lib/core/scan_atpg.ml$$" \
-	  | grep -v "^lib/core/scan_atpg.mli$$" \
-	  | grep -v "^lib/core/config.mli$$" \
-	  | grep -v "^test/test_config.ml$$" || true`; \
-	if [ -n "$$bad" ]; then \
-	  echo "deprecation-check: default_params used outside its home:"; \
-	  echo "$$bad"; exit 1; \
-	fi; \
-	echo "deprecation-check: OK"
+# `fst sca` over every example netlist must exit 0 (the command re-checks
+# every emitted proof and fails on any mismatch); a seeded-redundancy
+# netlist must yield at least one proven-untestable fault; the --json
+# rendering must machine-validate with `fst jsonlint`.
+sca-smoke: build
+	@for f in examples/data/*.net; do \
+	  $(FST_EXE) sca $$f -c 1 > /dev/null || \
+	    { echo "sca-smoke: $$f proofs failed re-checking"; exit 1; }; \
+	  echo "sca-smoke: $$f OK"; \
+	done; \
+	tmp=`mktemp -d`; \
+	printf 'INPUT(a)\nINPUT(b)\nOUTPUT(y)\nna = NOT(a)\nt = OR(a, na)\nq = DFF(y)\ny = AND(t, b)\n' \
+	  > $$tmp/redundant.net; \
+	$(FST_EXE) sca $$tmp/redundant.net -c 1 > $$tmp/sca.txt || \
+	  { echo "sca-smoke: seeded netlist proofs failed re-checking"; \
+	    rm -rf $$tmp; exit 1; }; \
+	grep -q "^untestable:" $$tmp/sca.txt || \
+	  { echo "sca-smoke: seeded redundancy not proven untestable"; \
+	    rm -rf $$tmp; exit 1; }; \
+	$(FST_EXE) sca $$tmp/redundant.net -c 1 --json > $$tmp/sca.json; \
+	$(FST_EXE) jsonlint $$tmp/sca.json --expect '"version"' \
+	  --expect '"untestable"' --expect '"proof"' || \
+	  { rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; echo "sca-smoke: OK"
 
 clean:
 	dune clean

@@ -5,7 +5,7 @@
 
    Usage:  main.exe [table1|table2|table3|fig5|ablate-alt|ablate-dist|
                      ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|
-                     coverage|fsim|flow|micro|all]
+                     coverage|fsim|flow|sca|micro|all]
    The suite size is controlled by FST_SCALE (default 0.10; 1.0 =
    published circuit sizes). *)
 
@@ -1161,6 +1161,142 @@ let flow_bench () =
     (List.length rows) jobs
 
 (* ------------------------------------------------------------------ *)
+(* Static analysis: prune ratio against PODEM-proven untestables, and  *)
+(* the backtrack reduction from feeding the implication graph to PODEM *)
+(* as pruning hints. Recorded as BENCH_sca.json.                       *)
+(* ------------------------------------------------------------------ *)
+
+let sca_bench () =
+  let module J = Fst_obs.Json in
+  let module Sca = Fst_sca.Sca in
+  let backtrack_limit = Config.default.Config.comb_backtrack in
+  let rows =
+    List.map
+      (fun prep ->
+        let name = prep.entry.Fst_gen.Suite.profile.Fst_gen.Gen.name in
+        Printf.eprintf "[sca-bench] %s...\n%!" name;
+        let scanned = prep.scanned and config = prep.config in
+        let faults =
+          Fst_fault.Fault.collapse scanned (Fst_fault.Fault.universe scanned)
+        in
+        let cls = Classify.run scanned config faults in
+        let hard = Array.map (fun i -> faults.(i)) cls.Classify.hard in
+        let view =
+          View.scan_mode scanned ~constraints:config.Scan.constraints ()
+        in
+        let t = Sca.analyze view ~faults:hard in
+        let proven = Hashtbl.create 64 in
+        List.iter
+          (fun (u : Sca.untestable) -> Hashtbl.replace proven u.Sca.fault ())
+          t.Sca.untestable;
+        let scoap = Fst_testability.Scoap.compute view in
+        (* Baseline: one plain PODEM run per hard fault; its Untestable
+           verdicts are the denominator of the prune ratio. *)
+        let podem_untestable = ref 0 and backtracks_plain = ref 0 in
+        Array.iter
+          (fun f ->
+            let result, stats =
+              Fst_atpg.Podem.run ~backtrack_limit ~scoap view ~faults:[ f ]
+            in
+            backtracks_plain :=
+              !backtracks_plain + stats.Fst_atpg.Podem.backtracks;
+            match result with
+            | Fst_atpg.Podem.Untestable -> incr podem_untestable
+            | Fst_atpg.Podem.Test _ | Fst_atpg.Podem.Aborted -> ())
+          hard;
+        (* Pruned: statically proven faults are skipped outright (that is
+           the flow's phase-0 contract), the rest run with the implication
+           hints. *)
+        let backtracks_pruned = ref 0 in
+        Array.iter
+          (fun f ->
+            if not (Hashtbl.mem proven f) then begin
+              let _, stats =
+                Fst_atpg.Podem.run ~backtrack_limit ~scoap
+                  ~impossible:(Sca.impossible t) view ~faults:[ f ]
+              in
+              backtracks_pruned :=
+                !backtracks_pruned + stats.Fst_atpg.Podem.backtracks
+            end)
+          hard;
+        let s = t.Sca.stats in
+        let prune_ratio =
+          float_of_int s.Sca.untestable
+          /. float_of_int (max 1 !podem_untestable)
+        in
+        ( name,
+          Array.length hard,
+          s,
+          !podem_untestable,
+          prune_ratio,
+          !backtracks_plain,
+          !backtracks_pruned ))
+      (Lazy.force prepared_suite)
+  in
+  let t =
+    Table.create ~title:"Static analysis vs PODEM over the hard faults"
+      [
+        ("name", Table.Left);
+        ("hard", Table.Right);
+        ("static", Table.Right);
+        ("podem", Table.Right);
+        ("prune", Table.Right);
+        ("implications", Table.Right);
+        ("bt plain", Table.Right);
+        ("bt pruned", Table.Right);
+        ("sca CPU", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (name, hard, (s : Sca.stats), pu, ratio, btp, btr) ->
+      Table.row t
+        [
+          name;
+          Table.cell_int hard;
+          Table.cell_int s.Sca.untestable;
+          Table.cell_int pu;
+          Printf.sprintf "%.0f%%" (100.0 *. ratio);
+          Table.cell_int s.Sca.implications;
+          Table.cell_int btp;
+          Table.cell_int btr;
+          Table.cell_seconds s.Sca.seconds;
+        ])
+    rows;
+  Table.print t;
+  let doc =
+    J.Obj
+      [
+        ("scale", J.Float scale);
+        ( "circuits",
+          J.List
+            (List.map
+               (fun (name, hard, (s : Sca.stats), pu, ratio, btp, btr) ->
+                 J.Obj
+                   [
+                     ("name", J.String name);
+                     ("hard_faults", J.Int hard);
+                     ("static_untestable", J.Int s.Sca.untestable);
+                     ("podem_untestable", J.Int pu);
+                     ("prune_ratio", J.Float ratio);
+                     ("implications", J.Int s.Sca.implications);
+                     ("learned", J.Int s.Sca.learned);
+                     ("impossible_literals", J.Int s.Sca.impossible);
+                     ("dominance_edges", J.Int s.Sca.dominance_edges);
+                     ("sca_wall_s", J.Float s.Sca.seconds);
+                     ("podem_backtracks_plain", J.Int btp);
+                     ("podem_backtracks_pruned", J.Int btr);
+                     ("podem_backtrack_delta", J.Int (btp - btr));
+                   ])
+               rows) );
+      ]
+  in
+  let oc = open_out "BENCH_sca.json" in
+  J.to_channel oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote BENCH_sca.json (%d circuits)\n" (List.length rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the per-table kernels.                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -1271,7 +1407,7 @@ let micro () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|fsim|flow|micro|all] \
+     [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|fsim|flow|sca|micro|all] \
      [--engine NAME] [fsim --check]"
 
 let () =
@@ -1294,6 +1430,7 @@ let () =
     if Array.exists (fun a -> a = "--check") Sys.argv then fsim_check ()
     else fsim_bench ()
   | "flow" -> flow_bench ()
+  | "sca" -> sca_bench ()
   | "micro" -> micro ()
   | "all" ->
     table1 ();
@@ -1309,5 +1446,6 @@ let () =
     coverage_table ();
     fsim_bench ();
     flow_bench ();
+    sca_bench ();
     micro ()
   | _ -> usage ()

@@ -5,6 +5,7 @@
      stats  print circuit statistics
      tpi    insert functional scan chains and write the scanned netlist
      opt    netlist clean-up passes (fold, bypass, sweep, refanin)
+     sca    static analysis: constants, implications, untestability proofs
      flow   run the complete scan-chain-testing flow and print the report
      alt    classification only: the easy/hard split of Table 2
      diag   inject a chain defect and run scan-chain diagnosis *)
@@ -190,7 +191,7 @@ let run_lint file chains no_scan json fail_on waiver_path update_waiver
       with
       | exception Sys_error e ->
         { Lint.circuit = path; diagnostics = [ parse_diag e ]; waived = [];
-          errors = 1; warnings = 0 }
+          errors = 1; warnings = 0; infos = 0 }
       | exception Netfile.Parse_error { file = _; line; message } ->
         let d =
           Diagnostic.make ~rule:"E-NET-PARSE" ~severity:Diagnostic.Error
@@ -199,7 +200,7 @@ let run_lint file chains no_scan json fail_on waiver_path update_waiver
             message
         in
         { Lint.circuit = path; diagnostics = [ d ]; waived = [];
-          errors = 1; warnings = 0 }
+          errors = 1; warnings = 0; infos = 0 }
       | raw ->
         let pre = Lint.run_raw ~waivers raw in
         if pre.Lint.errors > 0 then pre
@@ -208,7 +209,7 @@ let run_lint file chains no_scan json fail_on waiver_path update_waiver
           | exception Circuit.Malformed message ->
             { Lint.circuit = raw.Netfile.raw_name;
               diagnostics = [ parse_diag message ]; waived = [];
-              errors = 1; warnings = 0 }
+              errors = 1; warnings = 0; infos = 0 }
           | circuit ->
             let lines = raw.Netfile.raw_lines in
             if no_scan then
@@ -253,6 +254,11 @@ let print_flow_report r =
   Table.row t
     [ "  category 2 (hard)"; Table.cell_int (Array.length cls.Classify.hard) ];
   Table.rule t;
+  Table.row t
+    [
+      "statically untestable";
+      Table.cell_int (List.length r.Flow.untestable_static);
+    ];
   Table.row t [ "step 2 detected"; Table.cell_int r.Flow.step2.Flow.detected ];
   Table.row t [ "step 2 untestable"; Table.cell_int r.Flow.step2.Flow.untestable ];
   Table.row t [ "step 2 vectors"; Table.cell_int r.Flow.step2.Flow.vectors ];
@@ -383,6 +389,7 @@ let flow_accounting r =
         J.Int (r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected) );
       ("undetected", J.Int (List.length r.Flow.undetected));
       ("untestable", J.Int (List.length r.Flow.untestable_faults));
+      ("untestable_static", J.Int (List.length r.Flow.untestable_static));
       ("aborted_faults", J.Int a.Flow.aborted_faults);
       ("failed_faults", J.Int a.Flow.failed_faults);
       ( "phases",
@@ -415,7 +422,7 @@ let print_resume = function
 
 let run_flow name scale file chains engine jobs time_budget keep_going
     fail_fast chaos chaos_p checkpoint resume trace metrics events progress
-    preflight obs_dir =
+    preflight obs_dir no_sca =
   let circuit = or_die (load ~name ~scale ~file) in
   let scanned, config = or_die (insert_chains circuit chains) in
   let artifacts =
@@ -448,6 +455,11 @@ let run_flow name scale file chains engine jobs time_budget keep_going
       (Fst_core.Config.of_cli ~engine ~jobs ~scale ?time_budget ?on_error
          ~preflight ~sink ())
   in
+  let cfg =
+    if no_sca then
+      Fst_core.Config.(cfg |> with_sca_prune false |> with_sca_implications false)
+    else cfg
+  in
   if resume && checkpoint = None then
     or_die (Error "--resume requires --checkpoint PATH");
   (match chaos with
@@ -470,6 +482,7 @@ let run_flow name scale file chains engine jobs time_budget keep_going
     let accounted =
       r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected
       + List.length r.Flow.untestable_faults
+      + List.length r.Flow.untestable_static
       + List.length r.Flow.undetected
       + List.length r.Flow.aborted + List.length r.Flow.failed
     in
@@ -665,6 +678,79 @@ let run_alt name scale file chains =
     (Array.length cls.Classify.hard);
   0
 
+(* --- sca ---------------------------------------------------------- *)
+
+(* The flow's phase-0 static analysis, standalone: build the scan-mode
+   view, run constant propagation, the implication engine and the
+   untestability prover over the collapsed fault universe, and print the
+   statistics plus one greppable line per proven fault. Every shipped
+   proof is re-checked; a mismatch fails the exit status, so the
+   make-check smoke gates soundness too. *)
+let run_sca name scale file chains json =
+  let circuit = or_die (load ~name ~scale ~file) in
+  let scanned, config = or_die (insert_chains circuit chains) in
+  let faults =
+    Fst_fault.Fault.collapse scanned (Fst_fault.Fault.universe scanned)
+  in
+  let view =
+    View.scan_mode scanned ~constraints:config.Scan.constraints ()
+  in
+  let t = Fst_sca.Sca.analyze view ~faults in
+  let s = t.Fst_sca.Sca.stats in
+  if json then begin
+    Fst_obs.Json.to_channel stdout (Fst_sca.Sca.to_json t);
+    print_newline ()
+  end
+  else begin
+    let tbl =
+      Table.create ~title:"Static circuit analysis"
+        [ ("metric", Table.Left); ("value", Table.Right) ]
+    in
+    Table.row tbl [ "nets"; Table.cell_int s.Fst_sca.Sca.nets ];
+    Table.row tbl [ "target faults"; Table.cell_int s.Fst_sca.Sca.targets ];
+    Table.row tbl
+      [ "constant gate nets"; Table.cell_int s.Fst_sca.Sca.constants ];
+    Table.row tbl
+      [ "implication edges"; Table.cell_int s.Fst_sca.Sca.implications ];
+    Table.row tbl [ "  learned"; Table.cell_int s.Fst_sca.Sca.learned ];
+    Table.row tbl
+      [ "impossible literals"; Table.cell_int s.Fst_sca.Sca.impossible ];
+    Table.row tbl
+      [ "dominance edges"; Table.cell_int s.Fst_sca.Sca.dominance_edges ];
+    Table.row tbl
+      [
+        "proven untestable";
+        Table.cell_int_pct s.Fst_sca.Sca.untestable ~of_:s.Fst_sca.Sca.targets;
+      ];
+    Table.row tbl [ "CPU"; Table.cell_seconds s.Fst_sca.Sca.seconds ];
+    Table.print tbl;
+    List.iter
+      (fun (u : Fst_sca.Sca.untestable) ->
+        let kind =
+          match u.Fst_sca.Sca.proof with
+          | Fst_sca.Sca.Unexcitable -> "unexcitable"
+          | Fst_sca.Sca.Unobservable _ -> "unobservable"
+          | Fst_sca.Sca.Fire _ -> "fire-split"
+          | Fst_sca.Sca.Requires _ -> "requires-literal"
+          | Fst_sca.Sca.Dominated _ -> "dominated"
+        in
+        Printf.printf "untestable: %s (%s)\n"
+          (Fst_fault.Fault.to_string scanned u.Fst_sca.Sca.fault)
+          kind)
+      t.Fst_sca.Sca.untestable
+  end;
+  let bad =
+    List.filter
+      (fun u -> not (Fst_sca.Sca.check t u))
+      t.Fst_sca.Sca.untestable
+  in
+  if bad = [] then 0
+  else begin
+    Printf.eprintf "fst: %d untestability proof(s) failed re-checking\n"
+      (List.length bad);
+    1
+  end
+
 (* --- diag --------------------------------------------------------- *)
 
 let run_diag name scale file chains position =
@@ -849,6 +935,12 @@ let flow_cmd =
                  timelines, abort accounting) for $(b,fst analyze). \
                  Subsumes --trace/--metrics/--events.")
   in
+  let no_sca =
+    Arg.(value & flag & info [ "no-sca" ]
+           ~doc:"Disable phase-0 static analysis: no statically-proven \
+                 untestable bucket and no implication hints for PODEM. \
+                 Every hard fault goes through ATPG, as in the seed flow.")
+  in
   Cmd.v
     (Cmd.info "flow"
        ~doc:"Run the complete functional scan chain testing flow")
@@ -856,7 +948,7 @@ let flow_cmd =
       const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg
       $ engine_arg $ jobs_arg $ time_budget $ keep_going $ fail_fast $ chaos
       $ chaos_p $ checkpoint $ resume $ trace $ metrics $ events $ progress
-      $ preflight $ obs_dir)
+      $ preflight $ obs_dir $ no_sca)
 
 let lint_cmd =
   let no_scan =
@@ -968,6 +1060,18 @@ let alt_cmd =
        ~doc:"Classify faults: the easy/hard split of the paper's Table 2")
     Term.(const run_alt $ name_arg $ scale_arg $ file_pos $ chains_arg)
 
+let sca_cmd =
+  let json =
+    Arg.(value & flag & info [ "json" ]
+           ~doc:"Emit the full report (derivation traces, proof objects) \
+                 as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "sca"
+       ~doc:"Static analysis: scan-mode constants, implications, and \
+             fault untestability proofs")
+    Term.(const run_sca $ name_arg $ scale_arg $ file_pos $ chains_arg $ json)
+
 let () =
   let doc = "functional scan chain testing (DATE'98 reproduction)" in
   let info = Cmd.info "fst" ~version:"1.0.0" ~doc in
@@ -976,8 +1080,8 @@ let () =
   let code =
     try
       Cmd.eval' (Cmd.group info
-           [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; lint_cmd; flow_cmd;
-             alt_cmd; diag_cmd; jsonlint_cmd; analyze_cmd ])
+           [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; lint_cmd; sca_cmd;
+             flow_cmd; alt_cmd; diag_cmd; jsonlint_cmd; analyze_cmd ])
     with
     | Flow.Preflight_failed diags ->
       List.iter (fun d -> prerr_endline (Diagnostic.to_string d)) diags;

@@ -2,9 +2,9 @@
 
     The paper observes (Figure 5) that most faults fall to the beginning of
     the step-2 test set and suggests shrinking it. Beyond plain truncation
-    (a {!Flow.params} option), this module implements classic
-    {e reverse-order restoration}: simulate the sequences from last to
-    first with fault dropping and keep only the ones that detect a fault
+    (the [Config.t] [truncate_blocks] option), this module implements
+    classic {e reverse-order restoration}: simulate the sequences from last
+    to first with fault dropping and keep only the ones that detect a fault
     not covered by a later sequence. Coverage is preserved exactly; the
     kept set is typically much smaller because early ATPG patterns are
     subsumed by later ones. *)

@@ -25,6 +25,8 @@ type t = {
   scan_backtrack : int;
   scan_random_blocks : int;
   scan_random_seed : int64;
+  sca_prune : bool;
+  sca_implications : bool;
   time_budget : float option;
   on_error : on_error;
   sink : Sink.t;
@@ -51,6 +53,8 @@ let default =
     scan_backtrack = 200;
     scan_random_blocks = 32;
     scan_random_seed = 0xCAFEL;
+    sca_prune = true;
+    sca_implications = false;
     time_budget = None;
     on_error = `Fail_fast;
     sink = Sink.null;
@@ -81,6 +85,8 @@ let with_scan_random_blocks scan_random_blocks t =
   { t with scan_random_blocks }
 
 let with_scan_random_seed scan_random_seed t = { t with scan_random_seed }
+let with_sca_prune sca_prune t = { t with sca_prune }
+let with_sca_implications sca_implications t = { t with sca_implications }
 let with_time_budget time_budget t = { t with time_budget }
 let with_on_error on_error t = { t with on_error }
 let with_sink sink t = { t with sink }
@@ -166,6 +172,8 @@ let to_json t =
       ("scan_random_blocks", Json.Int t.scan_random_blocks);
       ( "scan_random_seed",
         Json.String (Printf.sprintf "0x%Lx" t.scan_random_seed) );
+      ("sca_prune", Json.Bool t.sca_prune);
+      ("sca_implications", Json.Bool t.sca_implications);
       ( "time_budget",
         match t.time_budget with None -> Json.Null | Some s -> Json.Float s
       );

@@ -1,9 +1,9 @@
 (** One configuration record for the whole flow.
 
-    [Config.t] collapses what used to be separate knobs — [Flow.params],
-    [Scan_atpg.params], the fault-sim engine choice, the wall-clock budget
-    and the observability sink — into a single value built from {!default}
-    with functional [with_*] setters:
+    [Config.t] collapses every knob — the flow and scan-ATPG parameters,
+    the fault-sim engine choice, the wall-clock budget and the
+    observability sink — into a single value built from {!default} with
+    functional [with_*] setters:
 
     {[
       let cfg =
@@ -57,6 +57,15 @@ type t = {
   scan_backtrack : int;  (** PODEM backtrack limit, {!Scan_atpg} *)
   scan_random_blocks : int;  (** random capture blocks, {!Scan_atpg} *)
   scan_random_seed : int64;  (** seed for those blocks *)
+  sca_prune : bool;
+      (** phase-0 static analysis ({!Fst_sca.Sca}): prune statically
+          proven untestable faults before step-2 ATPG (default [true];
+          the proven faults land in [Flow.result.untestable_static]) *)
+  sca_implications : bool;
+      (** feed the static implication graph to PODEM as pruning hints
+          (default [false]: hints preserve completeness but can steer
+          PODEM to a different — equally valid — test, so runs are no
+          longer bit-identical to hint-free ones) *)
   time_budget : float option;
       (** whole-flow wall-clock budget in seconds ([None] = unlimited) *)
   on_error : on_error;  (** failure policy (default [`Fail_fast]) *)
@@ -65,8 +74,7 @@ type t = {
 }
 
 (** The defaults every knob documents; identical to the historical
-    [Flow.default_params] / [Scan_atpg.default_params] values, with
-    [engine = `Auto]. *)
+    flow and scan-ATPG parameter defaults, with [engine = `Auto]. *)
 val default : t
 
 val with_engine : engine -> t -> t
@@ -90,6 +98,8 @@ val with_final_fault_seconds : float -> t -> t
 val with_scan_backtrack : int -> t -> t
 val with_scan_random_blocks : int -> t -> t
 val with_scan_random_seed : int64 -> t -> t
+val with_sca_prune : bool -> t -> t
+val with_sca_implications : bool -> t -> t
 val with_time_budget : float option -> t -> t
 val with_on_error : on_error -> t -> t
 val with_sink : Fst_obs.Sink.t -> t -> t

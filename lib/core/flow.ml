@@ -13,93 +13,7 @@ module Metrics = Fst_obs.Metrics
 module Trace = Fst_obs.Trace
 module Json = Fst_obs.Json
 
-type params = {
-  jobs : int;
-  dist_floor_scale : float;
-  comb_backtrack : int;
-  seq_backtrack : int;
-  final_backtrack : int;
-  frames : int list;
-  final_frames : int list;
-  truncate_blocks : float option;
-  capture_curve : bool;
-  random_blocks : int;
-  random_seed : int64;
-  weighted_random : bool;
-  seq_fault_seconds : float;
-  final_fault_seconds : float;
-  on_error : Config.on_error;
-  sink : Sink.t;
-  preflight : bool;
-}
-
 exception Preflight_failed of Fst_lint.Diagnostic.t list
-
-let default_params =
-  {
-    jobs = Pool.default_jobs ();
-    dist_floor_scale = 1.0;
-    comb_backtrack = 200;
-    seq_backtrack = 400;
-    final_backtrack = 2000;
-    frames = [ 1; 2; 4 ];
-    final_frames = [ 1; 2; 4; 8 ];
-    truncate_blocks = None;
-    capture_curve = true;
-    random_blocks = 32;
-    random_seed = 0x5EEDL;
-    weighted_random = false;
-    seq_fault_seconds = 0.5;
-    final_fault_seconds = 2.0;
-    on_error = `Fail_fast;
-    sink = Sink.null;
-    preflight = false;
-  }
-
-(* The legacy params record and the unified [Config.t] describe the same
-   flow knobs; [run] accepts either and converts immediately. *)
-let params_of_config (c : Config.t) =
-  {
-    jobs = c.Config.jobs;
-    dist_floor_scale = c.Config.dist_floor_scale;
-    comb_backtrack = c.Config.comb_backtrack;
-    seq_backtrack = c.Config.seq_backtrack;
-    final_backtrack = c.Config.final_backtrack;
-    frames = c.Config.frames;
-    final_frames = c.Config.final_frames;
-    truncate_blocks = c.Config.truncate_blocks;
-    capture_curve = c.Config.capture_curve;
-    random_blocks = c.Config.random_blocks;
-    random_seed = c.Config.random_seed;
-    weighted_random = c.Config.weighted_random;
-    seq_fault_seconds = c.Config.seq_fault_seconds;
-    final_fault_seconds = c.Config.final_fault_seconds;
-    on_error = c.Config.on_error;
-    sink = c.Config.sink;
-    preflight = c.Config.preflight;
-  }
-
-let config_of_params (p : params) =
-  {
-    Config.default with
-    Config.jobs = p.jobs;
-    dist_floor_scale = p.dist_floor_scale;
-    comb_backtrack = p.comb_backtrack;
-    seq_backtrack = p.seq_backtrack;
-    final_backtrack = p.final_backtrack;
-    frames = p.frames;
-    final_frames = p.final_frames;
-    truncate_blocks = p.truncate_blocks;
-    capture_curve = p.capture_curve;
-    random_blocks = p.random_blocks;
-    random_seed = p.random_seed;
-    weighted_random = p.weighted_random;
-    seq_fault_seconds = p.seq_fault_seconds;
-    final_fault_seconds = p.final_fault_seconds;
-    on_error = p.on_error;
-    sink = p.sink;
-    preflight = p.preflight;
-  }
 
 type step2 = {
   detected : int;
@@ -163,6 +77,7 @@ type result = {
   step3 : step3;
   undetected : Fault.t list;
   untestable_faults : Fault.t list;
+  untestable_static : Fault.t list;
   aborted : Fault.t list;
   failed : Fault.t list;
   aborts : aborts;
@@ -181,6 +96,7 @@ let chain_detected_faults r =
   List.iter (fun f -> Hashtbl.replace open_set f ()) r.aborted;
   List.iter (fun f -> Hashtbl.replace open_set f ()) r.failed;
   List.iter (fun f -> Hashtbl.replace open_set f ()) r.untestable_faults;
+  List.iter (fun f -> Hashtbl.replace open_set f ()) r.untestable_static;
   let easy =
     Array.to_list r.classify.Classify.easy
     |> List.map (fun i -> r.faults.(i))
@@ -311,8 +227,19 @@ let aborts_of acct ~aborted_faults ~failed_faults =
 
 (* Bump whenever the marshalled layout below (or anything it embeds)
    changes; [Checkpoint.load] rejects other versions.
-   v3: failed_flag + chaos counters + acct failed fields. *)
-let ckpt_version = 3
+   v3: failed_flag + chaos counters + acct failed fields.
+   v4: phase-0 static-analysis summary ([c_sca]). *)
+let ckpt_version = 4
+
+(* What the flow keeps of the phase-0 static analysis: the per-hard-fault
+   untestability verdicts (everything later phases consult) and the
+   analysis statistics for the end-of-run metrics. The implication graph
+   itself is not persisted — the analysis is pure and deterministic, so a
+   resumed run that still needs the PODEM hints just recomputes it. *)
+type sca_summary = {
+  static_flag : bool array;  (* per hard fault: statically proven untestable *)
+  sca_stats : Fst_sca.Sca.stats;
+}
 
 type plan = {
   blocks : Fsim.stimulus list;
@@ -344,6 +271,7 @@ type finish = {
 
 type ckpt = {
   mutable c_classify : (Classify.t * float) option;
+  mutable c_sca : sca_summary option;
   mutable c_plan : plan option;
   mutable c_s2 : s2_state option;
   mutable c_s3 : s3_progress option;
@@ -361,6 +289,7 @@ type ckpt = {
 let fresh_ckpt () =
   {
     c_classify = None;
+    c_sca = None;
     c_plan = None;
     c_s2 = None;
     c_s3 = None;
@@ -377,18 +306,24 @@ let fresh_ckpt () =
    invalidate a checkpoint taken without it. [preflight] is excluded for
    the same reason: the lint pass is a pure observer, so toggling it must
    not invalidate a checkpoint either. *)
-let fingerprint scanned config (p : params) =
+let fingerprint scanned config (cfg : Config.t) =
   let key =
-    ( p.jobs,
-      p.dist_floor_scale,
-      p.comb_backtrack,
-      p.seq_backtrack,
-      p.final_backtrack,
-      p.frames,
-      p.final_frames,
-      p.truncate_blocks,
-      (p.capture_curve, p.random_blocks, p.random_seed, p.weighted_random),
-      (p.seq_fault_seconds, p.final_fault_seconds) )
+    ( cfg.Config.jobs,
+      cfg.Config.dist_floor_scale,
+      cfg.Config.comb_backtrack,
+      cfg.Config.seq_backtrack,
+      cfg.Config.final_backtrack,
+      cfg.Config.frames,
+      cfg.Config.final_frames,
+      cfg.Config.truncate_blocks,
+      ( cfg.Config.capture_curve,
+        cfg.Config.random_blocks,
+        cfg.Config.random_seed,
+        cfg.Config.weighted_random ),
+      ( cfg.Config.seq_fault_seconds,
+        cfg.Config.final_fault_seconds,
+        cfg.Config.sca_prune,
+        cfg.Config.sca_implications ) )
   in
   Digest.to_hex (Digest.string (Marshal.to_string (scanned, config, key) []))
 
@@ -439,10 +374,10 @@ let phase_obs (sink : Sink.t) name f =
 
 (* --- Step 2: combinational ATPG + sequential fault simulation ---------- *)
 
-let plan_step2 ~params ~budget ~acct ~aborted_flag ~failed_flag view scoap
-    scanned config ~hard_faults =
-  let sink = params.sink in
-  let keep_going = params.on_error = `Keep_going in
+let plan_step2 ~(cfg : Config.t) ~budget ~acct ~aborted_flag ~failed_flag
+    ~static_flag ~impossible view scoap scanned config ~hard_faults =
+  let sink = cfg.Config.sink in
+  let keep_going = cfg.Config.on_error = `Keep_going in
   let dl = Budget.deadline budget Budget.Step2_atpg in
   let t0 = Clock.now () in
   let n = Array.length hard_faults in
@@ -450,59 +385,65 @@ let plan_step2 ~params ~budget ~acct ~aborted_flag ~failed_flag view scoap
   let n_tests = ref 0 in
   let i = ref 0 in
   while !i < n && not (Clock.expired dl) do
-    (* Per-fault isolation under [`Keep_going]: a raising ATPG attempt
-       quarantines this fault (failed bucket, excluded from step 3) and
-       the loop moves on; under [`Fail_fast] the exception propagates as
-       it always did. *)
-    (try
-       match
-         timed_atpg sink
-           (Printf.sprintf "podem[%d]" !i)
-           (fun () ->
-             Podem.run ~backtrack_limit:params.comb_backtrack
-               ~should_abort:(fun () -> Clock.expired dl)
-               ~scoap view ~faults:[ hard_faults.(!i) ])
-       with
-       | Podem.Test assignment, stats ->
-         add_podem_stats acct stats;
-         incr n_tests;
-         let ff_values, pi_values = split_assignment scanned assignment in
-         blocks :=
-           Sequences.of_comb_test scanned config ~ff_values ~pi_values
-           :: !blocks
-       | Podem.Untestable, stats ->
-         add_podem_stats acct stats;
-         untestable := !i :: !untestable
-       | Podem.Aborted, stats ->
-         add_podem_stats acct stats;
-         acct.s2a_aborts <- acct.s2a_aborts + 1;
-         (* A deadline-tripped abort (as opposed to a backtrack-limit one)
-            means the fault was denied its full attempt. *)
-         if Clock.expired dl then begin
-           acct.p_ab_deadline <- acct.p_ab_deadline + 1;
-           aborted_flag.(!i) <- true
-         end
-         else acct.p_ab_limit <- acct.p_ab_limit + 1
-     with e when keep_going ->
-       failed_flag.(!i) <- true;
-       acct.s2a_failed <- acct.s2a_failed + 1;
-       Sink.event sink ~kind:"fault_failed"
-         [
-           ("phase", Json.String "step2-atpg");
-           ("index", Json.Int !i);
-           ("error", Json.String (Printexc.to_string e));
-         ]);
-    if sink.Sink.enabled then
-      Sink.tick sink ~phase:"step2-atpg" ~done_:(!i + 1) ~total:n
-        ~detected:!n_tests ~failed:acct.s2a_failed
-        ~budget_left:(Clock.remaining dl) ();
-    incr i
+    if static_flag.(!i) then
+      (* Statically proven untestable (phase 0): no attempt is owed, so the
+         fault is neither attempted here nor abortable below. *)
+      incr i
+    else begin
+      (* Per-fault isolation under [`Keep_going]: a raising ATPG attempt
+         quarantines this fault (failed bucket, excluded from step 3) and
+         the loop moves on; under [`Fail_fast] the exception propagates as
+         it always did. *)
+      (try
+         match
+           timed_atpg sink
+             (Printf.sprintf "podem[%d]" !i)
+             (fun () ->
+               Podem.run ~backtrack_limit:cfg.Config.comb_backtrack
+                 ~should_abort:(fun () -> Clock.expired dl)
+                 ~scoap ~impossible view ~faults:[ hard_faults.(!i) ])
+         with
+         | Podem.Test assignment, stats ->
+           add_podem_stats acct stats;
+           incr n_tests;
+           let ff_values, pi_values = split_assignment scanned assignment in
+           blocks :=
+             Sequences.of_comb_test scanned config ~ff_values ~pi_values
+             :: !blocks
+         | Podem.Untestable, stats ->
+           add_podem_stats acct stats;
+           untestable := !i :: !untestable
+         | Podem.Aborted, stats ->
+           add_podem_stats acct stats;
+           acct.s2a_aborts <- acct.s2a_aborts + 1;
+           (* A deadline-tripped abort (as opposed to a backtrack-limit one)
+              means the fault was denied its full attempt. *)
+           if Clock.expired dl then begin
+             acct.p_ab_deadline <- acct.p_ab_deadline + 1;
+             aborted_flag.(!i) <- true
+           end
+           else acct.p_ab_limit <- acct.p_ab_limit + 1
+       with e when keep_going ->
+         failed_flag.(!i) <- true;
+         acct.s2a_failed <- acct.s2a_failed + 1;
+         Sink.event sink ~kind:"fault_failed"
+           [
+             ("phase", Json.String "step2-atpg");
+             ("index", Json.Int !i);
+             ("error", Json.String (Printexc.to_string e));
+           ]);
+      if sink.Sink.enabled then
+        Sink.tick sink ~phase:"step2-atpg" ~done_:(!i + 1) ~total:n
+          ~detected:!n_tests ~failed:acct.s2a_failed
+          ~budget_left:(Clock.remaining dl) ();
+      incr i
+    end
   done;
   let attempted = !i in
   if attempted < n then begin
     acct.s2a_late <- true;
     for k = attempted to n - 1 do
-      aborted_flag.(k) <- true
+      if not static_flag.(k) then aborted_flag.(k) <- true
     done
   end;
   (* Deterministic random scan-mode tests appended after the ATPG set (the
@@ -511,18 +452,19 @@ let plan_step2 ~params ~budget ~acct ~aborted_flag ~failed_flag view scoap
      are exactly the loadable state plus the usable pins. *)
   let random_block rng =
     let vector =
-      if params.weighted_random then Rtpg.weighted rng view
+      if cfg.Config.weighted_random then Rtpg.weighted rng view
       else Rtpg.uniform rng view
     in
     let ff_values, pi_values = split_assignment scanned vector in
     Sequences.of_comb_test scanned config ~ff_values ~pi_values
   in
-  let rng = Fst_gen.Rng.create params.random_seed in
+  let rng = Fst_gen.Rng.create cfg.Config.random_seed in
   let blocks =
-    List.rev !blocks @ List.init params.random_blocks (fun _ -> random_block rng)
+    List.rev !blocks
+    @ List.init cfg.Config.random_blocks (fun _ -> random_block rng)
   in
   let blocks =
-    match params.truncate_blocks with
+    match cfg.Config.truncate_blocks with
     | None -> blocks
     | Some frac ->
       let keep =
@@ -538,22 +480,23 @@ let plan_step2 ~params ~budget ~acct ~aborted_flag ~failed_flag view scoap
     rng_state = Fst_gen.Rng.state rng;
   }
 
-let fsim_step2 ~params ~engine ~budget ~acct ~failed_flag scanned
-    ~hard_faults ~(plan : plan) =
-  let sink = params.sink in
-  let keep_going = params.on_error = `Keep_going in
+let fsim_step2 ~(cfg : Config.t) ~engine ~budget ~acct ~failed_flag
+    ~static_flag scanned ~hard_faults ~(plan : plan) =
+  let sink = cfg.Config.sink in
+  let keep_going = cfg.Config.on_error = `Keep_going in
   let dl = Budget.deadline budget Budget.Step2_fsim in
   let t1 = Clock.now () in
   let n_hit = ref 0 in
   let n = Array.length hard_faults in
   let untestable_set = Hashtbl.create 64 in
   List.iter (fun i -> Hashtbl.replace untestable_set i ()) plan.untestable2;
-  (* Untestable faults are excluded from simulation: they cannot be
-     detected and would waste machine slots. *)
+  (* Untestable faults — PODEM-proven and statically proven alike — are
+     excluded from simulation: they cannot be detected and would waste
+     machine slots. *)
   let simulate =
     Array.of_list
       (List.filter
-         (fun i -> not (Hashtbl.mem untestable_set i))
+         (fun i -> (not (Hashtbl.mem untestable_set i)) && not static_flag.(i))
          (List.init n (fun i -> i)))
   in
   let sim_faults = Array.map (fun i -> hard_faults.(i)) simulate in
@@ -581,8 +524,8 @@ let fsim_step2 ~params ~engine ~budget ~acct ~failed_flag scanned
         let alive = Array.sub pending 0 !n_pending in
         let faults = Array.map (fun k -> sim_faults.(k)) alive in
         let simulate_block () =
-          Fsim.Engine.detect_all ~obs:sink ~engine ~jobs:params.jobs scanned
-            ~faults ~observe:scanned.Circuit.outputs blocks_arr.(!b)
+          Fsim.Engine.detect_all ~obs:sink ~engine ~jobs:cfg.Config.jobs
+            scanned ~faults ~observe:scanned.Circuit.outputs blocks_arr.(!b)
         in
         match
           if keep_going then Retry.run simulate_block
@@ -647,7 +590,7 @@ let fsim_step2 ~params ~engine ~budget ~acct ~failed_flag scanned
        | None -> ())
     simulate;
   let curve =
-    if not params.capture_curve then [||]
+    if not cfg.Config.capture_curve then [||]
     else begin
       let per_block = Array.make (nb + 1) 0 in
       Array.iter
@@ -667,22 +610,27 @@ let fsim_step2 ~params ~engine ~budget ~acct ~failed_flag scanned
     Array.fold_left (fun a b -> if b then a + 1 else a) 0 detected
   in
   let n_untestable = List.length plan.untestable2 in
+  let n_static =
+    Array.fold_left (fun a b -> if b then a + 1 else a) 0 static_flag
+  in
   let remaining = ref [] in
   (* Quarantined faults are excluded from step 3: a fault whose ATPG
      crashed, or that sat in a failed simulation cohort, stays in the
      failed bucket rather than getting further (possibly poisoned)
-     attention. *)
+     attention. Statically proven faults are settled and take no further
+     part either. *)
   for i = n - 1 downto 0 do
     if
       (not detected.(i))
       && (not (Hashtbl.mem untestable_set i))
+      && (not static_flag.(i))
       && not failed_flag.(i)
     then remaining := i :: !remaining
   done;
   ( {
       detected = n_detected;
       untestable = n_untestable;
-      undetected = n - n_detected - n_untestable;
+      undetected = n - n_detected - n_untestable - n_static;
       vectors = nb;
       atpg_seconds = plan.plan_atpg_seconds;
       fsim_seconds;
@@ -776,11 +724,11 @@ let plan_sequence ~sink scanned config ~remaining_faults ~bounds ~positions
   | Seq.Seq_test test, stats ->
     (Some (Sequences.of_seq_test scanned config test), stats)
 
-let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
-    ~progress ~save_progress scanned config ~classify ~hard_index ~remaining
-    ~view ~scoap =
-  let sink = params.sink in
-  let keep_going = params.on_error = `Keep_going in
+let run_step3 ~(cfg : Config.t) ~engine ~budget ~acct ~aborted_flag
+    ~failed_flag ~impossible ~progress ~save_progress scanned config ~classify
+    ~hard_index ~remaining ~view ~scoap =
+  let sink = cfg.Config.sink in
+  let keep_going = cfg.Config.on_error = `Keep_going in
   let dl3 = Budget.deadline budget Budget.Step3 in
   let t0 = Clock.now () in
   let remaining_arr = Array.of_list remaining in
@@ -804,7 +752,7 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
   in
   let maxsize = Sequences.max_chain_length config in
   let dist =
-    Group.paper_params ~maxsize ~floor_scale:params.dist_floor_scale
+    Group.paper_params ~maxsize ~floor_scale:cfg.Config.dist_floor_scale
   in
   let groups = Array.of_list (Group.make dist (Array.to_list footprints)) in
   let n_groups = Array.length groups in
@@ -929,7 +877,7 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
   in
   while !cursor < n_groups do
     if Clock.expired dl3 || Pool.cancelled token then drain_cancelled ()
-    else if params.jobs <= 1 && not keep_going then begin
+    else if cfg.Config.jobs <= 1 && not keep_going then begin
       (* One core, fail-fast: the original fully-dropped order — every
          realized sequence retires faults before the next target is even
          attacked. One group per wave, checkpointed after commit.
@@ -953,12 +901,12 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
                 if Hashtbl.mem st.alive i then begin
                   let dlf =
                     Budget.fault_deadline budget Budget.Step3
-                      params.seq_fault_seconds
+                      cfg.Config.seq_fault_seconds
                   in
                   match
                     plan_sequence ~sink scanned config ~remaining_faults
-                      ~bounds ~positions ~frames:params.frames
-                      ~backtrack:params.seq_backtrack
+                      ~bounds ~positions ~frames:cfg.Config.frames
+                      ~backtrack:cfg.Config.seq_backtrack
                       ~should_abort:(fun () -> Clock.expired dlf)
                       i
                   with
@@ -988,7 +936,7 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
          happens between waves and at commit time, only not between the
          groups of one wave. A tripped budget cancels the wave's unclaimed
          groups cooperatively. *)
-      let jobs = params.jobs in
+      let jobs = cfg.Config.jobs in
       let wave_no = !cursor in
       let wave = ref [] in
       while List.length !wave < jobs && !cursor < n_groups do
@@ -1008,12 +956,12 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
             else begin
               let dlf =
                 Budget.fault_deadline budget Budget.Step3
-                  params.seq_fault_seconds
+                  cfg.Config.seq_fault_seconds
               in
               match
                 plan_sequence ~sink scanned config ~remaining_faults
-                  ~bounds ~positions ~frames:params.frames
-                  ~backtrack:params.seq_backtrack
+                  ~bounds ~positions ~frames:cfg.Config.frames
+                  ~backtrack:cfg.Config.seq_backtrack
                   ~should_abort:(fun () ->
                     Clock.expired dlf || Pool.cancelled token)
                   i
@@ -1119,13 +1067,14 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
   in
   let attack_final i fp =
     let dlf =
-      Budget.fault_deadline budget Budget.Finals params.final_fault_seconds
+      Budget.fault_deadline budget Budget.Finals
+        cfg.Config.final_fault_seconds
     in
     st.final_circuits <- st.final_circuits + 1;
     match
       plan_sequence ~sink scanned config ~remaining_faults
-        ~bounds:fp.Group.spans ~positions ~frames:params.final_frames
-        ~backtrack:params.final_backtrack
+        ~bounds:fp.Group.spans ~positions ~frames:cfg.Config.final_frames
+        ~backtrack:cfg.Config.final_backtrack
         ~should_abort:(fun () -> Clock.expired dlf)
         i
     with
@@ -1135,7 +1084,7 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
       if Clock.expired dl_fin then flag_idx i
     | Some stim, stats ->
       add_seq_stats acct stats;
-      retire ~jobs:params.jobs stim
+      retire ~jobs:cfg.Config.jobs stim
   in
   List.iter
     (fun i ->
@@ -1152,9 +1101,9 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
                timed_atpg sink
                  (Printf.sprintf "podem.final[%d]" i)
                  (fun () ->
-                   Podem.run ~backtrack_limit:params.final_backtrack
+                   Podem.run ~backtrack_limit:cfg.Config.final_backtrack
                      ~should_abort:(fun () -> Clock.expired dl_fin)
-                     ~scoap view ~faults:[ fault ])
+                     ~scoap ~impossible view ~faults:[ fault ])
              with
              | Podem.Untestable, stats ->
                add_podem_stats acct stats;
@@ -1172,7 +1121,7 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
                let stim =
                  Sequences.of_comb_test scanned config ~ff_values ~pi_values
                in
-               retire ~jobs:params.jobs stim;
+               retire ~jobs:cfg.Config.jobs stim;
                if Hashtbl.mem st.alive i && not !engine_poisoned then
                  attack_final i footprints.(i)
              | Podem.Aborted, stats ->
@@ -1215,28 +1164,20 @@ let run_step3 ~params ~engine ~budget ~acct ~aborted_flag ~failed_flag
 
 (* --- orchestration ------------------------------------------------------ *)
 
-let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
-    ?(resume = false) ?on_checkpoint ?on_resume scanned config =
-  (* [?params] (legacy) wins over [?config] so old call sites keep their
-     exact behavior; either way both views of the configuration exist. *)
-  let cfg =
-    match params, cfg with
-    | Some p, _ -> config_of_params p
-    | None, Some c -> c
-    | None, None -> Config.default
-  in
-  let params = match params with Some p -> p | None -> params_of_config cfg in
+let run ?config:(cfg : Config.t option) ?budget ?checkpoint ?(resume = false)
+    ?on_checkpoint ?on_resume scanned config =
+  let cfg = match cfg with Some c -> c | None -> Config.default in
   let engine = cfg.Config.engine in
   let budget =
     match budget with Some b -> b | None -> Config.budget cfg
   in
-  let sink = params.sink in
+  let sink = cfg.Config.sink in
   if sink.Sink.enabled then
     Sink.event sink ~kind:"config" [ ("config", Config.to_json cfg) ];
   (* Optional lint pre-flight: catch a broken scan configuration (shape,
      sensitization, parity) before spending the ATPG budget on it. Static
      rules only — a pure observer of the inputs. *)
-  if params.preflight then begin
+  if cfg.Config.preflight then begin
     let report = Fst_lint.Lint.run ~config scanned in
     if report.Fst_lint.Lint.errors > 0 then
       raise
@@ -1246,9 +1187,9 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
                 d.Fst_lint.Diagnostic.severity = Fst_lint.Diagnostic.Error)
               report.Fst_lint.Lint.diagnostics))
   end;
-  let keep_going = params.on_error = `Keep_going in
+  let keep_going = cfg.Config.on_error = `Keep_going in
   let faults = Fault.collapse scanned (Fault.universe scanned) in
-  let fp = fingerprint scanned config params in
+  let fp = fingerprint scanned config cfg in
   let notify_resume outcome =
     match on_resume with Some f -> f outcome | None -> ()
   in
@@ -1344,8 +1285,52 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
   let hard_faults =
     Array.map (fun i -> classify.Classify.infos.(i).Classify.fault) hard_index
   in
+  let n_hard = Array.length hard_faults in
   let view = View.scan_mode scanned ~constraints:config.Scan.constraints () in
   let scoap = Fst_testability.Scoap.compute view in
+  (* Phase 0 (static): ternary constant propagation, the implication graph
+     and the fault-independent untestability proofs ({!Fst_sca.Sca}) over
+     the scan-mode model. Pure and deterministic, so the checkpointed
+     summary and a fresh recomputation always agree; the analysis object
+     itself is rebuilt only when the PODEM hints are wanted. *)
+  let sca_enabled = cfg.Config.sca_prune || cfg.Config.sca_implications in
+  let sca =
+    if not sca_enabled then None
+    else
+      match ck.c_sca with
+      | Some s when not cfg.Config.sca_implications -> Some (None, s)
+      | cached ->
+        phase_obs sink "sca" (fun () ->
+            let t = Fst_sca.Sca.analyze view ~faults:hard_faults in
+            let static_flag = Array.make n_hard false in
+            if cfg.Config.sca_prune then begin
+              let tbl = Hashtbl.create 64 in
+              List.iter
+                (fun (u : Fst_sca.Sca.untestable) ->
+                  Hashtbl.replace tbl u.Fst_sca.Sca.fault ())
+                t.Fst_sca.Sca.untestable;
+              Array.iteri
+                (fun i f -> if Hashtbl.mem tbl f then static_flag.(i) <- true)
+                hard_faults
+            end;
+            let s = { static_flag; sca_stats = t.Fst_sca.Sca.stats } in
+            if cached = None then begin
+              ck.c_sca <- Some s;
+              save "sca"
+            end;
+            Some (Some t, s))
+  in
+  let static_flag =
+    match sca with
+    | Some (_, s) -> s.static_flag
+    | None -> Array.make n_hard false
+  in
+  let impossible =
+    match sca with
+    | Some (Some t, _) when cfg.Config.sca_implications ->
+      Fst_sca.Sca.impossible t
+    | _ -> fun _ _ -> false
+  in
   (* Phase 2a: combinational ATPG over the hard faults. *)
   let plan =
     match ck.c_plan with
@@ -1353,9 +1338,9 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
     | None ->
       phase_obs sink "step2-atpg" (fun () ->
           let p =
-            plan_step2 ~params ~budget ~acct:ck.acct
-              ~aborted_flag:ck.aborted_flag ~failed_flag:ck.failed_flag view
-              scoap scanned config ~hard_faults
+            plan_step2 ~cfg ~budget ~acct:ck.acct
+              ~aborted_flag:ck.aborted_flag ~failed_flag:ck.failed_flag
+              ~static_flag ~impossible view scoap scanned config ~hard_faults
           in
           ck.c_plan <- Some p;
           save "step2-atpg";
@@ -1368,8 +1353,9 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
     | None ->
       phase_obs sink "step2-fsim" (fun () ->
           let step2, remaining =
-            fsim_step2 ~params ~engine ~budget ~acct:ck.acct
-              ~failed_flag:ck.failed_flag scanned ~hard_faults ~plan
+            fsim_step2 ~cfg ~engine ~budget ~acct:ck.acct
+              ~failed_flag:ck.failed_flag ~static_flag scanned ~hard_faults
+              ~plan
           in
           ck.c_s2 <- Some { s2_step2 = step2; s2_remaining = remaining };
           save "step2-fsim";
@@ -1389,9 +1375,9 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
     | None ->
       phase_obs sink "step3" (fun () ->
           let step3, undetected_idx, aborted_idx, untestable3_idx =
-            run_step3 ~params ~engine ~budget ~acct:ck.acct
+            run_step3 ~cfg ~engine ~budget ~acct:ck.acct
               ~aborted_flag:ck.aborted_flag ~failed_flag:ck.failed_flag
-              ~progress:ck.c_s3
+              ~impossible ~progress:ck.c_s3
               ~save_progress:(fun p ->
                 ck.c_s3 <- Some p;
                 save "step3-wave")
@@ -1445,8 +1431,25 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
     set_c "atpg.seq.runs" ck.acct.s_runs;
     set_c "atpg.seq.backtracks" ck.acct.s_backtracks;
     set_c "flow.failed_groups" ck.acct.s3_failed_groups;
-    set_c "flow.failed_faults" (List.length failed_faults)
+    set_c "flow.failed_faults" (List.length failed_faults);
+    match sca with
+    | None -> ()
+    | Some (_, s) ->
+      set_c "sca.constants" s.sca_stats.Fst_sca.Sca.constants;
+      set_c "sca.implications" s.sca_stats.Fst_sca.Sca.implications;
+      set_c "sca.learned" s.sca_stats.Fst_sca.Sca.learned;
+      set_c "sca.impossible" s.sca_stats.Fst_sca.Sca.impossible;
+      set_c "sca.untestable" s.sca_stats.Fst_sca.Sca.untestable;
+      set_c "sca.untestable_static"
+        (Array.fold_left (fun a b -> if b then a + 1 else a) 0 static_flag)
   end;
+  let untestable_static =
+    let acc = ref [] in
+    for i = n_hard - 1 downto 0 do
+      if static_flag.(i) then acc := hard_faults.(i) :: !acc
+    done;
+    !acc
+  in
   {
     scanned;
     config;
@@ -1458,6 +1461,7 @@ let run ?params ?config:(cfg : Config.t option) ?budget ?checkpoint
     undetected = List.map (fun i -> remaining_faults.(i)) undetected_idx;
     untestable_faults =
       untestable2 @ List.map (fun i -> remaining_faults.(i)) untestable3_idx;
+    untestable_static;
     aborted = List.map (fun i -> remaining_faults.(i)) aborted_idx;
     failed = failed_faults;
     aborts;

@@ -4,9 +4,14 @@
     (see {!Fst_tpi.Tpi.insert}), the flow:
 
     + classifies every collapsed fault ({!Classify}),
-    + screens the hard (category-2) faults with combinational ATPG on the
-      scan-mode model followed by sequential fault simulation of the
-      realized scan sequences,
+    + statically proves hard faults untestable where possible
+      ({!Fst_sca.Sca}: constant propagation, the implication graph,
+      FIRE-style single-net conflicts and dominance) and prunes them from
+      every subsequent phase — the [untestable_static] bucket
+      ([Config.sca_prune], on by default),
+    + screens the remaining hard (category-2) faults with combinational
+      ATPG on the scan-mode model followed by sequential fault simulation
+      of the realized scan sequences,
     + targets the remainder with grouped sequential ATPG on models with
       enhanced chain controllability/observability ({!Group}), retrying the
       survivors individually with a larger budget, and proving
@@ -24,70 +29,10 @@ open Fst_netlist
 open Fst_fault
 open Fst_tpi
 
-type params = {
-  jobs : int;
-      (** domains used for fault simulation and grouped sequential ATPG
-          ({!Fst_exec.Pool}); default [Domain.recommended_domain_count ()].
-          [jobs = 1] reproduces the single-core flow exactly. Step-2 results
-          are identical for every [jobs] value; in step 3, [jobs > 1] plans
-          the sequential-ATPG groups in deterministic waves, which can
-          change (only) how detections are credited between groups. *)
-  dist_floor_scale : float;
-      (** scales the absolute floors of the paper's distance formula; use
-          the benchmark scale for scaled-down runs *)
-  comb_backtrack : int;  (** PODEM budget in step 2 *)
-  seq_backtrack : int;  (** PODEM budget per unrolled model in step 3 *)
-  final_backtrack : int;  (** budget for the final individual targeting *)
-  frames : int list;  (** frame counts tried per step-3 model *)
-  final_frames : int list;  (** frame counts for the final targeting *)
-  truncate_blocks : float option;
-      (** keep only this fraction of the step-2 test set before fault
-          simulation (the reduction discussed around Figure 5) *)
-  capture_curve : bool;  (** record the Figure-5 detection curve *)
-  random_blocks : int;
-      (** deterministic random scan-mode tests appended after the step-2
-          ATPG set (the paper's random-vector option) *)
-  random_seed : int64;
-  weighted_random : bool;
-      (** bias the random tests with {!Fst_atpg.Rtpg.weighted} instead of
-          fair coins *)
-  seq_fault_seconds : float;
-      (** approximate wall-clock budget per fault for grouped sequential
-          ATPG (always additionally capped by the phase deadline) *)
-  final_fault_seconds : float;
-      (** budget per fault for the final individual targeting (the paper's
-          "additional time") *)
-  on_error : Config.on_error;
-      (** failure policy ({!Config.on_error}). [`Fail_fast] (the default
-          here) propagates the first exception exactly as the seed did;
-          [`Keep_going] contains failures — retrying transient ones,
-          quarantining the rest into the [failed] bucket — so a budgeted
-          run always produces a report. Excluded from the checkpoint
-          fingerprint. *)
-  sink : Fst_obs.Sink.t;
-      (** observability sink threaded through every layer (phases, pool,
-          fault simulation, individual ATPG calls). The default
-          {!Fst_obs.Sink.null} compiles instrumentation down to a branch,
-          so unobserved [jobs = 1] runs are bit-identical to the seed.
-          The sink is excluded from the checkpoint fingerprint: attaching
-          observability never invalidates an existing checkpoint. *)
-  preflight : bool;
-      (** run the {!Fst_lint} static analyzer on the scanned circuit and
-          configuration before phase 1 and raise {!Preflight_failed} on any
-          error-severity finding, so a broken scan configuration fails fast
-          instead of consuming the ATPG budget. A pure observer; excluded
-          from the checkpoint fingerprint. Default [false]. *)
-}
-
-(** Raised by {!run} when [preflight] is on and the static analyzer found
-    error-severity diagnostics (the list, in {!Fst_lint.Diagnostic.compare}
-    order). *)
+(** Raised by {!run} when [Config.preflight] is on and the static analyzer
+    found error-severity diagnostics (the list, in
+    {!Fst_lint.Diagnostic.compare} order). *)
 exception Preflight_failed of Fst_lint.Diagnostic.t list
-
-val default_params : params
-[@@deprecated
-  "Build an Fst_core.Config.t with Config.default and the with_* setters, \
-   and pass it as Flow.run ~config."]
 
 type step2 = {
   detected : int;
@@ -131,8 +76,8 @@ type aborts = {
   aborted_faults : int;
       (** hard faults left alive at the end of the flow whose attempt was
           denied by the budget — reported separately from [undetected] so
-          that detected + untestable + undetected + aborted + failed
-          always equals the number of hard faults *)
+          that detected + untestable + untestable_static + undetected +
+          aborted + failed always equals the number of hard faults *)
   failed_faults : int;
       (** hard faults in the [failed] bucket (0 under [`Fail_fast]) *)
 }
@@ -172,8 +117,15 @@ type result = {
   undetected : Fault.t list;
       (** survivors of the whole flow that received their full attempt *)
   untestable_faults : Fault.t list;
-      (** faults proven untestable (step-2 combinational proofs plus the
-          relaxed-model proofs of step 3) *)
+      (** faults proven untestable by ATPG (step-2 combinational proofs
+          plus the relaxed-model proofs of step 3); disjoint from
+          [untestable_static] *)
+  untestable_static : Fault.t list;
+      (** hard faults proven untestable by the phase-0 static analysis
+          ({!Fst_sca.Sca}) and pruned before any ATPG was spent on them.
+          Empty when [Config.sca_prune] is off. Each has a
+          machine-checkable proof ({!Fst_sca.Sca.check}); rerun
+          [Fst_sca.Sca.analyze] on the scan-mode view to retrieve them. *)
   aborted : Fault.t list;
       (** survivors whose attempt was denied by the wall-clock budget *)
   failed : Fault.t list;
@@ -191,10 +143,15 @@ type result = {
 
     [config] is the unified {!Config.t} (default {!Config.default}): every
     flow knob, the fault-simulation engine selector, the wall-clock budget
-    and the observability sink in one value. The legacy [params] record is
-    still accepted and wins over [config] when both are given, so old call
-    sites keep their exact behavior for one release; with a live sink the
-    effective configuration is echoed as a ["config"] event.
+    and the observability sink in one value; with a live sink the effective
+    configuration is echoed as a ["config"] event. [jobs = 1] reproduces
+    the single-core flow exactly; step-2 results are identical for every
+    [jobs] value, and in step 3 [jobs > 1] plans the sequential-ATPG groups
+    in deterministic waves, which can change (only) how detections are
+    credited between groups. The default {!Fst_obs.Sink.null} sink compiles
+    instrumentation down to a branch, so unobserved [jobs = 1] runs are
+    bit-identical to the seed; neither the sink nor [preflight] (both pure
+    observers) is part of the checkpoint fingerprint.
 
     [budget] (default: [config.time_budget], else
     {!Fst_exec.Budget.unlimited}) bounds the whole run in
@@ -208,8 +165,8 @@ type result = {
     different circuit, configuration, parameter set, or format version is
     ignored — and continues from the last completed stage; a resumed
     [jobs = 1] run produces results identical to an uninterrupted one.
-    [on_checkpoint] is called with a stage label ("classify", "step2-atpg",
-    "step2-fsim", "step3-wave", "finished") after each save.
+    [on_checkpoint] is called with a stage label ("classify", "sca",
+    "step2-atpg", "step2-fsim", "step3-wave", "finished") after each save.
 
     [on_resume] is called once when [resume = true] and a checkpoint path
     was given: [`Loaded src] says which file the state came from
@@ -218,7 +175,6 @@ type result = {
     ({!Checkpoint.error}: missing, corrupt, fingerprint or version
     mismatch) before the flow starts fresh. *)
 val run :
-  ?params:params ->
   ?config:Config.t ->
   ?budget:Fst_exec.Budget.t ->
   ?checkpoint:string ->

@@ -9,25 +9,6 @@ module Retry = Fst_exec.Retry
 module Sink = Fst_obs.Sink
 module Json = Fst_obs.Json
 
-type params = {
-  backtrack : int;
-  random_blocks : int;
-  random_seed : int64;
-  jobs : int;
-  on_error : Config.on_error;
-  sink : Sink.t;
-}
-
-let default_params =
-  {
-    backtrack = 200;
-    random_blocks = 32;
-    random_seed = 0xCAFEL;
-    jobs = Fst_exec.Pool.default_jobs ();
-    on_error = `Fail_fast;
-    sink = Sink.null;
-  }
-
 type result = {
   targeted : int;
   detected : int;
@@ -45,31 +26,16 @@ type result = {
 let functional_view (scanned : Circuit.t) (config : Scan.config) =
   View.scan_mode scanned ~constraints:[ (config.Scan.scan_mode, V3.Zero) ] ()
 
-(* Legacy [params] and the unified [Config.t] describe the same knobs
-   (Config's [scan_*] fields); [run] accepts either. *)
-let params_of_config (c : Config.t) =
-  {
-    backtrack = c.Config.scan_backtrack;
-    random_blocks = c.Config.scan_random_blocks;
-    random_seed = c.Config.scan_random_seed;
-    jobs = c.Config.jobs;
-    on_error = c.Config.on_error;
-    sink = c.Config.sink;
-  }
-
-let run ?params ?(config : Config.t option) ?(deadline = Clock.never) scanned
+let run ?(config = Config.default) ?(deadline = Clock.never) scanned
     scan_config ~already_detected =
-  let engine =
-    match config with Some c -> c.Config.engine | None -> `Auto
-  in
-  let params =
-    match params, config with
-    | Some p, _ -> p
-    | None, Some c -> params_of_config c
-    | None, None -> params_of_config Config.default
-  in
+  let engine = config.Config.engine in
+  let backtrack = config.Config.scan_backtrack in
+  let random_blocks = config.Config.scan_random_blocks in
+  let random_seed = config.Config.scan_random_seed in
+  let jobs = config.Config.jobs in
+  let on_error = config.Config.on_error in
+  let sink = config.Config.sink in
   let config = scan_config in
-  let sink = params.sink in
   Sink.span sink ~name:"scan-atpg" ~cat:"phase" @@ fun () ->
   let t0 = Clock.now () in
   let universe = Fault.collapse scanned (Fault.universe scanned) in
@@ -83,7 +49,7 @@ let run ?params ?(config : Config.t option) ?(deadline = Clock.never) scanned
   let n = Array.length targets in
   let view = functional_view scanned config in
   let scoap = Fst_testability.Scoap.compute view in
-  let keep_going = params.on_error = `Keep_going in
+  let keep_going = on_error = `Keep_going in
   let blocks = ref [] in
   let proven = Array.make n false in
   let denied = Array.make n false in
@@ -93,7 +59,7 @@ let run ?params ?(config : Config.t option) ?(deadline = Clock.never) scanned
   while !i < n && not (Clock.expired deadline) do
     (try
        match
-         Podem.run ~backtrack_limit:params.backtrack
+         Podem.run ~backtrack_limit:backtrack
            ~should_abort:(fun () -> Clock.expired deadline)
            ~scoap view ~faults:[ targets.(!i) ]
        with
@@ -129,7 +95,7 @@ let run ?params ?(config : Config.t option) ?(deadline = Clock.never) scanned
   for k = !i to n - 1 do
     denied.(k) <- true
   done;
-  let rng = Fst_gen.Rng.create params.random_seed in
+  let rng = Fst_gen.Rng.create random_seed in
   let random_block () =
     let ff_values, pi_values =
       List.partition
@@ -139,12 +105,12 @@ let run ?params ?(config : Config.t option) ?(deadline = Clock.never) scanned
     Sequences.of_capture_test scanned config ~ff_values ~pi_values
   in
   let blocks =
-    List.rev !blocks @ List.init params.random_blocks (fun _ -> random_block ())
+    List.rev !blocks @ List.init random_blocks (fun _ -> random_block ())
   in
   let engine_failed = ref false in
   let outcome =
     let simulate () =
-      Fsim.Engine.detect_dropping ~obs:sink ~engine ~jobs:params.jobs scanned
+      Fsim.Engine.detect_dropping ~obs:sink ~engine ~jobs scanned
         ~faults:targets ~observe:scanned.Circuit.outputs ~stimuli:blocks
     in
     if not keep_going then simulate ()

@@ -17,27 +17,6 @@ open Fst_netlist
 open Fst_fault
 open Fst_tpi
 
-type params = {
-  backtrack : int;  (** PODEM budget per fault *)
-  random_blocks : int;  (** random capture tests appended to the set *)
-  random_seed : int64;
-  jobs : int;  (** domains for the fault-simulation pass ({!Fst_exec.Pool}) *)
-  on_error : Config.on_error;
-      (** failure policy: [`Fail_fast] (default) propagates exceptions;
-          [`Keep_going] isolates per-fault ATPG failures (the fault lands
-          in [failed] unless another sequence detects it) and retries the
-          fault-simulation pass, quarantining every unproven fault when it
-          permanently fails *)
-  sink : Fst_obs.Sink.t;
-      (** observability sink (default {!Fst_obs.Sink.null}): a phase span,
-          a progress heartbeat during ATPG, and fault-simulation metrics *)
-}
-
-val default_params : params
-[@@deprecated
-  "Build an Fst_core.Config.t (scan_backtrack/scan_random_blocks/\
-   scan_random_seed fields) and pass it as Scan_atpg.run ~config."]
-
 type result = {
   targeted : int;  (** faults attacked in this phase *)
   detected : int;
@@ -58,15 +37,17 @@ type result = {
     functional logic through the scan chain. [config] is the unified
     {!Config.t} (default {!Config.default}); this phase reads its
     [scan_backtrack] / [scan_random_blocks] / [scan_random_seed] knobs plus
-    [engine], [jobs] and [sink]. The legacy [params] record is still
-    accepted and wins over [config] when both are given. [already_detected]
-    lists faults credited to the chain-testing phase (dropped from the
-    target list and counted as covered in {!coverage}). A tripped
-    [deadline] (default {!Fst_exec.Clock.never}) skips the remaining ATPG
-    attempts; the skipped faults still ride through fault simulation and
-    any left undetected are reported as [aborted]. *)
+    [engine], [jobs], [on_error] ([`Keep_going] isolates per-fault ATPG
+    failures — the fault lands in [failed] unless another sequence detects
+    it — and retries the fault-simulation pass, quarantining every
+    unproven fault when it permanently fails) and [sink] (a phase span, a
+    progress heartbeat during ATPG, and fault-simulation metrics).
+    [already_detected] lists faults credited to the chain-testing phase
+    (dropped from the target list and counted as covered in {!coverage}).
+    A tripped [deadline] (default {!Fst_exec.Clock.never}) skips the
+    remaining ATPG attempts; the skipped faults still ride through fault
+    simulation and any left undetected are reported as [aborted]. *)
 val run :
-  ?params:params ->
   ?config:Config.t ->
   ?deadline:Fst_exec.Clock.deadline ->
   Circuit.t ->

@@ -152,12 +152,15 @@ let collapse_classes (c : Circuit.t) faults =
       | Some ia, Some ib -> Union_find.union uf ia ib
       | _, _ -> ())
     (equivalences c);
-  (* Representative = lowest original index in the class. *)
-  let best = Array.make nf max_int in
+  (* Representative = the class member lowest in [compare] order, so the
+     choice is deterministic under permutations of the input. For
+     [universe] input (sorted by [compare]) this coincides with the lowest
+     original index. *)
+  let best = Array.make nf (-1) in
   Array.iteri
-    (fun i _ ->
+    (fun i f ->
       let r = Union_find.find uf i in
-      if i < best.(r) then best.(r) <- i)
+      if best.(r) < 0 || compare f faults.(best.(r)) < 0 then best.(r) <- i)
     faults;
   let reps = ref [] in
   let rep_index_of = Array.make nf (-1) in

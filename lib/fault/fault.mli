@@ -30,9 +30,15 @@ val observers : Circuit.t -> t -> int list
 val pp : Circuit.t -> t Fmt.t
 val to_string : Circuit.t -> t -> string
 
+(** [pin_fault c ~node ~pin ~stuck] is the fault on a fanin pin: the branch
+    fault on that pin when the source net has fanout > 1, otherwise the
+    stem fault of the source net (the two are the same fault). *)
+val pin_fault : Circuit.t -> node:int -> pin:int -> stuck:bool -> t
+
 (** [universe c] enumerates the full uncollapsed fault list: two stem faults
     per net plus two branch faults per fanin pin whose source net has
-    fanout > 1. The order is deterministic. *)
+    fanout > 1. The order is deterministic and coincides with {!compare}
+    order (stems ascending, then branches ascending). *)
 val universe : Circuit.t -> t array
 
 (** [collapse c faults] partitions [faults] into structural equivalence
@@ -43,7 +49,14 @@ val universe : Circuit.t -> t array
 val collapse : Circuit.t -> t array -> t array
 
 (** [collapse_classes c faults] is the underlying partition: for each fault
-    its representative's index in the returned representative array. *)
+    its representative's index in the returned representative array.
+
+    Invariant: the representative of each class is its lowest member in
+    {!compare} order, independent of the order of [faults] — two calls
+    over permutations of the same fault set pick the same representatives.
+    Representatives are emitted in the input order of their positions; for
+    {!universe} input (already sorted by {!compare}) they are therefore
+    sorted. *)
 val collapse_classes : Circuit.t -> t array -> t array * int array
 
 (** [seed f] is the net id at which the fault's influence enters the

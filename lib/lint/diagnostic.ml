@@ -1,13 +1,17 @@
 open Fst_netlist
 module Json = Fst_obs.Json
 
-type severity = Error | Warning
+type severity = Error | Warning | Info
 
-let severity_to_string = function Error -> "error" | Warning -> "warning"
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
 
 let severity_of_string = function
   | "error" -> Some Error
   | "warning" -> Some Warning
+  | "info" -> Some Info
   | _ -> None
 
 type location = {
@@ -43,7 +47,7 @@ type t = {
 let make ~rule ~severity ?(loc = no_loc) message =
   { rule; severity; loc; message }
 
-let severity_rank = function Error -> 0 | Warning -> 1
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 
 let opt_cmp cmp a b =
   match a, b with

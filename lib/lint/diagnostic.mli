@@ -6,7 +6,7 @@
     and deterministic, so a lint run renders identically across runs and
     machines — a requirement for CI gating and baseline files. *)
 
-type severity = Error | Warning
+type severity = Error | Warning | Info
 
 val severity_to_string : severity -> string
 val severity_of_string : string -> severity option
@@ -37,8 +37,8 @@ type t = {
 val make :
   rule:string -> severity:severity -> ?loc:location -> string -> t
 
-(** Total deterministic order: errors first, then by rule id, chain,
-    segment, net, line, message. *)
+(** Total deterministic order: errors first, then warnings, then infos,
+    then by rule id, chain, segment, net, line, message. *)
 val compare : t -> t -> int
 
 (** [key d] is the stable waiver/baseline key:

@@ -62,6 +62,7 @@ type report = {
   waived : D.t list;
   errors : int;
   warnings : int;
+  infos : int;
 }
 
 let count sev diags =
@@ -78,6 +79,7 @@ let finish ~circuit ~waivers diags =
     waived;
     errors = count D.Error diagnostics;
     warnings = count D.Warning diagnostics;
+    infos = count D.Info diagnostics;
   }
 
 let run ?(limits = Rules.default_limits) ?lines ?file ?config ?dynamic
@@ -88,6 +90,7 @@ let run ?(limits = Rules.default_limits) ?lines ?file ?config ?dynamic
   (match config with
    | Some config ->
      add (Rules.scan ctx ~limits config);
+     add (Rules.sca ctx ~limits config);
      (match dynamic with
       | Some true ->
         (match Fst_tpi.Scan.verify_shift c config with
@@ -120,8 +123,10 @@ let render report =
       Buffer.add_char b '\n')
     report.diagnostics;
   Buffer.add_string b
-    (Printf.sprintf "%s: %d error(s), %d warning(s)%s\n" report.circuit
+    (Printf.sprintf "%s: %d error(s), %d warning(s)%s%s\n" report.circuit
        report.errors report.warnings
+       (if report.infos = 0 then ""
+        else Printf.sprintf ", %d info(s)" report.infos)
        (if report.waived = [] then ""
         else Printf.sprintf ", %d waived" (List.length report.waived)));
   Buffer.contents b
@@ -133,6 +138,7 @@ let to_json report =
       ("circuit", Json.String report.circuit);
       ("errors", Json.Int report.errors);
       ("warnings", Json.Int report.warnings);
+      ("infos", Json.Int report.infos);
       ("waived", Json.Int (List.length report.waived));
       ("diagnostics", Json.List (List.map D.to_json report.diagnostics));
     ]
@@ -176,4 +182,11 @@ let catalogue =
     ("W-SCAN-DEPTH", D.Warning, "segment path delay exceeds the limit");
     ("W-TEST-CC", D.Warning, "net hard to control (SCOAP threshold)");
     ("W-TEST-OBS", D.Warning, "net hard to observe (SCOAP threshold)");
+    ( "W-TEST-REDUNDANT",
+      D.Warning,
+      "fault statically proven untestable (machine-checked proof): \
+       patterns targeting it are redundant" );
+    ( "I-CONST-NET",
+      D.Info,
+      "gate net proven constant under the scan-mode constants" );
   ]

@@ -34,11 +34,13 @@ type report = {
   waived : Diagnostic.t list;  (** findings suppressed by the waiver set *)
   errors : int;  (** error count among [diagnostics] *)
   warnings : int;  (** warning count among [diagnostics] *)
+  infos : int;  (** info count among [diagnostics]; never gates CI *)
 }
 
 (** [run c] lints an elaborated circuit: structural DRC, plus — when
-    [config] is given — the scan-DFT rules, plus the SCOAP testability
-    rules. [dynamic:true] additionally runs {!Fst_tpi.Scan.verify_shift}
+    [config] is given — the scan-DFT rules and the {!Rules.sca} static
+    analysis ([W-TEST-REDUNDANT]/[I-CONST-NET]), plus the SCOAP
+    testability rules. [dynamic:true] additionally runs {!Fst_tpi.Scan.verify_shift}
     and renders its failures as [E-SCAN-SHIFT] diagnostics, cross-checking
     the static sensitization analysis. [lines]/[file] locate findings in
     the netlist source (see {!Fst_netlist.Netfile.parse_file_loc}). *)

@@ -42,6 +42,13 @@ let warning ctx ~rule ?chain ?segment net fmt =
       D.make ~rule ~severity:D.Warning ~loc message)
     fmt
 
+let info ctx ~rule ?chain ?segment net fmt =
+  Printf.ksprintf
+    (fun message ->
+      let loc = { (at ctx net) with D.chain; D.segment } in
+      D.make ~rule ~severity:D.Info ~loc message)
+    fmt
+
 let name ctx n = Circuit.net_name ctx.c n
 
 (* --- structural DRC ----------------------------------------------------- *)
@@ -551,6 +558,88 @@ let scan ctx ~limits (config : Scan.config) =
         ch.Scan.segments)
     config.Scan.chains;
   !diags
+
+(* --- static-analysis lint ------------------------------------------------ *)
+
+(* Findings of the phase-0 static analysis ({!Fst_sca.Sca}) under the
+   scan-mode constants: gate nets proven constant (the downstream logic
+   never sees them toggle) and collapsed faults with machine-checked
+   untestability proofs (patterns targeting them are redundant). Both are
+   capped like the testability rules, with an overflow summary line. *)
+let sca ctx ~limits (config : Scan.config) =
+  let module Sca = Fst_sca.Sca in
+  let module Fault = Fst_fault.Fault in
+  let c = ctx.c in
+  let view = View.scan_mode c ~constraints:config.Scan.constraints () in
+  let faults = Fault.collapse c (Fault.universe c) in
+  let t = Sca.analyze view ~faults in
+  let cap = limits.max_testability_reports in
+  let capped ~rule ~severity ~more all =
+    let shown = List.filteri (fun k _ -> k < cap) all in
+    if List.length all > cap then
+      shown
+      @ [
+          D.make ~rule ~severity
+            (Printf.sprintf "...and %d more %s" (List.length all - cap) more);
+        ]
+    else shown
+  in
+  let reason_text = function
+    | Some Sca.Tied -> "tied source"
+    | Some (Sca.Forward n) ->
+      Printf.sprintf "implied by the fanins of %S" (name ctx n)
+    | Some (Sca.Backward { node; pin }) ->
+      Printf.sprintf "justified from the output of %S (pin %d)"
+        (name ctx node) pin
+    | Some (Sca.Learned n) ->
+      Printf.sprintf "common consequence of every justification of %S"
+        (name ctx n)
+    | Some Sca.Assumed | None -> "constant propagation"
+  in
+  let consts = ref [] in
+  for i = Circuit.num_nets c - 1 downto 0 do
+    match Circuit.node c i with
+    | Circuit.Gate _ when V3.is_binary t.Sca.base.(i) ->
+      consts :=
+        info ctx ~rule:"I-CONST-NET" i
+          "gate net %S is constant %c under the scan-mode constants (%s)"
+          (name ctx i)
+          (V3.to_char t.Sca.base.(i))
+          (reason_text t.Sca.base_reason.(i))
+        :: !consts
+    | Circuit.Gate _ | Circuit.Input | Circuit.Const _ | Circuit.Dff _ -> ()
+  done;
+  let proof_text = function
+    | Sca.Unexcitable -> "unexcitable: the site cannot take the opposite value"
+    | Sca.Unobservable blockers ->
+      Printf.sprintf
+        "unobservable: every propagation path crosses one of %d blocked \
+         gate(s)"
+        (List.length blockers)
+    | Sca.Fire { m; _ } ->
+      Printf.sprintf "detection is blocked under both values of net %S"
+        (name ctx m)
+    | Sca.Requires { net; value; _ } ->
+      Printf.sprintf "detection requires %S = %c, which is refuted"
+        (name ctx net) (V3.to_char value)
+    | Sca.Dominated f ->
+      Printf.sprintf "dominated by proven-untestable %s" (Fault.to_string c f)
+  in
+  let redundant =
+    List.map
+      (fun (u : Sca.untestable) ->
+        warning ctx ~rule:"W-TEST-REDUNDANT"
+          (Fault.site_net c u.Sca.fault)
+          "fault %s is statically proven untestable (%s); test patterns \
+           targeting it are redundant"
+          (Fault.to_string c u.Sca.fault)
+          (proof_text u.Sca.proof))
+      t.Sca.untestable
+  in
+  capped ~rule:"W-TEST-REDUNDANT" ~severity:D.Warning
+    ~more:"statically untestable faults" redundant
+  @ capped ~rule:"I-CONST-NET" ~severity:D.Info ~more:"constant gate nets"
+      !consts
 
 (* --- testability lint ---------------------------------------------------- *)
 

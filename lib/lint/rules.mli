@@ -8,6 +8,8 @@
     - {!scan}: scan-DFT rules on a {!Fst_tpi.Scan.config} ([E-SCAN-*],
       [W-SCAN-*]) — including the static complement of
       {!Fst_tpi.Scan.verify_shift};
+    - {!sca}: static-analysis findings from {!Fst_sca.Sca}
+      ([W-TEST-REDUNDANT], [I-CONST-NET]);
     - {!testability}: SCOAP threshold lint ([W-TEST-*]).
 
     All passes only read their inputs; diagnostics are returned unsorted
@@ -48,5 +50,13 @@ val structural : ctx -> Diagnostic.t list
 val raw_structural : Netfile.raw -> Diagnostic.t list
 
 val scan : ctx -> limits:limits -> Scan.config -> Diagnostic.t list
+
+(** [sca ctx ~limits config] runs the {!Fst_sca.Sca} static analysis on
+    the scan-mode view under [config]'s constraints, over the collapsed
+    fault universe: every statically proven untestable fault becomes a
+    [W-TEST-REDUNDANT] warning (with its proof summarized), every gate
+    net proven constant an [I-CONST-NET] info (with its derivation). Both
+    are capped by [limits.max_testability_reports]. *)
+val sca : ctx -> limits:limits -> Scan.config -> Diagnostic.t list
 
 val testability : ctx -> limits:limits -> Diagnostic.t list

@@ -33,4 +33,5 @@ let () =
       ("compact", Test_compact.suite);
       ("diagnose", Test_diagnose.suite);
       ("dictionary", Test_dictionary.suite);
+      ("sca", Test_sca.suite);
     ]

@@ -3,9 +3,9 @@ open Fst_core
 (* The unified Config surface: defaults, setters, the engine selector's
    CLI spellings, the CLI constructor and the JSON echo. *)
 
-let test_defaults_match_legacy () =
-  (* Config.default must describe the same flow the historical
-     [Flow.default_params] did, with [`Auto] engine selection on top. *)
+let test_defaults () =
+  (* Config.default must describe the same flow the historical defaults
+     did, with [`Auto] engine selection on top. *)
   let c = Config.default in
   Alcotest.(check string) "engine" "auto" (Config.engine_to_string c.Config.engine);
   Alcotest.(check int) "comb_backtrack" 200 c.Config.comb_backtrack;
@@ -16,7 +16,9 @@ let test_defaults_match_legacy () =
   Alcotest.(check int) "random_blocks" 32 c.Config.random_blocks;
   Alcotest.(check int) "scan_backtrack" 200 c.Config.scan_backtrack;
   Alcotest.(check bool) "no budget" true (c.Config.time_budget = None);
-  Alcotest.(check bool) "no preflight" false c.Config.preflight
+  Alcotest.(check bool) "no preflight" false c.Config.preflight;
+  Alcotest.(check bool) "sca prune on" true c.Config.sca_prune;
+  Alcotest.(check bool) "sca implications off" false c.Config.sca_implications
 
 let test_setters () =
   let c =
@@ -30,6 +32,10 @@ let test_setters () =
   Alcotest.(check int) "comb_backtrack" 7 c.Config.comb_backtrack;
   Alcotest.(check bool) "budget" true (c.Config.time_budget = Some 1.5);
   Alcotest.(check bool) "preflight" true c.Config.preflight;
+  Alcotest.(check bool) "sca prune off" false
+    (Config.with_sca_prune false c).Config.sca_prune;
+  Alcotest.(check bool) "sca implications on" true
+    (Config.with_sca_implications true c).Config.sca_implications;
   (* Setters are functional: default is untouched. *)
   Alcotest.(check int) "default comb" 200 Config.default.Config.comb_backtrack;
   (* jobs clamps to at least one domain. *)
@@ -79,72 +85,18 @@ let test_to_json () =
     (member "engine" = Fst_obs.Json.String "serial");
   Alcotest.(check bool) "budget" true
     (member "time_budget" = Fst_obs.Json.Float 2.0);
-  Alcotest.(check bool) "frames present" true (member "frames" <> Fst_obs.Json.Null)
-
-(* The deprecated record constructors must keep compiling (shielded from
-   the dev -warn-error wall here only) and behave exactly like the Config
-   path: the whole one-release compatibility contract. *)
-let test_legacy_params_still_work () =
-  let scanned, config =
-    let c = Helpers.small_seq_circuit ~gates:80 ~ffs:6 23L in
-    Fst_tpi.Tpi.insert
-      ~options:
-        { Fst_tpi.Tpi.default_options with Fst_tpi.Tpi.chains = 1;
-          justify_depth = 4 }
-      c
-  in
-  let legacy =
-    (let open Flow in
-     { (default_params [@alert "-deprecated"]) with
-       comb_backtrack = 100; seq_backtrack = 200; final_backtrack = 500;
-       frames = [ 1; 2 ]; final_frames = [ 1; 2 ]; jobs = 1 })
-  in
-  let via_params = Flow.run ~params:legacy scanned config in
-  let via_config =
-    Flow.run
-      ~config:
-        Config.(
-          default |> with_comb_backtrack 100 |> with_seq_backtrack 200
-          |> with_final_backtrack 500 |> with_frames [ 1; 2 ]
-          |> with_final_frames [ 1; 2 ] |> with_jobs 1)
-      scanned config
-  in
-  Alcotest.(check int) "step2 detected" via_config.Flow.step2.Flow.detected
-    via_params.Flow.step2.Flow.detected;
-  Alcotest.(check int) "step3 detected" via_config.Flow.step3.Flow.detected
-    via_params.Flow.step3.Flow.detected;
-  Alcotest.(check bool) "undetected identical" true
-    (via_params.Flow.undetected = via_config.Flow.undetected);
-  (* Same contract for the scan-ATPG phase. *)
-  let already_detected = Flow.chain_detected_faults via_params in
-  let scan_legacy =
-    (let open Scan_atpg in
-     { (default_params [@alert "-deprecated"]) with
-       backtrack = 50; random_blocks = 4; jobs = 1 })
-  in
-  let r_params = Scan_atpg.run ~params:scan_legacy scanned config ~already_detected in
-  let r_config =
-    Scan_atpg.run
-      ~config:
-        Config.(
-          default |> with_scan_backtrack 50 |> with_scan_random_blocks 4
-          |> with_jobs 1)
-      scanned config ~already_detected
-  in
-  Alcotest.(check int) "scan detected" r_config.Scan_atpg.detected
-    r_params.Scan_atpg.detected;
-  Alcotest.(check int) "scan untestable" r_config.Scan_atpg.untestable
-    r_params.Scan_atpg.untestable
+  Alcotest.(check bool) "frames present" true (member "frames" <> Fst_obs.Json.Null);
+  Alcotest.(check bool) "sca_prune present" true
+    (member "sca_prune" = Fst_obs.Json.Bool true);
+  Alcotest.(check bool) "sca_implications present" true
+    (member "sca_implications" = Fst_obs.Json.Bool false)
 
 let suite =
   [
-    Alcotest.test_case "defaults match the legacy params" `Quick
-      test_defaults_match_legacy;
+    Alcotest.test_case "defaults" `Quick test_defaults;
     Alcotest.test_case "functional setters" `Quick test_setters;
     Alcotest.test_case "engine names round-trip" `Quick
       test_engine_names_round_trip;
     Alcotest.test_case "of_cli" `Quick test_of_cli;
     Alcotest.test_case "to_json round-trips" `Quick test_to_json;
-    Alcotest.test_case "legacy params wrappers behave like Config" `Slow
-      test_legacy_params_still_work;
   ]

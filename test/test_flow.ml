@@ -38,10 +38,12 @@ let test_flow_bookkeeping () =
   let scanned, config = scan_small 7L in
   let r = Flow.run ~config:quick_config scanned config in
   let hard = Array.length r.Flow.classify.Classify.hard in
-  (* Step-2 buckets partition the hard faults. *)
+  (* Step-2 buckets plus the phase-0 static bucket partition the hard
+     faults. *)
   Alcotest.(check int) "step2 partition" hard
     (r.Flow.step2.Flow.detected + r.Flow.step2.Flow.untestable
-   + r.Flow.step2.Flow.undetected);
+   + r.Flow.step2.Flow.undetected
+    + List.length r.Flow.untestable_static);
   (* Step-3 buckets partition the step-2 undetected. *)
   Alcotest.(check int) "step3 partition" r.Flow.step2.Flow.undetected
     (r.Flow.step3.Flow.detected + r.Flow.step3.Flow.untestable
@@ -155,6 +157,7 @@ let test_zero_budget_accounting () =
   Alcotest.(check int) "identity over hard faults" hard
     (r.Flow.step2.Flow.detected + r.Flow.step2.Flow.untestable
    + r.Flow.step3.Flow.detected + r.Flow.step3.Flow.untestable
+   + List.length r.Flow.untestable_static
    + List.length r.Flow.undetected
    + List.length r.Flow.aborted);
   Alcotest.(check bool) "budget reported exhausted" true
@@ -287,6 +290,7 @@ let partition_holds r =
   Array.length r.Flow.classify.Classify.hard
   = r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected
     + List.length r.Flow.untestable_faults
+    + List.length r.Flow.untestable_static
     + List.length r.Flow.undetected
     + List.length r.Flow.aborted + List.length r.Flow.failed
 

@@ -1,0 +1,199 @@
+open Fst_logic
+open Fst_netlist
+open Fst_tpi
+open Fst_core
+module Sca = Fst_sca.Sca
+module Fault = Fst_fault.Fault
+module Q = QCheck
+
+(* The textbook redundant circuit: r = AND(a, NOT a) is constant 0, so
+   r s-a-0 is unexcitable. *)
+let redundant_circuit () =
+  let b = Builder.create ~name:"redundant" () in
+  let a = Builder.add_input ~name:"a" b in
+  let na = Builder.add_gate ~name:"na" b Gate.Not [ a ] in
+  let r = Builder.add_gate ~name:"r" b Gate.And [ a; na ] in
+  Builder.mark_output b r;
+  (Builder.freeze b, a, na, r)
+
+(* Analyze over the uncollapsed universe, so every fault is its own
+   target (collapsing would fold [r s-a-0] into its class
+   representative). *)
+let analyze_all c ~constraints =
+  let view = View.scan_mode c ~constraints () in
+  let faults = Fault.universe c in
+  (Sca.analyze view ~faults, faults)
+
+let scan_small ?(gates = 120) ?(ffs = 8) seed =
+  let c = Helpers.small_seq_circuit ~gates ~ffs seed in
+  Tpi.insert ~options:{ Tpi.default_options with Tpi.chains = 1 } c
+
+let scan_view scanned (config : Scan.config) =
+  View.scan_mode scanned ~constraints:config.Scan.constraints ()
+
+let test_redundant_proven () =
+  let c, _, _, r = redundant_circuit () in
+  let t, _ = analyze_all c ~constraints:[] in
+  (* Ternary propagation alone cannot decide r = AND(a, NOT a); the case
+     split on [a] proves the literal r=1 impossible instead. *)
+  Alcotest.(check bool) "r=1 proven impossible" true
+    (Sca.impossible t r V3.One);
+  let proven f =
+    List.exists (fun (u : Sca.untestable) -> Fault.equal u.Sca.fault f)
+      t.Sca.untestable
+  in
+  Alcotest.(check bool) "r s-a-0 proven" true
+    (proven { Fault.site = Fault.Stem r; stuck = false });
+  Alcotest.(check int) "stats.untestable matches" t.Sca.stats.Sca.untestable
+    (List.length t.Sca.untestable)
+
+let test_impossible_literals () =
+  let c, _, _, r = redundant_circuit () in
+  let t, _ = analyze_all c ~constraints:[] in
+  Alcotest.(check bool) "r=1 impossible" true (Sca.impossible t r V3.One);
+  Alcotest.(check bool) "r=0 possible" false (Sca.impossible t r V3.Zero);
+  Alcotest.(check bool) "X never impossible" false (Sca.impossible t r V3.X)
+
+let test_constrained_constants () =
+  (* Pinning the input decides the whole circuit. *)
+  let c, a, na, r = redundant_circuit () in
+  let t, _ = analyze_all c ~constraints:[ (a, V3.One) ] in
+  Helpers.check_v3 "na" V3.Zero t.Sca.base.(na);
+  Helpers.check_v3 "r" V3.Zero t.Sca.base.(r);
+  Alcotest.(check bool) "a=0 impossible" true (Sca.impossible t a V3.Zero)
+
+let test_proofs_check () =
+  (* Every shipped proof re-derives on a scanned generated circuit. *)
+  let scanned, config = scan_small 3L in
+  let view = scan_view scanned config in
+  let faults = Fault.collapse scanned (Fault.universe scanned) in
+  let t = Sca.analyze view ~faults in
+  Alcotest.(check bool) "some faults proven" true (t.Sca.untestable <> []);
+  List.iter
+    (fun (u : Sca.untestable) ->
+      if not (Sca.check t u) then
+        Alcotest.failf "proof of %s failed re-checking"
+          (Fault.to_string scanned u.Sca.fault))
+    t.Sca.untestable
+
+let test_json_round_trip () =
+  let scanned, config = scan_small 5L in
+  let view = scan_view scanned config in
+  let faults = Fault.collapse scanned (Fault.universe scanned) in
+  let t = Sca.analyze view ~faults in
+  let s = Fst_obs.Json.to_string (Sca.to_json t) in
+  match Fst_obs.Json.of_string s with
+  | Fst_obs.Json.Obj _ -> ()
+  | _ -> Alcotest.fail "sca report is not a JSON object"
+
+let test_collapse_deterministic () =
+  (* Representatives do not depend on the input order of the fault set:
+     a reversed universe collapses to the same representative set. *)
+  let scanned, _ = scan_small 7L in
+  let universe = Fault.universe scanned in
+  let reversed =
+    Array.init (Array.length universe) (fun i ->
+        universe.(Array.length universe - 1 - i))
+  in
+  let reps1, _ = Fault.collapse_classes scanned universe in
+  let reps2, _ = Fault.collapse_classes scanned reversed in
+  let sorted a =
+    let a = Array.copy a in
+    Array.sort Fault.compare a;
+    a
+  in
+  let s1 = sorted reps1 and s2 = sorted reps2 in
+  Alcotest.(check int) "same class count" (Array.length s1) (Array.length s2);
+  Array.iteri
+    (fun i f ->
+      if not (Fault.equal f s2.(i)) then
+        Alcotest.failf "representative %d differs: %s vs %s" i
+          (Fault.to_string scanned f)
+          (Fault.to_string scanned s2.(i)))
+    s1
+
+let seeds = Q.map Int64.of_int (Q.int_bound 100000)
+
+(* Soundness: every statically proven fault is PODEM-untestable on the
+   same view (or aborted — never given a test). *)
+let prop_proven_is_podem_untestable =
+  Q.Test.make ~name:"statically proven faults have no PODEM test" ~count:8
+    seeds
+    (fun seed ->
+      let scanned, config = scan_small seed in
+      let view = scan_view scanned config in
+      let faults = Fault.collapse scanned (Fault.universe scanned) in
+      let t = Sca.analyze view ~faults in
+      let scoap = Fst_testability.Scoap.compute view in
+      List.for_all
+        (fun (u : Sca.untestable) ->
+          match Fst_atpg.Podem.run ~scoap view ~faults:[ u.Sca.fault ] with
+          | Fst_atpg.Podem.Test _, _ -> false
+          | (Fst_atpg.Podem.Untestable | Fst_atpg.Podem.Aborted), _ -> true)
+        t.Sca.untestable)
+
+(* The phase-0 prune is a pure observer: it moves faults between the
+   untestable buckets but never changes what the flow detects. *)
+let prop_prune_pure_observer =
+  let quick =
+    Config.(
+      default |> with_comb_backtrack 100 |> with_seq_backtrack 200
+      |> with_final_backtrack 500 |> with_frames [ 1; 2 ]
+      |> with_final_frames [ 1; 2; 4 ])
+  in
+  Q.Test.make ~name:"sca prune never changes the detected set" ~count:4 seeds
+    (fun seed ->
+      let scanned, config = scan_small ~gates:150 ~ffs:10 seed in
+      let on = Flow.run ~config:Config.(quick |> with_sca_prune true) scanned config in
+      let off =
+        Flow.run ~config:Config.(quick |> with_sca_prune false) scanned config
+      in
+      let sorted l = List.sort Fault.compare l in
+      on.Flow.step2.Flow.detected = off.Flow.step2.Flow.detected
+      && on.Flow.step3.Flow.detected = off.Flow.step3.Flow.detected
+      && sorted on.Flow.undetected = sorted off.Flow.undetected
+      && sorted (on.Flow.untestable_faults @ on.Flow.untestable_static)
+         = sorted (off.Flow.untestable_faults @ off.Flow.untestable_static))
+
+(* Consistency: the propagation closure of any non-impossible literal never
+   implies both values of one net. *)
+let prop_implications_conflict_free =
+  Q.Test.make ~name:"implication closure is conflict-free" ~count:8 seeds
+    (fun seed ->
+      let scanned, config = scan_small seed in
+      let view = scan_view scanned config in
+      let faults = Fault.collapse scanned (Fault.universe scanned) in
+      let t = Sca.analyze view ~faults in
+      let n = Array.length t.Sca.base in
+      let ok = ref true in
+      for net = 0 to n - 1 do
+        List.iter
+          (fun value ->
+            if not (Sca.impossible t net (V3.of_bool value)) then begin
+              let seen = Hashtbl.create 16 in
+              List.iter
+                (fun (m, v) ->
+                  match Hashtbl.find_opt seen m with
+                  | Some v' when v' <> v -> ok := false
+                  | Some _ -> ()
+                  | None -> Hashtbl.add seen m v)
+                (Sca.implied t ~net ~value)
+            end)
+          [ false; true ]
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "redundant fault proven" `Quick test_redundant_proven;
+    Alcotest.test_case "impossible literals" `Quick test_impossible_literals;
+    Alcotest.test_case "constrained constants" `Quick
+      test_constrained_constants;
+    Alcotest.test_case "proofs re-check" `Quick test_proofs_check;
+    Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+    Alcotest.test_case "collapse representatives deterministic" `Quick
+      test_collapse_deterministic;
+    Helpers.qcheck prop_proven_is_podem_untestable;
+    Helpers.qcheck prop_prune_pure_observer;
+    Helpers.qcheck prop_implications_conflict_free;
+  ]
