@@ -2,7 +2,7 @@
 
 .PHONY: all build test check static-check lint-smoke bench-smoke \
   perf-smoke degradation-smoke resume-smoke obs-smoke noop-sink-smoke \
-  engine-matrix chaos-smoke analyze-smoke sca-smoke clean
+  engine-matrix chaos-smoke analyze-smoke sca-smoke serve-smoke clean
 
 all: build
 
@@ -19,7 +19,7 @@ test:
 # and observability CLI paths.
 check: static-check build test lint-smoke bench-smoke perf-smoke \
   degradation-smoke resume-smoke obs-smoke noop-sink-smoke engine-matrix \
-  chaos-smoke analyze-smoke sca-smoke
+  chaos-smoke analyze-smoke sca-smoke serve-smoke
 
 # Type-check every library and executable (including ones @default would
 # skip); the dev env stanza promotes warnings to errors.
@@ -228,6 +228,44 @@ sca-smoke: build
 	  --expect '"untestable"' --expect '"proof"' || \
 	  { rm -rf $$tmp; exit 1; }; \
 	rm -rf $$tmp; echo "sca-smoke: OK"
+
+# The service round trip: start a daemon on a Unix socket, submit the same
+# netlist twice (the second must be a cache hit with a bit-identical
+# report), machine-validate the streamed event log, then shut the daemon
+# down over the protocol and require a clean exit.
+serve-smoke: build
+	@tmp=`mktemp -d`; \
+	$(FST_EXE) serve --socket $$tmp/sock --log $$tmp/serve.jsonl \
+	  2> $$tmp/serve.err & pid=$$!; \
+	for i in `seq 1 100`; do [ -S $$tmp/sock ] && break; sleep 0.05; done; \
+	[ -S $$tmp/sock ] || \
+	  { echo "serve-smoke: daemon never bound its socket"; \
+	    cat $$tmp/serve.err; rm -rf $$tmp; exit 1; }; \
+	$(FST_EXE) submit --socket $$tmp/sock examples/data/counter4.net \
+	  -c 1 -j 1 --events $$tmp/events.jsonl \
+	  > $$tmp/cold.txt 2> $$tmp/cold.err || \
+	  { echo "serve-smoke: cold submit failed"; rm -rf $$tmp; exit 1; }; \
+	grep -q "cached=false" $$tmp/cold.err || \
+	  { echo "serve-smoke: cold submit unexpectedly cached"; \
+	    rm -rf $$tmp; exit 1; }; \
+	$(FST_EXE) submit --socket $$tmp/sock examples/data/counter4.net \
+	  -c 1 -j 1 > $$tmp/warm.txt 2> $$tmp/warm.err || \
+	  { echo "serve-smoke: warm submit failed"; rm -rf $$tmp; exit 1; }; \
+	grep -q "cached=true" $$tmp/warm.err || \
+	  { echo "serve-smoke: identical resubmit not served from cache"; \
+	    rm -rf $$tmp; exit 1; }; \
+	diff $$tmp/cold.txt $$tmp/warm.txt || \
+	  { echo "serve-smoke: cache hit report not bit-identical"; \
+	    rm -rf $$tmp; exit 1; }; \
+	$(FST_EXE) jsonlint $$tmp/events.jsonl --expect phase_start \
+	  --expect phase_end || { rm -rf $$tmp; exit 1; }; \
+	$(FST_EXE) jsonlint $$tmp/serve.jsonl --expect job_submitted \
+	  --expect job_done --expect cache_hit || { rm -rf $$tmp; exit 1; }; \
+	$(FST_EXE) submit --socket $$tmp/sock --shutdown > /dev/null || \
+	  { echo "serve-smoke: shutdown request failed"; rm -rf $$tmp; exit 1; }; \
+	wait $$pid || { echo "serve-smoke: daemon exited non-zero"; \
+	  rm -rf $$tmp; exit 1; }; \
+	rm -rf $$tmp; echo "serve-smoke: OK"
 
 clean:
 	dune clean

@@ -1403,11 +1403,183 @@ let micro () =
   | _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Service benchmark: an in-process fst serve daemon hammered by        *)
+(* concurrent clients, cold (real flows) then warm (cache hits).        *)
+(* Recorded as BENCH_serve.json.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1))
+
+let serve_bench () =
+  let module J = Fst_obs.Json in
+  let module Protocol = Fst_serve.Protocol in
+  let module Client = Fst_serve.Client in
+  let module Server = Fst_serve.Server in
+  let n_clients = 8 and rounds = 3 in
+  (* Eight distinct small circuits: enough that the cold phase runs real
+     flows, small enough that the benchmark stays in seconds. *)
+  let profiles =
+    List.init 8 (fun i ->
+        {
+          Fst_gen.Gen.name = Printf.sprintf "svc%d" i;
+          gates = 400 + (60 * i);
+          ffs = 10 + (2 * i);
+          pis = 8;
+          pos = 6;
+          seed = Int64.of_int (1000 + (7 * i));
+        })
+  in
+  let quick_config =
+    Config.(
+      default |> with_jobs 1 |> with_comb_backtrack 100
+      |> with_seq_backtrack 200 |> with_final_backtrack 500
+      |> with_frames [ 1; 2 ]
+      |> with_final_frames [ 1; 2; 4 ]
+      |> to_json)
+  in
+  let submits =
+    List.map
+      (fun p ->
+        {
+          Protocol.kind = Protocol.Flow;
+          netlist = Netfile.to_string (Fst_gen.Gen.generate p);
+          name = p.Fst_gen.Gen.name;
+          chains = 1;
+          config = quick_config;
+          wait = true;
+          tenant = "bench";
+        })
+      profiles
+  in
+  let dir = Filename.temp_file "fst-bench-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let addr = Protocol.Unix_sock (Filename.concat dir "sock") in
+  let server = Server.create ~workers:2 ~jobs_cap:1 ~addr () in
+  let thread = Server.start server in
+  let connect_retry () =
+    let rec go n =
+      match Client.connect addr with
+      | c -> c
+      | exception Unix.Unix_error _ when n > 0 ->
+        Thread.delay 0.05;
+        go (n - 1)
+    in
+    go 100
+  in
+  let timed c s =
+    let t0 = Unix.gettimeofday () in
+    match Client.submit c s with
+    | Ok o -> (Unix.gettimeofday () -. t0, o.Client.cached)
+    | Error e -> failwith ("serve bench submit: " ^ e)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join thread)
+    (fun () ->
+      (* Cold: each circuit once, from one client — these are real flow
+         runs and populate the cache. *)
+      let c0 = connect_retry () in
+      let cold =
+        List.map
+          (fun s ->
+            let dt, cached = timed c0 s in
+            assert (not cached);
+            dt)
+          submits
+      in
+      Client.close c0;
+      (* Warm: n_clients concurrent clients replay the whole set rounds
+         times; every submit must be served from the cache. *)
+      let latencies = Array.make n_clients [] in
+      let wall0 = Unix.gettimeofday () in
+      let clients =
+        List.init n_clients (fun i ->
+            Thread.create
+              (fun i ->
+                let c = connect_retry () in
+                for _ = 1 to rounds do
+                  List.iter
+                    (fun s ->
+                      let dt, cached = timed c s in
+                      if not cached then failwith "warm submit missed cache";
+                      latencies.(i) <- dt :: latencies.(i))
+                    submits
+                done;
+                Client.close c)
+              i)
+      in
+      List.iter Thread.join clients;
+      let warm_wall = Unix.gettimeofday () -. wall0 in
+      let warm = Array.to_list latencies |> List.concat in
+      let stats l =
+        let a = Array.of_list l in
+        Array.sort compare a;
+        (percentile a 50.0, percentile a 99.0, Array.length a)
+      in
+      let cold_p50, cold_p99, cold_n = stats cold in
+      let warm_p50, warm_p99, warm_n = stats warm in
+      let jobs_per_s = float_of_int warm_n /. warm_wall in
+      let speedup = cold_p50 /. warm_p50 in
+      let t =
+        Table.create ~title:"fst serve: concurrent clients vs the artifact cache"
+          [ ("metric", Table.Left); ("value", Table.Right) ]
+      in
+      Table.row t [ "clients"; Table.cell_int n_clients ];
+      Table.row t [ "cold submits"; Table.cell_int cold_n ];
+      Table.row t [ "warm submits"; Table.cell_int warm_n ];
+      Table.rule t;
+      Table.row t [ "cold p50"; Printf.sprintf "%.1fms" (1e3 *. cold_p50) ];
+      Table.row t [ "cold p99"; Printf.sprintf "%.1fms" (1e3 *. cold_p99) ];
+      Table.row t [ "warm p50"; Printf.sprintf "%.2fms" (1e3 *. warm_p50) ];
+      Table.row t [ "warm p99"; Printf.sprintf "%.2fms" (1e3 *. warm_p99) ];
+      Table.rule t;
+      Table.row t [ "warm jobs/sec"; Printf.sprintf "%.0f" jobs_per_s ];
+      Table.row t [ "p50 speedup (cold/warm)"; Printf.sprintf "%.0fx" speedup ];
+      Table.print t;
+      if speedup < 10.0 then
+        Printf.printf "WARNING: warm p50 is only %.1fx the cold p50\n" speedup;
+      let doc =
+        J.Obj
+          [
+            ("clients", J.Int n_clients);
+            ("circuits", J.Int (List.length submits));
+            ("rounds", J.Int rounds);
+            ( "cold",
+              J.Obj
+                [
+                  ("n", J.Int cold_n);
+                  ("p50_ms", J.Float (1e3 *. cold_p50));
+                  ("p99_ms", J.Float (1e3 *. cold_p99));
+                ] );
+            ( "warm",
+              J.Obj
+                [
+                  ("n", J.Int warm_n);
+                  ("p50_ms", J.Float (1e3 *. warm_p50));
+                  ("p99_ms", J.Float (1e3 *. warm_p99));
+                ] );
+            ("warm_jobs_per_s", J.Float jobs_per_s);
+            ("p50_speedup", J.Float speedup);
+            ("cache", Fst_serve.Cache.stats_to_json
+                        (Fst_serve.Cache.stats (Server.cache server)));
+          ]
+      in
+      let oc = open_out "BENCH_serve.json" in
+      J.to_channel oc doc;
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote BENCH_serve.json (%d clients, %d warm submits)\n"
+        n_clients warm_n)
 
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|fsim|flow|sca|micro|all] \
+     [table1|table2|table3|fig5|ablate-alt|ablate-dist|ablate-trunc|ablate-order|ablate-compact|ablate-rtpg|coverage|fsim|flow|sca|serve|micro|all] \
      [--engine NAME] [fsim --check]"
 
 let () =
@@ -1431,6 +1603,7 @@ let () =
     else fsim_bench ()
   | "flow" -> flow_bench ()
   | "sca" -> sca_bench ()
+  | "serve" -> serve_bench ()
   | "micro" -> micro ()
   | "all" ->
     table1 ();
@@ -1447,5 +1620,6 @@ let () =
     fsim_bench ();
     flow_bench ();
     sca_bench ();
+    serve_bench ();
     micro ()
   | _ -> usage ()

@@ -1,1104 +1,7 @@
 (* fst — functional scan chain testing driver.
 
-   Subcommands:
-     gen    generate a benchmark circuit and write it as a netlist file
-     stats  print circuit statistics
-     tpi    insert functional scan chains and write the scanned netlist
-     opt    netlist clean-up passes (fold, bypass, sweep, refanin)
-     sca    static analysis: constants, implications, untestability proofs
-     flow   run the complete scan-chain-testing flow and print the report
-     alt    classification only: the easy/hard split of Table 2
-     diag   inject a chain defect and run scan-chain diagnosis *)
+   Every subcommand lives in lib/cli (one Fst_cli.Cmd_* module each,
+   described by a Fst_cli.Spec flag table that also generates its
+   --help); this file only dispatches. *)
 
-open Fst_netlist
-open Fst_tpi
-open Fst_core
-module Table = Fst_report.Table
-
-let read_circuit path =
-  try Ok (Netfile.parse_file path) with
-  | Netfile.Parse_error { file; line; message } ->
-    Error
-      (Printf.sprintf "%s:%d: %s" (Option.value ~default:path file) line message)
-  | Circuit.Malformed message | Circuit.Combinational_cycle message ->
-    Error (Printf.sprintf "%s: %s" path message)
-  | Sys_error e -> Error e
-
-let load ~name ~scale ~file =
-  match file, name with
-  | Some path, _ -> read_circuit path
-  | None, Some n -> (
-    match Fst_gen.Suite.find ~scale n with
-    | entry -> Ok (Fst_gen.Gen.generate entry.Fst_gen.Suite.profile)
-    | exception Not_found ->
-      Error
-        (Printf.sprintf "unknown suite circuit %S (see `fst gen --list`)" n))
-  | None, None -> Error "pass a netlist FILE or --name CIRCUIT"
-
-let insert_chains circuit chains =
-  let scanned, config =
-    Tpi.insert ~options:{ Tpi.default_options with Tpi.chains } circuit
-  in
-  match Scan.verify_shift scanned config with
-  | Ok () -> Ok (scanned, config)
-  | Error errs ->
-    (* Render dynamic shift failures through the lint diagnostic machinery,
-       one compiler-style line each, same as `fst lint` output. *)
-    List.iter
-      (fun e ->
-        prerr_endline
-          (Fst_lint.Diagnostic.to_string
-             (Fst_lint.Diagnostic.of_shift_error scanned e)))
-      errs;
-    Error
-      (Printf.sprintf "scan chain verification failed (%d position(s))"
-         (List.length errs))
-
-let or_die = function
-  | Ok v -> v
-  | Error e ->
-    prerr_endline ("fst: " ^ e);
-    exit 1
-
-(* --- gen ---------------------------------------------------------- *)
-
-let run_gen name scale out list_only gates ffs pis pos seed =
-  if list_only then begin
-    List.iter
-      (fun e ->
-        let p = e.Fst_gen.Suite.profile in
-        Printf.printf "%-8s %6d gates %5d FFs %3d PIs %3d POs %d chain(s)\n"
-          p.Fst_gen.Gen.name p.Fst_gen.Gen.gates p.Fst_gen.Gen.ffs
-          p.Fst_gen.Gen.pis p.Fst_gen.Gen.pos e.Fst_gen.Suite.chains)
-      (Fst_gen.Suite.suite ~scale ());
-    0
-  end
-  else begin
-    let circuit =
-      match gates with
-      | Some g ->
-        Fst_gen.Gen.generate
-          {
-            Fst_gen.Gen.name = Option.value ~default:"custom" name;
-            gates = g;
-            ffs;
-            pis;
-            pos;
-            seed = Int64.of_int seed;
-          }
-      | None ->
-        or_die (load ~name ~scale ~file:None)
-    in
-    (match out with
-     | Some path -> Netfile.write_file circuit path
-     | None -> print_string (Netfile.to_string circuit));
-    Format.eprintf "%a@." Circuit.pp_stats circuit;
-    0
-  end
-
-(* --- stats -------------------------------------------------------- *)
-
-let run_stats file =
-  let circuit = or_die (read_circuit file) in
-  Format.printf "%a@." Circuit.pp_stats circuit;
-  Printf.printf "collapsed faults: %d\n"
-    (Array.length (Fst_fault.Fault.collapse circuit (Fst_fault.Fault.universe circuit)));
-  0
-
-(* --- tpi ---------------------------------------------------------- *)
-
-let run_tpi file chains out =
-  let circuit = or_die (read_circuit file) in
-  let scanned, config = or_die (insert_chains circuit chains) in
-  Format.printf "%a@.%a@." Circuit.pp_stats scanned
-    (Scan.pp_config scanned) config;
-  let oh = Tpi.overhead scanned config ~before:circuit in
-  Printf.printf
-    "overhead: %d extra gates, %d dedicated routes, %d functional segments\n"
-    oh.Tpi.extra_gates oh.Tpi.dedicated_routes oh.Tpi.functional_segments;
-  (match out with
-   | Some path ->
-     Netfile.write_file scanned path;
-     Printf.printf "scanned netlist written to %s\n" path
-   | None -> ());
-  0
-
-(* --- opt ---------------------------------------------------------- *)
-
-let run_opt file out =
-  let circuit = or_die (read_circuit file) in
-  let optimized, stats = Opt.optimize circuit in
-  Format.printf "before: %a@.after:  %a@.%a@." Circuit.pp_stats circuit
-    Circuit.pp_stats optimized Opt.pp_stats stats;
-  (match out with
-   | Some path ->
-     Netfile.write_file optimized path;
-     Printf.printf "optimized netlist written to %s\n" path
-   | None -> ());
-  0
-
-(* --- lint --------------------------------------------------------- *)
-
-module Lint = Fst_lint.Lint
-module Diagnostic = Fst_lint.Diagnostic
-
-let print_lint_report ~json report =
-  if json then (
-    Fst_obs.Json.to_channel stdout (Lint.to_json report);
-    print_newline ())
-  else print_string (Lint.render report)
-
-(* Lint a netlist file: raw-parse first so duplicate definitions and
-   combinational cycles are all reported (elaboration would abort on the
-   first); when the raw netlist is clean, elaborate, optionally insert the
-   scan chains, and run the full rule set with the dynamic shift check
-   cross-checking the static sensitization analysis. *)
-let run_lint file chains no_scan json fail_on waiver_path update_waiver
-    list_rules =
-  if list_rules then begin
-    List.iter
-      (fun (rule, severity, desc) ->
-        Printf.printf "%-18s %-8s %s\n" rule
-          (Diagnostic.severity_to_string severity)
-          desc)
-      Lint.catalogue;
-    0
-  end
-  else begin
-    let path =
-      match file with
-      | Some p -> p
-      | None -> or_die (Error "pass a netlist FILE (or --rules)")
-    in
-    let waivers =
-      match waiver_path with
-      | Some p -> Lint.Waiver.load p
-      | None -> Lint.Waiver.empty
-    in
-    let parse_diag message =
-      Diagnostic.make ~rule:"E-NET-PARSE" ~severity:Diagnostic.Error
-        ~loc:{ Diagnostic.no_loc with Diagnostic.file = Some path }
-        message
-    in
-    let report =
-      match
-        let ic = open_in_bin path in
-        let text = really_input_string ic (in_channel_length ic) in
-        close_in ic;
-        Netfile.parse_raw
-          ~name:Filename.(remove_extension (basename path))
-          ~file:path text
-      with
-      | exception Sys_error e ->
-        { Lint.circuit = path; diagnostics = [ parse_diag e ]; waived = [];
-          errors = 1; warnings = 0; infos = 0 }
-      | exception Netfile.Parse_error { file = _; line; message } ->
-        let d =
-          Diagnostic.make ~rule:"E-NET-PARSE" ~severity:Diagnostic.Error
-            ~loc:{ Diagnostic.no_loc with Diagnostic.file = Some path;
-                   line = Some line }
-            message
-        in
-        { Lint.circuit = path; diagnostics = [ d ]; waived = [];
-          errors = 1; warnings = 0; infos = 0 }
-      | raw ->
-        let pre = Lint.run_raw ~waivers raw in
-        if pre.Lint.errors > 0 then pre
-        else begin
-          match Netfile.elaborate raw with
-          | exception Circuit.Malformed message ->
-            { Lint.circuit = raw.Netfile.raw_name;
-              diagnostics = [ parse_diag message ]; waived = [];
-              errors = 1; warnings = 0; infos = 0 }
-          | circuit ->
-            let lines = raw.Netfile.raw_lines in
-            if no_scan then
-              Lint.run ~lines ~file:path ~waivers circuit
-            else
-              let scanned, config =
-                Tpi.insert
-                  ~options:{ Tpi.default_options with Tpi.chains }
-                  circuit
-              in
-              Lint.run ~lines ~file:path ~config ~dynamic:true ~waivers
-                scanned
-        end
-    in
-    match update_waiver, waiver_path with
-    | true, Some p ->
-      Lint.Waiver.save p (report.Lint.diagnostics @ report.Lint.waived);
-      Printf.printf "waiver file %s updated (%d key(s))\n" p
-        (List.length report.Lint.diagnostics
-         + List.length report.Lint.waived);
-      0
-    | true, None -> or_die (Error "--update-waiver requires --waiver PATH")
-    | false, _ ->
-      print_lint_report ~json report;
-      if Lint.gate ~fail_on report then 0 else 1
-  end
-
-(* --- flow --------------------------------------------------------- *)
-
-let print_flow_report r =
-  let cls = r.Flow.classify in
-  let total = Flow.total_faults r in
-  let t =
-    Table.create ~title:"Functional scan chain testing report"
-      [ ("metric", Table.Left); ("value", Table.Right) ]
-  in
-  Table.row t [ "total collapsed faults"; Table.cell_int total ];
-  Table.row t
-    [ "affecting the chain"; Table.cell_int_pct (Flow.affecting r) ~of_:total ];
-  Table.row t
-    [ "  category 1 (easy)"; Table.cell_int (Array.length cls.Classify.easy) ];
-  Table.row t
-    [ "  category 2 (hard)"; Table.cell_int (Array.length cls.Classify.hard) ];
-  Table.rule t;
-  Table.row t
-    [
-      "statically untestable";
-      Table.cell_int (List.length r.Flow.untestable_static);
-    ];
-  Table.row t [ "step 2 detected"; Table.cell_int r.Flow.step2.Flow.detected ];
-  Table.row t [ "step 2 untestable"; Table.cell_int r.Flow.step2.Flow.untestable ];
-  Table.row t [ "step 2 vectors"; Table.cell_int r.Flow.step2.Flow.vectors ];
-  Table.row t
-    [
-      "step 2 CPU";
-      Table.cell_seconds
-        (r.Flow.step2.Flow.atpg_seconds +. r.Flow.step2.Flow.fsim_seconds);
-    ];
-  Table.rule t;
-  Table.row t [ "step 3 detected"; Table.cell_int r.Flow.step3.Flow.detected ];
-  Table.row t [ "step 3 untestable"; Table.cell_int r.Flow.step3.Flow.untestable ];
-  Table.row t
-    [
-      "step 3 circuits";
-      Printf.sprintf "%d+%d" r.Flow.step3.Flow.group_circuits
-        r.Flow.step3.Flow.final_circuits;
-    ];
-  Table.row t [ "step 3 CPU"; Table.cell_seconds r.Flow.step3.Flow.seconds ];
-  Table.rule t;
-  (* Aggregate ATPG engine statistics — previously computed and thrown
-     away by the call sites. *)
-  let a = r.Flow.atpg in
-  Table.row t [ "PODEM runs"; Table.cell_int a.Flow.podem_runs ];
-  Table.row t [ "PODEM backtracks"; Table.cell_int a.Flow.podem_backtracks ];
-  Table.row t [ "PODEM decisions"; Table.cell_int a.Flow.podem_decisions ];
-  Table.row t [ "PODEM implications"; Table.cell_int a.Flow.podem_implications ];
-  Table.row t
-    [
-      "PODEM aborts (limit/deadline)";
-      Printf.sprintf "%d/%d" a.Flow.podem_aborted_limit
-        a.Flow.podem_aborted_deadline;
-    ];
-  Table.row t [ "seq ATPG runs"; Table.cell_int a.Flow.seq_runs ];
-  Table.row t [ "seq ATPG backtracks"; Table.cell_int a.Flow.seq_backtracks ];
-  Table.rule t;
-  Table.row t
-    [ "undetected"; Table.cell_int_pct (List.length r.Flow.undetected) ~of_:total ];
-  (if Flow.budget_exhausted r.Flow.aborts then begin
-     Table.rule t;
-     Table.row t
-       [ "aborted (budget)"; Table.cell_int r.Flow.aborts.Flow.aborted_faults ];
-     Table.row t
-       [ "ATPG aborts"; Table.cell_int (Flow.atpg_aborts r.Flow.aborts) ];
-     Table.row t
-       [ "cancelled groups"; Table.cell_int (Flow.cancelled_groups r.Flow.aborts) ]
-   end);
-  (if r.Flow.aborts.Flow.failed_faults > 0 then begin
-     Table.rule t;
-     Table.row t
-       [ "failed (quarantined)"; Table.cell_int r.Flow.aborts.Flow.failed_faults ]
-   end);
-  Table.print t;
-  (* One greppable line per phase for scripts and the degradation smoke. *)
-  List.iter
-    (fun p ->
-      if p.Flow.budget_exhausted || p.Flow.atpg_aborts > 0
-         || p.Flow.cancelled_groups > 0 || p.Flow.failed > 0 then
-        Printf.printf
-          "aborts: phase=%s budget_exhausted=%b atpg_aborts=%d \
-           cancelled_groups=%d failed=%d\n"
-          p.Flow.phase p.Flow.budget_exhausted p.Flow.atpg_aborts
-          p.Flow.cancelled_groups p.Flow.failed)
-    r.Flow.aborts.Flow.phases;
-  if r.Flow.aborts.Flow.aborted_faults > 0 then
-    Printf.printf "aborts: aborted_faults=%d\n" r.Flow.aborts.Flow.aborted_faults;
-  if r.Flow.aborts.Flow.failed_faults > 0 then
-    Printf.printf "aborts: failed_faults=%d\n" r.Flow.aborts.Flow.failed_faults;
-  List.iter
-    (fun f ->
-      Printf.printf "undetected: %s\n" (Fst_fault.Fault.to_string r.Flow.scanned f))
-    r.Flow.undetected;
-  List.iter
-    (fun f ->
-      Printf.printf "failed: %s\n" (Fst_fault.Fault.to_string r.Flow.scanned f))
-    r.Flow.failed
-
-(* Builds the observability sink requested on the command line, plus the
-   action that writes the collected data out once the flow is done. With
-   no observability flag the null sink is installed and the run stays
-   bit-identical to an uninstrumented one. *)
-let make_sink ~trace ~metrics ~events ~progress =
-  if trace = None && metrics = None && events = None && not progress then
-    (Fst_obs.Sink.null, fun () -> ())
-  else begin
-    let tr =
-      match trace with Some _ -> Some (Fst_obs.Trace.create ()) | None -> None
-    in
-    let ev_oc = Option.map (fun path -> (path, open_out path)) events in
-    let ev = Option.map (fun (_, oc) -> Fst_obs.Events.to_channel oc) ev_oc in
-    let pr = if progress then Some (Fst_obs.Progress.create ()) else None in
-    let sink = Fst_obs.Sink.create ?trace:tr ?events:ev ?progress:pr () in
-    let finish () =
-      (match trace, tr with
-       | Some path, Some tr ->
-         let oc = open_out path in
-         Fst_obs.Json.to_channel oc (Fst_obs.Trace.to_json tr);
-         close_out oc;
-         Printf.eprintf "trace: %d events written to %s\n%!"
-           (Fst_obs.Trace.event_count tr)
-           path
-       | _ -> ());
-      (match metrics with
-       | Some path ->
-         let oc = open_out path in
-         Fst_obs.Json.to_channel oc
-           (Fst_obs.Metrics.to_json sink.Fst_obs.Sink.metrics);
-         close_out oc;
-         Printf.eprintf "metrics: written to %s\n%!" path
-       | None -> ());
-      match ev_oc with
-      | Some (path, oc) ->
-        close_out oc;
-        Printf.eprintf "events: written to %s\n%!" path
-      | None -> ()
-    in
-    (sink, finish)
-  end
-
-(* The flow's fault accounting as JSON, appended to run.json so the
-   analyzer can attribute aborts/failures per phase cohort. *)
-let flow_accounting r =
-  let module J = Fst_obs.Json in
-  let a = r.Flow.aborts in
-  J.Obj
-    [
-      ( "detected",
-        J.Int (r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected) );
-      ("undetected", J.Int (List.length r.Flow.undetected));
-      ("untestable", J.Int (List.length r.Flow.untestable_faults));
-      ("untestable_static", J.Int (List.length r.Flow.untestable_static));
-      ("aborted_faults", J.Int a.Flow.aborted_faults);
-      ("failed_faults", J.Int a.Flow.failed_faults);
-      ( "phases",
-        J.List
-          (List.map
-             (fun p ->
-               J.Obj
-                 [
-                   ("phase", J.String p.Flow.phase);
-                   ("budget_exhausted", J.Bool p.Flow.budget_exhausted);
-                   ("atpg_aborts", J.Int p.Flow.atpg_aborts);
-                   ("cancelled_groups", J.Int p.Flow.cancelled_groups);
-                   ("failed", J.Int p.Flow.failed);
-                 ])
-             a.Flow.phases) );
-    ]
-
-(* One line on stderr saying exactly where a --resume run's state came
-   from — primary checkpoint, the .prev last-good rotation, or (with the
-   precise reason) nowhere. *)
-let print_resume = function
-  | `Loaded Fst_core.Checkpoint.Primary ->
-    Printf.eprintf "resume: loaded checkpoint\n%!"
-  | `Loaded Fst_core.Checkpoint.Recovered ->
-    Printf.eprintf "resume: primary checkpoint unusable, recovered from \
-                    .prev\n%!"
-  | `Failed err ->
-    Printf.eprintf "resume: starting fresh (%s)\n%!"
-      (Fst_core.Checkpoint.error_to_string err)
-
-let run_flow name scale file chains engine jobs time_budget keep_going
-    fail_fast chaos chaos_p checkpoint resume trace metrics events progress
-    preflight obs_dir no_sca =
-  let circuit = or_die (load ~name ~scale ~file) in
-  let scanned, config = or_die (insert_chains circuit chains) in
-  let artifacts =
-    match obs_dir with
-    | Some dir ->
-      if trace <> None || metrics <> None || events <> None then
-        or_die
-          (Error
-             "--obs-dir already writes trace.json/metrics.prom/events.jsonl; \
-              drop --trace/--metrics/--events");
-      Some (Fst_obs.Artifacts.create ~dir)
-    | None -> None
-  in
-  let sink, finish_obs =
-    match artifacts with
-    | Some a ->
-      let pr = if progress then Some (Fst_obs.Progress.create ()) else None in
-      (Fst_obs.Artifacts.sink ?progress:pr a, fun () -> ())
-    | None -> make_sink ~trace ~metrics ~events ~progress
-  in
-  let on_error =
-    match keep_going, fail_fast with
-    | true, true -> or_die (Error "--keep-going and --fail-fast conflict")
-    | true, false -> Some `Keep_going
-    | false, true -> Some `Fail_fast
-    | false, false -> None
-  in
-  let cfg =
-    or_die
-      (Fst_core.Config.of_cli ~engine ~jobs ~scale ?time_budget ?on_error
-         ~preflight ~sink ())
-  in
-  let cfg =
-    if no_sca then
-      Fst_core.Config.(cfg |> with_sca_prune false |> with_sca_implications false)
-    else cfg
-  in
-  if resume && checkpoint = None then
-    or_die (Error "--resume requires --checkpoint PATH");
-  (match chaos with
-   | Some seed ->
-     let plan = Fst_exec.Chaos.plan_of_seed ~p:chaos_p seed in
-     Fst_exec.Chaos.install plan;
-     Printf.eprintf "chaos: seed=%d p=%g injections=%d\n%!" seed chaos_p
-       (List.length plan)
-   | None -> ());
-  let r =
-    Flow.run ~config:cfg ?checkpoint ~resume ~on_resume:print_resume scanned
-      config
-  in
-  Fst_exec.Chaos.clear ();
-  print_flow_report r;
-  (* Under chaos the run's one obligation is the partition invariant:
-     every hard fault is accounted for exactly once. *)
-  if chaos <> None then begin
-    let hard = Array.length r.Flow.classify.Fst_core.Classify.hard in
-    let accounted =
-      r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected
-      + List.length r.Flow.untestable_faults
-      + List.length r.Flow.untestable_static
-      + List.length r.Flow.undetected
-      + List.length r.Flow.aborted + List.length r.Flow.failed
-    in
-    if accounted = hard then Printf.printf "chaos: invariant ok\n"
-    else
-      or_die
-        (Error
-           (Printf.sprintf
-              "chaos: invariant violated (%d accounted of %d hard faults)"
-              accounted hard))
-  end;
-  (match artifacts, obs_dir with
-   | Some a, Some dir ->
-     let module J = Fst_obs.Json in
-     let config_json =
-       let head =
-         [
-           ("circuit", J.String scanned.Circuit.name);
-           ( "jobs_effective",
-             J.Int
-               (Fst_exec.Pool.effective_jobs ~jobs:cfg.Fst_core.Config.jobs
-                  max_int) );
-         ]
-       in
-       match Fst_core.Config.to_json cfg with
-       | J.Obj kvs -> J.Obj (head @ kvs)
-       | j -> j
-     in
-     Fst_obs.Artifacts.write ~config:config_json
-       ~extra:[ ("flow", flow_accounting r) ]
-       a;
-     Printf.eprintf "obs: artifacts written to %s\n%!" dir
-   | _ -> finish_obs ());
-  0
-
-(* --- jsonlint ----------------------------------------------------- *)
-
-(* Validation helper for the make-check smokes: parse each file as JSON
-   (or, for .jsonl files, as one JSON object per line), validate the
-   run-artifact formats structurally (.prom via the OpenMetrics checker,
-   run.json via its schema check), and optionally require substrings,
-   e.g. metric names that must be present. *)
-let run_jsonlint files expects =
-  let read_all path =
-    let ic = open_in_bin path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    s
-  in
-  let lint path =
-    let text = try Ok (read_all path) with Sys_error e -> Error e in
-    match text with
-    | Error e -> Error e
-    | Ok text ->
-      let parse () =
-        if Filename.check_suffix path ".prom" then
-          match Fst_obs.Openmetrics.validate text with
-          | Ok () -> ()
-          | Error m -> failwith m
-        else if Filename.check_suffix path ".jsonl" then
-          String.split_on_char '\n' text
-          |> List.iteri (fun i line ->
-                 if String.trim line <> "" then
-                   try ignore (Fst_obs.Json.of_string line)
-                   with Fst_obs.Json.Parse_error m ->
-                     failwith (Printf.sprintf "line %d: %s" (i + 1) m))
-        else begin
-          let j = Fst_obs.Json.of_string text in
-          if Filename.basename path = "run.json" then
-            match Fst_obs.Artifacts.validate_run j with
-            | Ok () -> ()
-            | Error m -> failwith m
-        end
-      in
-      (match parse () with
-       | () ->
-         let missing =
-           List.filter
-             (fun needle ->
-               (* substring search *)
-               let nl = String.length needle and tl = String.length text in
-               let rec at i =
-                 if i + nl > tl then true
-                 else if String.sub text i nl = needle then false
-                 else at (i + 1)
-               in
-               at 0)
-             expects
-         in
-         if missing = [] then Ok ()
-         else
-           Error
-             (Printf.sprintf "missing expected content: %s"
-                (String.concat ", " missing))
-       | exception Fst_obs.Json.Parse_error m -> Error m
-       | exception Failure m -> Error m)
-  in
-  let failures =
-    List.filter_map
-      (fun path ->
-        match lint path with
-        | Ok () ->
-          Printf.printf "jsonlint: %s OK\n" path;
-          None
-        | Error e ->
-          Printf.eprintf "jsonlint: %s: %s\n" path e;
-          Some path)
-      files
-  in
-  if failures = [] then 0 else 1
-
-(* --- analyze ------------------------------------------------------ *)
-
-module Analyze = Fst_obs.Analyze
-
-(* A baseline argument can be an artifact directory, a run.json file, or
-   a BENCH_flow.json (whose circuit is picked to match the current run's
-   config, multicore variant preferred, overridable with --circuit). *)
-let load_baseline path ~circuit ~(cur : Analyze.run) =
-  if Sys.file_exists path && Sys.is_directory path then
-    Result.map fst (Analyze.load_dir path)
-  else
-    match Analyze.load_run path with
-    | Ok r -> Ok r
-    | Error run_err -> (
-      match Analyze.load_bench path with
-      | Error _ -> Error run_err
-      | Ok runs -> (
-        let name =
-          match circuit with
-          | Some c -> Some c
-          | None -> (
-            match Fst_obs.Json.member "circuit" cur.Analyze.config with
-            | Some (Fst_obs.Json.String c) -> Some c
-            | _ -> None)
-        in
-        match name with
-        | None ->
-          Error
-            (path
-             ^ ": bench baseline needs --circuit NAME (current run.json \
-                names no circuit)")
-        | Some c -> (
-          match
-            ( List.assoc_opt (c ^ "/multicore") runs,
-              List.assoc_opt (c ^ "/serial") runs )
-          with
-          | Some r, _ | None, Some r -> Ok r
-          | None, None ->
-            Error
-              (Printf.sprintf "%s: no circuit %S in bench baseline (have: %s)"
-                 path c
-                 (String.concat ", " (List.map fst runs))))))
-
-let run_analyze dir baseline circuit json_out threshold top =
-  let cur, spans = or_die (Analyze.load_dir dir) in
-  match baseline with
-  | None ->
-    if json_out then (
-      Fst_obs.Json.to_channel stdout (Analyze.diff_to_json []);
-      print_newline ())
-    else print_string (Analyze.render_report ~k:top cur spans);
-    0
-  | Some b ->
-    let base = or_die (load_baseline b ~circuit ~cur) in
-    let entries = Analyze.diff ~threshold:(threshold /. 100.0) base cur in
-    if json_out then (
-      Fst_obs.Json.to_channel stdout (Analyze.diff_to_json entries);
-      print_newline ())
-    else begin
-      print_string (Analyze.render_report ~k:top cur spans);
-      Printf.printf "\ndiff vs %s (threshold %g%%):\n" b threshold;
-      print_string (Analyze.render_diff entries)
-    end;
-    if Analyze.regressions entries = [] then 0 else 1
-
-(* --- alt ---------------------------------------------------------- *)
-
-let run_alt name scale file chains =
-  let circuit = or_die (load ~name ~scale ~file) in
-  let scanned, config = or_die (insert_chains circuit chains) in
-  let faults =
-    Fst_fault.Fault.collapse scanned (Fst_fault.Fault.universe scanned)
-  in
-  let cls = Classify.run scanned config faults in
-  let total = Array.length faults in
-  Printf.printf
-    "%d faults; %d affect the chain (%.1f%%): %d easy (alternating sequence), %d hard\n"
-    total cls.Classify.affecting
-    (100.0 *. float_of_int cls.Classify.affecting /. float_of_int total)
-    (Array.length cls.Classify.easy)
-    (Array.length cls.Classify.hard);
-  0
-
-(* --- sca ---------------------------------------------------------- *)
-
-(* The flow's phase-0 static analysis, standalone: build the scan-mode
-   view, run constant propagation, the implication engine and the
-   untestability prover over the collapsed fault universe, and print the
-   statistics plus one greppable line per proven fault. Every shipped
-   proof is re-checked; a mismatch fails the exit status, so the
-   make-check smoke gates soundness too. *)
-let run_sca name scale file chains json =
-  let circuit = or_die (load ~name ~scale ~file) in
-  let scanned, config = or_die (insert_chains circuit chains) in
-  let faults =
-    Fst_fault.Fault.collapse scanned (Fst_fault.Fault.universe scanned)
-  in
-  let view =
-    View.scan_mode scanned ~constraints:config.Scan.constraints ()
-  in
-  let t = Fst_sca.Sca.analyze view ~faults in
-  let s = t.Fst_sca.Sca.stats in
-  if json then begin
-    Fst_obs.Json.to_channel stdout (Fst_sca.Sca.to_json t);
-    print_newline ()
-  end
-  else begin
-    let tbl =
-      Table.create ~title:"Static circuit analysis"
-        [ ("metric", Table.Left); ("value", Table.Right) ]
-    in
-    Table.row tbl [ "nets"; Table.cell_int s.Fst_sca.Sca.nets ];
-    Table.row tbl [ "target faults"; Table.cell_int s.Fst_sca.Sca.targets ];
-    Table.row tbl
-      [ "constant gate nets"; Table.cell_int s.Fst_sca.Sca.constants ];
-    Table.row tbl
-      [ "implication edges"; Table.cell_int s.Fst_sca.Sca.implications ];
-    Table.row tbl [ "  learned"; Table.cell_int s.Fst_sca.Sca.learned ];
-    Table.row tbl
-      [ "impossible literals"; Table.cell_int s.Fst_sca.Sca.impossible ];
-    Table.row tbl
-      [ "dominance edges"; Table.cell_int s.Fst_sca.Sca.dominance_edges ];
-    Table.row tbl
-      [
-        "proven untestable";
-        Table.cell_int_pct s.Fst_sca.Sca.untestable ~of_:s.Fst_sca.Sca.targets;
-      ];
-    Table.row tbl [ "CPU"; Table.cell_seconds s.Fst_sca.Sca.seconds ];
-    Table.print tbl;
-    List.iter
-      (fun (u : Fst_sca.Sca.untestable) ->
-        let kind =
-          match u.Fst_sca.Sca.proof with
-          | Fst_sca.Sca.Unexcitable -> "unexcitable"
-          | Fst_sca.Sca.Unobservable _ -> "unobservable"
-          | Fst_sca.Sca.Fire _ -> "fire-split"
-          | Fst_sca.Sca.Requires _ -> "requires-literal"
-          | Fst_sca.Sca.Dominated _ -> "dominated"
-        in
-        Printf.printf "untestable: %s (%s)\n"
-          (Fst_fault.Fault.to_string scanned u.Fst_sca.Sca.fault)
-          kind)
-      t.Fst_sca.Sca.untestable
-  end;
-  let bad =
-    List.filter
-      (fun u -> not (Fst_sca.Sca.check t u))
-      t.Fst_sca.Sca.untestable
-  in
-  if bad = [] then 0
-  else begin
-    Printf.eprintf "fst: %d untestability proof(s) failed re-checking\n"
-      (List.length bad);
-    1
-  end
-
-(* --- diag --------------------------------------------------------- *)
-
-let run_diag name scale file chains position =
-  let circuit = or_die (load ~name ~scale ~file) in
-  let scanned, config = or_die (insert_chains circuit chains) in
-  let ch = config.Scan.chains.(0) in
-  let len = Array.length ch.Scan.ffs in
-  let pos = if position < 0 || position >= len then len / 2 else position in
-  let fault =
-    { Fst_fault.Fault.site = Fst_fault.Fault.Stem ch.Scan.ffs.(pos);
-      stuck = true }
-  in
-  Printf.printf "injected %s at chain 0 position %d\n"
-    (Fst_fault.Fault.to_string scanned fault)
-    pos;
-  (match Diagnose.diagnose_fault scanned config fault with
-   | [] -> print_endline "chain test passes; nothing to diagnose"
-   | verdicts ->
-     List.iteri
-       (fun i v ->
-         if i < 5 then Format.printf "#%d %a@." (i + 1) Diagnose.pp_verdict v)
-       verdicts);
-  0
-
-(* --- command line ------------------------------------------------- *)
-
-open Cmdliner
-
-let scale_arg =
-  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S"
-         ~doc:"Scale factor for suite circuit sizes (1.0 = published sizes).")
-
-let name_arg =
-  Arg.(value & opt (some string) None & info [ "n"; "name" ] ~docv:"NAME"
-         ~doc:"Suite circuit name (e.g. s5378).")
-
-let file_pos =
-  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
-         ~doc:"Netlist file (ISCAS'89-like syntax).")
-
-let chains_arg =
-  Arg.(value & opt int 1 & info [ "c"; "chains" ] ~docv:"N"
-         ~doc:"Number of scan chains to build.")
-
-let out_arg =
-  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
-         ~doc:"Output netlist file.")
-
-let jobs_arg =
-  Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"N"
-         ~doc:"Domains for fault simulation and grouped sequential ATPG \
-               (0 = one per recommended core; 1 = single-core flow).")
-
-let gen_cmd =
-  let list_arg =
-    Arg.(value & flag & info [ "list" ] ~doc:"List the benchmark suite.")
-  in
-  let gates = Arg.(value & opt (some int) None & info [ "gates" ] ~docv:"N") in
-  let ffs = Arg.(value & opt int 16 & info [ "ffs" ] ~docv:"N") in
-  let pis = Arg.(value & opt int 8 & info [ "pis" ] ~docv:"N") in
-  let pos = Arg.(value & opt int 4 & info [ "pos" ] ~docv:"N") in
-  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N") in
-  Cmd.v (Cmd.info "gen" ~doc:"Generate a benchmark circuit")
-    Term.(
-      const run_gen $ name_arg $ scale_arg $ out_arg $ list_arg $ gates $ ffs
-      $ pis $ pos $ seed)
-
-let stats_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-  in
-  Cmd.v (Cmd.info "stats" ~doc:"Print circuit statistics")
-    Term.(const run_stats $ file)
-
-let tpi_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-  in
-  Cmd.v (Cmd.info "tpi" ~doc:"Insert functional scan chains (TPI)")
-    Term.(const run_tpi $ file $ chains_arg $ out_arg)
-
-let opt_cmd =
-  let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
-  in
-  Cmd.v
-    (Cmd.info "opt" ~doc:"Clean up a netlist (fold, bypass, sweep, refanin)")
-    Term.(const run_opt $ file $ out_arg)
-
-let engine_arg =
-  let names =
-    List.map (fun s -> (s, s)) Fst_core.Config.engine_names
-  in
-  Arg.(
-    value
-    & opt (enum names) "auto"
-    & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:
-          "Fault-simulation engine: $(b,serial) (one faulty machine at a \
-           time), $(b,parallel) (62-way bit-parallel), $(b,event) \
-           (event-driven incremental on a shared good trace), or \
-           $(b,auto) (per fault by static fanout-cone size). Every choice \
-           computes identical results.")
-
-let flow_cmd =
-  let time_budget =
-    Arg.(value & opt (some float) None & info [ "time-budget" ] ~docv:"S"
-           ~doc:"Wall-clock budget for the whole flow, in seconds. When a \
-                 phase overruns its share the remaining work is cancelled \
-                 cooperatively and reported in the abort accounting.")
-  in
-  let keep_going =
-    Arg.(value & flag & info [ "keep-going" ]
-           ~doc:"Contain failures instead of dying on the first exception: \
-                 transient errors are retried, poison tasks are \
-                 quarantined into a $(b,failed) bucket, and the flow \
-                 always produces a report. The default for budgeted runs \
-                 (--time-budget).")
-  in
-  let fail_fast =
-    Arg.(value & flag & info [ "fail-fast" ]
-           ~doc:"Propagate the first failure immediately (the default for \
-                 unbudgeted runs). Conflicts with --keep-going.")
-  in
-  let chaos =
-    Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED"
-           ~doc:"Arm the deterministic chaos harness with the plan derived \
-                 from $(docv): seeded exception/delay/cancel injections at \
-                 pool-task, engine and checkpoint boundaries. Same seed, \
-                 same injections. Robustness testing only.")
-  in
-  let chaos_p =
-    Arg.(value & opt float 0.02 & info [ "chaos-p" ] ~docv:"P"
-           ~doc:"Per-site injection probability for --chaos (default \
-                 0.02).")
-  in
-  let checkpoint =
-    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"PATH"
-           ~doc:"Persist flow progress to $(docv) after every phase and \
-                 every step-3 wave (atomic rewrite, with the previous good \
-                 file kept as $(docv).prev).")
-  in
-  let resume =
-    Arg.(value & flag & info [ "resume" ]
-           ~doc:"Resume from the --checkpoint file if it matches this \
-                 circuit, configuration and parameter set.")
-  in
-  let trace =
-    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-           ~doc:"Write a Chrome trace-event JSON file (open in Perfetto or \
-                 chrome://tracing): spans for every phase, step-3 \
-                 wave/group, per-domain pool chunk, and each ATPG call \
-                 over 1ms.")
-  in
-  let metrics =
-    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
-           ~doc:"Write a JSON metrics snapshot (counters, gauges, \
-                 histograms): ATPG totals, per-domain busy fractions, \
-                 fault-simulation counts.")
-  in
-  let events =
-    Arg.(value & opt (some string) None & info [ "events" ] ~docv:"FILE"
-           ~doc:"Write a JSONL structured event log: phase start/end, \
-                 checkpoint writes, budget trips, abort records.")
-  in
-  let progress =
-    Arg.(value & flag & info [ "progress" ]
-           ~doc:"Print a one-line heartbeat to stderr (phase, faults \
-                 done/total, detected, ETA).")
-  in
-  let preflight =
-    Arg.(value & flag & info [ "preflight" ]
-           ~doc:"Run the static scan-DFT analyzer before phase 1 and abort \
-                 on any error-severity finding, so a broken configuration \
-                 fails fast instead of consuming the ATPG budget.")
-  in
-  let obs_dir =
-    Arg.(value & opt (some string) None & info [ "obs-dir" ] ~docv:"DIR"
-           ~doc:"Write the full run-artifact set to $(docv): trace.json \
-                 (Perfetto), events.jsonl, metrics.prom (OpenMetrics), and \
-                 run.json (per-phase wall, histogram quantiles, per-domain \
-                 timelines, abort accounting) for $(b,fst analyze). \
-                 Subsumes --trace/--metrics/--events.")
-  in
-  let no_sca =
-    Arg.(value & flag & info [ "no-sca" ]
-           ~doc:"Disable phase-0 static analysis: no statically-proven \
-                 untestable bucket and no implication hints for PODEM. \
-                 Every hard fault goes through ATPG, as in the seed flow.")
-  in
-  Cmd.v
-    (Cmd.info "flow"
-       ~doc:"Run the complete functional scan chain testing flow")
-    Term.(
-      const run_flow $ name_arg $ scale_arg $ file_pos $ chains_arg
-      $ engine_arg $ jobs_arg $ time_budget $ keep_going $ fail_fast $ chaos
-      $ chaos_p $ checkpoint $ resume $ trace $ metrics $ events $ progress
-      $ preflight $ obs_dir $ no_sca)
-
-let lint_cmd =
-  let no_scan =
-    Arg.(value & flag & info [ "no-scan" ]
-           ~doc:"Structural and testability rules only; skip TPI insertion \
-                 and the scan-DFT rules.")
-  in
-  let json =
-    Arg.(value & flag & info [ "json" ]
-           ~doc:"Emit the report as JSON instead of text.")
-  in
-  let fail_on =
-    let sev =
-      Arg.enum
-        [ ("error", Lint.Fail_error); ("warning", Lint.Fail_warning);
-          ("none", Lint.Fail_never) ]
-    in
-    Arg.(value & opt sev Lint.Fail_error & info [ "fail-on" ] ~docv:"SEV"
-           ~doc:"Exit nonzero when findings of severity $(docv) or worse \
-                 remain after waivers: $(b,error) (default), $(b,warning), \
-                 or $(b,none).")
-  in
-  let waiver =
-    Arg.(value & opt (some string) None & info [ "waiver" ] ~docv:"PATH"
-           ~doc:"Waiver (baseline) file: one diagnostic key per line, '#' \
-                 comments. Matching findings are reported as waived and do \
-                 not gate the exit status.")
-  in
-  let update_waiver =
-    Arg.(value & flag & info [ "update-waiver" ]
-           ~doc:"Rewrite the --waiver file to cover every current finding, \
-                 then exit 0.")
-  in
-  let rules =
-    Arg.(value & flag & info [ "rules" ] ~doc:"List the rule catalogue.")
-  in
-  Cmd.v
-    (Cmd.info "lint"
-       ~doc:"Statically analyze a netlist and its scan-DFT configuration")
-    Term.(
-      const run_lint $ file_pos $ chains_arg $ no_scan $ json $ fail_on
-      $ waiver $ update_waiver $ rules)
-
-let jsonlint_cmd =
-  let files =
-    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
-           ~doc:"JSON file (or .jsonl: one JSON object per line).")
-  in
-  let expects =
-    Arg.(value & opt_all string [] & info [ "expect" ] ~docv:"TEXT"
-           ~doc:"Fail unless the file contains $(docv) (repeatable).")
-  in
-  Cmd.v
-    (Cmd.info "jsonlint"
-       ~doc:"Validate JSON/JSONL files written by --trace/--metrics/--events")
-    Term.(const run_jsonlint $ files $ expects)
-
-let analyze_cmd =
-  let dir =
-    Arg.(required & pos 0 (some dir) None & info [] ~docv:"DIR"
-           ~doc:"Artifact directory written by $(b,fst flow --obs-dir).")
-  in
-  let baseline =
-    Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"PATH"
-           ~doc:"Compare against $(docv): another --obs-dir directory, a \
-                 run.json file, or a BENCH_flow.json (picks the circuit \
-                 matching the current run; see --circuit). Exits 1 when \
-                 any gated metric regresses past the threshold.")
-  in
-  let circuit =
-    Arg.(value & opt (some string) None & info [ "circuit" ] ~docv:"NAME"
-           ~doc:"Circuit to select from a BENCH_flow.json baseline \
-                 (default: the current run's circuit).")
-  in
-  let json =
-    Arg.(value & flag & info [ "json" ]
-           ~doc:"Emit the diff as JSON instead of the human report.")
-  in
-  let threshold =
-    Arg.(value & opt float 20.0 & info [ "fail-on-regression" ] ~docv:"PCT"
-           ~doc:"Relative regression threshold in percent (default 20): a \
-                 gated time metric more than $(docv)%% slower than the \
-                 baseline is a regression and fails the exit status.")
-  in
-  let top =
-    Arg.(value & opt int 10 & info [ "top" ] ~docv:"K"
-           ~doc:"Rows in the hotspot and critical-path tables (default 10).")
-  in
-  Cmd.v
-    (Cmd.info "analyze"
-       ~doc:"Analyze a run-artifact directory: critical path, per-domain \
-             utilization, hotspots, and baseline regression gating")
-    Term.(
-      const run_analyze $ dir $ baseline $ circuit $ json $ threshold $ top)
-
-let diag_cmd =
-  let position =
-    Arg.(value & opt int (-1) & info [ "position" ] ~docv:"P"
-           ~doc:"Chain position of the injected defect (default: middle).")
-  in
-  Cmd.v
-    (Cmd.info "diag"
-       ~doc:"Inject a chain defect and run scan-chain diagnosis")
-    Term.(const run_diag $ name_arg $ scale_arg $ file_pos $ chains_arg $ position)
-
-let alt_cmd =
-  Cmd.v
-    (Cmd.info "alt"
-       ~doc:"Classify faults: the easy/hard split of the paper's Table 2")
-    Term.(const run_alt $ name_arg $ scale_arg $ file_pos $ chains_arg)
-
-let sca_cmd =
-  let json =
-    Arg.(value & flag & info [ "json" ]
-           ~doc:"Emit the full report (derivation traces, proof objects) \
-                 as JSON.")
-  in
-  Cmd.v
-    (Cmd.info "sca"
-       ~doc:"Static analysis: scan-mode constants, implications, and \
-             fault untestability proofs")
-    Term.(const run_sca $ name_arg $ scale_arg $ file_pos $ chains_arg $ json)
-
-let () =
-  let doc = "functional scan chain testing (DATE'98 reproduction)" in
-  let info = Cmd.info "fst" ~version:"1.0.0" ~doc in
-  (* Netlist errors escaping a deeper pass (TPI, generation) still exit
-     with a one-line diagnostic instead of a backtrace. *)
-  let code =
-    try
-      Cmd.eval' (Cmd.group info
-           [ gen_cmd; stats_cmd; tpi_cmd; opt_cmd; lint_cmd; sca_cmd;
-             flow_cmd; alt_cmd; diag_cmd; jsonlint_cmd; analyze_cmd ])
-    with
-    | Flow.Preflight_failed diags ->
-      List.iter (fun d -> prerr_endline (Diagnostic.to_string d)) diags;
-      prerr_endline
-        (Printf.sprintf "fst: preflight failed with %d error(s)"
-           (List.length diags));
-      1
-    | Netfile.Parse_error { file; line; message } ->
-      let where =
-        match file with
-        | Some f -> Printf.sprintf "%s:%d" f line
-        | None -> Printf.sprintf "line %d" line
-      in
-      prerr_endline (Printf.sprintf "fst: %s: %s" where message);
-      1
-    | Circuit.Malformed message | Circuit.Combinational_cycle message ->
-      prerr_endline ("fst: " ^ message);
-      1
-  in
-  exit code
+let () = exit (Fst_cli.Cli.main ())

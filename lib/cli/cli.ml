@@ -1,0 +1,84 @@
+open Fst_netlist
+open Fst_core
+
+let commands =
+  [
+    (Cmd_gen.spec, Cmd_gen.run);
+    (Cmd_stats.spec, Cmd_stats.run);
+    (Cmd_tpi.spec, Cmd_tpi.run);
+    (Cmd_opt.spec, Cmd_opt.run);
+    (Cmd_lint.spec, Cmd_lint.run);
+    (Cmd_sca.spec, Cmd_sca.run);
+    (Cmd_flow.spec, Cmd_flow.run);
+    (Cmd_alt.spec, Cmd_alt.run);
+    (Cmd_diag.spec, Cmd_diag.run);
+    (Cmd_jsonlint.spec, Cmd_jsonlint.run);
+    (Cmd_analyze.spec, Cmd_analyze.run);
+    (Cmd_serve.spec, Cmd_serve.run);
+    (Cmd_submit.spec, Cmd_submit.run);
+  ]
+
+let version = "1.0.0"
+
+let usage () =
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "fst — functional scan chain testing (DATE'98 reproduction)\n\n\
+     usage: fst COMMAND [options]\n\ncommands:\n";
+  List.iter
+    (fun ((s : Spec.t), _) ->
+      Printf.bprintf b "  %-10s %s\n" s.Spec.name s.Spec.summary)
+    commands;
+  Printf.bprintf b "\nrun fst COMMAND --help for the command's options.\n";
+  Buffer.contents b
+
+let main () =
+  match Array.to_list Sys.argv with
+  | _ :: name :: rest when name <> "" && name.[0] <> '-' -> (
+    match
+      List.find_opt (fun ((s : Spec.t), _) -> s.Spec.name = name) commands
+    with
+    | None ->
+      Printf.eprintf "fst: unknown command %S\n\n%s" name (usage ());
+      2
+    | Some (spec, run) -> (
+      (* Netlist errors escaping a deeper pass (TPI, generation) still
+         exit with a one-line diagnostic instead of a backtrace. *)
+      try run (Spec.parse spec rest) with
+      | Spec.Usage_error m ->
+        Printf.eprintf "fst %s: %s\n%s\n" spec.Spec.name m
+          (Spec.usage_line spec);
+        2
+      | Flow.Preflight_failed diags ->
+        List.iter
+          (fun d -> prerr_endline (Fst_lint.Diagnostic.to_string d))
+          diags;
+        prerr_endline
+          (Printf.sprintf "fst: preflight failed with %d error(s)"
+             (List.length diags));
+        1
+      | Netfile.Parse_error { file; line; message } ->
+        let where =
+          match file with
+          | Some f -> Printf.sprintf "%s:%d" f line
+          | None -> Printf.sprintf "line %d" line
+        in
+        prerr_endline (Printf.sprintf "fst: %s: %s" where message);
+        1
+      | Circuit.Malformed message | Circuit.Combinational_cycle message ->
+        prerr_endline ("fst: " ^ message);
+        1
+      | Unix.Unix_error (err, fn, arg) ->
+        let what = if arg = "" then fn else fn ^ " " ^ arg in
+        prerr_endline
+          (Printf.sprintf "fst: %s: %s" what (Unix.error_message err));
+        1))
+  | _ :: arg :: _ when arg = "--version" || arg = "-version" ->
+    print_endline version;
+    0
+  | _ :: arg :: _ when arg = "--help" || arg = "-help" || arg = "-h" ->
+    print_string (usage ());
+    0
+  | _ ->
+    print_string (usage ());
+    2

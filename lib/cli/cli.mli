@@ -1,0 +1,9 @@
+(** The [fst] driver: one {!Spec.t}-described module per subcommand,
+    dispatched here. [bin/fst.ml] is a one-line call to {!main}. *)
+
+(** [(spec, run)] rows, in help order. *)
+val commands : (Spec.t * (Spec.parsed -> int)) list
+
+(** Parses [Sys.argv], dispatches, maps netlist/flow exceptions to
+    one-line diagnostics, and returns the exit code. *)
+val main : unit -> int

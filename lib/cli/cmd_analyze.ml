@@ -1,0 +1,102 @@
+module Analyze = Fst_obs.Analyze
+
+let spec =
+  Spec.make ~name:"analyze"
+    ~summary:
+      "Analyze a run-artifact directory: critical path, per-domain \
+       utilization, hotspots, and baseline regression gating"
+    ~args:
+      [
+        Spec.value_arg [ "--baseline" ] ~docv:"PATH"
+          ~doc:"Compare against PATH: another --obs-dir directory, a \
+                run.json file, or a BENCH_flow.json (picks the circuit \
+                matching the current run; see --circuit). Exits 1 when any \
+                gated metric regresses past the threshold.";
+        Spec.value_arg [ "--circuit" ] ~docv:"NAME"
+          ~doc:"Circuit to select from a BENCH_flow.json baseline (default: \
+                the current run's circuit).";
+        Spec.flag_arg [ "--json" ]
+          ~doc:"Emit the diff as JSON instead of the human report.";
+        Spec.value_arg [ "--fail-on-regression" ] ~docv:"PCT"
+          ~doc:"Relative regression threshold in percent (default 20): a \
+                gated time metric more than PCT% slower than the baseline \
+                is a regression and fails the exit status.";
+        Spec.value_arg [ "--top" ] ~docv:"K"
+          ~doc:"Rows in the hotspot and critical-path tables (default 10).";
+      ]
+    ~pos:
+      (Spec.Pos
+         { docv = "DIR";
+           doc = "Artifact directory written by fst flow --obs-dir.";
+           required = true; all = false })
+    ()
+
+(* A baseline argument can be an artifact directory, a run.json file, or
+   a BENCH_flow.json (whose circuit is picked to match the current run's
+   config, multicore variant preferred, overridable with --circuit). *)
+let load_baseline path ~circuit ~(cur : Analyze.run) =
+  if Sys.file_exists path && Sys.is_directory path then
+    Result.map fst (Analyze.load_dir path)
+  else
+    match Analyze.load_run path with
+    | Ok r -> Ok r
+    | Error run_err -> (
+      match Analyze.load_bench path with
+      | Error _ -> Error run_err
+      | Ok runs -> (
+        let name =
+          match circuit with
+          | Some c -> Some c
+          | None -> (
+            match Fst_obs.Json.member "circuit" cur.Analyze.config with
+            | Some (Fst_obs.Json.String c) -> Some c
+            | _ -> None)
+        in
+        match name with
+        | None ->
+          Error
+            (path
+             ^ ": bench baseline needs --circuit NAME (current run.json \
+                names no circuit)")
+        | Some c -> (
+          match
+            ( List.assoc_opt (c ^ "/multicore") runs,
+              List.assoc_opt (c ^ "/serial") runs )
+          with
+          | Some r, _ | None, Some r -> Ok r
+          | None, None ->
+            Error
+              (Printf.sprintf "%s: no circuit %S in bench baseline (have: %s)"
+                 path c
+                 (String.concat ", " (List.map fst runs))))))
+
+let run p =
+  let dir = List.hd (Spec.positional p) in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Spec.usage_error "%s is not a directory" dir;
+  let json_out = Spec.flag p "--json" in
+  let top = Spec.int p "--top" ~default:10 in
+  let threshold = Spec.float p "--fail-on-regression" ~default:20.0 in
+  let cur, spans = Common.or_die (Analyze.load_dir dir) in
+  match Spec.string_opt p "--baseline" with
+  | None ->
+    if json_out then (
+      Fst_obs.Json.to_channel stdout (Analyze.diff_to_json []);
+      print_newline ())
+    else print_string (Analyze.render_report ~k:top cur spans);
+    0
+  | Some b ->
+    let base =
+      Common.or_die
+        (load_baseline b ~circuit:(Spec.string_opt p "--circuit") ~cur)
+    in
+    let entries = Analyze.diff ~threshold:(threshold /. 100.0) base cur in
+    if json_out then (
+      Fst_obs.Json.to_channel stdout (Analyze.diff_to_json entries);
+      print_newline ())
+    else begin
+      print_string (Analyze.render_report ~k:top cur spans);
+      Printf.printf "\ndiff vs %s (threshold %g%%):\n" b threshold;
+      print_string (Analyze.render_diff entries)
+    end;
+    if Analyze.regressions entries = [] then 0 else 1

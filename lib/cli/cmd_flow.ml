@@ -1,0 +1,215 @@
+open Fst_netlist
+open Fst_core
+
+let spec =
+  Spec.make ~name:"flow"
+    ~summary:"Run the complete functional scan chain testing flow"
+    ~args:
+      [
+        Common.name_arg;
+        Common.scale_arg;
+        Common.chains_arg;
+        Common.engine_arg;
+        Common.jobs_arg;
+        Spec.value_arg [ "--time-budget" ] ~docv:"S"
+          ~doc:"Wall-clock budget for the whole flow, in seconds. When a \
+                phase overruns its share the remaining work is cancelled \
+                cooperatively and reported in the abort accounting.";
+        Spec.flag_arg [ "--keep-going" ]
+          ~doc:"Contain failures instead of dying on the first exception: \
+                transient errors are retried, poison tasks are quarantined \
+                into a failed bucket, and the flow always produces a \
+                report. The default for budgeted runs (--time-budget).";
+        Spec.flag_arg [ "--fail-fast" ]
+          ~doc:"Propagate the first failure immediately (the default for \
+                unbudgeted runs). Conflicts with --keep-going.";
+        Spec.value_arg [ "--chaos" ] ~docv:"SEED"
+          ~doc:"Arm the deterministic chaos harness with the plan derived \
+                from SEED: seeded exception/delay/cancel injections at \
+                pool-task, engine and checkpoint boundaries. Same seed, \
+                same injections. Robustness testing only.";
+        Spec.value_arg [ "--chaos-p" ] ~docv:"P"
+          ~doc:"Per-site injection probability for --chaos (default 0.02).";
+        Spec.value_arg [ "--checkpoint" ] ~docv:"PATH"
+          ~doc:"Persist flow progress to PATH after every phase and every \
+                step-3 wave (atomic rewrite, with the previous good file \
+                kept as PATH.prev).";
+        Spec.flag_arg [ "--resume" ]
+          ~doc:"Resume from the --checkpoint file if it matches this \
+                circuit, configuration and parameter set.";
+        Spec.value_arg [ "--trace" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace-event JSON file (open in Perfetto or \
+                chrome://tracing): spans for every phase, step-3 \
+                wave/group, per-domain pool chunk, and each ATPG call over \
+                1ms.";
+        Spec.value_arg [ "--metrics" ] ~docv:"FILE"
+          ~doc:"Write a JSON metrics snapshot (counters, gauges, \
+                histograms): ATPG totals, per-domain busy fractions, \
+                fault-simulation counts.";
+        Spec.value_arg [ "--events" ] ~docv:"FILE"
+          ~doc:"Write a JSONL structured event log: phase start/end, \
+                checkpoint writes, budget trips, abort records.";
+        Spec.flag_arg [ "--progress" ]
+          ~doc:"Print a one-line heartbeat to stderr (phase, faults \
+                done/total, detected, ETA).";
+        Spec.flag_arg [ "--preflight" ]
+          ~doc:"Run the static scan-DFT analyzer before phase 1 and abort \
+                on any error-severity finding, so a broken configuration \
+                fails fast instead of consuming the ATPG budget.";
+        Spec.value_arg [ "--obs-dir" ] ~docv:"DIR"
+          ~doc:"Write the full run-artifact set to DIR: trace.json \
+                (Perfetto), events.jsonl, metrics.prom (OpenMetrics), and \
+                run.json (per-phase wall, histogram quantiles, per-domain \
+                timelines, abort accounting) for fst analyze. Subsumes \
+                --trace/--metrics/--events.";
+        Spec.flag_arg [ "--no-sca" ]
+          ~doc:"Disable phase-0 static analysis: no statically-proven \
+                untestable bucket and no implication hints for PODEM. \
+                Every hard fault goes through ATPG, as in the seed flow.";
+      ]
+    ~pos:Common.file_pos ()
+
+(* The flow's fault accounting as JSON, appended to run.json so the
+   analyzer can attribute aborts/failures per phase cohort. *)
+let flow_accounting r =
+  let module J = Fst_obs.Json in
+  let a = r.Flow.aborts in
+  J.Obj
+    [
+      ( "detected",
+        J.Int (r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected) );
+      ("undetected", J.Int (List.length r.Flow.undetected));
+      ("untestable", J.Int (List.length r.Flow.untestable_faults));
+      ("untestable_static", J.Int (List.length r.Flow.untestable_static));
+      ("aborted_faults", J.Int a.Flow.aborted_faults);
+      ("failed_faults", J.Int a.Flow.failed_faults);
+      ( "phases",
+        J.List
+          (List.map
+             (fun (ph : Flow.phase_aborts) ->
+               J.Obj
+                 [
+                   ("phase", J.String ph.Flow.phase);
+                   ("budget_exhausted", J.Bool ph.Flow.budget_exhausted);
+                   ("atpg_aborts", J.Int ph.Flow.atpg_aborts);
+                   ("cancelled_groups", J.Int ph.Flow.cancelled_groups);
+                   ("failed", J.Int ph.Flow.failed);
+                 ])
+             a.Flow.phases) );
+    ]
+
+let run p =
+  let scale = Spec.float p "--scale" ~default:1.0 in
+  let file = match Spec.positional p with [ f ] -> Some f | _ -> None in
+  let circuit =
+    Common.or_die (Common.load ~name:(Spec.string_opt p "--name") ~scale ~file)
+  in
+  let scanned, config =
+    Common.or_die
+      (Common.insert_chains circuit (Spec.int p "--chains" ~default:1))
+  in
+  let trace = Spec.string_opt p "--trace" in
+  let metrics = Spec.string_opt p "--metrics" in
+  let events = Spec.string_opt p "--events" in
+  let progress = Spec.flag p "--progress" in
+  let obs_dir = Spec.string_opt p "--obs-dir" in
+  let artifacts =
+    match obs_dir with
+    | Some dir ->
+      if trace <> None || metrics <> None || events <> None then
+        Common.or_die
+          (Error
+             "--obs-dir already writes trace.json/metrics.prom/events.jsonl; \
+              drop --trace/--metrics/--events");
+      Some (Fst_obs.Artifacts.create ~dir)
+    | None -> None
+  in
+  let sink, finish_obs =
+    match artifacts with
+    | Some a ->
+      let pr = if progress then Some (Fst_obs.Progress.create ()) else None in
+      (Fst_obs.Artifacts.sink ?progress:pr a, fun () -> ())
+    | None -> Common.make_sink ~trace ~metrics ~events ~progress
+  in
+  let on_error =
+    match (Spec.flag p "--keep-going", Spec.flag p "--fail-fast") with
+    | true, true -> Common.or_die (Error "--keep-going and --fail-fast conflict")
+    | true, false -> Some `Keep_going
+    | false, true -> Some `Fail_fast
+    | false, false -> None
+  in
+  let cfg =
+    Common.or_die
+      (Config.of_cli ~engine:(Common.get_engine p)
+         ~jobs:(Spec.int p "--jobs" ~default:0)
+         ~scale
+         ?time_budget:(Spec.float_opt p "--time-budget")
+         ?on_error
+         ~preflight:(Spec.flag p "--preflight")
+         ~sink ())
+  in
+  let cfg =
+    if Spec.flag p "--no-sca" then
+      Config.(cfg |> with_sca_prune false |> with_sca_implications false)
+    else cfg
+  in
+  let checkpoint = Spec.string_opt p "--checkpoint" in
+  let resume = Spec.flag p "--resume" in
+  if resume && checkpoint = None then
+    Common.or_die (Error "--resume requires --checkpoint PATH");
+  let chaos = Spec.int_opt p "--chaos" in
+  let chaos_p = Spec.float p "--chaos-p" ~default:0.02 in
+  (match chaos with
+   | Some seed ->
+     let plan = Fst_exec.Chaos.plan_of_seed ~p:chaos_p seed in
+     Fst_exec.Chaos.install plan;
+     Printf.eprintf "chaos: seed=%d p=%g injections=%d\n%!" seed chaos_p
+       (List.length plan)
+   | None -> ());
+  let r =
+    Flow.run ~config:cfg ?checkpoint ~resume ~on_resume:Common.print_resume
+      scanned config
+  in
+  Fst_exec.Chaos.clear ();
+  print_string (Fst_report.Flow_report.to_text (Fst_report.Flow_report.of_result r));
+  (* Under chaos the run's one obligation is the partition invariant:
+     every hard fault is accounted for exactly once. *)
+  if chaos <> None then begin
+    let hard = Array.length r.Flow.classify.Classify.hard in
+    let accounted =
+      r.Flow.step2.Flow.detected + r.Flow.step3.Flow.detected
+      + List.length r.Flow.untestable_faults
+      + List.length r.Flow.untestable_static
+      + List.length r.Flow.undetected
+      + List.length r.Flow.aborted + List.length r.Flow.failed
+    in
+    if accounted = hard then Printf.printf "chaos: invariant ok\n"
+    else
+      Common.or_die
+        (Error
+           (Printf.sprintf
+              "chaos: invariant violated (%d accounted of %d hard faults)"
+              accounted hard))
+  end;
+  (match (artifacts, obs_dir) with
+   | Some a, Some dir ->
+     let module J = Fst_obs.Json in
+     let config_json =
+       let head =
+         [
+           ("circuit", J.String scanned.Circuit.name);
+           ( "jobs_effective",
+             J.Int
+               (Fst_exec.Pool.effective_jobs ~jobs:cfg.Config.jobs max_int) );
+         ]
+       in
+       match Config.to_json cfg with
+       | J.Obj kvs -> J.Obj (head @ kvs)
+       | j -> j
+     in
+     Fst_obs.Artifacts.write ~config:config_json
+       ~extra:[ ("flow", flow_accounting r) ]
+       a;
+     Printf.eprintf "obs: artifacts written to %s\n%!" dir
+   | _ -> finish_obs ());
+  0

@@ -1,0 +1,58 @@
+open Fst_netlist
+
+let spec =
+  Spec.make ~name:"gen" ~summary:"Generate a benchmark circuit"
+    ~args:
+      [
+        Common.name_arg;
+        Common.scale_arg;
+        Common.out_arg;
+        Spec.flag_arg [ "--list" ] ~doc:"List the benchmark suite.";
+        Spec.value_arg [ "--gates" ] ~docv:"N"
+          ~doc:"Generate a custom circuit with N gates instead of a suite \
+                entry.";
+        Spec.value_arg [ "--ffs" ] ~docv:"N"
+          ~doc:"Flip-flops in the custom circuit (default 16).";
+        Spec.value_arg [ "--pis" ] ~docv:"N"
+          ~doc:"Primary inputs in the custom circuit (default 8).";
+        Spec.value_arg [ "--pos" ] ~docv:"N"
+          ~doc:"Primary outputs in the custom circuit (default 4).";
+        Spec.value_arg [ "--seed" ] ~docv:"N"
+          ~doc:"Generator seed (default 1).";
+      ]
+    ()
+
+let run p =
+  let scale = Spec.float p "--scale" ~default:1.0 in
+  if Spec.flag p "--list" then begin
+    List.iter
+      (fun e ->
+        let pr = e.Fst_gen.Suite.profile in
+        Printf.printf "%-8s %6d gates %5d FFs %3d PIs %3d POs %d chain(s)\n"
+          pr.Fst_gen.Gen.name pr.Fst_gen.Gen.gates pr.Fst_gen.Gen.ffs
+          pr.Fst_gen.Gen.pis pr.Fst_gen.Gen.pos e.Fst_gen.Suite.chains)
+      (Fst_gen.Suite.suite ~scale ());
+    0
+  end
+  else begin
+    let name = Spec.string_opt p "--name" in
+    let circuit =
+      match Spec.int_opt p "--gates" with
+      | Some g ->
+        Fst_gen.Gen.generate
+          {
+            Fst_gen.Gen.name = Option.value ~default:"custom" name;
+            gates = g;
+            ffs = Spec.int p "--ffs" ~default:16;
+            pis = Spec.int p "--pis" ~default:8;
+            pos = Spec.int p "--pos" ~default:4;
+            seed = Int64.of_int (Spec.int p "--seed" ~default:1);
+          }
+      | None -> Common.or_die (Common.load ~name ~scale ~file:None)
+    in
+    (match Spec.string_opt p "--output" with
+     | Some path -> Netfile.write_file circuit path
+     | None -> print_string (Netfile.to_string circuit));
+    Format.eprintf "%a@." Circuit.pp_stats circuit;
+    0
+  end

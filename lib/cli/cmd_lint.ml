@@ -1,0 +1,132 @@
+open Fst_netlist
+open Fst_tpi
+module Lint = Fst_lint.Lint
+module Diagnostic = Fst_lint.Diagnostic
+
+let spec =
+  Spec.make ~name:"lint"
+    ~summary:"Statically analyze a netlist and its scan-DFT configuration"
+    ~args:
+      [
+        Common.chains_arg;
+        Spec.flag_arg [ "--no-scan" ]
+          ~doc:"Structural and testability rules only; skip TPI insertion \
+                and the scan-DFT rules.";
+        Spec.flag_arg [ "--json" ]
+          ~doc:"Emit the report as JSON instead of text.";
+        Spec.value_arg [ "--fail-on" ] ~docv:"SEV"
+          ~doc:"Exit nonzero when findings of severity SEV or worse remain \
+                after waivers: error (default), warning, or none.";
+        Spec.value_arg [ "--waiver" ] ~docv:"PATH"
+          ~doc:"Waiver (baseline) file: one diagnostic key per line, '#' \
+                comments. Matching findings are reported as waived and do \
+                not gate the exit status.";
+        Spec.flag_arg [ "--update-waiver" ]
+          ~doc:"Rewrite the --waiver file to cover every current finding, \
+                then exit 0.";
+        Spec.flag_arg [ "--rules" ] ~doc:"List the rule catalogue.";
+      ]
+    ~pos:Common.file_pos ()
+
+let print_report ~json report =
+  if json then (
+    Fst_obs.Json.to_channel stdout (Lint.to_json report);
+    print_newline ())
+  else print_string (Lint.render report)
+
+let fail_on_of p =
+  match Option.value ~default:"error" (Spec.string_opt p "--fail-on") with
+  | "error" -> Lint.Fail_error
+  | "warning" -> Lint.Fail_warning
+  | "none" -> Lint.Fail_never
+  | s ->
+    Spec.usage_error "--fail-on expects error, warning or none, got %S" s
+
+(* Lint a netlist file: raw-parse first so duplicate definitions and
+   combinational cycles are all reported (elaboration would abort on the
+   first); when the raw netlist is clean, elaborate, optionally insert the
+   scan chains, and run the full rule set with the dynamic shift check
+   cross-checking the static sensitization analysis. *)
+let run p =
+  if Spec.flag p "--rules" then begin
+    List.iter
+      (fun (rule, severity, desc) ->
+        Printf.printf "%-18s %-8s %s\n" rule
+          (Diagnostic.severity_to_string severity)
+          desc)
+      Lint.catalogue;
+    0
+  end
+  else begin
+    let path =
+      match Spec.positional p with
+      | [ f ] -> f
+      | _ -> Common.or_die (Error "pass a netlist FILE (or --rules)")
+    in
+    let chains = Spec.int p "--chains" ~default:1 in
+    let waiver_path = Spec.string_opt p "--waiver" in
+    let waivers =
+      match waiver_path with
+      | Some w -> Lint.Waiver.load w
+      | None -> Lint.Waiver.empty
+    in
+    let parse_diag message =
+      Diagnostic.make ~rule:"E-NET-PARSE" ~severity:Diagnostic.Error
+        ~loc:{ Diagnostic.no_loc with Diagnostic.file = Some path }
+        message
+    in
+    let report =
+      match
+        let ic = open_in_bin path in
+        let text = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Netfile.parse_raw
+          ~name:Filename.(remove_extension (basename path))
+          ~file:path text
+      with
+      | exception Sys_error e ->
+        { Lint.circuit = path; diagnostics = [ parse_diag e ]; waived = [];
+          errors = 1; warnings = 0; infos = 0 }
+      | exception Netfile.Parse_error { file = _; line; message } ->
+        let d =
+          Diagnostic.make ~rule:"E-NET-PARSE" ~severity:Diagnostic.Error
+            ~loc:{ Diagnostic.no_loc with Diagnostic.file = Some path;
+                   line = Some line }
+            message
+        in
+        { Lint.circuit = path; diagnostics = [ d ]; waived = [];
+          errors = 1; warnings = 0; infos = 0 }
+      | raw ->
+        let pre = Lint.run_raw ~waivers raw in
+        if pre.Lint.errors > 0 then pre
+        else begin
+          match Netfile.elaborate raw with
+          | exception Circuit.Malformed message ->
+            { Lint.circuit = raw.Netfile.raw_name;
+              diagnostics = [ parse_diag message ]; waived = [];
+              errors = 1; warnings = 0; infos = 0 }
+          | circuit ->
+            let lines = raw.Netfile.raw_lines in
+            if Spec.flag p "--no-scan" then
+              Lint.run ~lines ~file:path ~waivers circuit
+            else
+              let scanned, config =
+                Tpi.insert
+                  ~options:{ Tpi.default_options with Tpi.chains }
+                  circuit
+              in
+              Lint.run ~lines ~file:path ~config ~dynamic:true ~waivers
+                scanned
+        end
+    in
+    match (Spec.flag p "--update-waiver", waiver_path) with
+    | true, Some w ->
+      Lint.Waiver.save w (report.Lint.diagnostics @ report.Lint.waived);
+      Printf.printf "waiver file %s updated (%d key(s))\n" w
+        (List.length report.Lint.diagnostics + List.length report.Lint.waived);
+      0
+    | true, None -> Common.or_die (Error "--update-waiver requires --waiver PATH")
+    | false, _ ->
+      print_report ~json:(Spec.flag p "--json") report;
+      if Lint.gate ~fail_on:(fail_on_of p) report then 0 else 1
+  end

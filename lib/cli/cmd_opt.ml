@@ -1,0 +1,19 @@
+open Fst_netlist
+
+let spec =
+  Spec.make ~name:"opt"
+    ~summary:"Clean up a netlist (fold, bypass, sweep, refanin)"
+    ~args:[ Common.out_arg ] ~pos:Common.file_pos_required ()
+
+let run p =
+  let file = List.hd (Spec.positional p) in
+  let circuit = Common.or_die (Common.read_circuit file) in
+  let optimized, stats = Opt.optimize circuit in
+  Format.printf "before: %a@.after:  %a@.%a@." Circuit.pp_stats circuit
+    Circuit.pp_stats optimized Opt.pp_stats stats;
+  (match Spec.string_opt p "--output" with
+   | Some path ->
+     Netfile.write_file optimized path;
+     Printf.printf "optimized netlist written to %s\n" path
+   | None -> ());
+  0

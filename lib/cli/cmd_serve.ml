@@ -1,0 +1,89 @@
+module Protocol = Fst_serve.Protocol
+
+(* The protocol half of --help is generated from Protocol.commands — the
+   one table request_of_json validates against — so the documented and
+   the accepted command sets are the same thing. *)
+let protocol_help =
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "protocol (%s): one JSON object per line over the socket; requests \
+     carry {\"v\":%d,\"cmd\":...}.\ncommands:"
+    Protocol.id Protocol.version;
+  List.iter
+    (fun (cmd, doc) -> Printf.bprintf b "\n  %-10s %s" cmd doc)
+    Protocol.commands;
+  Buffer.contents b
+
+let addr_args =
+  [
+    Spec.value_arg [ "--socket" ] ~docv:"PATH"
+      ~doc:"Listen on (or connect to) a Unix-domain socket at PATH.";
+    Spec.value_arg [ "--port" ] ~docv:"N"
+      ~doc:"Listen on (or connect to) TCP localhost:N instead of a Unix \
+            socket.";
+  ]
+
+let get_addr p =
+  match
+    Protocol.addr_of_spec
+      ~socket:(Spec.string_opt p "--socket")
+      ~port:(Spec.int_opt p "--port")
+  with
+  | Ok a -> a
+  | Error e -> Spec.usage_error "%s" e
+
+let spec =
+  Spec.make ~name:"serve"
+    ~summary:"Run the batch flow service daemon"
+    ~args:
+      (addr_args
+      @ [
+          Spec.value_arg [ "--workers" ] ~docv:"N"
+            ~doc:"Jobs executed concurrently (default 1); each job also \
+                  parallelizes internally up to --jobs-cap.";
+          Spec.value_arg [ "--jobs-cap" ] ~docv:"N"
+            ~doc:"Clamp every job's jobs knob to N (default: the \
+                  recommended core count).";
+          Spec.value_arg [ "--job-budget" ] ~docv:"S"
+            ~doc:"Cap every job's wall-clock budget at S seconds; clients \
+                  asking for more (or for no budget) get this cap.";
+          Spec.value_arg [ "--cache-dir" ] ~docv:"DIR"
+            ~doc:"Persist the content-addressed artifact cache to DIR \
+                  (atomic writes; a restarted daemon keeps its warm set).";
+          Spec.value_arg [ "--cache-entries" ] ~docv:"N"
+            ~doc:"In-memory cache capacity in artifacts, LRU-evicted \
+                  (default 512).";
+          Spec.value_arg [ "--hb-interval" ] ~docv:"S"
+            ~doc:"Heartbeat period for waiting submits (default 1.0).";
+          Spec.value_arg [ "--log" ] ~docv:"FILE"
+            ~doc:"Append the daemon's own JSONL event log (job submitted/ \
+                  started/done, cache hits, shutdown) to FILE.";
+        ])
+    ~extra_help:[ protocol_help ] ()
+
+let run p =
+  let addr = get_addr p in
+  let cache =
+    Fst_serve.Cache.create
+      ?dir:(Spec.string_opt p "--cache-dir")
+      ?max_entries:(Spec.int_opt p "--cache-entries")
+      ()
+  in
+  let log_oc = Option.map open_out (Spec.string_opt p "--log") in
+  let log = Option.map Fst_obs.Events.to_channel log_oc in
+  let server =
+    Fst_serve.Server.create
+      ~workers:(Spec.int p "--workers" ~default:1)
+      ?jobs_cap:(Spec.int_opt p "--jobs-cap")
+      ?job_budget:(Spec.float_opt p "--job-budget")
+      ~cache
+      ~hb_interval:(Spec.float p "--hb-interval" ~default:1.0)
+      ?log ~addr ()
+  in
+  Printf.eprintf "serve: listening on %s (%s)\n%!"
+    (Protocol.addr_to_string addr)
+    Protocol.id;
+  Fst_serve.Server.run server;
+  Option.iter close_out log_oc;
+  Printf.eprintf "serve: shut down\n%!";
+  0

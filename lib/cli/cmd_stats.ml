@@ -1,0 +1,14 @@
+open Fst_netlist
+
+let spec =
+  Spec.make ~name:"stats" ~summary:"Print circuit statistics"
+    ~pos:Common.file_pos_required ()
+
+let run p =
+  let file = List.hd (Spec.positional p) in
+  let circuit = Common.or_die (Common.read_circuit file) in
+  Format.printf "%a@." Circuit.pp_stats circuit;
+  Printf.printf "collapsed faults: %d\n"
+    (Array.length
+       (Fst_fault.Fault.collapse circuit (Fst_fault.Fault.universe circuit)));
+  0

@@ -1,0 +1,148 @@
+open Fst_netlist
+open Fst_tpi
+
+let read_circuit path =
+  try Ok (Netfile.parse_file path) with
+  | Netfile.Parse_error { file; line; message } ->
+    Error
+      (Printf.sprintf "%s:%d: %s" (Option.value ~default:path file) line message)
+  | Circuit.Malformed message | Circuit.Combinational_cycle message ->
+    Error (Printf.sprintf "%s: %s" path message)
+  | Sys_error e -> Error e
+
+let load ~name ~scale ~file =
+  match (file, name) with
+  | Some path, _ -> read_circuit path
+  | None, Some n -> (
+    match Fst_gen.Suite.find ~scale n with
+    | entry -> Ok (Fst_gen.Gen.generate entry.Fst_gen.Suite.profile)
+    | exception Not_found ->
+      Error
+        (Printf.sprintf "unknown suite circuit %S (see `fst gen --list`)" n))
+  | None, None -> Error "pass a netlist FILE or --name CIRCUIT"
+
+let insert_chains circuit chains =
+  let scanned, config =
+    Tpi.insert ~options:{ Tpi.default_options with Tpi.chains } circuit
+  in
+  match Scan.verify_shift scanned config with
+  | Ok () -> Ok (scanned, config)
+  | Error errs ->
+    (* Render dynamic shift failures through the lint diagnostic machinery,
+       one compiler-style line each, same as `fst lint` output. *)
+    List.iter
+      (fun e ->
+        prerr_endline
+          (Fst_lint.Diagnostic.to_string
+             (Fst_lint.Diagnostic.of_shift_error scanned e)))
+      errs;
+    Error
+      (Printf.sprintf "scan chain verification failed (%d position(s))"
+         (List.length errs))
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+    prerr_endline ("fst: " ^ e);
+    exit 1
+
+(* Builds the observability sink requested on the command line, plus the
+   action that writes the collected data out once the flow is done. With
+   no observability flag the null sink is installed and the run stays
+   bit-identical to an uninstrumented one. *)
+let make_sink ~trace ~metrics ~events ~progress =
+  if trace = None && metrics = None && events = None && not progress then
+    (Fst_obs.Sink.null, fun () -> ())
+  else begin
+    let tr =
+      match trace with Some _ -> Some (Fst_obs.Trace.create ()) | None -> None
+    in
+    let ev_oc = Option.map (fun path -> (path, open_out path)) events in
+    let ev = Option.map (fun (_, oc) -> Fst_obs.Events.to_channel oc) ev_oc in
+    let pr = if progress then Some (Fst_obs.Progress.create ()) else None in
+    let sink = Fst_obs.Sink.create ?trace:tr ?events:ev ?progress:pr () in
+    let finish () =
+      (match (trace, tr) with
+       | Some path, Some tr ->
+         let oc = open_out path in
+         Fst_obs.Json.to_channel oc (Fst_obs.Trace.to_json tr);
+         close_out oc;
+         Printf.eprintf "trace: %d events written to %s\n%!"
+           (Fst_obs.Trace.event_count tr)
+           path
+       | _ -> ());
+      (match metrics with
+       | Some path ->
+         let oc = open_out path in
+         Fst_obs.Json.to_channel oc
+           (Fst_obs.Metrics.to_json sink.Fst_obs.Sink.metrics);
+         close_out oc;
+         Printf.eprintf "metrics: written to %s\n%!" path
+       | None -> ());
+      match ev_oc with
+      | Some (path, oc) ->
+        close_out oc;
+        Printf.eprintf "events: written to %s\n%!" path
+      | None -> ()
+    in
+    (sink, finish)
+  end
+
+(* One line on stderr saying exactly where a --resume run's state came
+   from — primary checkpoint, the .prev last-good rotation, or (with the
+   precise reason) nowhere. *)
+let print_resume = function
+  | `Loaded Fst_core.Checkpoint.Primary ->
+    Printf.eprintf "resume: loaded checkpoint\n%!"
+  | `Loaded Fst_core.Checkpoint.Recovered ->
+    Printf.eprintf "resume: primary checkpoint unusable, recovered from \
+                    .prev\n%!"
+  | `Failed err ->
+    Printf.eprintf "resume: starting fresh (%s)\n%!"
+      (Fst_core.Checkpoint.error_to_string err)
+
+(* --- shared flag specs -------------------------------------------------- *)
+
+let scale_arg =
+  Spec.value_arg [ "--scale" ] ~docv:"S"
+    ~doc:"Scale factor for suite circuit sizes (1.0 = published sizes)."
+
+let name_arg =
+  Spec.value_arg [ "-n"; "--name" ] ~docv:"NAME"
+    ~doc:"Suite circuit name (e.g. s5378)."
+
+let chains_arg =
+  Spec.value_arg [ "-c"; "--chains" ] ~docv:"N"
+    ~doc:"Number of scan chains to build (default 1)."
+
+let out_arg =
+  Spec.value_arg [ "-o"; "--output" ] ~docv:"FILE" ~doc:"Output netlist file."
+
+let jobs_arg =
+  Spec.value_arg [ "-j"; "--jobs" ] ~docv:"N"
+    ~doc:"Domains for fault simulation and grouped sequential ATPG (0 = one \
+          per recommended core; 1 = single-core flow)."
+
+let engine_arg =
+  Spec.value_arg [ "--engine" ] ~docv:"ENGINE"
+    ~doc:"Fault-simulation engine: serial (one faulty machine at a time), \
+          parallel (62-way bit-parallel), event (event-driven incremental \
+          on a shared good trace), or auto (per fault by static fanout-cone \
+          size). Every choice computes identical results."
+
+let file_pos =
+  Spec.Pos
+    { docv = "FILE"; doc = "Netlist file (ISCAS'89-like syntax).";
+      required = false; all = false }
+
+let file_pos_required =
+  Spec.Pos
+    { docv = "FILE"; doc = "Netlist file (ISCAS'89-like syntax).";
+      required = true; all = false }
+
+let get_engine p =
+  let e = Option.value ~default:"auto" (Spec.string_opt p "--engine") in
+  if List.mem e Fst_core.Config.engine_names then e
+  else
+    Spec.usage_error "unknown engine %S (expected one of: %s)" e
+      (String.concat ", " Fst_core.Config.engine_names)

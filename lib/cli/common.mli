@@ -1,0 +1,50 @@
+(** Helpers shared by the [fst] subcommands: circuit loading, scan
+    insertion with shift verification, sink construction, and the flag
+    specs that several commands share (so [fst flow] and [fst submit]
+    spell their common options identically). *)
+
+val read_circuit : string -> (Fst_netlist.Circuit.t, string) result
+
+(** [load ~name ~scale ~file] — a netlist file wins over a suite name. *)
+val load :
+  name:string option ->
+  scale:float ->
+  file:string option ->
+  (Fst_netlist.Circuit.t, string) result
+
+(** TPI insertion followed by the dynamic shift check; failures are
+    rendered to stderr through the lint diagnostic machinery. *)
+val insert_chains :
+  Fst_netlist.Circuit.t ->
+  int ->
+  (Fst_netlist.Circuit.t * Fst_tpi.Scan.config, string) result
+
+val or_die : ('a, string) result -> 'a
+
+(** Observability sink from the [--trace]/[--metrics]/[--events]/
+    [--progress] flags, plus the action that writes the collected data
+    out after the run. *)
+val make_sink :
+  trace:string option ->
+  metrics:string option ->
+  events:string option ->
+  progress:bool ->
+  Fst_obs.Sink.t * (unit -> unit)
+
+val print_resume :
+  [ `Loaded of Fst_core.Checkpoint.source | `Failed of Fst_core.Checkpoint.error ] ->
+  unit
+
+(** {2 Shared flag specs} *)
+
+val scale_arg : Spec.arg
+val name_arg : Spec.arg
+val chains_arg : Spec.arg
+val out_arg : Spec.arg
+val jobs_arg : Spec.arg
+val engine_arg : Spec.arg
+val file_pos : Spec.pos
+val file_pos_required : Spec.pos
+
+(** [engine] validated against {!Fst_core.Config.engine_names}. *)
+val get_engine : Spec.parsed -> string

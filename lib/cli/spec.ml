@@ -1,0 +1,199 @@
+type arg = { names : string list; docv : string option; doc : string }
+
+type pos =
+  | No_pos
+  | Pos of { docv : string; doc : string; required : bool; all : bool }
+
+type t = {
+  name : string;
+  summary : string;
+  args : arg list;
+  pos : pos;
+  extra_help : string list;
+}
+
+let make ?(args = []) ?(pos = No_pos) ?(extra_help = []) ~name ~summary () =
+  { name; summary; args; pos; extra_help }
+
+let flag_arg names ~doc = { names; docv = None; doc }
+let value_arg names ~docv ~doc = { names; docv = Some docv; doc }
+
+exception Usage_error of string
+
+let usage_error fmt = Printf.ksprintf (fun m -> raise (Usage_error m)) fmt
+
+type parsed = {
+  spec : t;
+  values : (string, string list) Hashtbl.t;  (* canonical name -> values,
+                                                 reverse arrival order *)
+  flags : (string, int) Hashtbl.t;
+  pos_args : string list;
+}
+
+let canonical a = List.hd a.names
+
+let find_arg spec name =
+  List.find_opt (fun a -> List.mem name a.names) spec.args
+
+(* --- help text ---------------------------------------------------------- *)
+
+let arg_label a =
+  let names = String.concat ", " a.names in
+  match a.docv with None -> names | Some v -> names ^ " " ^ v
+
+let usage_line spec =
+  let pos =
+    match spec.pos with
+    | No_pos -> ""
+    | Pos { docv; required; all; _ } ->
+      let one = if required then " " ^ docv else " [" ^ docv ^ "]" in
+      if all then one ^ "..." else one
+  in
+  Printf.sprintf "usage: fst %s [options]%s" spec.name pos
+
+(* Wrap [doc] to 78 columns with a hanging indent under the flag column. *)
+let wrap ~indent text =
+  let words = String.split_on_char ' ' text in
+  let buf = Buffer.create 256 in
+  let col = ref indent in
+  List.iter
+    (fun w ->
+      if w <> "" then begin
+        let wl = String.length w in
+        if !col > indent && !col + 1 + wl > 78 then begin
+          Buffer.add_char buf '\n';
+          Buffer.add_string buf (String.make indent ' ');
+          col := indent
+        end
+        else if !col > indent then begin
+          Buffer.add_char buf ' ';
+          incr col
+        end;
+        Buffer.add_string buf w;
+        col := !col + wl
+      end)
+    words;
+  Buffer.contents buf
+
+let help spec =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "fst %s — %s\n\n%s\n" spec.name spec.summary
+    (usage_line spec);
+  (match spec.pos with
+   | Pos { docv; doc; _ } when doc <> "" ->
+     Printf.bprintf buf "\n  %-24s %s\n" docv (wrap ~indent:27 doc)
+   | _ -> ());
+  if spec.args <> [] then begin
+    Buffer.add_string buf "\noptions:\n";
+    List.iter
+      (fun a ->
+        let label = arg_label a in
+        if String.length label <= 24 then
+          Printf.bprintf buf "  %-24s %s\n" label (wrap ~indent:27 a.doc)
+        else
+          Printf.bprintf buf "  %s\n  %-24s %s\n" label ""
+            (wrap ~indent:27 a.doc))
+      spec.args
+  end;
+  List.iter (fun p -> Printf.bprintf buf "\n%s\n" p) spec.extra_help;
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+let split_eq tok =
+  match String.index_opt tok '=' with
+  | Some i when String.length tok > 1 && tok.[0] = '-' ->
+    Some (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1))
+  | _ -> None
+
+let parse spec argv =
+  let values = Hashtbl.create 16 in
+  let flags = Hashtbl.create 8 in
+  let pos_args = ref [] in
+  let add_value key v =
+    Hashtbl.replace values key
+      (v :: (Option.value ~default:[] (Hashtbl.find_opt values key)))
+  in
+  let add_pos v = pos_args := v :: !pos_args in
+  let rec go = function
+    | [] -> ()
+    | "--help" :: _ | "-help" :: _ ->
+      print_string (help spec);
+      exit 0
+    | "--" :: rest -> List.iter add_pos rest
+    | tok :: rest when String.length tok > 1 && tok.[0] = '-' -> (
+      let name, inline =
+        match split_eq tok with
+        | Some (n, v) -> (n, Some v)
+        | None -> (tok, None)
+      in
+      match find_arg spec name with
+      | None -> usage_error "unknown option %s (see fst %s --help)" tok spec.name
+      | Some a -> (
+        match (a.docv, inline) with
+        | None, Some _ -> usage_error "%s takes no value" name
+        | None, None ->
+          Hashtbl.replace flags (canonical a)
+            (1 + Option.value ~default:0 (Hashtbl.find_opt flags (canonical a)));
+          go rest
+        | Some _, Some v ->
+          add_value (canonical a) v;
+          go rest
+        | Some docv, None -> (
+          match rest with
+          | v :: rest' ->
+            add_value (canonical a) v;
+            go rest'
+          | [] -> usage_error "%s requires a value %s" name docv)))
+    | tok :: rest ->
+      add_pos tok;
+      go rest
+  in
+  go argv;
+  let pos_args = List.rev !pos_args in
+  (match (spec.pos, pos_args) with
+   | No_pos, p :: _ ->
+     usage_error "unexpected argument %S (fst %s takes no positional \
+                  arguments)" p spec.name
+   | Pos { required = true; docv; _ }, [] ->
+     usage_error "missing required argument %s" docv
+   | Pos { all = false; docv; _ }, _ :: _ :: _ ->
+     usage_error "at most one %s argument expected" docv
+   | _ -> ());
+  { spec; values; flags; pos_args }
+
+(* --- getters ------------------------------------------------------------ *)
+
+let resolve p name =
+  match find_arg p.spec name with
+  | Some a -> canonical a
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Spec.%s: %S is not in fst %s's spec" "get" name
+         p.spec.name)
+
+let flag p name = Hashtbl.mem p.flags (resolve p name)
+
+let strings p name =
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt p.values (resolve p name)))
+
+let string_opt p name =
+  match Hashtbl.find_opt p.values (resolve p name) with
+  | Some (v :: _) -> Some v
+  | _ -> None
+
+let conv name of_string kind v =
+  match of_string v with
+  | Some x -> x
+  | None -> usage_error "%s expects %s, got %S" name kind v
+
+let int_opt p name =
+  Option.map (conv name int_of_string_opt "an integer") (string_opt p name)
+
+let int p name ~default = Option.value ~default (int_opt p name)
+
+let float_opt p name =
+  Option.map (conv name float_of_string_opt "a number") (string_opt p name)
+
+let float p name ~default = Option.value ~default (float_opt p name)
+let positional p = p.pos_args

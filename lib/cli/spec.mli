@@ -1,0 +1,63 @@
+(** Declarative flag specifications for the [fst] subcommands.
+
+    Each subcommand is described by one {!t}: its option table, its
+    positional-argument shape, and a summary line. The same table drives
+    the parser {e and} the generated [--help]/usage text, so a command's
+    documentation cannot drift from what it accepts. *)
+
+(** One option. [docv = None] is a boolean flag; [Some v] takes a value
+    (spelled [--name V] or [--name=V]). Valued options are repeatable;
+    the getters expose either the last occurrence or all of them. *)
+type arg = {
+  names : string list;  (** spellings, e.g. [["-c"; "--chains"]] *)
+  docv : string option;
+  doc : string;
+}
+
+type pos =
+  | No_pos
+  | Pos of { docv : string; doc : string; required : bool; all : bool }
+
+type t = {
+  name : string;  (** subcommand name *)
+  summary : string;
+  args : arg list;
+  pos : pos;
+  extra_help : string list;
+      (** extra [--help] paragraphs (e.g. the serve protocol table) *)
+}
+
+val make :
+  ?args:arg list -> ?pos:pos -> ?extra_help:string list ->
+  name:string -> summary:string -> unit -> t
+
+val flag_arg : string list -> doc:string -> arg
+val value_arg : string list -> docv:string -> doc:string -> arg
+
+(** Raised on unknown options, missing values, malformed numbers,
+    missing required positionals. The dispatcher prints the message and
+    the usage line, then exits nonzero. *)
+exception Usage_error of string
+
+val usage_error : ('a, unit, string, 'b) format4 -> 'a
+
+type parsed
+
+(** [parse spec argv] — [argv] excludes the program and subcommand
+    names. [--help]/[-help] print {!help} and exit 0. A bare [--] ends
+    option parsing. *)
+val parse : t -> string list -> parsed
+
+(** Getters address an option by any of its spellings. *)
+
+val flag : parsed -> string -> bool
+val string_opt : parsed -> string -> string option
+val strings : parsed -> string -> string list
+val int : parsed -> string -> default:int -> int
+val int_opt : parsed -> string -> int option
+val float : parsed -> string -> default:float -> float
+val float_opt : parsed -> string -> float option
+val positional : parsed -> string list
+
+val usage_line : t -> string
+val help : t -> string

@@ -111,6 +111,36 @@ let on_error_to_string : on_error -> string = function
   | `Fail_fast -> "fail-fast"
   | `Keep_going -> "keep-going"
 
+let on_error_of_string = function
+  | "fail-fast" -> Some `Fail_fast
+  | "keep-going" -> Some `Keep_going
+  | _ -> None
+
+(* The semantic fingerprint covers exactly the knobs that change what a
+   flow computes. Engine (every back-end is result-identical), jobs
+   (step-2 identical, step-3 totals identical), sink/preflight (pure
+   observers) and time_budget/on_error (degradation policy) are all
+   excluded, so a cached artifact produced by any engine at any
+   parallelism satisfies a lookup from any other. *)
+let fingerprint t =
+  let key =
+    ( t.dist_floor_scale,
+      t.comb_backtrack,
+      t.seq_backtrack,
+      t.final_backtrack,
+      t.frames,
+      t.final_frames,
+      t.truncate_blocks,
+      (t.capture_curve, t.random_blocks, t.random_seed, t.weighted_random),
+      ( t.seq_fault_seconds,
+        t.final_fault_seconds,
+        t.scan_backtrack,
+        t.scan_random_blocks,
+        t.scan_random_seed ),
+      (t.sca_prune, t.sca_implications) )
+  in
+  Digest.to_hex (Digest.string (Marshal.to_string key []))
+
 let budget t =
   match t.time_budget with
   | None -> Budget.unlimited
@@ -180,3 +210,168 @@ let to_json t =
       ("on_error", Json.String (on_error_to_string t.on_error));
       ("preflight", Json.Bool t.preflight);
     ]
+
+(* --- of_json: the exact inverse of to_json ----------------------------- *)
+
+(* Typed field decoders. [to_json] emits Float for every float field, but
+   hand-written payloads (the serve protocol's submit bodies) naturally
+   spell whole numbers as ints, so float fields accept both. *)
+let d_int k = function
+  | Json.Int i -> Ok i
+  | _ -> Error (Printf.sprintf "config: %S expects an integer" k)
+
+let d_float k = function
+  | Json.Float f -> Ok f
+  | Json.Int i -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "config: %S expects a number" k)
+
+let d_bool k = function
+  | Json.Bool b -> Ok b
+  | _ -> Error (Printf.sprintf "config: %S expects a boolean" k)
+
+let d_int_list k = function
+  | Json.List l ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | Json.Int i :: rest -> go (i :: acc) rest
+      | _ :: _ ->
+        Error (Printf.sprintf "config: %S expects a list of integers" k)
+    in
+    go [] l
+  | _ -> Error (Printf.sprintf "config: %S expects a list of integers" k)
+
+let d_float_opt k = function
+  | Json.Null -> Ok None
+  | j -> Result.map Option.some (d_float k j)
+
+let d_int64 k = function
+  | Json.String s -> (
+    match Int64.of_string_opt s with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "config: %S expects an integer string" k))
+  | Json.Int i -> Ok (Int64.of_int i)
+  | _ -> Error (Printf.sprintf "config: %S expects an integer string" k)
+
+let ( let* ) = Result.bind
+
+let set_field t k v =
+  match k with
+  | "engine" -> (
+    match v with
+    | Json.String s -> (
+      match engine_of_string s with
+      | Some e -> Ok { t with engine = e }
+      | None ->
+        Error
+          (Printf.sprintf "config: unknown engine %S (expected one of: %s)" s
+             (String.concat ", " engine_names)))
+    | _ -> Error "config: \"engine\" expects a string")
+  | "jobs" ->
+    let* i = d_int k v in
+    Ok (with_jobs i t)
+  | "dist_floor_scale" ->
+    let* f = d_float k v in
+    Ok { t with dist_floor_scale = f }
+  | "comb_backtrack" ->
+    let* i = d_int k v in
+    Ok { t with comb_backtrack = i }
+  | "seq_backtrack" ->
+    let* i = d_int k v in
+    Ok { t with seq_backtrack = i }
+  | "final_backtrack" ->
+    let* i = d_int k v in
+    Ok { t with final_backtrack = i }
+  | "frames" ->
+    let* l = d_int_list k v in
+    Ok { t with frames = l }
+  | "final_frames" ->
+    let* l = d_int_list k v in
+    Ok { t with final_frames = l }
+  | "truncate_blocks" ->
+    let* o = d_float_opt k v in
+    Ok { t with truncate_blocks = o }
+  | "capture_curve" ->
+    let* b = d_bool k v in
+    Ok { t with capture_curve = b }
+  | "random_blocks" ->
+    let* i = d_int k v in
+    Ok { t with random_blocks = i }
+  | "random_seed" ->
+    let* s = d_int64 k v in
+    Ok { t with random_seed = s }
+  | "weighted_random" ->
+    let* b = d_bool k v in
+    Ok { t with weighted_random = b }
+  | "seq_fault_seconds" ->
+    let* f = d_float k v in
+    Ok { t with seq_fault_seconds = f }
+  | "final_fault_seconds" ->
+    let* f = d_float k v in
+    Ok { t with final_fault_seconds = f }
+  | "scan_backtrack" ->
+    let* i = d_int k v in
+    Ok { t with scan_backtrack = i }
+  | "scan_random_blocks" ->
+    let* i = d_int k v in
+    Ok { t with scan_random_blocks = i }
+  | "scan_random_seed" ->
+    let* s = d_int64 k v in
+    Ok { t with scan_random_seed = s }
+  | "sca_prune" ->
+    let* b = d_bool k v in
+    Ok { t with sca_prune = b }
+  | "sca_implications" ->
+    let* b = d_bool k v in
+    Ok { t with sca_implications = b }
+  | "time_budget" ->
+    let* o = d_float_opt k v in
+    Ok { t with time_budget = o }
+  | "on_error" -> (
+    match v with
+    | Json.String s -> (
+      match on_error_of_string s with
+      | Some p -> Ok { t with on_error = p }
+      | None ->
+        Error
+          (Printf.sprintf
+             "config: unknown on_error %S (expected \"fail-fast\" or \
+              \"keep-going\")"
+             s))
+    | _ -> Error "config: \"on_error\" expects a string")
+  | "preflight" ->
+    let* b = d_bool k v in
+    Ok { t with preflight = b }
+  | _ -> Error (Printf.sprintf "config: unknown key %S" k)
+
+let of_json = function
+  | Json.Obj kvs ->
+    List.fold_left
+      (fun acc (k, v) ->
+        let* t = acc in
+        set_field t k v)
+      (Ok default) kvs
+  | _ -> Error "config: expected a JSON object"
+
+let equal_semantic a b =
+  a.engine = b.engine && a.jobs = b.jobs
+  && a.dist_floor_scale = b.dist_floor_scale
+  && a.comb_backtrack = b.comb_backtrack
+  && a.seq_backtrack = b.seq_backtrack
+  && a.final_backtrack = b.final_backtrack
+  && a.frames = b.frames
+  && a.final_frames = b.final_frames
+  && a.truncate_blocks = b.truncate_blocks
+  && a.capture_curve = b.capture_curve
+  && a.random_blocks = b.random_blocks
+  && a.random_seed = b.random_seed
+  && a.weighted_random = b.weighted_random
+  && a.seq_fault_seconds = b.seq_fault_seconds
+  && a.final_fault_seconds = b.final_fault_seconds
+  && a.scan_backtrack = b.scan_backtrack
+  && a.scan_random_blocks = b.scan_random_blocks
+  && a.scan_random_seed = b.scan_random_seed
+  && a.sca_prune = b.sca_prune
+  && a.sca_implications = b.sca_implications
+  && a.time_budget = b.time_budget
+  && a.on_error = b.on_error
+  && a.preflight = b.preflight

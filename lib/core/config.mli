@@ -115,6 +115,24 @@ val engine_names : string list
 (** ["fail-fast"] / ["keep-going"] — the CLI spellings. *)
 val on_error_to_string : on_error -> string
 
+val on_error_of_string : string -> on_error option
+
+(** [fingerprint t] is a stable hex digest of the {e semantic} knobs
+    only — everything that changes what the flow computes. [engine]
+    (result-identical back-ends), [jobs] (result-identical parallelism),
+    [sink]/[preflight] (pure observers) and [time_budget]/[on_error]
+    (degradation policy) are excluded, so two configurations that must
+    produce bit-identical reports share a fingerprint. This is the
+    Config half of the {!Fst_serve.Cache} content address, and the
+    Config contribution to the {!Flow} checkpoint fingerprint (which
+    additionally ties in [jobs] and the circuit). *)
+val fingerprint : t -> string
+
+(** [equal_semantic a b] compares every field except [sink] (which holds
+    closures and mutexes). The equality the [of_json]/[to_json]
+    round-trip property is stated in. *)
+val equal_semantic : t -> t -> bool
+
 (** [budget t] is the {!Fst_exec.Budget.t} for [t.time_budget]
     ({!Fst_exec.Budget.unlimited} when [None]). The clock starts when this
     is called. *)
@@ -143,3 +161,14 @@ val of_cli :
     attributable to its configuration. The [sink] itself is not
     serializable and is omitted. *)
 val to_json : t -> Fst_obs.Json.t
+
+(** [of_json j] is the exact inverse of {!to_json}: every key {!to_json}
+    emits is accepted (with the same spelling and type), absent keys
+    take their {!default}, and an unknown key is rejected with an
+    [Error] naming it — a mistyped knob in a [submit] payload must fail
+    loudly, not silently run with defaults. Numeric fields additionally
+    accept JSON integers where {!to_json} emits floats. The returned
+    config always carries the null sink; round-trip:
+    [of_json (to_json c)] equals [c] up to [sink]
+    ({!equal_semantic}). *)
+val of_json : Fst_obs.Json.t -> (t, string) result

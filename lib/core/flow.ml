@@ -307,24 +307,11 @@ let fresh_ckpt () =
    the same reason: the lint pass is a pure observer, so toggling it must
    not invalidate a checkpoint either. *)
 let fingerprint scanned config (cfg : Config.t) =
-  let key =
-    ( cfg.Config.jobs,
-      cfg.Config.dist_floor_scale,
-      cfg.Config.comb_backtrack,
-      cfg.Config.seq_backtrack,
-      cfg.Config.final_backtrack,
-      cfg.Config.frames,
-      cfg.Config.final_frames,
-      cfg.Config.truncate_blocks,
-      ( cfg.Config.capture_curve,
-        cfg.Config.random_blocks,
-        cfg.Config.random_seed,
-        cfg.Config.weighted_random ),
-      ( cfg.Config.seq_fault_seconds,
-        cfg.Config.final_fault_seconds,
-        cfg.Config.sca_prune,
-        cfg.Config.sca_implications ) )
-  in
+  (* The semantic knobs come pre-digested from [Config.fingerprint]
+     (shared with the serve cache's content address); the checkpoint
+     additionally ties in [jobs] — step-3 wave planning depends on it —
+     and the exact circuit and scan configuration. *)
+  let key = (cfg.Config.jobs, Config.fingerprint cfg) in
   Digest.to_hex (Digest.string (Marshal.to_string (scanned, config, key) []))
 
 (* --- instrumentation helpers ------------------------------------------- *)

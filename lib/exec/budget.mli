@@ -22,6 +22,22 @@ val unlimited : t
     wall-clock seconds. *)
 val of_seconds : float -> t
 
+(** [cancellable ?seconds ()] starts a budget that can additionally be
+    tripped from another thread with {!cancel}: [seconds] bounds the run
+    like {!of_seconds} ([None] = unbounded until cancelled). This is how
+    a long-running service cancels an in-flight job cooperatively — once
+    cancelled, every subsequently captured deadline is already expired,
+    so the flow winds down through exactly the budget-exhaustion path
+    (partial results kept, denied work reported as aborted). *)
+val cancellable : ?seconds:float -> unit -> t
+
+(** [cancel b] trips a {!cancellable} budget immediately (no-op on plain
+    budgets). Thread-safe; idempotent. *)
+val cancel : t -> unit
+
+(** [cancelled b] is true once {!cancel} has been called on [b]. *)
+val cancelled : t -> bool
+
 val is_limited : t -> bool
 
 (** [deadline b phase] is the instant by which [phase] must be finished

@@ -10,6 +10,8 @@ let to_channel oc =
     lock = Mutex.create ();
   }
 
+let to_callback f = { write = f; lock = Mutex.create () }
+
 let to_buffer buf =
   {
     write =

@@ -12,4 +12,11 @@ type t
 val to_channel : out_channel -> t
 val to_buffer : Buffer.t -> t
 
+val to_callback : (string -> unit) -> t
+(** [to_callback f] calls [f] with each serialized event line (no
+    trailing newline), under the log's mutex. This is how {!Fst_serve}
+    forwards a running job's events to its submitting client: the
+    callback wraps the line in a protocol frame and writes it to the
+    client socket. [f] must not re-enter the event log. *)
+
 val emit : t -> kind:string -> (string * Json.t) list -> unit

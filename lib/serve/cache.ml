@@ -1,0 +1,147 @@
+module Json = Fst_obs.Json
+
+type entry = { value : Json.t; mutable used : int }
+
+type t = {
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  dir : string option;
+  max_entries : int;
+  mutable tick : int;  (* LRU clock: bumped on every hit and insert *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  entries : int;
+  hits : int;
+  misses : int;
+  inserts : int;
+  evictions : int;
+}
+
+let create ?dir ?(max_entries = 512) () =
+  (match dir with
+   | Some d when not (Sys.file_exists d) -> (
+     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+   | _ -> ());
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    dir;
+    max_entries = max 1 max_entries;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    inserts = 0;
+    evictions = 0;
+  }
+
+let netlist_hash circuit =
+  Digest.to_hex (Digest.string (Fst_netlist.Netfile.to_string circuit))
+
+let key ~kind ~netlist ~chains ~config_fp =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "%s\n%s\n%d\n%s" kind netlist chains config_fp))
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let disk_path t k = Option.map (fun d -> Filename.concat d (k ^ ".json")) t.dir
+
+(* Evict the least-recently-used entries until the map fits. O(n) scan
+   per eviction; the map is small (hundreds of reports). *)
+let evict_to_fit t =
+  while Hashtbl.length t.table > t.max_entries do
+    let victim =
+      Hashtbl.fold
+        (fun k e acc ->
+          match acc with
+          | Some (_, used) when used <= e.used -> acc
+          | _ -> Some (k, e.used))
+        t.table None
+    in
+    match victim with
+    | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.evictions <- t.evictions + 1
+    | None -> ()
+  done
+
+let read_disk path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (match Json.of_string text with
+     | j -> Some j
+     | exception Json.Parse_error _ -> None)
+
+let write_disk path v =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> Json.to_channel oc v);
+  Sys.rename tmp path
+
+let find t k =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table k with
+      | Some e ->
+        t.tick <- t.tick + 1;
+        e.used <- t.tick;
+        t.hits <- t.hits + 1;
+        Some e.value
+      | None -> (
+        (* Memory miss: the disk copy (when a directory is attached)
+           still counts as a hit — that is the whole point of
+           persistence across restarts. *)
+        match Option.map read_disk (disk_path t k) with
+        | Some (Some v) ->
+          t.tick <- t.tick + 1;
+          Hashtbl.replace t.table k { value = v; used = t.tick };
+          evict_to_fit t;
+          t.hits <- t.hits + 1;
+          Some v
+        | _ ->
+          t.misses <- t.misses + 1;
+          None))
+
+let add t k v =
+  locked t (fun () ->
+      t.tick <- t.tick + 1;
+      Hashtbl.replace t.table k { value = v; used = t.tick };
+      t.inserts <- t.inserts + 1;
+      evict_to_fit t;
+      match disk_path t k with
+      | Some path -> ( try write_disk path v with Sys_error _ -> ())
+      | None -> ())
+
+let stats t =
+  locked t (fun () ->
+      {
+        entries = Hashtbl.length t.table;
+        hits = t.hits;
+        misses = t.misses;
+        inserts = t.inserts;
+        evictions = t.evictions;
+      })
+
+let stats_to_json s =
+  Json.Obj
+    [
+      ("entries", Json.Int s.entries);
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("inserts", Json.Int s.inserts);
+      ("evictions", Json.Int s.evictions);
+    ]

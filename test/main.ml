@@ -34,4 +34,5 @@ let () =
       ("diagnose", Test_diagnose.suite);
       ("dictionary", Test_dictionary.suite);
       ("sca", Test_sca.suite);
+      ("serve", Test_serve.suite);
     ]

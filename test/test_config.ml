@@ -91,6 +91,97 @@ let test_to_json () =
   Alcotest.(check bool) "sca_implications present" true
     (member "sca_implications" = Fst_obs.Json.Bool false)
 
+(* --- of_json: the exact inverse of to_json ----------------------------- *)
+
+module Q = QCheck
+
+(* An arbitrary semantic config: every field to_json serializes gets a
+   chance to take a non-default value. *)
+let gen_config =
+  let open Q.Gen in
+  let engine =
+    oneofl (List.filter_map Config.engine_of_string Config.engine_names)
+  in
+  let frames = list_size (int_range 1 4) (int_range 1 16) in
+  let seed = map Int64.of_int (int_range 0 0x3FFFFFFF) in
+  let budget = opt (map (fun i -> float_of_int i /. 4.0) (int_range 1 400)) in
+  engine >>= fun engine ->
+  int_range 1 8 >>= fun jobs ->
+  int_range 1 5000 >>= fun comb ->
+  int_range 1 5000 >>= fun seq ->
+  int_range 1 5000 >>= fun final ->
+  frames >>= fun fr ->
+  frames >>= fun ffr ->
+  budget >>= fun trunc ->
+  bool >>= fun curve ->
+  int_range 0 64 >>= fun rb ->
+  seed >>= fun rs ->
+  bool >>= fun wr ->
+  seed >>= fun srs ->
+  bool >>= fun prune ->
+  bool >>= fun implications ->
+  budget >>= fun tb ->
+  oneofl [ `Fail_fast; `Keep_going ] >>= fun on_error ->
+  bool >>= fun preflight ->
+  return
+    Config.(
+      default |> with_engine engine |> with_jobs jobs
+      |> with_comb_backtrack comb |> with_seq_backtrack seq
+      |> with_final_backtrack final |> with_frames fr
+      |> with_final_frames ffr |> with_truncate_blocks trunc
+      |> with_capture_curve curve |> with_random_blocks rb
+      |> with_random_seed rs |> with_weighted_random wr
+      |> with_scan_random_seed srs |> with_sca_prune prune
+      |> with_sca_implications implications |> with_time_budget tb
+      |> with_on_error on_error |> with_preflight preflight)
+
+let prop_of_json_round_trip =
+  Q.Test.make ~count:200 ~name:"of_json (to_json c) = c"
+    (Q.make gen_config) (fun c ->
+      match Config.of_json (Config.to_json c) with
+      | Ok c' ->
+        Config.equal_semantic c c'
+        && c.Config.engine = c'.Config.engine
+        && c.Config.jobs = c'.Config.jobs
+        && c.Config.time_budget = c'.Config.time_budget
+        && c.Config.on_error = c'.Config.on_error
+        && c.Config.preflight = c'.Config.preflight
+      | Error e -> Q.Test.fail_report ("of_json rejected its own echo: " ^ e))
+
+let test_of_json_errors () =
+  let rejected label j =
+    match Config.of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (label ^ ": accepted")
+  in
+  rejected "unknown key" (Fst_obs.Json.Obj [ ("warp_factor", Fst_obs.Json.Int 9) ]);
+  rejected "wrong type" (Fst_obs.Json.Obj [ ("jobs", Fst_obs.Json.String "two") ]);
+  rejected "unknown engine"
+    (Fst_obs.Json.Obj [ ("engine", Fst_obs.Json.String "warp") ]);
+  rejected "not an object" (Fst_obs.Json.List []);
+  (* Absent fields keep their defaults: an empty object is Config.default. *)
+  match Config.of_json (Fst_obs.Json.Obj []) with
+  | Ok c ->
+    Alcotest.(check bool) "empty object is default" true
+      (Config.equal_semantic c Config.default)
+  | Error e -> Alcotest.failf "empty object rejected: %s" e
+
+let test_of_json_accepts_ints () =
+  (* Hand-written submit payloads spell whole-number floats as ints. *)
+  match
+    Config.of_json
+      (Fst_obs.Json.Obj
+         [
+           ("time_budget", Fst_obs.Json.Int 5);
+           ("dist_floor_scale", Fst_obs.Json.Int 1);
+           ("random_seed", Fst_obs.Json.Int 42);
+         ])
+  with
+  | Ok c ->
+    Alcotest.(check bool) "budget" true (c.Config.time_budget = Some 5.0);
+    Alcotest.(check bool) "seed" true (c.Config.random_seed = 42L)
+  | Error e -> Alcotest.failf "int spellings rejected: %s" e
+
 let suite =
   [
     Alcotest.test_case "defaults" `Quick test_defaults;
@@ -99,4 +190,8 @@ let suite =
       test_engine_names_round_trip;
     Alcotest.test_case "of_cli" `Quick test_of_cli;
     Alcotest.test_case "to_json round-trips" `Quick test_to_json;
+    Helpers.qcheck prop_of_json_round_trip;
+    Alcotest.test_case "of_json rejects malformed" `Quick test_of_json_errors;
+    Alcotest.test_case "of_json accepts int spellings" `Quick
+      test_of_json_accepts_ints;
   ]

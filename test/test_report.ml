@@ -33,9 +33,106 @@ let test_cells () =
   Alcotest.(check string) "int pct zero" "5" (Table.cell_int_pct 5 ~of_:0);
   Alcotest.(check string) "seconds" "1.50s" (Table.cell_seconds 1.5)
 
+(* --- Flow_report: the report as a first-class value --------------------- *)
+
+let sample_report : Flow_report.t =
+  {
+    Flow_report.circuit = "s_demo";
+    total = 120;
+    affecting = 90;
+    easy = 60;
+    hard = 30;
+    untestable_static = 3;
+    step2_detected = 20;
+    step2_untestable = 2;
+    step2_vectors = 44;
+    step2_cpu_s = 0.25;
+    step3_detected = 4;
+    step3_untestable = 1;
+    step3_group_circuits = 5;
+    step3_final_circuits = 2;
+    step3_cpu_s = 0.5;
+    podem_runs = 200;
+    podem_backtracks = 77;
+    podem_decisions = 500;
+    podem_implications = 4000;
+    podem_aborted_limit = 1;
+    podem_aborted_deadline = 0;
+    seq_runs = 30;
+    seq_backtracks = 12;
+    undetected = [ "g7/Q stuck-at-1"; "g9/D stuck-at-0" ];
+    failed = [];
+    aborted_faults = 1;
+    failed_faults = 0;
+    phases =
+      [
+        {
+          Flow_report.phase = "step2";
+          budget_exhausted = false;
+          atpg_aborts = 1;
+          cancelled_groups = 0;
+          failed = 0;
+        };
+        {
+          Flow_report.phase = "step3";
+          budget_exhausted = true;
+          atpg_aborts = 0;
+          cancelled_groups = 2;
+          failed = 0;
+        };
+      ];
+  }
+
+let test_flow_report_json_round_trip () =
+  match Flow_report.of_json (Flow_report.to_json sample_report) with
+  | Ok r ->
+    Alcotest.(check bool) "round-trips structurally" true (r = sample_report);
+    (* The bit-identical cache-hit contract: same value, same bytes. *)
+    Alcotest.(check string) "re-rendered text identical"
+      (Flow_report.to_text sample_report)
+      (Flow_report.to_text r)
+  | Error e -> Alcotest.failf "of_json rejected its own echo: %s" e
+
+let test_flow_report_text_shape () =
+  let out = Flow_report.to_text sample_report in
+  Alcotest.(check bool) "has the report title" true
+    (contains ~needle:"Functional scan chain testing report" out);
+  (* The greppable lines the Makefile smokes rely on. *)
+  Alcotest.(check bool) "aborts line" true (contains ~needle:"aborts:" out);
+  Alcotest.(check bool) "budget_exhausted surfaced" true
+    (contains ~needle:"budget_exhausted=true" out);
+  Alcotest.(check bool) "undetected lines" true
+    (contains ~needle:"undetected: g7/Q stuck-at-1" out);
+  Alcotest.(check bool) "ends with newline" true
+    (String.length out > 0 && out.[String.length out - 1] = '\n')
+
+let test_flow_report_aggregates () =
+  Alcotest.(check bool) "budget_exhausted ors the phases" true
+    (Flow_report.budget_exhausted sample_report);
+  Alcotest.(check int) "atpg aborts summed" 1
+    (Flow_report.atpg_aborts sample_report);
+  Alcotest.(check int) "cancelled groups summed" 2
+    (Flow_report.cancelled_groups sample_report)
+
+let test_flow_report_of_json_errors () =
+  (match Flow_report.of_json (Fst_obs.Json.Obj []) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty object accepted");
+  match Flow_report.of_json (Fst_obs.Json.String "nope") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-object accepted"
+
 let suite =
   [
     Alcotest.test_case "render" `Quick test_render;
     Alcotest.test_case "row arity" `Quick test_row_arity_checked;
     Alcotest.test_case "cells" `Quick test_cells;
+    Alcotest.test_case "flow report JSON round-trip" `Quick
+      test_flow_report_json_round_trip;
+    Alcotest.test_case "flow report text shape" `Quick
+      test_flow_report_text_shape;
+    Alcotest.test_case "flow report aggregates" `Quick
+      test_flow_report_aggregates;
+    Alcotest.test_case "flow report of_json rejects" `Quick
+      test_flow_report_of_json_errors;
   ]

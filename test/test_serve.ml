@@ -1,0 +1,360 @@
+open Fst_core
+module Protocol = Fst_serve.Protocol
+module Cache = Fst_serve.Cache
+module Server = Fst_serve.Server
+module Client = Fst_serve.Client
+module Json = Fst_obs.Json
+
+(* --- cache-key semantics ------------------------------------------------ *)
+
+(* The semantic fingerprint is the cache's notion of "same run": knobs
+   that change only how the flow executes (engine, parallelism, sinks,
+   budgets, error policy, preflight) must not move it; knobs that change
+   what the flow computes must. *)
+let test_fingerprint_invariant () =
+  let base = Config.fingerprint Config.default in
+  let same label cfg =
+    Alcotest.(check string) label base (Config.fingerprint cfg)
+  in
+  same "jobs excluded" Config.(default |> with_jobs 7);
+  same "time_budget excluded" Config.(default |> with_time_budget (Some 5.0));
+  same "preflight excluded" Config.(default |> with_preflight false);
+  same "sink excluded" Config.(default |> with_sink Fst_obs.Sink.null);
+  (match Config.on_error_of_string "keep-going" with
+  | Some p -> same "on_error excluded" Config.(default |> with_on_error p)
+  | None -> Alcotest.fail "on_error_of_string keep-going");
+  List.iter
+    (fun name ->
+      match Config.engine_of_string name with
+      | Some e -> same ("engine excluded: " ^ name)
+          Config.(default |> with_engine e)
+      | None -> Alcotest.fail ("engine_of_string " ^ name))
+    Config.engine_names
+
+let test_fingerprint_sensitive () =
+  let base = Config.fingerprint Config.default in
+  let differs label cfg =
+    if Config.fingerprint cfg = base then
+      Alcotest.fail (label ^ ": fingerprint did not change")
+  in
+  differs "comb_backtrack" Config.(default |> with_comb_backtrack 1);
+  differs "frames" Config.(default |> with_frames [ 9 ]);
+  differs "random_seed" Config.(default |> with_random_seed 99L);
+  differs "truncate_blocks"
+    Config.(default |> with_truncate_blocks (Some 0.5));
+  differs "sca_prune"
+    Config.(default |> with_sca_prune (not Config.default.Config.sca_prune))
+
+let test_netlist_hash () =
+  let a =
+    Fst_netlist.Netfile.parse_string ~name:"c"
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"
+  in
+  let b =
+    Fst_netlist.Netfile.parse_string ~name:"c"
+      "# a comment\nINPUT(a)\n\nOUTPUT(y)\n   y = NOT( a )\n"
+  in
+  let c =
+    Fst_netlist.Netfile.parse_string ~name:"c"
+      "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n"
+  in
+  Alcotest.(check string)
+    "comments/whitespace do not move the hash" (Cache.netlist_hash a)
+    (Cache.netlist_hash b);
+  if Cache.netlist_hash a = Cache.netlist_hash c then
+    Alcotest.fail "distinct gates must hash differently"
+
+let test_cache_key () =
+  let k = Cache.key ~kind:"flow" ~netlist:"nh" ~chains:1 ~config_fp:"fp" in
+  Alcotest.(check string) "deterministic" k
+    (Cache.key ~kind:"flow" ~netlist:"nh" ~chains:1 ~config_fp:"fp");
+  let distinct label k' =
+    if k = k' then Alcotest.fail (label ^ ": key collision")
+  in
+  distinct "kind" (Cache.key ~kind:"lint" ~netlist:"nh" ~chains:1 ~config_fp:"fp");
+  distinct "netlist" (Cache.key ~kind:"flow" ~netlist:"nh2" ~chains:1 ~config_fp:"fp");
+  distinct "chains" (Cache.key ~kind:"flow" ~netlist:"nh" ~chains:2 ~config_fp:"fp");
+  distinct "config" (Cache.key ~kind:"flow" ~netlist:"nh" ~chains:1 ~config_fp:"fp2")
+
+let test_cache_lru () =
+  let c = Cache.create ~max_entries:2 () in
+  Cache.add c "k1" (Json.Int 1);
+  Cache.add c "k2" (Json.Int 2);
+  (* Touch k1 so k2 is the least-recently-used entry. *)
+  ignore (Cache.find c "k1");
+  Cache.add c "k3" (Json.Int 3);
+  Alcotest.(check bool) "k2 evicted" true (Cache.find c "k2" = None);
+  Alcotest.(check bool) "k1 kept" true (Cache.find c "k1" = Some (Json.Int 1));
+  Alcotest.(check bool) "k3 kept" true (Cache.find c "k3" = Some (Json.Int 3));
+  let s = Cache.stats c in
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check int) "entries" 2 s.Cache.entries
+
+let temp_dir prefix =
+  let d = Filename.temp_file prefix "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let test_cache_disk () =
+  let dir = temp_dir "fst-cache" in
+  let c1 = Cache.create ~dir () in
+  Cache.add c1 "deadbeef" (Json.Obj [ ("x", Json.Int 42) ]);
+  (* A fresh cache over the same directory starts cold in memory but
+     warm on disk: the find must fall through and count as a hit. *)
+  let c2 = Cache.create ~dir () in
+  (match Cache.find c2 "deadbeef" with
+  | Some (Json.Obj [ ("x", Json.Int 42) ]) -> ()
+  | _ -> Alcotest.fail "disk fallback did not replay the artifact");
+  let s = Cache.stats c2 in
+  Alcotest.(check int) "disk fallback is a hit" 1 s.Cache.hits;
+  Alcotest.(check bool) "miss not counted" true (s.Cache.misses = 0)
+
+(* --- protocol ----------------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  let submit =
+    {
+      Protocol.kind = Protocol.Flow;
+      netlist = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+      name = "tiny";
+      chains = 2;
+      config = Json.Obj [ ("jobs", Json.Int 1) ];
+      wait = false;
+      tenant = "alice";
+    }
+  in
+  List.iter
+    (fun req ->
+      match Protocol.request_of_json (Protocol.request_to_json req) with
+      | Ok req' ->
+        Alcotest.(check bool) "request round-trips" true (req = req')
+      | Error e -> Alcotest.fail ("round-trip: " ^ e))
+    [
+      Protocol.Submit submit;
+      Protocol.Status "job-1";
+      Protocol.Cancel "job-1";
+      Protocol.Result "job-1";
+      Protocol.Stats;
+      Protocol.Ping;
+      Protocol.Shutdown;
+    ]
+
+let test_protocol_rejects () =
+  let bad label j =
+    match Protocol.request_of_json j with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (label ^ ": accepted a malformed request")
+  in
+  bad "wrong version"
+    (Json.Obj [ ("v", Json.Int 99); ("cmd", Json.String "ping") ]);
+  bad "unknown command"
+    (Json.Obj
+       [ ("v", Json.Int Protocol.version); ("cmd", Json.String "frobnicate") ]);
+  bad "missing cmd" (Json.Obj [ ("v", Json.Int Protocol.version) ]);
+  bad "not an object" (Json.String "ping");
+  (* Every documented command name must be accepted (with its required
+     arguments) — the doc table and the validator are the same table. *)
+  Alcotest.(check bool) "submit documented" true
+    (List.mem_assoc "submit" Protocol.commands)
+
+(* --- end-to-end: in-process daemon over a unix socket ------------------- *)
+
+let quick_config_json =
+  Config.(
+    default |> with_jobs 1 |> with_comb_backtrack 100
+    |> with_seq_backtrack 200 |> with_final_backtrack 500
+    |> with_frames [ 1; 2 ]
+    |> with_final_frames [ 1; 2; 4 ]
+    |> to_json)
+
+let connect_retry addr =
+  let rec go n =
+    match Client.connect addr with
+    | c -> c
+    | exception Unix.Unix_error _ when n > 0 ->
+      Thread.delay 0.05;
+      go (n - 1)
+  in
+  go 100
+
+let test_serve_end_to_end () =
+  let dir = temp_dir "fst-serve" in
+  let addr = Protocol.Unix_sock (Filename.concat dir "sock") in
+  let server = Server.create ~workers:1 ~jobs_cap:1 ~addr () in
+  let thread = Server.start server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join thread)
+    (fun () ->
+      let netlist =
+        Fst_netlist.Netfile.to_string
+          (Helpers.small_seq_circuit ~gates:40 ~ffs:4 3L)
+      in
+      let submit =
+        {
+          Protocol.kind = Protocol.Flow;
+          netlist;
+          name = "small";
+          chains = 1;
+          config = quick_config_json;
+          wait = true;
+          tenant = "t1";
+        }
+      in
+      let c = connect_retry addr in
+      (match Client.request c Protocol.Ping with
+      | Ok (Json.Obj kvs) ->
+        Alcotest.(check bool) "pong" true
+          (List.assoc_opt "kind" kvs = Some (Json.String "pong"))
+      | Ok _ | Error _ -> Alcotest.fail "ping failed");
+      let cold =
+        match Client.submit c submit with
+        | Ok o -> o
+        | Error e -> Alcotest.fail ("cold submit: " ^ e)
+      in
+      Alcotest.(check bool) "cold run is uncached" false cold.Client.cached;
+      Alcotest.(check bool) "cold run streamed events" true
+        (cold.Client.events <> []);
+      (* The identical resubmit must come from the cache, bit-identical. *)
+      let warm =
+        match Client.submit c submit with
+        | Ok o -> o
+        | Error e -> Alcotest.fail ("warm submit: " ^ e)
+      in
+      Alcotest.(check bool) "warm run is cached" true warm.Client.cached;
+      Alcotest.(check string) "cache hit is bit-identical"
+        (Json.to_string cold.Client.payload)
+        (Json.to_string warm.Client.payload);
+      (* Execution knobs must not defeat the cache: same semantics under
+         a different jobs setting is still a hit. *)
+      let retuned =
+        {
+          submit with
+          Protocol.config =
+            (match quick_config_json with
+            | Json.Obj kvs ->
+              Json.Obj
+                (List.map
+                   (function
+                     | "jobs", _ -> ("jobs", Json.Int 4)
+                     | kv -> kv)
+                   kvs)
+            | j -> j);
+        }
+      in
+      (match Client.submit c retuned with
+      | Ok o -> Alcotest.(check bool) "jobs knob is not semantic" true
+          o.Client.cached
+      | Error e -> Alcotest.fail ("retuned submit: " ^ e));
+      (* A semantic edit must miss. *)
+      let reseeded =
+        {
+          submit with
+          Protocol.config =
+            (match quick_config_json with
+            | Json.Obj kvs ->
+              Json.Obj
+                (List.map
+                   (function
+                     | "random_seed", _ ->
+                       ("random_seed", Json.String "0x2a")
+                     | kv -> kv)
+                   kvs)
+            | j -> j);
+        }
+      in
+      (match Client.submit c reseeded with
+      | Ok o ->
+        Alcotest.(check bool) "random_seed is semantic" false o.Client.cached
+      | Error e -> Alcotest.fail ("reseeded submit: " ^ e));
+      (match Client.request c Protocol.Stats with
+      | Ok (Json.Obj kvs) -> (
+        match List.assoc_opt "cache" kvs with
+        | Some (Json.Obj ckvs) ->
+          Alcotest.(check bool) "stats count hits" true
+            (match List.assoc_opt "hits" ckvs with
+            | Some (Json.Int n) -> n >= 2
+            | _ -> false)
+        | _ -> Alcotest.fail "stats: no cache block")
+      | Ok _ | Error _ -> Alcotest.fail "stats failed");
+      (* Unknown job ids are protocol errors, not crashes. *)
+      (match Client.request c (Protocol.Status "no-such-job") with
+      | Error _ -> ()
+      | Ok j -> (
+        match j with
+        | Json.Obj kvs
+          when List.assoc_opt "kind" kvs = Some (Json.String "error") ->
+          ()
+        | _ -> Alcotest.fail "status on unknown job must error"));
+      Client.close c)
+
+let test_serve_cancel () =
+  let dir = temp_dir "fst-cancel" in
+  let addr = Protocol.Unix_sock (Filename.concat dir "sock") in
+  let server = Server.create ~workers:1 ~jobs_cap:1 ~addr () in
+  let thread = Server.start server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join thread)
+    (fun () ->
+      let netlist =
+        Fst_netlist.Netfile.to_string
+          (Helpers.small_seq_circuit ~gates:200 ~ffs:12 9L)
+      in
+      let submit =
+        {
+          Protocol.kind = Protocol.Flow;
+          netlist;
+          name = "cancelme";
+          chains = 1;
+          config = quick_config_json;
+          wait = false;
+          tenant = "t1";
+        }
+      in
+      let c = connect_retry addr in
+      let job =
+        match Client.submit c submit with
+        | Ok o -> o.Client.job
+        | Error e -> Alcotest.fail ("submit: " ^ e)
+      in
+      (match Client.request c (Protocol.Cancel job) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail ("cancel: " ^ e));
+      (* Result blocks until the job reaches a terminal state; a
+         cancelled job answers with either a partial result (if it was
+         already running) or an error frame — never a hang. *)
+      (match Client.request c (Protocol.Result job) with
+      | Ok _ | Error _ -> ());
+      (match Client.request c (Protocol.Status job) with
+      | Ok (Json.Obj kvs) ->
+        let terminal =
+          match List.assoc_opt "state" kvs with
+          | Some (Json.String ("done" | "failed" | "cancelled")) -> true
+          | _ -> false
+        in
+        Alcotest.(check bool) "cancelled job reaches a terminal state" true
+          terminal
+      | Ok _ | Error _ -> Alcotest.fail "status after cancel failed");
+      Client.close c)
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint ignores execution knobs" `Quick
+      test_fingerprint_invariant;
+    Alcotest.test_case "fingerprint tracks semantic knobs" `Quick
+      test_fingerprint_sensitive;
+    Alcotest.test_case "netlist hash is canonical" `Quick test_netlist_hash;
+    Alcotest.test_case "cache key separates inputs" `Quick test_cache_key;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru;
+    Alcotest.test_case "cache disk fallback" `Quick test_cache_disk;
+    Alcotest.test_case "protocol round-trips" `Quick test_protocol_roundtrip;
+    Alcotest.test_case "protocol rejects malformed" `Quick
+      test_protocol_rejects;
+    Alcotest.test_case "serve end-to-end with cache hits" `Quick
+      test_serve_end_to_end;
+    Alcotest.test_case "serve cancel" `Quick test_serve_cancel;
+  ]
